@@ -1,0 +1,136 @@
+// Command s4d runs a self-securing storage drive: an S4 object store
+// behind the security perimeter of the S4 RPC protocol (OSDI '00,
+// Fig. 1a's network-attached drive).
+//
+//	s4d -image /var/s4/drive.img -size 4096 -listen :4455 \
+//	    -adminkey admin-secret -clientkey 1=client1-secret \
+//	    -window 168h
+//
+// The drive keeps every version of every object for the detection
+// window, audits every request, and cleans aged history in the
+// background. Stop with SIGINT/SIGTERM; state is checkpointed on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/s4rpc"
+	"s4/internal/types"
+)
+
+func main() {
+	image := flag.String("image", "s4drive.img", "backing image file")
+	sizeMB := flag.Int64("size", 1024, "image size in MB (new images)")
+	listen := flag.String("listen", "127.0.0.1:4455", "TCP listen address")
+	adminKey := flag.String("adminkey", "", "administrator key (required)")
+	clientKeys := flag.String("clientkey", "", "comma-separated id=key client credentials")
+	window := flag.Duration("window", 7*24*time.Hour, "detection window")
+	format := flag.Bool("format", false, "format the image even if it has data")
+	cleanEvery := flag.Duration("clean", 30*time.Second, "cleaner interval (0 disables)")
+	flag.Parse()
+
+	if *adminKey == "" {
+		fmt.Fprintln(os.Stderr, "s4d: -adminkey is required (the security perimeter needs one)")
+		os.Exit(2)
+	}
+	dev, err := disk.OpenFile(*image, *sizeMB<<20)
+	if err != nil {
+		log.Fatalf("s4d: open image: %v", err)
+	}
+	opts := core.Options{Window: *window}
+	var drv *core.Drive
+	if *format || isBlank(dev) {
+		drv, err = core.Format(dev, opts)
+	} else {
+		drv, err = core.Open(dev, opts)
+	}
+	if err != nil {
+		log.Fatalf("s4d: attach drive: %v", err)
+	}
+
+	keys := s4rpc.NewKeyring([]byte(*adminKey))
+	for _, pair := range strings.Split(*clientKeys, ",") {
+		if pair == "" {
+			continue
+		}
+		id, key, ok := strings.Cut(pair, "=")
+		if !ok {
+			log.Fatalf("s4d: bad -clientkey entry %q (want id=key)", pair)
+		}
+		n, err := strconv.ParseUint(id, 10, 32)
+		if err != nil {
+			log.Fatalf("s4d: bad client id %q: %v", id, err)
+		}
+		keys.AddClient(types.ClientID(n), []byte(key))
+	}
+
+	srv := s4rpc.NewServer(drv, keys)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("s4d: listen: %v", err)
+	}
+	log.Printf("s4d: serving %s on %s (window %v)", *image, ln.Addr(), *window)
+
+	stopClean := make(chan struct{})
+	if *cleanEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*cleanEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopClean:
+					return
+				case <-ticker.C:
+					if cs, err := drv.CleanOnce(); err == nil &&
+						(cs.SegmentsFreed > 0 || cs.ObjectsReaped > 0) {
+						log.Printf("s4d: cleaner freed %d segments, reaped %d objects",
+							cs.SegmentsFreed, cs.ObjectsReaped)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("s4d: shutting down")
+		close(stopClean)
+		_ = srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		log.Printf("s4d: serve: %v", err)
+	}
+	if err := drv.Close(); err != nil {
+		log.Fatalf("s4d: checkpoint on shutdown: %v", err)
+	}
+	if err := dev.Close(); err != nil {
+		log.Fatalf("s4d: close image: %v", err)
+	}
+}
+
+// isBlank reports whether the image has never been formatted.
+func isBlank(dev disk.Device) bool {
+	buf := make([]byte, disk.SectorSize)
+	if err := dev.ReadSectors(0, buf); err != nil {
+		return true
+	}
+	for _, b := range buf[:8] {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,156 @@
+// Intrusion walkthrough: the paper's motivating scenario (§2, §3.1)
+// played end to end on an S4-backed file system.
+//
+// An intruder who has fully compromised a client — stolen credentials
+// and all — scrubs the system log, trojans an executable, stages an
+// exploit tool and deletes it. The administrator then uses the history
+// pool and the audit log to detect the intrusion, diagnose the entry
+// method, recover the deleted exploit tool as evidence, and restore the
+// tampered files, all without a backup tape.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/fsys"
+	"s4/internal/s4fs"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+func main() {
+	clk := vclock.NewVirtual()
+	dev := disk.New(disk.SmallDisk(256<<20), clk)
+	drv, err := core.Format(dev, core.Options{Clock: clk, Window: 30 * 24 * time.Hour})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer drv.Close()
+
+	// The file server's view: an NFS-style tree over the drive.
+	server := types.Cred{User: 0, Client: 1}
+	fs, err := s4fs.Mkfs(drv, s4fs.Options{Cred: server, SyncEachOp: true})
+	must(err)
+
+	// --- Normal operation ---------------------------------------------
+	etc, _, err := fs.Mkdir(fs.Root(), "etc", 0755)
+	must(err)
+	bin, _, err := fs.Mkdir(fs.Root(), "bin", 0755)
+	must(err)
+	vlog, _, err := fs.Create(etc, "syslog", 0644)
+	must(err)
+	must(fs.Write(vlog, 0, []byte(
+		"09:00 sshd: session opened for admin from 10.0.0.5\n")))
+	login, _, err := fs.Create(bin, "login", 0755)
+	must(err)
+	cleanBinary := bytes.Repeat([]byte("\x7fELF trusted login binary "), 200)
+	must(fs.Write(login, 0, cleanBinary))
+
+	clk.Advance(24 * time.Hour)
+	tBeforeIntrusion := types.TS(clk.Now())
+	clk.Advance(time.Hour)
+
+	// --- The intrusion -------------------------------------------------
+	// The intruder exploits a service, gains the host's credentials,
+	// and covers tracks. To the drive these are ordinary, authorized
+	// commands — the OS is compromised, so they cannot be refused.
+	fmt.Println("== intrusion in progress ==")
+	a, _ := fs.GetAttr(vlog)
+	must(fs.Write(vlog, a.Size, []byte(
+		"10:07 httpd: buffer overflow in cgi-bin/status from 203.0.113.66\n")))
+	// Step 1: scrub the log line that recorded the exploit.
+	sz := uint64(51)
+	_, err = fs.SetAttr(vlog, fsys.SetAttr{Size: &sz})
+	must(err)
+	// Step 2: trojan /bin/login.
+	must(fs.Write(login, 0, bytes.Repeat([]byte("\x7fELF TROJANED login + backdoor "), 180)))
+	// Step 3: stage an exploit tool for later, then delete it.
+	tool, _, err := fs.Create(bin, "r00tkit.sh", 0755)
+	must(err)
+	must(fs.Write(tool, 0, []byte("#!/bin/sh\n# exploit for cgi-bin/status overflow\nnc -l 31337 &\n")))
+	clk.Advance(10 * time.Minute)
+	must(fs.Remove(bin, "r00tkit.sh"))
+	clk.Advance(2 * time.Hour)
+	tAfterIntrusion := types.TS(clk.Now())
+
+	// --- Detection ------------------------------------------------------
+	// §3.1: versioned system logs cannot be imperceptibly altered. The
+	// log's version count gives the game away instantly.
+	fmt.Println("\n== administrator: detection ==")
+	admin := types.AdminCred()
+	vs, err := drv.ListVersions(admin, types.ObjectID(vlog))
+	must(err)
+	var truncs int
+	for _, v := range vs {
+		if v.Op == "truncate" {
+			truncs++
+		}
+	}
+	fmt.Printf("syslog has %d versions; %d truncation(s) — logs don't truncate themselves\n",
+		len(vs), truncs)
+
+	// --- Diagnosis -------------------------------------------------------
+	// Recover the scrubbed log line: read the log as of a time between
+	// the write and the scrub (walk versions newest-first for the one
+	// before the truncate).
+	fmt.Println("\n== administrator: diagnosis ==")
+	adminFS := fs.WithCred(admin)
+	for _, v := range vs {
+		if v.Op != "write" {
+			continue
+		}
+		data, err := drv.Read(admin, types.ObjectID(vlog), 0, v.Size, v.Time)
+		if err == nil && bytes.Contains(data, []byte("buffer overflow")) {
+			fmt.Printf("recovered scrubbed log entry:\n  %s",
+				data[bytes.Index(data, []byte("10:07")):])
+			break
+		}
+	}
+	// The deleted exploit tool is still in the history pool (§3.1:
+	// "any exploit tools temporarily stored on the system can be
+	// recovered").
+	during := adminFS.AtTime(tBeforeIntrusion + types.Timestamp(65*time.Minute))
+	binAt, _, err := during.Lookup(during.Root(), "bin")
+	must(err)
+	th, _, err := during.Lookup(binAt, "r00tkit.sh")
+	must(err)
+	toolSrc, err := during.Read(th, 0, 4096)
+	must(err)
+	fmt.Printf("recovered deleted exploit tool (%d bytes):\n  %s", len(toolSrc),
+		bytes.SplitAfter(toolSrc, []byte("\n"))[1])
+
+	// The audit log attributes every mutation to a client machine.
+	recs, err := drv.AuditRead(admin, 0, 0)
+	must(err)
+	var mutations int
+	for _, r := range recs {
+		if r.Op.Mutating() && r.Time > tBeforeIntrusion && r.Time < tAfterIntrusion {
+			mutations++
+		}
+	}
+	fmt.Printf("audit log: %d mutations during the intrusion window, all attributed\n", mutations)
+
+	// --- Recovery ---------------------------------------------------------
+	// Restore the trojaned binary and the full log by copying their
+	// pre-intrusion versions forward. No reinstall, no backup tape.
+	fmt.Println("\n== administrator: recovery ==")
+	must(drv.Revert(admin, types.ObjectID(login), tBeforeIntrusion))
+	got, err := adminFS.Read(login, 0, len(cleanBinary))
+	must(err)
+	if !bytes.Equal(got, cleanBinary) {
+		log.Fatal("restore failed!")
+	}
+	fmt.Println("/bin/login restored to its pre-intrusion contents")
+	fmt.Println("(the trojaned version remains in the history pool as evidence)")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

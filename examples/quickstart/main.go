@@ -1,0 +1,82 @@
+// Quickstart: create an in-memory S4 drive, write an object, overwrite
+// it, and read the old version back out of the history pool — the
+// minimal self-securing storage loop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+func main() {
+	// A virtual clock and a simulated 256MB Cheetah-class disk. (The
+	// daemons in cmd/ use a wall clock and a file-backed image.)
+	clk := vclock.NewVirtual()
+	dev := disk.New(disk.SmallDisk(256<<20), clk)
+	drv, err := core.Format(dev, core.Options{
+		Clock:  clk,
+		Window: 7 * 24 * time.Hour, // the guaranteed detection window
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer drv.Close()
+
+	alice := types.Cred{User: 1000, Client: 1}
+
+	// Create an object and write version 1.
+	id, err := drv.Create(alice, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(drv.Write(alice, id, 0, []byte("first draft of the report")))
+	v1Time := drv.Now()
+	fmt.Printf("wrote v1 at %v\n", v1Time)
+
+	// Time passes; the object is overwritten. The drive versions the
+	// modification automatically — no snapshot command, no opt-in.
+	clk.Advance(time.Hour)
+	must(drv.Write(alice, id, 0, []byte("FINAL version, v1 destroyed?")))
+	fmt.Println("overwrote with v2")
+
+	// Current read sees v2...
+	cur, err := drv.Read(alice, id, 0, 64, types.TimeNowest)
+	must(err)
+	fmt.Printf("current:      %q\n", cur)
+
+	// ...but the history pool still holds v1: just ask for the time.
+	old, err := drv.Read(alice, id, 0, 64, v1Time)
+	must(err)
+	fmt.Printf("at v1's time: %q\n", old)
+
+	// The version log shows every modification with who/when.
+	vs, err := drv.ListVersions(alice, id)
+	must(err)
+	fmt.Println("version history (newest first):")
+	for _, v := range vs {
+		fmt.Printf("  v%-3d %-9s user=%d size=%d\n", v.Version, v.Op, v.User, v.Size)
+	}
+
+	// Restore v1 as the current version (copy-forward, §3.3). The v2
+	// content remains in the history pool as evidence.
+	must(drv.Revert(alice, id, v1Time))
+	cur, _ = drv.Read(alice, id, 0, 64, types.TimeNowest)
+	fmt.Printf("after revert: %q\n", cur)
+
+	// Every request above was audited.
+	recs, err := drv.AuditRead(types.AdminCred(), 0, 0)
+	must(err)
+	fmt.Printf("audit log: %d records (every RPC, successes and denials)\n", len(recs))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module s4
+
+go 1.22

@@ -1,0 +1,91 @@
+package capacity
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeasureFactorsBand(t *testing.T) {
+	f, err := MeasureFactors(7, 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports ~3x from differencing and ~5x compounded; a
+	// synthetic tree should land in the same band (allow generous
+	// margins — exact ratios depend on edit density).
+	if f.DiffFactor < 2 {
+		t.Fatalf("differencing factor %.2fx, want >= 2x", f.DiffFactor)
+	}
+	if f.CompoundFactor < f.DiffFactor {
+		t.Fatalf("compression must add on top of differencing: %.2f < %.2f",
+			f.CompoundFactor, f.DiffFactor)
+	}
+	if f.CompoundFactor < 3.5 {
+		t.Fatalf("compound factor %.2fx, want >= 3.5x", f.CompoundFactor)
+	}
+}
+
+func TestProjectPaperNumbers(t *testing.T) {
+	pool := int64(10 << 30)
+	ps := Project(pool, 3, 5, PaperWorkloads())
+	if len(ps) != 3 {
+		t.Fatal("expected three workloads")
+	}
+	byName := map[string]Projection{}
+	for _, p := range ps {
+		byName[p.Workload.Name] = p
+	}
+	// §5.2: 10GB of history at 143MB/day ≈ 70+ days; at 1GB/day ≈ 10
+	// days; at 110MB/day ≈ 90+ days.
+	if b := byName["AFS server"].Baseline; b < 65 || b > 80 {
+		t.Fatalf("AFS baseline = %.0f days", b)
+	}
+	if b := byName["NT desktop"].Baseline; b < 9 || b > 11 {
+		t.Fatalf("NT baseline = %.0f days", b)
+	}
+	if b := byName["Elephant FS"].Baseline; b < 85 || b > 100 {
+		t.Fatalf("Elephant baseline = %.0f days", b)
+	}
+	// §5.2's summary: with differencing+compression the 10GB pool spans
+	// roughly 50 to 470 days across the workloads.
+	lo, hi := 1e18, 0.0
+	for _, p := range ps {
+		if p.Compressed < lo {
+			lo = p.Compressed
+		}
+		if p.Compressed > hi {
+			hi = p.Compressed
+		}
+	}
+	if lo < 40 || lo > 60 || hi < 400 || hi > 500 {
+		t.Fatalf("compressed window range %.0f..%.0f days, want ~50..470", lo, hi)
+	}
+}
+
+func TestRender(t *testing.T) {
+	f, err := MeasureFactors(3, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := Project(10<<30, f.DiffFactor, f.CompoundFactor, PaperWorkloads())
+	out := Render(10<<30, f, ps)
+	for _, want := range []string{"AFS server", "NT desktop", "Elephant FS", "differencing"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := MeasureFactors(4, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureFactors(4, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("MeasureFactors is not deterministic for a fixed seed")
+	}
+}

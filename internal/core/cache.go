@@ -1,0 +1,91 @@
+package core
+
+import (
+	"container/list"
+
+	"s4/internal/seglog"
+)
+
+// blockCache is an LRU cache of log blocks keyed by address, standing in
+// for the drive's buffer cache (the paper's S4 drives ran a 128MB buffer
+// cache and a 32MB object cache, §5.1.1). It caches immutable log blocks
+// only, so invalidation is needed just when the cleaner frees segments.
+type blockCache struct {
+	capBytes int64
+	curBytes int64
+	lru      *list.List // front = most recent; values are *cacheEnt
+	byAddr   map[seglog.BlockAddr]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEnt struct {
+	addr seglog.BlockAddr
+	data []byte
+}
+
+func newBlockCache(capBytes int64) *blockCache {
+	return &blockCache{
+		capBytes: capBytes,
+		lru:      list.New(),
+		byAddr:   make(map[seglog.BlockAddr]*list.Element),
+	}
+}
+
+// get returns the cached block, or nil. The returned slice must not be
+// modified.
+func (c *blockCache) get(addr seglog.BlockAddr) []byte {
+	if c.capBytes <= 0 {
+		return nil
+	}
+	if el, ok := c.byAddr[addr]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEnt).data
+	}
+	c.misses++
+	return nil
+}
+
+// put inserts a block, evicting LRU entries to stay under capacity. The
+// cache takes ownership of data.
+func (c *blockCache) put(addr seglog.BlockAddr, data []byte) {
+	if c.capBytes <= 0 {
+		return
+	}
+	if el, ok := c.byAddr[addr]; ok {
+		ent := el.Value.(*cacheEnt)
+		c.curBytes += int64(len(data) - len(ent.data))
+		ent.data = data
+		c.lru.MoveToFront(el)
+	} else {
+		el := c.lru.PushFront(&cacheEnt{addr: addr, data: data})
+		c.byAddr[addr] = el
+		c.curBytes += int64(len(data))
+	}
+	for c.curBytes > c.capBytes && c.lru.Len() > 0 {
+		back := c.lru.Back()
+		ent := back.Value.(*cacheEnt)
+		c.lru.Remove(back)
+		delete(c.byAddr, ent.addr)
+		c.curBytes -= int64(len(ent.data))
+	}
+}
+
+// drop removes one address (cleaner freed its block).
+func (c *blockCache) drop(addr seglog.BlockAddr) {
+	if el, ok := c.byAddr[addr]; ok {
+		ent := el.Value.(*cacheEnt)
+		c.lru.Remove(el)
+		delete(c.byAddr, addr)
+		c.curBytes -= int64(len(ent.data))
+	}
+}
+
+// dropRange removes every cached block with addr in [lo, hi) — used when
+// a whole segment is freed.
+func (c *blockCache) dropRange(lo, hi seglog.BlockAddr) {
+	for addr := lo; addr < hi; addr++ {
+		c.drop(addr)
+	}
+}

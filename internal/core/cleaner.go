@@ -1,0 +1,604 @@
+package core
+
+import (
+	"sort"
+
+	"s4/internal/journal"
+	"s4/internal/seglog"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// The S4 cleaner (§4.2.1, §5.1.3).
+//
+// Unlike an LFS cleaner, deprecated data cannot be reclaimed merely
+// because it is dead — it must also have aged out of the detection
+// window. The cleaner therefore works object-first:
+//
+//  1. Aging: walk each object's journal chain; entries older than the
+//     window release the block pointers they deprecated, and journal
+//     sectors whose entries have all aged are unlinked from the chain
+//     (the per-object floor guarantees reads never reach freed state).
+//     An aged delete entry evaporates the whole object.
+//  2. Reclamation: segments whose live and history counts are both zero
+//     return to the free pool.
+//  3. Compaction: mostly-empty segments with no in-window content are
+//     drained by copying their live blocks forward, then freed. Because
+//     journal-based metadata reconstructs old versions from the current
+//     state plus undo records, moving a live block only updates the
+//     current block map — history is untouched (§4.2.2). Objects whose
+//     blocks moved are re-checkpointed before the segment is freed so
+//     crash recovery never replays stale addresses.
+//
+// The cleaner runs in bounded steps (CleanOnce) so the harness can
+// interleave it with foreground work; its I/O shares the device and the
+// virtual clock, which is exactly how it competes with foreground
+// traffic in Fig. 5.
+
+// CleanStats reports one cleaning pass's work.
+type CleanStats struct {
+	ObjectsAged     int
+	EntriesAged     int
+	BlocksAgedOut   int
+	SectorsFreed    int
+	ObjectsReaped   int
+	SegmentsFreed   int
+	SegmentsCleaned int
+	BlocksCopied    int
+}
+
+// CleanOnce performs one bounded cleaning pass and reports what it did.
+func (d *Drive) CleanOnce() (CleanStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var cs CleanStats
+	if d.closed {
+		return cs, types.ErrDriveStopped
+	}
+	d.stats.CleanerRuns++
+	ageCut := vclock.TS(d.clk) - types.Timestamp(d.window)
+
+	// Phase 1: age history out of the window, a bounded batch of
+	// objects per pass. Go's randomized map iteration spreads passes
+	// across the population without the cost of maintaining a sorted
+	// cursor; the per-object nextAge schedule makes unripe visits
+	// nearly free, so the batch can be generous.
+	const maxObjects = 4096
+	visited := 0
+	for _, o := range d.objects {
+		if visited >= maxObjects {
+			break
+		}
+		visited++
+		// Reaping deletes from d.objects; Go permits deletion during
+		// map iteration.
+		reaped, err := d.ageObjectLocked(o, ageCut, &cs)
+		if err != nil {
+			return cs, err
+		}
+		if reaped {
+			cs.ObjectsReaped++
+		}
+	}
+
+	// Phase 1b: audit blocks whose newest record has left the window
+	// are released (the audit log serves intrusion diagnosis; beyond
+	// the window its guarantee has lapsed, like any history).
+	kept := d.auditBlocks[:0]
+	for _, r := range d.auditBlocks {
+		if r.lastTime < ageCut {
+			d.usage.freeLive(segOf(d.log, r.addr))
+			d.cache.drop(r.addr)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	d.auditBlocks = kept
+
+	// Phase 2: reclaim empty segments.
+	if err := d.reclaimSegmentsLocked(&cs); err != nil {
+		return cs, err
+	}
+
+	// Phase 3: compact up to a few fragmented segments.
+	if err := d.compactLocked(ageCut, &cs, 4); err != nil {
+		return cs, err
+	}
+	// Checkpoint barrier: emptied segments rejoin the allocator only
+	// once the object map on disk has stopped referencing them. The
+	// threshold amortizes the barrier cost over a batch of segments,
+	// tightening when the allocator runs low.
+	drainAt := int(d.log.NumSegments() / 32)
+	if drainAt < 4 {
+		drainAt = 4
+	}
+	if len(d.pendingFree) >= drainAt || (len(d.pendingFree) > 0 && d.log.FreeSegments() < d.log.NumSegments()/10) {
+		if err := d.checkpointLocked(); err != nil {
+			return cs, err
+		}
+	}
+	d.stats.SegmentsFreed += int64(cs.SegmentsFreed)
+	d.stats.BlocksCompacted += int64(cs.BlocksCopied)
+	return cs, nil
+}
+
+// deferFree queues an emptied segment for release at the next
+// checkpoint barrier.
+func (d *Drive) deferFree(seg int64) {
+	d.pendingFree[seg] = true
+}
+
+// ageObjectLocked releases o's history older than ageCut. It returns
+// true if the object itself was reaped (its deletion aged out).
+func (d *Drive) ageObjectLocked(o *object, ageCut types.Timestamp, cs *CleanStats) (bool, error) {
+	if o.nextAge != 0 && ageCut < o.nextAge-types.Timestamp(d.window) {
+		// Nothing can have aged since the last pass.
+		return false, nil
+	}
+	if err := d.loadInode(o); err != nil {
+		return false, err
+	}
+	// A deleted object whose death has aged out evaporates entirely.
+	if o.ino.Deleted && o.ino.DeadTime != 0 && o.ino.DeadTime < ageCut && len(o.pending) == 0 {
+		return true, d.reapObjectLocked(o, cs)
+	}
+	if o.jhead == journal.NilSector {
+		return false, nil
+	}
+	// Read the chain oldest-last; collect sector addresses and entries.
+	type sec struct {
+		addr    journal.SectorAddr
+		entries []journal.Entry
+	}
+	var chain []sec
+	for addr := o.jhead; addr != journal.NilSector; {
+		_, prev, entries, err := journal.ReadSector(d.log, addr)
+		if err != nil {
+			return false, err
+		}
+		chain = append(chain, sec{addr, entries})
+		if addr == o.jtail {
+			break
+		}
+		addr = prev
+	}
+	touched := false
+	minRetained := types.Timestamp(1 << 62)
+	newestSeen := types.Timestamp(0)
+	// Phase A: release history deprecated by aged entries, oldest
+	// first so the floor rises monotonically.
+	for i := len(chain) - 1; i >= 0; i-- {
+		for j := range chain[i].entries {
+			e := &chain[i].entries[j]
+			if e.Time > newestSeen {
+				newestSeen = e.Time
+			}
+			if e.Time >= ageCut || e.Version <= o.floorVersion {
+				if e.Time >= ageCut && e.Time < minRetained {
+					minRetained = e.Time
+				}
+				continue
+			}
+			// The pointers this entry deprecated only support versions
+			// older than the window; free them.
+			for _, old := range e.Old {
+				if old != seglog.NilAddr {
+					d.usage.ageOut(segOf(d.log, old))
+					d.cache.drop(old)
+					cs.BlocksAgedOut++
+				}
+			}
+			if e.Version > o.floorVersion {
+				o.floorVersion = e.Version
+			}
+			if e.Time > o.floorTime {
+				o.floorTime = e.Time
+			}
+			cs.EntriesAged++
+			touched = true
+		}
+	}
+	// Phase B: unlink trailing fully-aged sectors from the chain.
+	allAged := func(s sec) bool {
+		for j := range s.entries {
+			if s.entries[j].Time >= ageCut {
+				return false
+			}
+		}
+		return true
+	}
+	// Count the trailing fully-aged sectors; pruning them requires an
+	// inode checkpoint (the journal alone no longer rebuilds the
+	// object), so it only pays off for long chains — short fully-aged
+	// chains stay as cheap packed sectors and move via relocation.
+	prunable := 0
+	for i := len(chain) - 1; i > 0; i-- {
+		if !allAged(chain[i]) {
+			break
+		}
+		prunable++
+	}
+	const pruneThreshold = 8 // sectors; ~one checkpoint block's worth
+	if prunable >= pruneThreshold {
+		// Crash recovery must be anchored by a checkpoint covering the
+		// retired entries before any sector leaves the chain.
+		if err := d.checkpointObjectLocked(o); err != nil {
+			return false, err
+		}
+		for i := len(chain) - 1; i >= len(chain)-prunable; i-- {
+			d.unrefJSector(chain[i].addr)
+			cs.SectorsFreed++
+			o.jtail = chain[i-1].addr
+			o.pruned = true
+			touched = true
+		}
+	}
+	if touched {
+		cs.ObjectsAged++
+	}
+	// Schedule the next useful pass: nothing frees before the oldest
+	// retained entry leaves the window. A fully-aged chain has nothing
+	// left to free until a new entry arrives (appendEntry lowers the
+	// schedule when one does).
+	if minRetained == 1<<62 {
+		o.nextAge = 1 << 62
+	} else {
+		o.nextAge = minRetained + types.Timestamp(d.window)
+	}
+	_ = newestSeen
+	return false, nil
+}
+
+// reapObjectLocked removes an object whose deletion aged out of the
+// window: final-version blocks, checkpoints, and the whole journal
+// chain are freed, and the object disappears from the map.
+func (d *Drive) reapObjectLocked(o *object, cs *CleanStats) error {
+	for _, a := range o.ino.blocks {
+		// These were deprecated at delete time.
+		d.usage.ageOut(segOf(d.log, a))
+		d.cache.drop(a)
+		cs.BlocksAgedOut++
+	}
+	for _, a := range o.cpBlocks {
+		d.usage.freeLive(segOf(d.log, a))
+		d.cache.drop(a)
+	}
+	for addr := o.jhead; addr != journal.NilSector; {
+		_, prev, entries, err := journal.ReadSector(d.log, addr)
+		if err != nil {
+			return err
+		}
+		// Any not-yet-aged deprecations inside the chain also release
+		// their blocks now: every version of this object is gone.
+		for i := range entries {
+			e := &entries[i]
+			if e.Version > o.floorVersion {
+				for _, old := range e.Old {
+					if old != seglog.NilAddr {
+						d.usage.ageOut(segOf(d.log, old))
+						d.cache.drop(old)
+						cs.BlocksAgedOut++
+					}
+				}
+			}
+		}
+		d.unrefJSector(addr)
+		cs.SectorsFreed++
+		if addr == o.jtail {
+			break
+		}
+		addr = prev
+	}
+	if o.ino != nil {
+		d.loaded--
+	}
+	d.objLRU.Remove(o.lruEl)
+	delete(d.objects, o.id)
+	return nil
+}
+
+// reclaimSegmentsLocked frees every fully empty segment.
+func (d *Drive) reclaimSegmentsLocked(cs *CleanStats) error {
+	nSeg := d.log.NumSegments()
+	cur := d.log.CurrentSegment()
+	for seg := int64(0); seg < nSeg; seg++ {
+		if seg == cur || d.pendingFree[seg] {
+			continue
+		}
+		live, hist := d.usage.occupancy(seg)
+		if live == 0 && hist == 0 {
+			if isFree, err := d.segmentIsFreeLocked(seg); err != nil {
+				return err
+			} else if isFree {
+				continue
+			}
+			d.deferFree(seg)
+			cs.SegmentsFreed++
+		}
+	}
+	return nil
+}
+
+// segmentIsFreeLocked reports whether seg is already in the free pool.
+// seglog.FreeSegment is idempotent, but counting re-frees would skew
+// cleaner statistics.
+func (d *Drive) segmentIsFreeLocked(seg int64) (bool, error) {
+	free := d.log.FreeSegments()
+	if err := d.log.FreeSegment(seg); err != nil {
+		return false, err
+	}
+	wasFree := d.log.FreeSegments() == free
+	if !wasFree {
+		// Undo the probe.
+		d.log.MarkAllocated(seg)
+	}
+	return wasFree, nil
+}
+
+// compactLocked drains up to maxSegs fragmented segments by copying
+// their live blocks to the log head.
+func (d *Drive) compactLocked(ageCut types.Timestamp, cs *CleanStats, maxSegs int) error {
+	type cand struct {
+		seg  int64
+		live int32
+	}
+	nSeg := d.log.NumSegments()
+	cur := d.log.CurrentSegment()
+	payload := int32(d.log.PayloadBlocks())
+	// Under space pressure any non-full segment is fair game; with
+	// plenty of free segments only cheap (mostly empty) victims are
+	// worth moving — the classic cost-benefit trade. Journal-bearing
+	// segments are relocated only under pressure: their chains re-land
+	// at the log head, so eager relocation would just churn them.
+	limit := payload / 4
+	pressed := d.log.FreeSegments() < nSeg/5
+	if pressed {
+		limit = payload - 1
+		maxSegs *= 4
+	}
+	var cands []cand
+	for seg := int64(0); seg < nSeg; seg++ {
+		if seg == cur {
+			continue
+		}
+		live, hist := d.usage.occupancy(seg)
+		if hist > 0 || live <= 0 || live > limit {
+			// In-window history pins the segment.
+			continue
+		}
+		if free, err := d.segmentIsFreeLocked(seg); err != nil || free {
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		cands = append(cands, cand{seg, live})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].live < cands[j].live })
+	if len(cands) > maxSegs {
+		cands = cands[:maxSegs]
+	}
+	for _, c := range cands {
+		if err := d.compactSegmentLocked(c.seg, pressed, cs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// relocateJournalBlockLocked drains a journal block by relocating the
+// complete retained chain of every object with a live sector inside it.
+// Re-placing whole chains (oldest first, backward pointers re-linked)
+// is the "cleaning objects rather than segments" cost the paper
+// attributes to the S4 cleaner (§5.1.3). Returns false if some sector's
+// owner cannot be relocated.
+func (d *Drive) relocateJournalBlockLocked(blk seglog.BlockAddr, cs *CleanStats) (bool, error) {
+	buf := make([]byte, seglog.BlockSize)
+	if err := d.log.Read(blk, buf); err != nil {
+		return false, err
+	}
+	owners := make(map[types.ObjectID]*object)
+	for slot := 0; slot < journal.SectorsPerBlock; slot++ {
+		data := buf[slot*journal.SectorSize : (slot+1)*journal.SectorSize]
+		id, _, _, ok, err := journal.DecodeSector(data)
+		if err != nil || !ok {
+			continue
+		}
+		if o := d.objects[id]; o != nil {
+			owners[id] = o
+		}
+	}
+	for _, o := range owners {
+		if err := d.relocateChainLocked(o, blk, cs); err != nil {
+			return false, err
+		}
+	}
+	return d.jblockRef[blk] == 0, nil
+}
+
+// relocateChainLocked re-places o's retained journal chain at the log
+// head if any of its sectors lives in block avoid.
+func (d *Drive) relocateChainLocked(o *object, avoid seglog.BlockAddr, cs *CleanStats) error {
+	if o.jhead == journal.NilSector {
+		return nil
+	}
+	type sec struct {
+		addr    journal.SectorAddr
+		prev    journal.SectorAddr
+		entries []journal.Entry
+	}
+	var chain []sec
+	hit := false
+	for addr := o.jhead; addr != journal.NilSector; {
+		_, prev, entries, err := journal.ReadSector(d.log, addr)
+		if err != nil {
+			return err
+		}
+		chain = append(chain, sec{addr, prev, entries})
+		if addr.Block() == avoid {
+			hit = true
+		}
+		if addr == o.jtail {
+			break
+		}
+		addr = prev
+	}
+	if !hit {
+		return nil
+	}
+	// Re-place oldest first, fixing the backward links.
+	prev := chain[len(chain)-1].prev
+	var newAddrs []journal.SectorAddr
+	for i := len(chain) - 1; i >= 0; i-- {
+		ptrs := make([]*journal.Entry, len(chain[i].entries))
+		for j := range chain[i].entries {
+			ptrs[j] = &chain[i].entries[j]
+		}
+		enc, err := journal.EncodeSector(o.id, prev, ptrs)
+		if err != nil {
+			return err
+		}
+		sa, err := d.placeSectorLocked(enc, vclock.TS(d.clk))
+		if err != nil {
+			return err
+		}
+		newAddrs = append(newAddrs, sa)
+		prev = sa
+		cs.BlocksCopied++
+	}
+	for i := range chain {
+		d.unrefJSector(chain[i].addr)
+	}
+	o.jhead = newAddrs[len(newAddrs)-1]
+	o.jtail = newAddrs[0]
+	return nil
+}
+
+// compactSegmentLocked moves every still-referenced block out of seg and
+// frees it. Segments holding mid-chain journal sectors are skipped (they
+// age out instead; rewriting chains here would cascade).
+func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) error {
+	sum, ok, err := d.log.ReadSummary(seg)
+	if err != nil || !ok {
+		return err
+	}
+	// First scan: journal blocks with in-chain sectors pin the segment
+	// unless space pressure justifies relocating their owners' chains
+	// (relocated chains re-land at the log head, so doing this eagerly
+	// would churn them forever).
+	for i := range sum.Entries {
+		addr := d.log.EntryAt(seg, i)
+		if sum.Entries[i].Kind == seglog.KindJournal && d.jblockRef[addr] > 0 {
+			if !pressed {
+				return nil
+			}
+			moved, err := d.relocateJournalBlockLocked(addr, cs)
+			if err != nil {
+				return err
+			}
+			if !moved {
+				return nil // mid-chain sectors: wait for aging
+			}
+		}
+	}
+	touchedObjs := make(map[types.ObjectID]*object)
+	for i := range sum.Entries {
+		se := &sum.Entries[i]
+		addr := d.log.EntryAt(seg, i)
+		switch se.Kind {
+		case seglog.KindData:
+			o := d.objects[se.Obj]
+			if o == nil {
+				continue
+			}
+			if err := d.loadInode(o); err != nil {
+				return err
+			}
+			if o.ino.Block(se.Key) != addr {
+				continue // dead or historical; aging handles it
+			}
+			data, err := d.readBlockLocked(addr)
+			if err != nil {
+				return err
+			}
+			newAddr, err := d.log.Append(seglog.KindData, se.Obj, se.Key, se.Time, data[:se.Len])
+			if err != nil {
+				return err
+			}
+			o.ino.setBlock(se.Key, newAddr)
+			d.usage.liveBorn(segOf(d.log, newAddr))
+			d.usage.freeLive(seg)
+			d.cache.drop(addr)
+			full := make([]byte, types.BlockSize)
+			copy(full, data[:se.Len])
+			d.cache.put(newAddr, full)
+			// The journal's redo pointers now name the old location;
+			// only a fresh checkpoint reconstructs this object, and the
+			// next barrier must write one.
+			o.pruned = true
+			o.cpVersion = 0
+			touchedObjs[se.Obj] = o
+			cs.BlocksCopied++
+		case seglog.KindInode:
+			o := d.objects[se.Obj]
+			if o == nil {
+				continue
+			}
+			owned := false
+			for _, a := range o.cpBlocks {
+				if a == addr {
+					owned = true
+					break
+				}
+			}
+			if !owned {
+				continue // superseded checkpoint: already free
+			}
+			// Re-checkpoint the object at the log head; the old blocks
+			// are freed by checkpointObjectLocked.
+			if err := d.loadInode(o); err != nil {
+				return err
+			}
+			o.cpVersion = 0 // force
+			if err := d.checkpointObjectLocked(o); err != nil {
+				return err
+			}
+			cs.BlocksCopied++
+		case seglog.KindAudit:
+			idx := -1
+			for j := range d.auditBlocks {
+				if d.auditBlocks[j].addr == addr {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			data, err := d.readBlockLocked(addr)
+			if err != nil {
+				return err
+			}
+			newAddr, err := d.log.Append(seglog.KindAudit, types.AuditObject, se.Key, se.Time, data[:se.Len])
+			if err != nil {
+				return err
+			}
+			d.auditBlocks[idx].addr = newAddr
+			d.usage.liveBorn(segOf(d.log, newAddr))
+			d.usage.freeLive(seg)
+			d.cache.drop(addr)
+			cs.BlocksCopied++
+		}
+	}
+	// Touched objects are refreshed by the checkpoint barrier that
+	// precedes any reuse of the emptied segment (deferFree); nothing
+	// more is needed here.
+	_ = touchedObjs
+	live, hist := d.usage.occupancy(seg)
+	if live == 0 && hist == 0 && seg != d.log.CurrentSegment() {
+		d.deferFree(seg)
+		cs.SegmentsFreed++
+		cs.SegmentsCleaned++
+	}
+	return nil
+}

@@ -1,0 +1,1381 @@
+// Package core implements the S4 self-securing storage drive — the
+// paper's primary contribution (OSDI '00, §4).
+//
+// A Drive is a flat object store that versions every modification,
+// audits every request, and guarantees that no client command can
+// destroy history younger than the detection window. It combines:
+//
+//   - a log-structured on-disk layout (internal/seglog) so versioning
+//     costs nothing at write time;
+//   - journal-based metadata (internal/journal) so each version's
+//     metadata is a compact entry rather than fresh inode/indirect
+//     blocks;
+//   - an append-only audit log (internal/audit);
+//   - a cleaner that reclaims only space aged out of the window;
+//   - history-pool abuse throttling (internal/throttle).
+//
+// All exported methods are safe for concurrent use; operations serialize
+// on the drive, matching a single-spindle device.
+package core
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"s4/internal/audit"
+	"s4/internal/disk"
+	"s4/internal/journal"
+	"s4/internal/seglog"
+	"s4/internal/throttle"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// Options configures a Drive at Format/Open time.
+type Options struct {
+	// Clock provides time; nil means the wall clock.
+	Clock vclock.Clock
+	// SegBlocks, CheckpointBlocks parameterize the segment log; zero
+	// values take seglog defaults.
+	SegBlocks        int
+	CheckpointBlocks int
+	// Window is the guaranteed detection window (§3.3). Zero defaults
+	// to seven days. SetWindow adjusts it at run time.
+	Window time.Duration
+	// BlockCacheBytes bounds the drive's buffer cache (paper: 128MB).
+	BlockCacheBytes int64
+	// ObjectCacheCount bounds in-memory inodes (paper: a 32MB object
+	// cache); beyond it, cold objects are checkpointed and evicted.
+	ObjectCacheCount int
+	// DisableAudit turns off request auditing (Fig. 6 ablation).
+	DisableAudit bool
+	// Conventional enables the conventional-versioning ablation: every
+	// metadata change immediately writes a fresh inode checkpoint, the
+	// way a versioning file system without journal-based metadata would
+	// (Fig. 2). Journal entries are still kept for correctness.
+	Conventional bool
+	// Throttle overrides the history-pool abuse detector configuration.
+	Throttle *throttle.Config
+	// PendingFlushEntries bounds unflushed journal entries per object
+	// before a forced sector flush.
+	PendingFlushEntries int
+}
+
+func (o *Options) fill(dev disk.Device) {
+	if o.Clock == nil {
+		o.Clock = vclock.Wall{}
+	}
+	if o.SegBlocks == 0 {
+		o.SegBlocks = seglog.DefaultConfig().SegBlocks
+	}
+	if o.CheckpointBlocks == 0 {
+		o.CheckpointBlocks = seglog.DefaultConfig().CheckpointBlocks
+	}
+	if o.Window == 0 {
+		o.Window = 7 * 24 * time.Hour
+	}
+	if o.BlockCacheBytes == 0 {
+		o.BlockCacheBytes = 16 << 20
+	}
+	if o.ObjectCacheCount == 0 {
+		o.ObjectCacheCount = 4096
+	}
+	if o.PendingFlushEntries == 0 {
+		o.PendingFlushEntries = 64
+	}
+	if o.Throttle == nil {
+		cfg := throttle.DefaultConfig(dev.Capacity() / 2)
+		o.Throttle = &cfg
+	}
+}
+
+// object is the drive's in-memory state for one object.
+type object struct {
+	id          types.ObjectID
+	ino         *Inode // nil when evicted (reloadable from cpBlocks)
+	nextVersion uint64
+	// Last durable full-metadata checkpoint.
+	inodeRoot seglog.BlockAddr
+	cpBlocks  []seglog.BlockAddr // overflow blocks + root
+	cpVersion uint64
+	// Journal chain: jhead is the newest flushed sector, jtail the
+	// oldest retained one (the cleaner advances it as entries age).
+	jhead, jtail journal.SectorAddr
+	pending      []*journal.Entry // entries not yet in a flushed sector
+	// floorVersion/floorTime: entries at or below have been aged out;
+	// reads older than floorTime are unreconstructible.
+	floorVersion uint64
+	floorTime    types.Timestamp
+	// nextAge is the earliest instant at which another aging pass can
+	// free anything (oldest retained entry time + window); the cleaner
+	// skips the object before then, keeping idle passes cheap.
+	nextAge types.Timestamp
+	// pruned is set once any journal sector has been removed from the
+	// chain: the object can then no longer be rebuilt from the journal
+	// alone and must keep an inode checkpoint.
+	pruned bool
+	lruEl  *list.Element
+}
+
+// Stats reports drive activity counters.
+type Stats struct {
+	Ops             map[types.Op]int64
+	VersionsMade    int64
+	BytesWritten    int64
+	BytesRead       int64
+	HistoryBlocks   int64
+	LiveBlocks      int64
+	FreeSegments    int64
+	TotalSegments   int64
+	CacheHits       int64
+	CacheMisses     int64
+	AuditRecords    int64
+	CleanerRuns     int64
+	SegmentsFreed   int64
+	BlocksCompacted int64
+	ThrottleDelays  time.Duration
+}
+
+// Drive is an open S4 drive.
+type Drive struct {
+	dev  disk.Device
+	log  *seglog.Log
+	clk  vclock.Clock
+	opts Options
+
+	mu      sync.Mutex
+	objects map[types.ObjectID]*object
+	objLRU  *list.List // front = hottest; values are *object
+	nextOID types.ObjectID
+	window  time.Duration
+	usage   *segUsage
+	cache   *blockCache
+	// jblockRef counts in-chain journal sectors per log block (several
+	// objects' 512-byte sectors share one block); a block is freed when
+	// its count reaches zero.
+	jblockRef map[seglog.BlockAddr]int
+	// jstage is the journal block currently accepting new sectors.
+	jstageAddr seglog.BlockAddr
+	jstageUsed int
+
+	auditBuf    []audit.Record
+	auditSeq    uint64
+	auditBlocks []auditBlockRef
+
+	thr   *throttle.Throttle
+	stats Stats
+
+	loaded int // objects with a materialized inode
+	// pendingFree holds segments emptied by the cleaner; they return
+	// to the allocator only after the next object-map checkpoint, so a
+	// crash can never find the checkpointed state referencing a reused
+	// segment.
+	pendingFree map[int64]bool
+	closed      bool
+}
+
+type auditBlockRef struct {
+	addr     seglog.BlockAddr
+	firstSeq uint64
+	lastTime types.Timestamp
+}
+
+// Format initializes dev as an empty S4 drive and returns it opened.
+func Format(dev disk.Device, opts Options) (*Drive, error) {
+	opts.fill(dev)
+	if err := seglog.Format(dev, seglog.Config{
+		SegBlocks:        opts.SegBlocks,
+		CheckpointBlocks: opts.CheckpointBlocks,
+	}); err != nil {
+		return nil, err
+	}
+	return Open(dev, opts)
+}
+
+// Open attaches to a formatted device, performing crash recovery if the
+// log extends past the last checkpoint.
+func Open(dev disk.Device, opts Options) (*Drive, error) {
+	opts.fill(dev)
+	log, err := seglog.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	d := &Drive{
+		dev:         dev,
+		log:         log,
+		clk:         opts.Clock,
+		opts:        opts,
+		objects:     make(map[types.ObjectID]*object),
+		objLRU:      list.New(),
+		nextOID:     types.FirstUserObject,
+		window:      opts.Window,
+		usage:       newSegUsage(log.NumSegments()),
+		cache:       newBlockCache(opts.BlockCacheBytes),
+		jblockRef:   make(map[seglog.BlockAddr]int),
+		pendingFree: make(map[int64]bool),
+		thr:         throttle.New(*opts.Throttle),
+	}
+	d.stats.Ops = make(map[types.Op]int64)
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	if _, ok := d.objects[types.PartitionTable]; !ok {
+		// Fresh drive: create the partition table object, admin-owned,
+		// world-readable (PList/PMount are mediated by the drive).
+		d.createObjectLocked(types.PartitionTable, types.AdminCred(), []types.ACLEntry{
+			{User: types.AdminUser, Perm: types.PermAll},
+			{User: types.EveryoneID, Perm: types.PermRead},
+		}, nil)
+	}
+	return d, nil
+}
+
+// Close flushes all state and detaches.
+func (d *Drive) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	if err := d.checkpointLocked(); err != nil {
+		return err
+	}
+	d.closed = true
+	return nil
+}
+
+// Window returns the current detection window.
+func (d *Drive) Window() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.window
+}
+
+// Now returns the drive clock's current timestamp.
+func (d *Drive) Now() types.Timestamp { return vclock.TS(d.clk) }
+
+// registerObject installs a fresh object with its initial inode.
+func (d *Drive) registerObject(id types.ObjectID, now types.Timestamp, acl []types.ACLEntry) *object {
+	o := &object{id: id, ino: newInode(id, now, acl), nextVersion: 2}
+	o.lruEl = d.objLRU.PushFront(o)
+	d.objects[id] = o
+	d.loaded++
+	return o
+}
+
+var errStopIteration = errors.New("stop")
+
+// ---- Permission checks ----
+
+func (d *Drive) checkPerm(cred types.Cred, in *Inode, need types.Perm) error {
+	if cred.Admin {
+		return nil
+	}
+	if in.PermFor(cred.User).Has(need) {
+		return nil
+	}
+	return types.ErrPerm
+}
+
+// checkReserved rejects direct client mutation of drive-owned objects.
+func checkReserved(cred types.Cred, id types.ObjectID) error {
+	if id == types.AuditObject {
+		return types.ErrReadOnly
+	}
+	if id == types.PartitionTable && !cred.Admin {
+		return types.ErrReadOnly
+	}
+	return nil
+}
+
+// ---- Object lookup / loading ----
+
+func (d *Drive) getObject(id types.ObjectID) (*object, error) {
+	o, ok := d.objects[id]
+	if !ok {
+		return nil, types.ErrNoObject
+	}
+	if err := d.loadInode(o); err != nil {
+		return nil, err
+	}
+	d.objLRU.MoveToFront(o.lruEl)
+	return o, nil
+}
+
+// loadInode materializes o.ino: from its checkpoint if one exists, or
+// by replaying the complete journal chain — journal-based metadata
+// means the journal alone can rebuild any object whose chain still
+// reaches its creation (§4.2.2).
+func (d *Drive) loadInode(o *object) error {
+	if o.ino != nil {
+		return nil
+	}
+	if o.inodeRoot == seglog.NilAddr {
+		if o.pruned {
+			return fmt.Errorf("core: %v has a pruned chain and no checkpoint: %w", o.id, types.ErrCorrupt)
+		}
+		var entries []journal.Entry
+		err := journal.WalkBackward(d.log, o.id, o.jhead, func(e *journal.Entry) (bool, error) {
+			entries = append(entries, *e)
+			return false, nil
+		})
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 || entries[len(entries)-1].Type != journal.EntCreate {
+			return fmt.Errorf("core: %v journal does not reach creation: %w", o.id, types.ErrCorrupt)
+		}
+		in := newInode(o.id, entries[len(entries)-1].Time, nil)
+		for i := len(entries) - 1; i >= 0; i-- {
+			e := &entries[i]
+			if e.Type == journal.EntCreate {
+				in.CreateTime, in.ModTime = e.Time, e.Time
+				continue
+			}
+			in.redo(e)
+		}
+		o.ino = in
+		d.loaded++
+		return nil
+	}
+	root := make([]byte, seglog.BlockSize)
+	if err := d.log.Read(o.inodeRoot, root); err != nil {
+		return err
+	}
+	in, _, err := decodeInodeRoot(d.log, root)
+	if err != nil {
+		return err
+	}
+	o.ino = in
+	d.loaded++
+	return nil
+}
+
+// journalComplete reports whether o's entire state is reconstructible
+// from its retained journal chain alone (no checkpoint required).
+func (o *object) journalComplete() bool {
+	return o.inodeRoot == seglog.NilAddr && !o.pruned && len(o.pending) == 0
+}
+
+// evictColdLocked checkpoints and drops inodes beyond the object cache
+// limit, coldest first. Unflushed journal entries are flushed so the
+// checkpoint is complete and the inode can be dropped safely.
+func (d *Drive) evictColdLocked() error {
+	if d.loaded <= d.opts.ObjectCacheCount {
+		return nil
+	}
+	for el := d.objLRU.Back(); el != nil && d.loaded > d.opts.ObjectCacheCount; {
+		prev := el.Prev()
+		o := el.Value.(*object)
+		if o.ino != nil {
+			if err := d.flushJournalLocked(o); err != nil {
+				return err
+			}
+			// Journal-complete objects reload from their chain; only
+			// chain-pruned or already-checkpointed ones need a fresh
+			// metadata copy on disk.
+			if !o.journalComplete() {
+				if err := d.checkpointObjectLocked(o); err != nil {
+					return err
+				}
+			}
+			o.ino = nil
+			d.loaded--
+		}
+		el = prev
+	}
+	return nil
+}
+
+// ---- Journal machinery ----
+
+// appendEntry applies e to the object's current inode and queues it for
+// the next journal-sector flush. It also maintains usage accounting for
+// the block pointers the entry deprecates.
+func (d *Drive) appendEntry(o *object, e *journal.Entry) {
+	// Deprecate overwritten/removed blocks into the history pool.
+	for _, old := range e.Old {
+		if old != seglog.NilAddr {
+			d.usage.deprecate(segOf(d.log, old))
+		}
+	}
+	if e.Type == journal.EntDelete {
+		// Deletion deprecates every block of the final version.
+		for _, a := range o.ino.blocks {
+			d.usage.deprecate(segOf(d.log, a))
+		}
+	}
+	o.ino.redo(e)
+	o.pending = append(o.pending, e)
+	if birth := e.Time + types.Timestamp(d.window); o.nextAge == 0 || birth < o.nextAge {
+		// This entry becomes ageable once it leaves the window; any
+		// cleaner visit before then would be wasted, and a fully-aged
+		// object parked at "never" must wake when new history arrives.
+		o.nextAge = birth
+	}
+	d.stats.VersionsMade++
+	if d.opts.Conventional {
+		// Ablation: versioning file systems without journal-based
+		// metadata write fresh metadata per update (§4.2.2, Fig. 2).
+		_ = d.checkpointObjectLocked(o)
+	}
+	if len(o.pending) >= d.opts.PendingFlushEntries {
+		_ = d.flushJournalLocked(o)
+	}
+}
+
+// readJSector fetches one 512-byte journal sector by sub-block address.
+func (d *Drive) readJSector(sa journal.SectorAddr) (prev journal.SectorAddr, entries []journal.Entry, err error) {
+	obj, prev, entries, err := journal.ReadSector(d.log, sa)
+	_ = obj
+	return prev, entries, err
+}
+
+// unrefJSector drops one in-chain sector reference; the shared journal
+// block is released when its last sector goes.
+func (d *Drive) unrefJSector(sa journal.SectorAddr) {
+	blk := sa.Block()
+	d.jblockRef[blk]--
+	if d.jblockRef[blk] <= 0 {
+		delete(d.jblockRef, blk)
+		d.usage.freeLive(segOf(d.log, blk))
+		d.cache.drop(blk)
+	}
+}
+
+// placeSectorLocked writes one encoded journal sector into the staging
+// journal block, starting a fresh block when the current one is full or
+// sealed. Up to journal.SectorsPerBlock sectors — usually belonging to
+// different objects — share each block, which is what keeps
+// journal-based metadata compact (§4.2.2).
+func (d *Drive) placeSectorLocked(sec []byte, newest types.Timestamp) (journal.SectorAddr, error) {
+	if d.jstageAddr != seglog.NilAddr && d.jstageUsed < journal.SectorsPerBlock && d.log.InOpenSegment(d.jstageAddr) {
+		buf := make([]byte, seglog.BlockSize)
+		if err := d.log.Read(d.jstageAddr, buf); err != nil {
+			return 0, err
+		}
+		slot := d.jstageUsed
+		copy(buf[slot*journal.SectorSize:(slot+1)*journal.SectorSize], sec)
+		if err := d.log.Rewrite(d.jstageAddr, buf); err != nil {
+			return 0, err
+		}
+		d.jstageUsed++
+		d.jblockRef[d.jstageAddr]++
+		d.cache.drop(d.jstageAddr)
+		return journal.MakeSectorAddr(d.jstageAddr, slot), nil
+	}
+	blk := make([]byte, seglog.BlockSize)
+	copy(blk, sec)
+	addr, err := d.log.Append(seglog.KindJournal, types.NoObject, 0, newest, blk)
+	if err != nil {
+		return 0, err
+	}
+	d.usage.liveBorn(segOf(d.log, addr))
+	d.jstageAddr, d.jstageUsed = addr, 1
+	d.jblockRef[addr]++
+	return journal.MakeSectorAddr(addr, 0), nil
+}
+
+// flushJournalLocked packs o.pending into 512-byte journal sectors and
+// links them onto the object's backward chain. While the head sector
+// still sits in the open segment and has room, new entries are merged
+// into it in place, so a busy object accumulates one packed sector
+// rather than one per sync.
+func (d *Drive) flushJournalLocked(o *object) error {
+	if len(o.pending) > 0 && o.jhead != journal.NilSector && d.log.InOpenSegment(o.jhead.Block()) {
+		prev, existing, err := d.readJSector(o.jhead)
+		if err != nil {
+			return err
+		}
+		room := journal.SectorCapacity
+		for i := range existing {
+			room -= existing[i].EncodedSize()
+		}
+		merged := make([]*journal.Entry, 0, len(existing)+len(o.pending))
+		for i := range existing {
+			merged = append(merged, &existing[i])
+		}
+		n := 0
+		for n < len(o.pending) {
+			sz := o.pending[n].EncodedSize()
+			if sz > room {
+				break
+			}
+			room -= sz
+			merged = append(merged, o.pending[n])
+			n++
+		}
+		if n > 0 {
+			sec, err := journal.EncodeSector(o.id, prev, merged)
+			if err != nil {
+				return err
+			}
+			buf := make([]byte, seglog.BlockSize)
+			if err := d.log.Read(o.jhead.Block(), buf); err != nil {
+				return err
+			}
+			slot := o.jhead.Slot()
+			for i := slot * journal.SectorSize; i < (slot+1)*journal.SectorSize; i++ {
+				buf[i] = 0
+			}
+			copy(buf[slot*journal.SectorSize:], sec)
+			if err := d.log.Rewrite(o.jhead.Block(), buf); err != nil {
+				return err
+			}
+			d.cache.drop(o.jhead.Block())
+			o.pending = append(o.pending[:0], o.pending[n:]...)
+		}
+	}
+	for len(o.pending) > 0 {
+		// Greedily fill one sector.
+		room := journal.SectorCapacity
+		n := 0
+		for n < len(o.pending) {
+			sz := o.pending[n].EncodedSize()
+			if sz > room {
+				break
+			}
+			room -= sz
+			n++
+		}
+		if n == 0 {
+			return fmt.Errorf("core: journal entry larger than a sector: %w", types.ErrTooLarge)
+		}
+		sec, err := journal.EncodeSector(o.id, o.jhead, o.pending[:n])
+		if err != nil {
+			return err
+		}
+		sa, err := d.placeSectorLocked(sec, o.pending[n-1].Time)
+		if err != nil {
+			return err
+		}
+		o.jhead = sa
+		if o.jtail == journal.NilSector {
+			o.jtail = sa
+		}
+		o.pending = append(o.pending[:0], o.pending[n:]...)
+	}
+	return nil
+}
+
+// checkpointObjectLocked writes a full metadata copy of o to the log and
+// releases the superseded checkpoint blocks (journal-based metadata
+// makes stale checkpoints disposable; only journal aging prunes
+// history, §4.2.2).
+func (d *Drive) checkpointObjectLocked(o *object) error {
+	if o.ino == nil || o.cpVersion == o.ino.Version && o.inodeRoot != seglog.NilAddr {
+		return nil
+	}
+	cb, err := o.ino.buildCheckpoint()
+	if err != nil {
+		return err
+	}
+	var overAddrs []seglog.BlockAddr
+	for _, chunk := range cb.overflow {
+		a, err := d.log.Append(seglog.KindInode, o.id, o.ino.Version, o.ino.ModTime, chunk)
+		if err != nil {
+			return err
+		}
+		d.usage.liveBorn(segOf(d.log, a))
+		overAddrs = append(overAddrs, a)
+	}
+	root := cb.finishRoot(overAddrs)
+	rootAddr, err := d.log.Append(seglog.KindInode, o.id, o.ino.Version, o.ino.ModTime, root)
+	if err != nil {
+		return err
+	}
+	d.usage.liveBorn(segOf(d.log, rootAddr))
+	// Free the superseded checkpoint immediately.
+	for _, a := range o.cpBlocks {
+		d.usage.freeLive(segOf(d.log, a))
+		d.cache.drop(a)
+	}
+	o.inodeRoot = rootAddr
+	o.cpBlocks = append(append([]seglog.BlockAddr(nil), overAddrs...), rootAddr)
+	o.cpVersion = o.ino.Version
+	return nil
+}
+
+// ---- Data block I/O ----
+
+// readBlockLocked returns the contents of the log block at addr (always
+// BlockSize bytes; the log zero-pads short payloads).
+func (d *Drive) readBlockLocked(addr seglog.BlockAddr) ([]byte, error) {
+	if b := d.cache.get(addr); b != nil {
+		d.stats.CacheHits++
+		return b, nil
+	}
+	d.stats.CacheMisses++
+	buf := make([]byte, seglog.BlockSize)
+	if err := d.log.Read(addr, buf); err != nil {
+		return nil, err
+	}
+	d.cache.put(addr, buf)
+	return buf, nil
+}
+
+// ---- Public operations (Table 1) ----
+
+// Create makes a new object. An empty ACL defaults to full rights for
+// the creating user (including history recovery — the Recovery flag —
+// which the user may later clear with SetACL, §3.4).
+func (d *Drive) Create(cred types.Cred, acl []types.ACLEntry, attr []byte) (types.ObjectID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, types.ErrDriveStopped
+	}
+	if len(acl) > types.MaxACLEntries || len(attr) > types.MaxAttrLen {
+		d.auditOp(cred, types.OpCreate, 0, 0, 0, "", types.ErrTooLarge)
+		return 0, types.ErrTooLarge
+	}
+	d.throttleLocked(cred)
+	if len(acl) == 0 {
+		acl = []types.ACLEntry{{User: cred.User, Perm: types.PermAll}}
+	}
+	id := d.nextOID
+	d.nextOID++
+	d.createObjectLocked(id, cred, acl, attr)
+	d.auditOp(cred, types.OpCreate, id, 0, 0, "", nil)
+	err := d.evictColdLocked()
+	return id, err
+}
+
+// createObjectLocked registers a new object and journals its birth,
+// initial ACL, and initial attributes, so that crash recovery can
+// rebuild the object entirely from the log.
+func (d *Drive) createObjectLocked(id types.ObjectID, cred types.Cred, acl []types.ACLEntry, attr []byte) *object {
+	now := vclock.TS(d.clk)
+	o := d.registerObject(id, now, nil)
+	d.appendEntry(o, &journal.Entry{Type: journal.EntCreate, Version: 1, Time: now, User: cred.User, Client: cred.Client})
+	for i, e := range acl {
+		d.appendEntry(o, &journal.Entry{
+			Type: journal.EntSetACL, Version: o.nextVersion, Time: now,
+			User: cred.User, Client: cred.Client,
+			ACLIndex: uint8(i), NewACL: e,
+		})
+		o.nextVersion++
+	}
+	if len(attr) > 0 {
+		d.appendEntry(o, &journal.Entry{
+			Type: journal.EntSetAttr, Version: o.nextVersion, Time: now,
+			User: cred.User, Client: cred.Client, NewAttr: append([]byte(nil), attr...),
+		})
+		o.nextVersion++
+	}
+	return o
+}
+
+// Delete marks an object deleted. Its versions — including the final
+// one — remain recoverable for the detection window.
+func (d *Drive) Delete(cred types.Cred, id types.ObjectID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.deleteLocked(cred, id)
+	d.auditOp(cred, types.OpDelete, id, 0, 0, "", err)
+	return err
+}
+
+func (d *Drive) deleteLocked(cred types.Cred, id types.ObjectID) error {
+	if d.closed {
+		return types.ErrDriveStopped
+	}
+	if err := checkReserved(cred, id); err != nil {
+		return err
+	}
+	o, err := d.getObject(id)
+	if err != nil {
+		return err
+	}
+	if o.ino.Deleted {
+		return types.ErrNoObject
+	}
+	if err := d.checkPerm(cred, o.ino, types.PermDelete); err != nil {
+		return err
+	}
+	d.throttleLocked(cred)
+	now := vclock.TS(d.clk)
+	d.appendEntry(o, &journal.Entry{
+		Type: journal.EntDelete, Version: o.nextVersion, Time: now,
+		User: cred.User, Client: cred.Client, OldSize: o.ino.Size,
+	})
+	o.nextVersion++
+	d.chargeLocked(cred, int64(o.ino.Size))
+	return nil
+}
+
+// Read returns up to n bytes at off from the version of the object
+// current at time at (TimeNowest for the live version). Reading any
+// non-current version requires the Recovery flag or administrative
+// credentials (§3.4).
+func (d *Drive) Read(cred types.Cred, id types.ObjectID, off, n uint64, at types.Timestamp) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, err := d.readLocked(cred, id, off, n, at)
+	d.auditOp(cred, types.OpRead, id, off, n, "", err)
+	return data, err
+}
+
+func (d *Drive) readLocked(cred types.Cred, id types.ObjectID, off, n uint64, at types.Timestamp) ([]byte, error) {
+	if d.closed {
+		return nil, types.ErrDriveStopped
+	}
+	if n > types.MaxIO {
+		return nil, types.ErrTooLarge
+	}
+	if id == types.AuditObject && !cred.Admin {
+		return nil, types.ErrPerm
+	}
+	o, err := d.getObject(id)
+	if err != nil {
+		return nil, err
+	}
+	in, current, err := d.inodeAtLocked(o, at)
+	if err != nil {
+		return nil, err
+	}
+	need := types.PermRead
+	if !current {
+		// Historical version: the Recovery flag gates access. The
+		// CURRENT ACL governs, so clearing the flag hides all old
+		// versions from everyone but the administrator (§3.4).
+		need = types.PermRead | types.PermRecover
+	}
+	if err := d.checkPerm(cred, o.ino, need); err != nil {
+		return nil, err
+	}
+	if in.Deleted {
+		return nil, types.ErrNoObject
+	}
+	if off >= in.Size {
+		return nil, nil
+	}
+	if off+n > in.Size {
+		n = in.Size - off
+	}
+	out := make([]byte, n)
+	var filled uint64
+	for filled < n {
+		blk := (off + filled) / types.BlockSize
+		bo := (off + filled) % types.BlockSize
+		want := types.BlockSize - bo
+		if want > n-filled {
+			want = n - filled
+		}
+		addr := in.Block(blk)
+		if addr != seglog.NilAddr {
+			data, err := d.readBlockLocked(addr)
+			if err != nil {
+				return nil, err
+			}
+			copy(out[filled:filled+want], data[bo:bo+want])
+		}
+		filled += want
+	}
+	d.stats.BytesRead += int64(n)
+	return out, nil
+}
+
+// Write replaces bytes [off, off+len(data)) of the live version,
+// creating a new version. It never disturbs prior versions.
+func (d *Drive) Write(cred types.Cred, id types.ObjectID, off uint64, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.writeLocked(cred, id, off, data, types.OpWrite)
+	d.auditOp(cred, types.OpWrite, id, off, uint64(len(data)), "", err)
+	return err
+}
+
+// Append writes data at the live version's end, returning the offset at
+// which it landed.
+func (d *Drive) Append(cred types.Cred, id types.ObjectID, data []byte) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var off uint64
+	var err error
+	if o, e := d.objects[id]; e {
+		if lerr := d.loadInode(o); lerr == nil && o.ino != nil {
+			off = o.ino.Size
+		}
+	}
+	err = d.writeLocked(cred, id, ^uint64(0), data, types.OpAppend)
+	d.auditOp(cred, types.OpAppend, id, off, uint64(len(data)), "", err)
+	return off, err
+}
+
+// writeLocked implements Write and Append (off == ^0 means append).
+func (d *Drive) writeLocked(cred types.Cred, id types.ObjectID, off uint64, data []byte, op types.Op) error {
+	if d.closed {
+		return types.ErrDriveStopped
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	if len(data) > types.MaxIO {
+		return types.ErrTooLarge
+	}
+	if err := checkReserved(cred, id); err != nil {
+		return err
+	}
+	o, err := d.getObject(id)
+	if err != nil {
+		return err
+	}
+	if o.ino.Deleted {
+		return types.ErrNoObject
+	}
+	if err := d.checkPerm(cred, o.ino, types.PermWrite); err != nil {
+		return err
+	}
+	d.throttleLocked(cred)
+	return d.writeBlocksLocked(cred, o, off, data)
+}
+
+// writeBlocksLocked performs the block-level write on an authorized
+// object. It is shared by the external write path and internal writers
+// (partition table, Revert).
+func (d *Drive) writeBlocksLocked(cred types.Cred, o *object, off uint64, data []byte) error {
+	in := o.ino
+	if off == ^uint64(0) {
+		off = in.Size
+	}
+	now := vclock.TS(d.clk)
+	end := off + uint64(len(data))
+	b0 := off / types.BlockSize
+	b1 := (end - 1) / types.BlockSize
+
+	var newAddrs []seglog.BlockAddr
+	var histBytes int64
+	for blk := b0; blk <= b1; blk++ {
+		blkStart := blk * types.BlockSize
+		lo := uint64(0)
+		if off > blkStart {
+			lo = off - blkStart
+		}
+		hi := uint64(types.BlockSize)
+		if end < blkStart+types.BlockSize {
+			hi = end - blkStart
+		}
+		var content []byte
+		if lo == 0 && hi == types.BlockSize {
+			content = data[blkStart+lo-off : blkStart+hi-off]
+		} else {
+			// Read-modify-write of a partial block. Bytes beyond the
+			// current size are zeros regardless of stale block tails.
+			merged := make([]byte, types.BlockSize)
+			if old := in.Block(blk); old != seglog.NilAddr {
+				prev, err := d.readBlockLocked(old)
+				if err != nil {
+					return err
+				}
+				valid := in.Size
+				if valid > blkStart {
+					v := valid - blkStart
+					if v > types.BlockSize {
+						v = types.BlockSize
+					}
+					copy(merged[:v], prev[:v])
+				}
+			}
+			copy(merged[lo:hi], data[blkStart+lo-off:blkStart+hi-off])
+			keep := hi
+			if sz := in.Size; sz > blkStart && sz-blkStart > keep {
+				keep = sz - blkStart
+				if keep > types.BlockSize {
+					keep = types.BlockSize
+				}
+			}
+			content = merged[:keep]
+		}
+		addr, err := d.log.Append(seglog.KindData, o.id, blk, now, content)
+		if err != nil {
+			return err
+		}
+		d.usage.liveBorn(segOf(d.log, addr))
+		full := make([]byte, types.BlockSize)
+		copy(full, content)
+		d.cache.put(addr, full)
+		newAddrs = append(newAddrs, addr)
+	}
+
+	// Emit journal entries, splitting ranges that exceed the per-entry
+	// pointer budget.
+	oldSize := in.Size
+	newSize := oldSize
+	if end > newSize {
+		newSize = end
+	}
+	blk := b0
+	remaining := newAddrs
+	for len(remaining) > 0 {
+		n := len(remaining)
+		if n > journal.MaxBlocksPerEntry {
+			n = journal.MaxBlocksPerEntry
+		}
+		e := &journal.Entry{
+			Type: journal.EntWrite, Version: o.nextVersion, Time: now,
+			User: cred.User, Client: cred.Client,
+			FirstBlock: blk,
+			New:        append([]seglog.BlockAddr(nil), remaining[:n]...),
+			Old:        make([]seglog.BlockAddr, n),
+			OldSize:    oldSize, NewSize: newSize,
+		}
+		for i := 0; i < n; i++ {
+			old := in.Block(blk + uint64(i))
+			e.Old[i] = old
+			if old != seglog.NilAddr {
+				histBytes += types.BlockSize
+			}
+		}
+		o.nextVersion++
+		d.appendEntry(o, e)
+		oldSize = newSize
+		blk += uint64(n)
+		remaining = remaining[n:]
+	}
+	d.stats.BytesWritten += int64(len(data))
+	d.chargeLocked(cred, histBytes)
+	return d.evictColdLocked()
+}
+
+// Truncate sets the live version's length, creating a new version.
+// Shrinks move the discarded block pointers into the history pool.
+func (d *Drive) Truncate(cred types.Cred, id types.ObjectID, size uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.truncateLocked(cred, id, size)
+	d.auditOp(cred, types.OpTruncate, id, size, 0, "", err)
+	return err
+}
+
+func (d *Drive) truncateLocked(cred types.Cred, id types.ObjectID, size uint64) error {
+	if d.closed {
+		return types.ErrDriveStopped
+	}
+	if err := checkReserved(cred, id); err != nil {
+		return err
+	}
+	o, err := d.getObject(id)
+	if err != nil {
+		return err
+	}
+	if o.ino.Deleted {
+		return types.ErrNoObject
+	}
+	if err := d.checkPerm(cred, o.ino, types.PermWrite); err != nil {
+		return err
+	}
+	d.throttleLocked(cred)
+	return d.truncateBlocksLocked(cred, o, size)
+}
+
+func (d *Drive) truncateBlocksLocked(cred types.Cred, o *object, size uint64) error {
+	in := o.ino
+	now := vclock.TS(d.clk)
+	if size >= in.Size {
+		// Growth: a hole; one entry with no pointers.
+		d.appendEntry(o, &journal.Entry{
+			Type: journal.EntTruncate, Version: o.nextVersion, Time: now,
+			User: cred.User, Client: cred.Client,
+			OldSize: in.Size, NewSize: size,
+		})
+		o.nextVersion++
+		return nil
+	}
+	// Shrink: collect the mapped blocks being discarded.
+	firstGone := (size + types.BlockSize - 1) / types.BlockSize
+	lastOld := (in.Size - 1) / types.BlockSize
+	var idxs []uint64
+	for blk := firstGone; blk <= lastOld; blk++ {
+		if in.Block(blk) != seglog.NilAddr {
+			idxs = append(idxs, blk)
+		}
+	}
+	oldSize := in.Size
+	var histBytes int64
+	// Split into per-entry contiguous runs bounded by the pointer
+	// budget. Runs include unmapped gaps implicitly (Old=NilAddr).
+	i := 0
+	emitted := false
+	for i < len(idxs) {
+		start := idxs[i]
+		j := i
+		for j < len(idxs) && idxs[j]-start < journal.MaxBlocksPerEntry {
+			j++
+		}
+		count := idxs[j-1] - start + 1
+		e := &journal.Entry{
+			Type: journal.EntTruncate, Version: o.nextVersion, Time: now,
+			User: cred.User, Client: cred.Client,
+			FirstBlock: start,
+			Old:        make([]seglog.BlockAddr, count),
+			OldSize:    oldSize, NewSize: size,
+		}
+		for k := i; k < j; k++ {
+			old := in.Block(idxs[k])
+			e.Old[idxs[k]-start] = old
+			histBytes += types.BlockSize
+		}
+		o.nextVersion++
+		d.appendEntry(o, e)
+		oldSize = size
+		emitted = true
+		i = j
+	}
+	if !emitted {
+		// No mapped blocks discarded; still a size change.
+		d.appendEntry(o, &journal.Entry{
+			Type: journal.EntTruncate, Version: o.nextVersion, Time: now,
+			User: cred.User, Client: cred.Client,
+			OldSize: in.Size, NewSize: size,
+		})
+		o.nextVersion++
+	}
+	// An unaligned shrink leaves stale bytes in the retained tail
+	// block; rewrite it zero-truncated so a later size extension never
+	// resurrects them. The old tail joins the history pool, keeping
+	// pre-truncate versions exact.
+	if rem := size % types.BlockSize; rem != 0 {
+		tailBlk := size / types.BlockSize
+		if oldAddr := in.Block(tailBlk); oldAddr != seglog.NilAddr {
+			prev, err := d.readBlockLocked(oldAddr)
+			if err != nil {
+				return err
+			}
+			newAddr, err := d.log.Append(seglog.KindData, o.id, tailBlk, now, prev[:rem])
+			if err != nil {
+				return err
+			}
+			d.usage.liveBorn(segOf(d.log, newAddr))
+			full := make([]byte, types.BlockSize)
+			copy(full, prev[:rem])
+			d.cache.put(newAddr, full)
+			d.appendEntry(o, &journal.Entry{
+				Type: journal.EntWrite, Version: o.nextVersion, Time: now,
+				User: cred.User, Client: cred.Client,
+				FirstBlock: tailBlk,
+				Old:        []seglog.BlockAddr{oldAddr},
+				New:        []seglog.BlockAddr{newAddr},
+				OldSize:    size, NewSize: size,
+			})
+			o.nextVersion++
+			histBytes += types.BlockSize
+		}
+	}
+	d.chargeLocked(cred, histBytes)
+	return nil
+}
+
+// AttrInfo is the drive-maintained attribute view of one version.
+type AttrInfo struct {
+	ID         types.ObjectID
+	Version    uint64
+	Size       uint64
+	CreateTime types.Timestamp
+	ModTime    types.Timestamp
+	Deleted    bool
+	Attr       []byte // the client file system's opaque attribute blob
+}
+
+// GetAttr returns attributes of the version current at time at.
+func (d *Drive) GetAttr(cred types.Cred, id types.ObjectID, at types.Timestamp) (AttrInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ai, err := d.getAttrLocked(cred, id, at)
+	d.auditOp(cred, types.OpGetAttr, id, 0, 0, "", err)
+	return ai, err
+}
+
+func (d *Drive) getAttrLocked(cred types.Cred, id types.ObjectID, at types.Timestamp) (AttrInfo, error) {
+	if d.closed {
+		return AttrInfo{}, types.ErrDriveStopped
+	}
+	o, err := d.getObject(id)
+	if err != nil {
+		return AttrInfo{}, err
+	}
+	in, current, err := d.inodeAtLocked(o, at)
+	if err != nil {
+		return AttrInfo{}, err
+	}
+	need := types.PermRead
+	if !current {
+		need = types.PermRead | types.PermRecover
+	}
+	if err := d.checkPerm(cred, o.ino, need); err != nil {
+		return AttrInfo{}, err
+	}
+	return AttrInfo{
+		ID: id, Version: in.Version, Size: in.Size,
+		CreateTime: in.CreateTime, ModTime: in.ModTime,
+		Deleted: in.Deleted, Attr: append([]byte(nil), in.Attr...),
+	}, nil
+}
+
+// SetAttr replaces the opaque attribute blob, creating a new version.
+func (d *Drive) SetAttr(cred types.Cred, id types.ObjectID, attr []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.setAttrLocked(cred, id, attr)
+	d.auditOp(cred, types.OpSetAttr, id, 0, uint64(len(attr)), "", err)
+	return err
+}
+
+func (d *Drive) setAttrLocked(cred types.Cred, id types.ObjectID, attr []byte) error {
+	if d.closed {
+		return types.ErrDriveStopped
+	}
+	if len(attr) > types.MaxAttrLen {
+		return types.ErrTooLarge
+	}
+	if err := checkReserved(cred, id); err != nil {
+		return err
+	}
+	o, err := d.getObject(id)
+	if err != nil {
+		return err
+	}
+	if o.ino.Deleted {
+		return types.ErrNoObject
+	}
+	if err := d.checkPerm(cred, o.ino, types.PermWrite); err != nil {
+		return err
+	}
+	d.throttleLocked(cred)
+	now := vclock.TS(d.clk)
+	d.appendEntry(o, &journal.Entry{
+		Type: journal.EntSetAttr, Version: o.nextVersion, Time: now,
+		User: cred.User, Client: cred.Client,
+		OldAttr: append([]byte(nil), o.ino.Attr...),
+		NewAttr: append([]byte(nil), attr...),
+	})
+	o.nextVersion++
+	return nil
+}
+
+// GetACLByUser returns the effective ACL entry for user at time at.
+func (d *Drive) GetACLByUser(cred types.Cred, id types.ObjectID, user types.UserID, at types.Timestamp) (types.ACLEntry, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, err := d.getACLLocked(cred, id, at, func(in *Inode) (types.ACLEntry, error) {
+		return types.ACLEntry{User: user, Perm: in.PermFor(user)}, nil
+	})
+	d.auditOp(cred, types.OpGetACLByUser, id, uint64(user), 0, "", err)
+	return e, err
+}
+
+// GetACLByIndex returns slot idx of the ACL table at time at.
+func (d *Drive) GetACLByIndex(cred types.Cred, id types.ObjectID, idx int, at types.Timestamp) (types.ACLEntry, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, err := d.getACLLocked(cred, id, at, func(in *Inode) (types.ACLEntry, error) {
+		if idx < 0 || idx >= len(in.ACL) {
+			return types.ACLEntry{}, types.ErrInval
+		}
+		return in.ACL[idx], nil
+	})
+	d.auditOp(cred, types.OpGetACLByIndex, id, uint64(idx), 0, "", err)
+	return e, err
+}
+
+func (d *Drive) getACLLocked(cred types.Cred, id types.ObjectID, at types.Timestamp, pick func(*Inode) (types.ACLEntry, error)) (types.ACLEntry, error) {
+	if d.closed {
+		return types.ACLEntry{}, types.ErrDriveStopped
+	}
+	o, err := d.getObject(id)
+	if err != nil {
+		return types.ACLEntry{}, err
+	}
+	in, current, err := d.inodeAtLocked(o, at)
+	if err != nil {
+		return types.ACLEntry{}, err
+	}
+	need := types.PermRead
+	if !current {
+		need = types.PermRead | types.PermRecover
+	}
+	if err := d.checkPerm(cred, o.ino, need); err != nil {
+		return types.ACLEntry{}, err
+	}
+	return pick(in)
+}
+
+// SetACL replaces ACL slot idx, creating a new version. Users need
+// PermSetACL; this is how a user clears the Recovery flag to hide old
+// versions of a sensitive file from everyone but the administrator.
+func (d *Drive) SetACL(cred types.Cred, id types.ObjectID, idx int, entry types.ACLEntry) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.setACLLocked(cred, id, idx, entry)
+	d.auditOp(cred, types.OpSetACL, id, uint64(idx), 0, "", err)
+	return err
+}
+
+func (d *Drive) setACLLocked(cred types.Cred, id types.ObjectID, idx int, entry types.ACLEntry) error {
+	if d.closed {
+		return types.ErrDriveStopped
+	}
+	if idx < 0 || idx >= types.MaxACLEntries {
+		return types.ErrInval
+	}
+	if err := checkReserved(cred, id); err != nil {
+		return err
+	}
+	o, err := d.getObject(id)
+	if err != nil {
+		return err
+	}
+	if o.ino.Deleted {
+		return types.ErrNoObject
+	}
+	if err := d.checkPerm(cred, o.ino, types.PermSetACL); err != nil {
+		return err
+	}
+	d.throttleLocked(cred)
+	var old types.ACLEntry
+	if idx < len(o.ino.ACL) {
+		old = o.ino.ACL[idx]
+	}
+	now := vclock.TS(d.clk)
+	d.appendEntry(o, &journal.Entry{
+		Type: journal.EntSetACL, Version: o.nextVersion, Time: now,
+		User: cred.User, Client: cred.Client,
+		ACLIndex: uint8(idx), OldACL: old, NewACL: entry,
+	})
+	o.nextVersion++
+	return nil
+}
+
+// Sync makes every acknowledged modification durable: journal sectors
+// are flushed, the audit buffer is written, and the open segment is
+// forced to disk. The S4 client calls this at the end of each mutating
+// NFS operation to honor NFSv2 semantics (§4.1.2).
+func (d *Drive) Sync(cred types.Cred) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.syncLocked()
+	d.auditOp(cred, types.OpSync, 0, 0, 0, "", err)
+	return err
+}
+
+func (d *Drive) syncLocked() error {
+	if d.closed {
+		return types.ErrDriveStopped
+	}
+	for _, o := range d.objects {
+		if len(o.pending) > 0 {
+			if err := d.flushJournalLocked(o); err != nil {
+				return err
+			}
+		}
+	}
+	// Audit records are drive-internal: they are flushed when a block's
+	// worth accumulates (auditOp) or at checkpoints, not per client
+	// sync — §5.1.4's "one disk write approximately every 750
+	// operations" in the worst case.
+	return d.log.Sync()
+}
+
+// SetWindow adjusts the guaranteed detection window (administrative).
+func (d *Drive) SetWindow(cred types.Cred, w time.Duration) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var err error
+	switch {
+	case d.closed:
+		err = types.ErrDriveStopped
+	case !cred.Admin:
+		err = types.ErrAdminOnly
+	case w < 0:
+		err = types.ErrInval
+	default:
+		d.window = w
+		// Cached aging schedules were computed for the old window.
+		for _, o := range d.objects {
+			o.nextAge = 0
+		}
+	}
+	d.auditOp(cred, types.OpSetWindow, 0, uint64(w), 0, "", err)
+	return err
+}
+
+// StatusInfo is a point-in-time summary of drive state.
+type StatusInfo struct {
+	Window        time.Duration
+	Objects       int
+	LiveBlocks    int64
+	HistoryBlocks int64
+	FreeSegments  int64
+	TotalSegments int64
+	AuditRecords  int64
+	AuditBlocks   int
+	JournalBlocks int
+	CPBlocks      int
+	Suspects      []types.ClientID
+}
+
+// Status reports drive occupancy and health.
+func (d *Drive) Status() StatusInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cp := 0
+	for _, o := range d.objects {
+		cp += len(o.cpBlocks)
+	}
+	return StatusInfo{
+		Window:        d.window,
+		Objects:       len(d.objects),
+		LiveBlocks:    d.usage.liveBlocks(),
+		HistoryBlocks: d.usage.historyBlocks(),
+		FreeSegments:  d.log.FreeSegments(),
+		TotalSegments: d.log.NumSegments(),
+		AuditRecords:  d.stats.AuditRecords,
+		AuditBlocks:   len(d.auditBlocks),
+		JournalBlocks: len(d.jblockRef),
+		CPBlocks:      cp,
+		Suspects:      d.thr.Suspects(),
+	}
+}
+
+// DriveStats returns a copy of the activity counters.
+func (d *Drive) DriveStats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.Ops = make(map[types.Op]int64, len(d.stats.Ops))
+	for k, v := range d.stats.Ops {
+		s.Ops[k] = v
+	}
+	s.HistoryBlocks = d.usage.historyBlocks()
+	s.LiveBlocks = d.usage.liveBlocks()
+	s.FreeSegments = d.log.FreeSegments()
+	s.TotalSegments = d.log.NumSegments()
+	return s
+}
+
+// ---- Throttle integration ----
+
+// throttleLocked injects the abuse-detector delay for cred's client
+// before a mutating operation proceeds (§3.3: selectively increasing
+// latency lets well-behaved users keep working during an attack).
+func (d *Drive) throttleLocked(cred types.Cred) {
+	if cred.Admin {
+		return
+	}
+	if delay := d.thr.Delay(cred.Client); delay > 0 {
+		d.stats.ThrottleDelays += delay
+		d.clk.Sleep(delay)
+	}
+}
+
+// chargeLocked charges history-pool growth to the client.
+func (d *Drive) chargeLocked(cred types.Cred, histBytes int64) {
+	if histBytes <= 0 {
+		return
+	}
+	d.thr.SetPool(d.usage.historyBlocks() * types.BlockSize)
+	d.thr.Record(cred.Client, histBytes, d.clk.Now())
+}

@@ -1,0 +1,626 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"s4/internal/journal"
+	"s4/internal/seglog"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// This file implements the history-pool side of the drive: time-based
+// version reconstruction, version listing, copy-forward restore, and
+// the administrative Flush/FlushO history erasure of Table 1.
+
+// walkEntriesLocked visits o's journal entries newest-first: unflushed
+// pending entries, then flushed sectors following the backward chain,
+// stopping at the retained tail (sectors older than jtail were freed by
+// the cleaner). fn returning true stops the walk.
+func (d *Drive) walkEntriesLocked(o *object, fn func(e *journal.Entry) (bool, error)) error {
+	for i := len(o.pending) - 1; i >= 0; i-- {
+		stop, err := fn(o.pending[i])
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	for addr := o.jhead; addr != journal.NilSector; {
+		obj, prev, entries, err := journal.ReadSector(d.log, addr)
+		if err != nil {
+			return err
+		}
+		if obj != o.id {
+			return fmt.Errorf("core: journal chain of %v crossed into %v: %w", o.id, obj, types.ErrCorrupt)
+		}
+		for i := len(entries) - 1; i >= 0; i-- {
+			stop, err := fn(&entries[i])
+			if err != nil {
+				return err
+			}
+			if stop {
+				return nil
+			}
+		}
+		if addr == o.jtail {
+			break
+		}
+		addr = prev
+	}
+	return nil
+}
+
+// inodeAtLocked returns the object's inode as of time at. current
+// reports whether that is the live version (at sees the newest state).
+// The returned inode is the live one when current; callers must not
+// mutate it.
+func (d *Drive) inodeAtLocked(o *object, at types.Timestamp) (in *Inode, current bool, err error) {
+	if err := d.loadInode(o); err != nil {
+		return nil, false, err
+	}
+	if at >= o.ino.ModTime {
+		return o.ino, true, nil
+	}
+	if at < o.floorTime {
+		return nil, false, fmt.Errorf("core: time %v predates retained history: %w", at, types.ErrNoVersion)
+	}
+	clone := o.ino.Clone()
+	undone := false
+	err = d.walkEntriesLocked(o, func(e *journal.Entry) (bool, error) {
+		if e.Time <= at {
+			return true, nil
+		}
+		if e.Type == journal.EntCreate {
+			// Undoing creation: the object did not exist at `at`.
+			return true, types.ErrNoVersion
+		}
+		clone.undo(e)
+		undone = true
+		return false, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	_ = undone
+	if at < clone.CreateTime {
+		return nil, false, types.ErrNoVersion
+	}
+	return clone, false, nil
+}
+
+// VersionInfo describes one version transition of an object.
+type VersionInfo struct {
+	Version uint64
+	Time    types.Timestamp
+	Op      string // journal entry type name
+	User    types.UserID
+	Client  types.ClientID
+	Size    uint64 // object size after the transition (writes/truncates)
+}
+
+// ListVersions returns the object's retained version history, newest
+// first. Like any history access it requires the Recovery flag (or
+// administrative credentials).
+func (d *Drive) ListVersions(cred types.Cred, id types.ObjectID) ([]VersionInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	vs, err := d.listVersionsLocked(cred, id)
+	d.auditOp(cred, types.OpListVersions, id, 0, 0, "", err)
+	return vs, err
+}
+
+func (d *Drive) listVersionsLocked(cred types.Cred, id types.ObjectID) ([]VersionInfo, error) {
+	if d.closed {
+		return nil, types.ErrDriveStopped
+	}
+	o, err := d.getObject(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkPerm(cred, o.ino, types.PermRead|types.PermRecover); err != nil {
+		return nil, err
+	}
+	var out []VersionInfo
+	size := o.ino.Size
+	err = d.walkEntriesLocked(o, func(e *journal.Entry) (bool, error) {
+		if e.Type == journal.EntCheckpoint {
+			return false, nil
+		}
+		out = append(out, VersionInfo{
+			Version: e.Version, Time: e.Time, Op: e.Type.String(),
+			User: e.User, Client: e.Client, Size: size,
+		})
+		// Walking backward: the size before this entry is its OldSize.
+		switch e.Type {
+		case journal.EntWrite, journal.EntTruncate, journal.EntDelete:
+			size = e.OldSize
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Revert restores the object to its state at time at by copying the old
+// version forward as a new version (§3.3). Data blocks are physically
+// copied so block liveness never spans versions.
+func (d *Drive) Revert(cred types.Cred, id types.ObjectID, at types.Timestamp) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.revertLocked(cred, id, at)
+	d.auditOp(cred, types.OpRevert, id, uint64(at), 0, "", err)
+	return err
+}
+
+func (d *Drive) revertLocked(cred types.Cred, id types.ObjectID, at types.Timestamp) error {
+	if d.closed {
+		return types.ErrDriveStopped
+	}
+	if err := checkReserved(cred, id); err != nil {
+		return err
+	}
+	o, err := d.getObject(id)
+	if err != nil {
+		return err
+	}
+	old, current, err := d.inodeAtLocked(o, at)
+	if err != nil {
+		return err
+	}
+	if current {
+		return nil // already there
+	}
+	// Restoring history requires both recovery rights on the old
+	// version and write rights on the current object.
+	if err := d.checkPerm(cred, old, types.PermRead|types.PermRecover); err != nil {
+		return err
+	}
+	if err := d.checkPerm(cred, o.ino, types.PermWrite); err != nil {
+		return err
+	}
+	if old.Deleted {
+		return fmt.Errorf("core: target version is deleted: %w", types.ErrNoVersion)
+	}
+	d.throttleLocked(cred)
+	now := vclock.TS(d.clk)
+
+	// Revive if currently deleted.
+	if o.ino.Deleted {
+		d.appendEntry(o, &journal.Entry{
+			Type: journal.EntRevive, Version: o.nextVersion, Time: now,
+			User: cred.User, Client: cred.Client, OldSize: uint64(o.ino.DeadTime),
+		})
+		o.nextVersion++
+	}
+	// Shape first: set the size (frees blocks beyond the target size).
+	if o.ino.Size != old.Size {
+		if err := d.truncateBlocksLocked(cred, o, old.Size); err != nil {
+			return err
+		}
+	}
+	// Copy forward every block whose content differs from current.
+	if old.Size > 0 {
+		last := (old.Size - 1) / types.BlockSize
+		var chunk []byte
+		var chunkStart uint64
+		flush := func() error {
+			if len(chunk) == 0 {
+				return nil
+			}
+			err := d.writeBlocksLocked(cred, o, chunkStart*types.BlockSize, chunk)
+			chunk = nil
+			return err
+		}
+		for blk := uint64(0); blk <= last; blk++ {
+			oldAddr := old.Block(blk)
+			if oldAddr == o.ino.Block(blk) {
+				// Same physical block: content already current.
+				if err := flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			var content []byte
+			if oldAddr == seglog.NilAddr {
+				content = make([]byte, types.BlockSize)
+			} else {
+				b, err := d.readBlockLocked(oldAddr)
+				if err != nil {
+					return err
+				}
+				content = b
+			}
+			n := uint64(types.BlockSize)
+			if blk == last {
+				n = old.Size - blk*types.BlockSize
+			}
+			if len(chunk) == 0 {
+				chunkStart = blk
+			}
+			chunk = append(chunk, content[:n]...)
+			if len(chunk) >= types.MaxIO-types.BlockSize {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	// Attributes and ACL.
+	if string(o.ino.Attr) != string(old.Attr) {
+		d.appendEntry(o, &journal.Entry{
+			Type: journal.EntSetAttr, Version: o.nextVersion, Time: now,
+			User: cred.User, Client: cred.Client,
+			OldAttr: append([]byte(nil), o.ino.Attr...),
+			NewAttr: append([]byte(nil), old.Attr...),
+		})
+		o.nextVersion++
+	}
+	maxACL := len(o.ino.ACL)
+	if len(old.ACL) > maxACL {
+		maxACL = len(old.ACL)
+	}
+	for i := 0; i < maxACL; i++ {
+		var cur, want types.ACLEntry
+		if i < len(o.ino.ACL) {
+			cur = o.ino.ACL[i]
+		}
+		if i < len(old.ACL) {
+			want = old.ACL[i]
+		}
+		if cur != want {
+			d.appendEntry(o, &journal.Entry{
+				Type: journal.EntSetACL, Version: o.nextVersion, Time: now,
+				User: cred.User, Client: cred.Client,
+				ACLIndex: uint8(i), OldACL: cur, NewACL: want,
+			})
+			o.nextVersion++
+		}
+	}
+	return nil
+}
+
+// Flush removes all versions of all objects between two times
+// (administrative; Table 1). The current state of every object is
+// preserved; only intermediate history in (from, to] is erased.
+func (d *Drive) Flush(cred types.Cred, from, to types.Timestamp) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var err error
+	if !cred.Admin {
+		err = types.ErrAdminOnly
+	} else if d.closed {
+		err = types.ErrDriveStopped
+	} else {
+		ids := make([]types.ObjectID, 0, len(d.objects))
+		for id := range d.objects {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if id == types.AuditObject {
+				continue
+			}
+			if ferr := d.flushObjectLocked(d.objects[id], from, to); ferr != nil {
+				err = ferr
+				break
+			}
+		}
+	}
+	d.auditOp(cred, types.OpFlush, 0, uint64(from), uint64(to), "", err)
+	return err
+}
+
+// FlushO removes versions of one object between two times
+// (administrative; Table 1).
+func (d *Drive) FlushO(cred types.Cred, id types.ObjectID, from, to types.Timestamp) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var err error
+	if !cred.Admin {
+		err = types.ErrAdminOnly
+	} else if d.closed {
+		err = types.ErrDriveStopped
+	} else if o, ok := d.objects[id]; !ok {
+		err = types.ErrNoObject
+	} else {
+		err = d.flushObjectLocked(o, from, to)
+	}
+	d.auditOp(cred, types.OpFlushO, id, uint64(from), uint64(to), "", err)
+	return err
+}
+
+// flushObjectLocked erases o's versions with Time in (from, to]. It
+// rebuilds the retained entries' undo state by replaying from the
+// oldest reconstructible version, reconciles the final state with the
+// live inode via a synthesized merge entry, rewrites the journal chain,
+// and frees data blocks referenced only by the erased versions.
+func (d *Drive) flushObjectLocked(o *object, from, to types.Timestamp) error {
+	if err := d.loadInode(o); err != nil {
+		return err
+	}
+	// Collect all retained entries, oldest first.
+	var all []*journal.Entry
+	if err := d.walkEntriesLocked(o, func(e *journal.Entry) (bool, error) {
+		cp := *e
+		all = append(all, &cp)
+		return false, nil
+	}); err != nil {
+		return err
+	}
+	for i, j := 0, len(all)-1; i < j; i, j = i+1, j-1 {
+		all[i], all[j] = all[j], all[i]
+	}
+	// Strip checkpoint markers (rebuilt checkpoints supersede them) and
+	// locate the dropped range. EntCreate is never erased: existence of
+	// the object is not a version.
+	filtered := all[:0]
+	for _, e := range all {
+		if e.Type != journal.EntCheckpoint {
+			filtered = append(filtered, e)
+		}
+	}
+	all = filtered
+	isDropped := func(e *journal.Entry) bool {
+		return e.Type != journal.EntCreate && e.Time > from && e.Time <= to
+	}
+	lastDrop := -1
+	nDropped := 0
+	for i, e := range all {
+		if isDropped(e) {
+			lastDrop = i
+			nDropped++
+		}
+	}
+	if nDropped == 0 {
+		return nil
+	}
+
+	// Two parallel replays from the oldest reconstructible state:
+	// trueState applies every entry (real history); shadow applies only
+	// kept entries, whose undo fields are rewritten against it. At the
+	// end of the dropped range, merge entries reconcile shadow with
+	// trueState so later reads see the post-range reality.
+	base := o.ino.Clone()
+	for i := len(all) - 1; i >= 0; i-- {
+		if all[i].Type != journal.EntCreate {
+			base.undo(all[i])
+		}
+	}
+	shadow := base.Clone()
+	trueState := base
+	// The merge entries that reconcile shadow with post-range reality
+	// are stamped at the next kept entry's time (or the erase moment if
+	// none follows), so reads anywhere inside the erased range resolve
+	// to the state at the range start and never leak erased content.
+	mergeTime := vclock.TS(d.clk)
+	for i := lastDrop + 1; i < len(all); i++ {
+		if !isDropped(all[i]) {
+			mergeTime = all[i].Time
+			break
+		}
+	}
+	var kept []*journal.Entry
+	var droppedNew []seglog.BlockAddr
+	for i, e := range all {
+		if isDropped(e) {
+			droppedNew = append(droppedNew, e.New...)
+			trueState.redo(e)
+			if i == lastDrop {
+				merges := d.mergeEntries(shadow, trueState, e.Version, mergeTime)
+				kept = append(kept, merges...)
+				for _, m := range merges {
+					shadow.redo(m)
+				}
+			}
+			continue
+		}
+		// Kept entry: rewrite its undo fields against shadow.
+		switch e.Type {
+		case journal.EntWrite:
+			for k := range e.Old {
+				e.Old[k] = shadow.Block(e.FirstBlock + uint64(k))
+			}
+			e.OldSize = shadow.Size
+		case journal.EntTruncate:
+			e.OldSize = shadow.Size
+			for k := range e.Old {
+				e.Old[k] = shadow.Block(e.FirstBlock + uint64(k))
+			}
+		case journal.EntSetAttr:
+			e.OldAttr = append([]byte(nil), shadow.Attr...)
+		case journal.EntSetACL:
+			var old types.ACLEntry
+			if int(e.ACLIndex) < len(shadow.ACL) {
+				old = shadow.ACL[e.ACLIndex]
+			}
+			e.OldACL = old
+		case journal.EntDelete:
+			e.OldSize = shadow.Size
+		case journal.EntRevive:
+			e.OldSize = uint64(shadow.DeadTime)
+		}
+		shadow.redo(e)
+		trueState.redo(e)
+		kept = append(kept, e)
+	}
+
+	// Free data blocks referenced only by erased versions.
+	protected := make(map[seglog.BlockAddr]bool)
+	for _, a := range o.ino.blocks {
+		protected[a] = true
+	}
+	for _, e := range kept {
+		for _, a := range e.Old {
+			protected[a] = true
+		}
+		for _, a := range e.New {
+			protected[a] = true
+		}
+	}
+	for _, a := range droppedNew {
+		if a != seglog.NilAddr && !protected[a] {
+			d.usage.ageOut(segOf(d.log, a))
+			d.cache.drop(a)
+			protected[a] = true // guard against double free
+		}
+	}
+	// Rewrite the journal chain with the kept entries.
+	return d.rewriteChainLocked(o, kept)
+}
+
+// mergeEntries synthesizes the entries that carry `from` to `to`,
+// stamped with the given version and time. They stand in for an erased
+// version range so that reads after the range still see reality.
+func (d *Drive) mergeEntries(from, to *Inode, ver uint64, ts types.Timestamp) []*journal.Entry {
+	var synth []*journal.Entry
+	if from.Size != to.Size || !mapsEqual(from, to) {
+		idxs := divergentBlocks(from, to)
+		i := 0
+		for i < len(idxs) {
+			n := len(idxs) - i
+			// Bound the covered span, not just the divergent count, so
+			// the entry's pointer arrays stay within budget.
+			for n > 1 && idxs[i+n-1]-idxs[i]+1 > journal.MaxBlocksPerEntry {
+				n--
+			}
+			span := idxs[i+n-1] - idxs[i] + 1
+			e := &journal.Entry{
+				Type: journal.EntWrite, Version: ver, Time: ts,
+				FirstBlock: idxs[i],
+				Old:        make([]seglog.BlockAddr, span),
+				New:        make([]seglog.BlockAddr, span),
+				OldSize:    from.Size, NewSize: to.Size,
+			}
+			for rel := uint64(0); rel < span; rel++ {
+				blk := idxs[i] + rel
+				e.Old[rel] = from.Block(blk)
+				e.New[rel] = to.Block(blk)
+			}
+			synth = append(synth, e)
+			i += n
+		}
+		if len(synth) == 0 {
+			synth = append(synth, &journal.Entry{
+				Type: journal.EntTruncate, Version: ver, Time: ts,
+				OldSize: from.Size, NewSize: to.Size,
+			})
+		}
+	}
+	if string(from.Attr) != string(to.Attr) {
+		synth = append(synth, &journal.Entry{
+			Type: journal.EntSetAttr, Version: ver, Time: ts,
+			OldAttr: append([]byte(nil), from.Attr...),
+			NewAttr: append([]byte(nil), to.Attr...),
+		})
+	}
+	if from.Deleted != to.Deleted {
+		if to.Deleted {
+			synth = append(synth, &journal.Entry{
+				Type: journal.EntDelete, Version: ver, Time: ts, OldSize: from.Size,
+			})
+		} else {
+			synth = append(synth, &journal.Entry{
+				Type: journal.EntRevive, Version: ver, Time: ts, OldSize: uint64(from.DeadTime),
+			})
+		}
+	}
+	maxACL := len(from.ACL)
+	if len(to.ACL) > maxACL {
+		maxACL = len(to.ACL)
+	}
+	for i := 0; i < maxACL; i++ {
+		var s, l types.ACLEntry
+		if i < len(from.ACL) {
+			s = from.ACL[i]
+		}
+		if i < len(to.ACL) {
+			l = to.ACL[i]
+		}
+		if s != l {
+			synth = append(synth, &journal.Entry{
+				Type: journal.EntSetACL, Version: ver, Time: ts,
+				ACLIndex: uint8(i), OldACL: s, NewACL: l,
+			})
+		}
+	}
+	return synth
+}
+
+// rewriteChainLocked replaces o's journal chain with entries (oldest
+// first), freeing the old sectors, and checkpoints the object so crash
+// recovery never replays the retired chain.
+func (d *Drive) rewriteChainLocked(o *object, entries []*journal.Entry) error {
+	// Free old sectors.
+	for addr := o.jhead; addr != journal.NilSector; {
+		_, prev, _, err := journal.ReadSector(d.log, addr)
+		if err != nil {
+			return err
+		}
+		d.unrefJSector(addr)
+		if addr == o.jtail {
+			break
+		}
+		addr = prev
+	}
+	o.jhead, o.jtail = journal.NilSector, journal.NilSector
+	// The rebuilt chain is complete only if it reaches creation.
+	o.pruned = len(entries) == 0 || entries[0].Type != journal.EntCreate
+	o.pending = entries
+	if err := d.flushJournalLocked(o); err != nil {
+		return err
+	}
+	// Force a fresh checkpoint so recovery anchors past the rewrite.
+	o.cpVersion = 0
+	if err := d.checkpointObjectLocked(o); err != nil {
+		return err
+	}
+	return d.log.Sync()
+}
+
+func mapsEqual(a, b *Inode) bool {
+	if len(a.blocks) != len(b.blocks) {
+		return false
+	}
+	for k, v := range a.blocks {
+		if b.blocks[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// divergentBlocks returns sorted block indices where a and b differ.
+func divergentBlocks(a, b *Inode) []uint64 {
+	set := make(map[uint64]bool)
+	for k, v := range a.blocks {
+		if b.blocks[k] != v {
+			set[k] = true
+		}
+	}
+	for k, v := range b.blocks {
+		if a.blocks[k] != v {
+			set[k] = true
+		}
+	}
+	out := make([]uint64, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HistoryBytes reports current history-pool occupancy in bytes.
+func (d *Drive) HistoryBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.usage.historyBlocks() * types.BlockSize
+}

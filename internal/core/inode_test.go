@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"s4/internal/seglog"
+	"s4/internal/types"
+)
+
+// memReader serves checkpoint overflow blocks from a map.
+type memReader map[seglog.BlockAddr][]byte
+
+func (m memReader) Read(addr seglog.BlockAddr, buf []byte) error {
+	copy(buf, m[addr])
+	return nil
+}
+
+func roundTripInode(t *testing.T, in *Inode) *Inode {
+	t.Helper()
+	cb, err := in.buildCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := memReader{}
+	var addrs []seglog.BlockAddr
+	for i, chunk := range cb.overflow {
+		a := seglog.BlockAddr(1000 + i)
+		blk := make([]byte, seglog.BlockSize)
+		copy(blk, chunk)
+		rd[a] = blk
+		addrs = append(addrs, a)
+	}
+	root := cb.finishRoot(addrs)
+	if len(root) > seglog.BlockSize {
+		t.Fatalf("root block %d bytes", len(root))
+	}
+	got, over, err := decodeInodeRoot(rd, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(over) != len(addrs) {
+		t.Fatalf("overflow addrs %d want %d", len(over), len(addrs))
+	}
+	return got
+}
+
+func TestInodeCheckpointRoundTrip(t *testing.T) {
+	in := newInode(42, 12345, []types.ACLEntry{{User: 7, Perm: types.PermAll}})
+	in.Version = 9
+	in.Size = 123456
+	in.ModTime = 99999
+	in.Attr = []byte("opaque blob")
+	for i := uint64(0); i < 40; i += 3 {
+		in.setBlock(i, seglog.BlockAddr(5000+i))
+	}
+	got := roundTripInode(t, in)
+	if got.ID != in.ID || got.Version != in.Version || got.Size != in.Size ||
+		got.CreateTime != in.CreateTime || got.ModTime != in.ModTime ||
+		!bytes.Equal(got.Attr, in.Attr) || len(got.ACL) != 1 || got.ACL[0] != in.ACL[0] {
+		t.Fatalf("header mismatch: %+v vs %+v", got, in)
+	}
+	if got.NumBlocks() != in.NumBlocks() {
+		t.Fatalf("blocks %d want %d", got.NumBlocks(), in.NumBlocks())
+	}
+	for i := uint64(0); i < 40; i++ {
+		if got.Block(i) != in.Block(i) {
+			t.Fatalf("block %d: %d want %d", i, got.Block(i), in.Block(i))
+		}
+	}
+}
+
+func TestInodeCheckpointLargeMapOverflows(t *testing.T) {
+	in := newInode(1, 1, nil)
+	rnd := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		in.setBlock(uint64(i), seglog.BlockAddr(rnd.Uint64()>>16+1))
+	}
+	in.Size = 5000 * types.BlockSize
+	cb, err := in.buildCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cb.overflow) == 0 {
+		t.Fatal("expected overflow blocks for a 5000-block map")
+	}
+	got := roundTripInode(t, in)
+	for i := uint64(0); i < 5000; i++ {
+		if got.Block(i) != in.Block(i) {
+			t.Fatalf("block %d mismatch after overflow round trip", i)
+		}
+	}
+}
+
+func TestInodeDeletedRoundTrip(t *testing.T) {
+	in := newInode(3, 10, nil)
+	in.Deleted = true
+	in.DeadTime = 777
+	got := roundTripInode(t, in)
+	if !got.Deleted || got.DeadTime != 777 {
+		t.Fatalf("deleted state lost: %+v", got)
+	}
+}
+
+func TestInodeCloneIsolation(t *testing.T) {
+	in := newInode(1, 1, []types.ACLEntry{{User: 2, Perm: types.PermRead}})
+	in.setBlock(5, 500)
+	in.Attr = []byte("a")
+	c := in.Clone()
+	c.setBlock(5, 999)
+	c.Attr[0] = 'z'
+	c.ACL[0].Perm = types.PermAll
+	if in.Block(5) != 500 || in.Attr[0] != 'a' || in.ACL[0].Perm != types.PermRead {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestBlockCacheLRU(t *testing.T) {
+	c := newBlockCache(3 * types.BlockSize)
+	blk := func(b byte) []byte { return bytes.Repeat([]byte{b}, types.BlockSize) }
+	c.put(1, blk(1))
+	c.put(2, blk(2))
+	c.put(3, blk(3))
+	if c.get(1) == nil {
+		t.Fatal("block 1 evicted too early")
+	}
+	c.put(4, blk(4)) // evicts 2 (LRU; 1 was just touched)
+	if c.get(2) != nil {
+		t.Fatal("LRU order wrong: 2 should be evicted")
+	}
+	if c.get(1) == nil || c.get(3) == nil || c.get(4) == nil {
+		t.Fatal("wrong entries evicted")
+	}
+	c.drop(3)
+	if c.get(3) != nil {
+		t.Fatal("drop failed")
+	}
+	c.dropRange(0, 10)
+	if c.get(1) != nil || c.get(4) != nil {
+		t.Fatal("dropRange failed")
+	}
+}
+
+func TestBlockCacheDisabled(t *testing.T) {
+	c := newBlockCache(0)
+	c.put(1, make([]byte, types.BlockSize))
+	if c.get(1) != nil {
+		t.Fatal("disabled cache stored a block")
+	}
+}
+
+func TestPermForUnionWithEveryone(t *testing.T) {
+	in := newInode(1, 1, []types.ACLEntry{
+		{User: 5, Perm: types.PermWrite},
+		{User: types.EveryoneID, Perm: types.PermRead},
+	})
+	if p := in.PermFor(5); !p.Has(types.PermRead | types.PermWrite) {
+		t.Fatalf("user 5 perm = %v", p)
+	}
+	if p := in.PermFor(6); !p.Has(types.PermRead) || p.Has(types.PermWrite) {
+		t.Fatalf("user 6 perm = %v", p)
+	}
+}

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"s4/internal/journal"
+	"s4/internal/seglog"
+	"s4/internal/types"
+)
+
+// Checkpointing and crash recovery.
+//
+// Checkpoint: the drive flushes every object's journal, writes full
+// inode checkpoints for objects modified since their last checkpoint,
+// and then serializes the object map (plus allocator and audit state)
+// into the segment log's alternating checkpoint slots.
+//
+// Recovery: read the newest object-map checkpoint, roll forward over
+// segments written after it by redoing journal entries with versions
+// beyond each object's checkpointed version, then recount segment
+// usage from scratch by classifying every on-disk block against the
+// recovered object map — the LFS-style full-scan recovery that trades
+// restart time for zero steady-state bookkeeping risk.
+
+const imapMagic = 0x53344D50 // "S4MP"
+
+// checkpointLocked makes the entire drive state durable.
+func (d *Drive) checkpointLocked() error {
+	ids := make([]types.ObjectID, 0, len(d.objects))
+	for id := range d.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		o := d.objects[id]
+		if len(o.pending) > 0 {
+			if err := d.flushJournalLocked(o); err != nil {
+				return err
+			}
+		}
+		// Journal-complete objects need no metadata copy: their chain
+		// reconstructs them entirely (§4.2.2). Only chain-pruned or
+		// previously checkpointed objects are refreshed.
+		if o.ino != nil && !o.journalComplete() && (o.cpVersion != o.ino.Version || o.inodeRoot == seglog.NilAddr) {
+			if err := d.checkpointObjectLocked(o); err != nil {
+				return err
+			}
+		}
+	}
+	if err := d.flushAuditLocked(); err != nil {
+		return err
+	}
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	if err := d.log.WriteCheckpoint(d.encodeImapLocked()); err != nil {
+		return err
+	}
+	// The durable object map no longer references segments the cleaner
+	// emptied; they may now rejoin the allocator.
+	for seg := range d.pendingFree {
+		if err := d.log.FreeSegment(seg); err != nil {
+			return err
+		}
+		delete(d.pendingFree, seg)
+	}
+	return nil
+}
+
+// Checkpoint is the public form, taken periodically by daemons.
+func (d *Drive) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return types.ErrDriveStopped
+	}
+	return d.checkpointLocked()
+}
+
+func (d *Drive) encodeImapLocked() []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], imapMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], 1) // format version
+	buf = append(buf, hdr[:]...)
+	putU(uint64(d.nextOID))
+	putU(uint64(d.window))
+	putU(d.auditSeq)
+	putU(uint64(len(d.auditBlocks)))
+	for _, r := range d.auditBlocks {
+		putU(uint64(r.addr))
+		putU(r.firstSeq)
+		putU(uint64(r.lastTime))
+	}
+	putU(uint64(len(d.objects)))
+	ids := make([]types.ObjectID, 0, len(d.objects))
+	for id := range d.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		o := d.objects[id]
+		putU(uint64(o.id))
+		putU(o.nextVersion)
+		putU(uint64(o.inodeRoot))
+		putU(uint64(len(o.cpBlocks)))
+		for _, a := range o.cpBlocks {
+			putU(uint64(a))
+		}
+		putU(o.cpVersion)
+		putU(uint64(o.jhead))
+		putU(uint64(o.jtail))
+		putU(o.floorVersion)
+		putU(uint64(o.floorTime))
+		if o.pruned {
+			putU(1)
+		} else {
+			putU(0)
+		}
+	}
+	return buf
+}
+
+func (d *Drive) decodeImap(data []byte) error {
+	if len(data) < 8 || binary.LittleEndian.Uint32(data[:4]) != imapMagic {
+		return fmt.Errorf("core: bad object-map checkpoint: %w", types.ErrCorrupt)
+	}
+	data = data[8:]
+	getU := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("core: object-map varint: %w", types.ErrCorrupt)
+		}
+		data = data[n:]
+		return v, nil
+	}
+	v, err := getU()
+	if err != nil {
+		return err
+	}
+	d.nextOID = types.ObjectID(v)
+	if v, err = getU(); err != nil {
+		return err
+	}
+	d.window = time.Duration(v)
+	if d.auditSeq, err = getU(); err != nil {
+		return err
+	}
+	nAudit, err := getU()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nAudit; i++ {
+		var r auditBlockRef
+		if v, err = getU(); err != nil {
+			return err
+		}
+		r.addr = seglog.BlockAddr(v)
+		if r.firstSeq, err = getU(); err != nil {
+			return err
+		}
+		if v, err = getU(); err != nil {
+			return err
+		}
+		r.lastTime = types.Timestamp(v)
+		d.auditBlocks = append(d.auditBlocks, r)
+	}
+	nObj, err := getU()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nObj; i++ {
+		o := &object{}
+		if v, err = getU(); err != nil {
+			return err
+		}
+		o.id = types.ObjectID(v)
+		if o.nextVersion, err = getU(); err != nil {
+			return err
+		}
+		if v, err = getU(); err != nil {
+			return err
+		}
+		o.inodeRoot = seglog.BlockAddr(v)
+		nCP, err := getU()
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < nCP; j++ {
+			if v, err = getU(); err != nil {
+				return err
+			}
+			o.cpBlocks = append(o.cpBlocks, seglog.BlockAddr(v))
+		}
+		if o.cpVersion, err = getU(); err != nil {
+			return err
+		}
+		if v, err = getU(); err != nil {
+			return err
+		}
+		o.jhead = journal.SectorAddr(v)
+		if v, err = getU(); err != nil {
+			return err
+		}
+		o.jtail = journal.SectorAddr(v)
+		if o.floorVersion, err = getU(); err != nil {
+			return err
+		}
+		if v, err = getU(); err != nil {
+			return err
+		}
+		o.floorTime = types.Timestamp(v)
+		if v, err = getU(); err != nil {
+			return err
+		}
+		o.pruned = v != 0
+		o.lruEl = d.objLRU.PushBack(o)
+		d.objects[o.id] = o
+	}
+	return nil
+}
+
+// recover restores drive state after Open: checkpoint load, journal
+// roll-forward, and a full usage recount.
+func (d *Drive) recover() error {
+	blob, cpSeq, ok, err := d.log.ReadCheckpoint()
+	if err != nil {
+		return err
+	}
+	if ok {
+		if err := d.decodeImap(blob); err != nil {
+			return err
+		}
+	}
+	// Roll forward: visit segments written after the checkpoint in
+	// sequence order, relinking journal chains and redoing entries.
+	err = d.log.ScanFrom(cpSeq, func(seg int64, sum seglog.Summary) error {
+		d.log.MarkAllocated(seg)
+		d.log.SetSeq(sum.Seq)
+		for i, e := range sum.Entries {
+			addr := d.log.EntryAt(seg, i)
+			switch e.Kind {
+			case seglog.KindJournal:
+				if err := d.recoverJournalBlock(addr); err != nil {
+					return err
+				}
+			case seglog.KindAudit:
+				d.recoverAuditBlock(addr, e.Key, e.Time)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Recount usage from scratch.
+	if err := d.recountUsage(); err != nil {
+		return err
+	}
+	// Evict down to the configured object-cache budget.
+	return d.evictColdLocked()
+}
+
+// recoverJournalBlock relinks every sector of one flushed journal block
+// and redoes entries newer than the owning objects' checkpointed
+// versions. Slots are processed in order, which preserves chronology.
+func (d *Drive) recoverJournalBlock(addr seglog.BlockAddr) error {
+	buf := make([]byte, seglog.BlockSize)
+	if err := d.log.Read(addr, buf); err != nil {
+		return err
+	}
+	for slot := 0; slot < journal.SectorsPerBlock; slot++ {
+		data := buf[slot*journal.SectorSize : (slot+1)*journal.SectorSize]
+		id, _, entries, ok, err := journal.DecodeSector(data)
+		if err != nil || !ok {
+			continue // empty or torn slot: nothing durable to replay
+		}
+		sa := journal.MakeSectorAddr(addr, slot)
+		if err := d.recoverJournalSector(sa, id, entries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Drive) recoverJournalSector(addr journal.SectorAddr, id types.ObjectID, entries []journal.Entry) error {
+	o := d.objects[id]
+	if o == nil {
+		o = &object{id: id, nextVersion: 1}
+		o.lruEl = d.objLRU.PushBack(o)
+		d.objects[id] = o
+		if id >= d.nextOID {
+			d.nextOID = id + 1
+		}
+	}
+	// Materialize the inode: from its checkpoint, from the chain the
+	// object map already links (journal-complete objects skip
+	// checkpoints), or fresh for objects born after the checkpoint.
+	if o.ino == nil {
+		if o.inodeRoot != seglog.NilAddr || o.jhead != journal.NilSector {
+			if err := d.loadInode(o); err != nil {
+				return err
+			}
+		} else {
+			if entries[0].Type != journal.EntCreate {
+				return fmt.Errorf("core: %v: journal without create or checkpoint: %w", id, types.ErrCorrupt)
+			}
+			o.ino = newInode(id, entries[0].Time, nil)
+			d.loaded++
+		}
+	}
+	newest := entries[len(entries)-1].Version
+	if newest <= o.cpVersion || newest <= o.ino.Version {
+		// A pre-checkpoint (or already-linked) sector re-synced inside
+		// a newer segment: its effects are already present.
+		return nil
+	}
+	for i := range entries {
+		e := &entries[i]
+		if e.Version <= o.cpVersion || e.Version < o.ino.Version {
+			continue
+		}
+		if e.Type == journal.EntCreate {
+			// The initial ACL and attributes arrive as the EntSetACL /
+			// EntSetAttr entries that immediately follow.
+			o.ino.CreateTime = e.Time
+			o.ino.ModTime = e.Time
+			continue
+		}
+		o.ino.redo(e)
+		if e.Version >= o.nextVersion {
+			o.nextVersion = e.Version + 1
+		}
+	}
+	o.jhead = addr
+	if o.jtail == journal.NilSector {
+		o.jtail = addr
+	}
+	return nil
+}
+
+func (d *Drive) recoverAuditBlock(addr seglog.BlockAddr, firstSeq uint64, lastTime types.Timestamp) {
+	for _, r := range d.auditBlocks {
+		if r.addr == addr {
+			return
+		}
+	}
+	d.auditBlocks = append(d.auditBlocks, auditBlockRef{addr: addr, firstSeq: firstSeq, lastTime: lastTime})
+	// Recover the sequence counter past anything on disk.
+	if firstSeq >= d.auditSeq {
+		d.auditSeq = firstSeq + 1000 // conservative gap; seqs need only be increasing
+	}
+}
+
+// recountUsage rebuilds per-segment live/history counters and the
+// chain-sector index by classifying every on-disk block against the
+// recovered object map.
+func (d *Drive) recountUsage() error {
+	d.usage.reset()
+	d.jblockRef = make(map[seglog.BlockAddr]int)
+	d.jstageAddr, d.jstageUsed = seglog.NilAddr, 0
+
+	live := make(map[seglog.BlockAddr]bool)
+	depTime := make(map[seglog.BlockAddr]types.Timestamp)
+
+	for _, r := range d.auditBlocks {
+		live[r.addr] = true
+	}
+	for _, o := range d.objects {
+		if err := d.loadInode(o); err != nil {
+			return err
+		}
+		for _, a := range o.ino.blocks {
+			if o.ino.Deleted {
+				depTime[a] = o.ino.DeadTime
+			} else {
+				live[a] = true
+			}
+		}
+		for _, a := range o.cpBlocks {
+			live[a] = true
+		}
+		// Walk the chain: in-chain sectors keep their shared journal
+		// blocks live; entry Old pointers carry deprecation times.
+		for addr := o.jhead; addr != journal.NilSector; {
+			live[addr.Block()] = true
+			d.jblockRef[addr.Block()]++
+			_, prev, entries, err := journal.ReadSector(d.log, addr)
+			if err != nil {
+				return err
+			}
+			for i := range entries {
+				e := &entries[i]
+				for _, old := range e.Old {
+					if old != seglog.NilAddr {
+						depTime[old] = e.Time
+					}
+				}
+			}
+			if addr == o.jtail {
+				break
+			}
+			addr = prev
+		}
+	}
+
+	ageCut := types.TS(d.clk.Now().Add(-d.window))
+	nSeg := d.log.NumSegments()
+	for seg := int64(0); seg < nSeg; seg++ {
+		sum, ok, err := d.log.ReadSummary(seg)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		counted := false
+		for i := range sum.Entries {
+			addr := d.log.EntryAt(seg, i)
+			switch {
+			case live[addr]:
+				d.usage.liveBorn(seg)
+				counted = true
+			case depTime[addr] != 0 && depTime[addr] >= ageCut:
+				d.usage.liveBorn(seg)
+				d.usage.deprecate(seg)
+				counted = true
+			default:
+				// Aged history, superseded checkpoints, or blocks
+				// orphaned by a crash: dead.
+			}
+		}
+		if counted {
+			d.log.MarkAllocated(seg)
+		} else if seg != d.log.CurrentSegment() {
+			if err := d.log.FreeSegment(seg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

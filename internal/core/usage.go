@@ -1,0 +1,99 @@
+package core
+
+import (
+	"s4/internal/seglog"
+)
+
+// segUsage tracks per-segment block occupancy so the cleaner can pick
+// victims and know when a segment is reclaimable.
+//
+//   - live:  blocks belonging to current state (current data blocks,
+//     the newest inode checkpoint, in-chain journal sectors, audit
+//     blocks not yet aged).
+//   - hist:  blocks that are dead in the current version but inside the
+//     detection window (the history pool, §3.3). They become free only
+//     by aging; no command can release them.
+//
+// A segment with live == 0 and hist == 0 is reclaimable.
+type segUsage struct {
+	live []int32
+	hist []int32
+}
+
+func newSegUsage(nSeg int64) *segUsage {
+	return &segUsage{live: make([]int32, nSeg), hist: make([]int32, nSeg)}
+}
+
+func (u *segUsage) liveBorn(seg int64) {
+	if seg >= 0 {
+		u.live[seg]++
+	}
+}
+
+// deprecate moves one block from live to history (it was overwritten,
+// truncated away, or its object was deleted).
+func (u *segUsage) deprecate(seg int64) {
+	if seg >= 0 {
+		u.live[seg]--
+		u.hist[seg]++
+	}
+}
+
+// ageOut releases one history block whose deprecating entry left the
+// detection window.
+func (u *segUsage) ageOut(seg int64) {
+	if seg >= 0 {
+		u.hist[seg]--
+	}
+}
+
+// freeLive releases a live block that has no history significance
+// (a superseded inode checkpoint: the journal can always rebuild
+// metadata, so stale checkpoints are disposable, §4.2.2).
+func (u *segUsage) freeLive(seg int64) {
+	if seg >= 0 {
+		u.live[seg]--
+	}
+}
+
+// reclaimable reports whether seg holds nothing.
+func (u *segUsage) reclaimable(seg int64) bool {
+	return u.live[seg] <= 0 && u.hist[seg] <= 0
+}
+
+// occupancy returns (live, hist) for seg.
+func (u *segUsage) occupancy(seg int64) (int32, int32) {
+	return u.live[seg], u.hist[seg]
+}
+
+// historyBlocks sums history-pool occupancy in blocks.
+func (u *segUsage) historyBlocks() int64 {
+	var n int64
+	for _, h := range u.hist {
+		n += int64(h)
+	}
+	return n
+}
+
+// liveBlocks sums live occupancy in blocks.
+func (u *segUsage) liveBlocks() int64 {
+	var n int64
+	for _, l := range u.live {
+		n += int64(l)
+	}
+	return n
+}
+
+func (u *segUsage) reset() {
+	for i := range u.live {
+		u.live[i], u.hist[i] = 0, 0
+	}
+}
+
+// segOf is a convenience wrapper used by the drive's accounting paths.
+func segOf(log *seglog.Log, addr seglog.BlockAddr) int64 {
+	if addr == seglog.NilAddr {
+		return -1
+	}
+	return log.SegOf(addr)
+}

@@ -1,0 +1,139 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeApplyIdentity(t *testing.T) {
+	ref := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog "), 100)
+	target := append([]byte(nil), ref...)
+	copy(target[100:], "MUTATION")
+	target = append(target[:2000], target[2100:]...) // deletion
+	d := Encode(ref, target)
+	got, err := Apply(ref, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Fatal("apply did not reconstruct target")
+	}
+	if len(d) >= len(target)/2 {
+		t.Fatalf("delta %d bytes for a lightly-edited %d-byte target", len(d), len(target))
+	}
+}
+
+func TestEmptyCases(t *testing.T) {
+	for _, tc := range []struct{ ref, target []byte }{
+		{nil, nil},
+		{nil, []byte("fresh content")},
+		{[]byte("old content"), nil},
+		{[]byte("same"), []byte("same")},
+	} {
+		d := Encode(tc.ref, tc.target)
+		got, err := Apply(tc.ref, d)
+		if err != nil {
+			t.Fatalf("ref=%q target=%q: %v", tc.ref, tc.target, err)
+		}
+		if !bytes.Equal(got, tc.target) && !(len(got) == 0 && len(tc.target) == 0) {
+			t.Fatalf("ref=%q target=%q: got %q", tc.ref, tc.target, got)
+		}
+	}
+}
+
+func TestPropertyRandomEdits(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	f := func(seed int64, nEdits uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ref := make([]byte, 1000+r.Intn(20000))
+		for i := range ref {
+			ref[i] = byte('a' + r.Intn(16))
+		}
+		target := append([]byte(nil), ref...)
+		for e := 0; e < int(nEdits%16); e++ {
+			switch r.Intn(3) {
+			case 0:
+				if len(target) > 10 {
+					pos := r.Intn(len(target) - 5)
+					copy(target[pos:], "EDIT!")
+				}
+			case 1:
+				pos := r.Intn(len(target))
+				ins := make([]byte, r.Intn(100))
+				rnd.Read(ins)
+				target = append(target[:pos], append(ins, target[pos:]...)...)
+			default:
+				if len(target) > 200 {
+					pos := r.Intn(len(target) - 100)
+					target = append(target[:pos], target[pos+r.Intn(100):]...)
+				}
+			}
+		}
+		got, err := Apply(ref, Encode(ref, target))
+		return err == nil && bytes.Equal(got, target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaIsSmallForSimilarInputs(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	ref := make([]byte, 200000)
+	rnd.Read(ref)
+	target := append([]byte(nil), ref...)
+	for i := 0; i < 20; i++ {
+		pos := rnd.Intn(len(target) - 10)
+		copy(target[pos:], "0123456789")
+	}
+	d := Encode(ref, target)
+	if float64(len(d)) > 0.05*float64(len(target)) {
+		t.Fatalf("delta %.1f%% of target for 20 small edits", 100*float64(len(d))/float64(len(target)))
+	}
+}
+
+func TestApplyRejectsCorrupt(t *testing.T) {
+	ref := []byte("reference data here")
+	d := Encode(ref, []byte("reference data here plus more"))
+	for cut := 1; cut < len(d)-1; cut += 3 {
+		if out, err := Apply(ref, d[:cut]); err == nil && bytes.Equal(out, []byte("reference data here plus more")) {
+			t.Fatalf("truncated delta at %d silently reconstructed", cut)
+		}
+	}
+	bad := append([]byte(nil), d...)
+	bad[0] = 0xEE
+	if _, err := Apply(ref, bad); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("compressible content with repetition "), 500)
+	c, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= len(data)/2 {
+		t.Fatalf("compression achieved only %d -> %d", len(data), len(c))
+	}
+	got, err := Decompress(c)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCompressRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		c, err := Compress(data)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(c)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package disk
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileDiskRoundTripAndPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drive.img")
+	d, err := OpenFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Capacity() != 1<<20 {
+		t.Fatalf("capacity %d", d.Capacity())
+	}
+	data := bytes.Repeat([]byte{0x5C}, 3*SectorSize)
+	if err := d.WriteSectors(10, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: contents survive, capacity is taken from the file.
+	d2, err := OpenFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := make([]byte, len(data))
+	if err := d2.ReadSectors(10, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("contents lost across reopen")
+	}
+}
+
+func TestFileDiskBounds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drive.img")
+	d, err := OpenFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	buf := make([]byte, SectorSize)
+	if err := d.WriteSectors(-1, buf); err == nil {
+		t.Fatal("negative sector accepted")
+	}
+	if err := d.WriteSectors(1<<20/SectorSize, buf); err == nil {
+		t.Fatal("past-end write accepted")
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "x.img"), 100); err == nil {
+		t.Fatal("unaligned capacity accepted")
+	}
+}

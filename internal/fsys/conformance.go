@@ -1,0 +1,345 @@
+package fsys
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// RunConformance exercises a FileSys implementation against the shared
+// behavioral contract. Both internal/s4fs and internal/ufs run it, so
+// the four benchmark server configurations are known to implement the
+// same semantics before any performance comparison is made.
+func RunConformance(t *testing.T, mk func(t *testing.T) FileSys) {
+	t.Helper()
+	sub := func(name string, fn func(t *testing.T, fs FileSys)) {
+		t.Run(name, func(t *testing.T) { fn(t, mk(t)) })
+	}
+
+	sub("RootIsDir", func(t *testing.T, fs FileSys) {
+		a, err := fs.GetAttr(fs.Root())
+		if err != nil || a.Type != TypeDir {
+			t.Fatalf("root attr: %+v err=%v", a, err)
+		}
+	})
+
+	sub("CreateWriteRead", func(t *testing.T, fs FileSys) {
+		h, a, err := fs.Create(fs.Root(), "file.txt", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Type != TypeReg || a.Size != 0 {
+			t.Fatalf("new file attr %+v", a)
+		}
+		data := []byte("hello nfs world")
+		if err := fs.Write(h, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.Read(h, 0, 100)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("read %q err=%v", got, err)
+		}
+		a, _ = fs.GetAttr(h)
+		if a.Size != uint64(len(data)) {
+			t.Fatalf("size %d", a.Size)
+		}
+	})
+
+	sub("LookupAndStaleNames", func(t *testing.T, fs FileSys) {
+		h, _, err := fs.Create(fs.Root(), "a", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, a, err := fs.Lookup(fs.Root(), "a")
+		if err != nil || got != h || a.Type != TypeReg {
+			t.Fatal(got, a, err)
+		}
+		if _, _, err := fs.Lookup(fs.Root(), "missing"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("lookup missing: %v", err)
+		}
+	})
+
+	sub("DuplicateCreateFails", func(t *testing.T, fs FileSys) {
+		if _, _, err := fs.Create(fs.Root(), "dup", 0644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fs.Create(fs.Root(), "dup", 0644); !errors.Is(err, ErrExist) {
+			t.Fatalf("dup create: %v", err)
+		}
+	})
+
+	sub("MkdirTreeAndReadDir", func(t *testing.T, fs FileSys) {
+		d1, _, err := fs.Mkdir(fs.Root(), "dir1", 0755)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fs.Mkdir(d1, "dir2", 0755); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fs.Create(d1, "f", 0644); err != nil {
+			t.Fatal(err)
+		}
+		ents, err := fs.ReadDir(d1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := []string{}
+		for _, e := range ents {
+			names = append(names, e.Name)
+		}
+		sort.Strings(names)
+		if fmt.Sprint(names) != "[dir2 f]" {
+			t.Fatalf("readdir = %v", names)
+		}
+		// ReadDir on a file fails.
+		f, _, _ := fs.Lookup(d1, "f")
+		if _, err := fs.ReadDir(f); !errors.Is(err, ErrNotDir) {
+			t.Fatalf("readdir on file: %v", err)
+		}
+	})
+
+	sub("RemoveSemantics", func(t *testing.T, fs FileSys) {
+		if _, _, err := fs.Create(fs.Root(), "gone", 0644); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Remove(fs.Root(), "gone"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fs.Lookup(fs.Root(), "gone"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("lookup after remove: %v", err)
+		}
+		if err := fs.Remove(fs.Root(), "gone"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("double remove: %v", err)
+		}
+		d, _, _ := fs.Mkdir(fs.Root(), "d", 0755)
+		if err := fs.Remove(fs.Root(), "d"); !errors.Is(err, ErrIsDir) {
+			t.Fatalf("remove dir: %v", err)
+		}
+		_ = d
+	})
+
+	sub("RmdirSemantics", func(t *testing.T, fs FileSys) {
+		d, _, err := fs.Mkdir(fs.Root(), "d", 0755)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fs.Create(d, "f", 0644); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rmdir(fs.Root(), "d"); !errors.Is(err, ErrNotEmpty) {
+			t.Fatalf("rmdir non-empty: %v", err)
+		}
+		if err := fs.Remove(d, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rmdir(fs.Root(), "d"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fs.Lookup(fs.Root(), "d"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("lookup after rmdir: %v", err)
+		}
+	})
+
+	sub("RenameFileAndReplace", func(t *testing.T, fs FileSys) {
+		h, _, err := fs.Create(fs.Root(), "old", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write(h, 0, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		d, _, _ := fs.Mkdir(fs.Root(), "sub", 0755)
+		if err := fs.Rename(fs.Root(), "old", d, "new"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fs.Lookup(fs.Root(), "old"); !errors.Is(err, ErrNotFound) {
+			t.Fatal("source name survived rename")
+		}
+		nh, _, err := fs.Lookup(d, "new")
+		if err != nil || nh != h {
+			t.Fatal(nh, err)
+		}
+		// Rename over an existing file replaces it.
+		h2, _, _ := fs.Create(fs.Root(), "other", 0644)
+		_ = fs.Write(h2, 0, []byte("x"))
+		if err := fs.Rename(fs.Root(), "other", d, "new"); err != nil {
+			t.Fatal(err)
+		}
+		nh2, _, _ := fs.Lookup(d, "new")
+		if nh2 != h2 {
+			t.Fatal("rename-replace left old target")
+		}
+	})
+
+	sub("SymlinkReadLink", func(t *testing.T, fs FileSys) {
+		if _, err := fs.Symlink(fs.Root(), "ln", "/target/path"); err != nil {
+			t.Fatal(err)
+		}
+		h, a, err := fs.Lookup(fs.Root(), "ln")
+		if err != nil || a.Type != TypeSymlink {
+			t.Fatal(a, err)
+		}
+		got, err := fs.ReadLink(h)
+		if err != nil || got != "/target/path" {
+			t.Fatal(got, err)
+		}
+	})
+
+	sub("HardLink", func(t *testing.T, fs FileSys) {
+		h, _, err := fs.Create(fs.Root(), "orig", 0644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write(h, 0, []byte("shared")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Link(h, fs.Root(), "alias"); err != nil {
+			t.Fatal(err)
+		}
+		a, _ := fs.GetAttr(h)
+		if a.Nlink != 2 {
+			t.Fatalf("nlink = %d", a.Nlink)
+		}
+		// Content reachable via both names; removing one keeps it.
+		if err := fs.Remove(fs.Root(), "orig"); err != nil {
+			t.Fatal(err)
+		}
+		h2, _, err := fs.Lookup(fs.Root(), "alias")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.Read(h2, 0, 16)
+		if err != nil || string(got) != "shared" {
+			t.Fatal(got, err)
+		}
+	})
+
+	sub("TruncateViaSetAttr", func(t *testing.T, fs FileSys) {
+		h, _, _ := fs.Create(fs.Root(), "t", 0644)
+		if err := fs.Write(h, 0, bytes.Repeat([]byte{'x'}, 10000)); err != nil {
+			t.Fatal(err)
+		}
+		size := uint64(3)
+		a, err := fs.SetAttr(h, SetAttr{Size: &size})
+		if err != nil || a.Size != 3 {
+			t.Fatal(a, err)
+		}
+		got, _ := fs.Read(h, 0, 100)
+		if string(got) != "xxx" {
+			t.Fatalf("after truncate: %q", got)
+		}
+		// Extend reads zeros.
+		size = 10
+		if _, err := fs.SetAttr(h, SetAttr{Size: &size}); err != nil {
+			t.Fatal(err)
+		}
+		got, _ = fs.Read(h, 0, 100)
+		if !bytes.Equal(got, append([]byte("xxx"), make([]byte, 7)...)) {
+			t.Fatalf("after extend: %v", got)
+		}
+	})
+
+	sub("SetAttrMode", func(t *testing.T, fs FileSys) {
+		h, _, _ := fs.Create(fs.Root(), "m", 0644)
+		mode := uint32(0600)
+		a, err := fs.SetAttr(h, SetAttr{Mode: &mode})
+		if err != nil || a.Mode != 0600 {
+			t.Fatal(a, err)
+		}
+	})
+
+	sub("BigFileSparseAndOffsets", func(t *testing.T, fs FileSys) {
+		h, _, _ := fs.Create(fs.Root(), "big", 0644)
+		rnd := rand.New(rand.NewSource(3))
+		ref := make([]byte, 300000)
+		// Random scattered writes.
+		for i := 0; i < 40; i++ {
+			off := rnd.Intn(len(ref) - 5000)
+			n := rnd.Intn(5000) + 1
+			chunk := make([]byte, n)
+			rnd.Read(chunk)
+			if err := fs.Write(h, uint64(off), chunk); err != nil {
+				t.Fatal(err)
+			}
+			copy(ref[off:], chunk)
+		}
+		// The file size is the highest offset written.
+		a, _ := fs.GetAttr(h)
+		got, err := fs.Read(h, 0, len(ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ref[:a.Size]) {
+			t.Fatal("scattered write content mismatch")
+		}
+	})
+
+	sub("ManyFilesInDir", func(t *testing.T, fs FileSys) {
+		d, _, _ := fs.Mkdir(fs.Root(), "many", 0755)
+		for i := 0; i < 200; i++ {
+			name := fmt.Sprintf("f%03d", i)
+			h, _, err := fs.Create(d, name, 0644)
+			if err != nil {
+				t.Fatalf("create %s: %v", name, err)
+			}
+			if err := fs.Write(h, 0, []byte(name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ents, err := fs.ReadDir(d)
+		if err != nil || len(ents) != 200 {
+			t.Fatalf("readdir: %d entries err=%v", len(ents), err)
+		}
+		for i := 0; i < 200; i += 37 {
+			name := fmt.Sprintf("f%03d", i)
+			h, _, err := fs.Lookup(d, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := fs.Read(h, 0, 16)
+			if string(got) != name {
+				t.Fatalf("file %s holds %q", name, got)
+			}
+		}
+	})
+
+	sub("StatFS", func(t *testing.T, fs FileSys) {
+		st, err := fs.StatFS()
+		if err != nil || st.TotalBytes == 0 {
+			t.Fatal(st, err)
+		}
+		if st.FreeBytes > st.TotalBytes {
+			t.Fatal("free exceeds total")
+		}
+	})
+
+	sub("SyncAndReuse", func(t *testing.T, fs FileSys) {
+		h, _, _ := fs.Create(fs.Root(), "s", 0644)
+		if err := fs.Write(h, 0, []byte("before sync")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := fs.Read(h, 0, 32)
+		if string(got) != "before sync" {
+			t.Fatalf("after sync: %q", got)
+		}
+	})
+
+	sub("BadHandleRejected", func(t *testing.T, fs FileSys) {
+		if _, err := fs.GetAttr(Handle(0xDEADBEEF)); err == nil {
+			t.Fatal("bogus handle accepted")
+		}
+	})
+
+	sub("CreateInFileFails", func(t *testing.T, fs FileSys) {
+		h, _, _ := fs.Create(fs.Root(), "plain", 0644)
+		if _, _, err := fs.Create(h, "child", 0644); !errors.Is(err, ErrNotDir) {
+			t.Fatalf("create under file: %v", err)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package fsys defines the vnode-style file system interface shared by
+// the S4 translation layer (internal/s4fs) and the conventional baseline
+// file system (internal/ufs).
+//
+// The interface is shaped after NFSv2's procedures (RFC 1094), which is
+// what the paper's S4 client translates (§4.1.2): handles are opaque,
+// operations are stateless, and every mutating call is durable on return
+// when the implementation is mounted with synchronous semantics. The
+// NFSv2 server (internal/nfsv2) serves any FileSys; the benchmark
+// harness drives workloads against any FileSys.
+package fsys
+
+import (
+	"errors"
+
+	"s4/internal/types"
+)
+
+// Handle names a file system object. Zero is never valid.
+type Handle uint64
+
+// FileType discriminates nodes.
+type FileType uint8
+
+// Node types (matching NFSv2 ftype values where relevant).
+const (
+	TypeNone FileType = iota
+	TypeReg
+	TypeDir
+	TypeSymlink
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeReg:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	}
+	return "none"
+}
+
+// Attr is the attribute set of a node.
+type Attr struct {
+	Type  FileType
+	Mode  uint32
+	Nlink uint32
+	UID   uint32
+	GID   uint32
+	Size  uint64
+	Mtime types.Timestamp
+	Ctime types.Timestamp
+}
+
+// SetAttr is a partial attribute update; nil fields are unchanged.
+type SetAttr struct {
+	Mode *uint32
+	UID  *uint32
+	GID  *uint32
+	Size *uint64
+}
+
+// DirEntry is one directory member.
+type DirEntry struct {
+	Name   string
+	Handle Handle
+	Type   FileType
+}
+
+// Stat summarizes file system capacity.
+type Stat struct {
+	TotalBytes uint64
+	FreeBytes  uint64
+}
+
+// Errors shared by implementations. They deliberately mirror the types
+// package where a drive error passes straight through.
+var (
+	ErrNotFound = types.ErrNoObject
+	ErrExist    = types.ErrExist
+	ErrNotDir   = errors.New("fsys: not a directory")
+	ErrIsDir    = errors.New("fsys: is a directory")
+	ErrNotEmpty = types.ErrNotEmpty
+	ErrStale    = types.ErrBadHandle
+	ErrInval    = types.ErrInval
+	ErrNoSpace  = types.ErrNoSpace
+	ErrPerm     = types.ErrPerm
+)
+
+// FileSys is the NFSv2-shaped interface every backend implements.
+// Implementations must be safe for concurrent use.
+type FileSys interface {
+	// Root returns the file system root directory handle.
+	Root() Handle
+	// Lookup resolves name within dir.
+	Lookup(dir Handle, name string) (Handle, Attr, error)
+	// GetAttr returns a node's attributes.
+	GetAttr(h Handle) (Attr, error)
+	// SetAttr applies a partial attribute update (including truncate
+	// via Size) and returns the result.
+	SetAttr(h Handle, sa SetAttr) (Attr, error)
+	// Create makes a regular file. It fails if name exists.
+	Create(dir Handle, name string, mode uint32) (Handle, Attr, error)
+	// Mkdir makes a directory.
+	Mkdir(dir Handle, name string, mode uint32) (Handle, Attr, error)
+	// Symlink makes a symbolic link holding target.
+	Symlink(dir Handle, name, target string) (Handle, error)
+	// ReadLink returns a symlink's target.
+	ReadLink(h Handle) (string, error)
+	// Remove unlinks a non-directory.
+	Remove(dir Handle, name string) error
+	// Rmdir removes an empty directory.
+	Rmdir(dir Handle, name string) error
+	// Rename moves fromName in fromDir to toName in toDir, replacing a
+	// non-directory target if present.
+	Rename(fromDir Handle, fromName string, toDir Handle, toName string) error
+	// Link makes a hard link to a regular file.
+	Link(h Handle, dir Handle, name string) error
+	// Read returns up to n bytes at off.
+	Read(h Handle, off uint64, n int) ([]byte, error)
+	// Write stores data at off, extending the file as needed.
+	Write(h Handle, off uint64, data []byte) error
+	// ReadDir lists a directory.
+	ReadDir(dir Handle) ([]DirEntry, error)
+	// StatFS reports capacity.
+	StatFS() (Stat, error)
+	// Sync forces everything durable (the harness's barrier between
+	// benchmark phases; NFSv2-semantics backends are already durable
+	// per-op).
+	Sync() error
+}

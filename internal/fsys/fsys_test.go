@@ -1,0 +1,27 @@
+package fsys
+
+import "testing"
+
+func TestFileTypeString(t *testing.T) {
+	cases := map[FileType]string{
+		TypeReg: "file", TypeDir: "dir", TypeSymlink: "symlink", TypeNone: "none",
+	}
+	for ft, want := range cases {
+		if got := ft.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", ft, got, want)
+		}
+	}
+}
+
+func TestErrorIdentities(t *testing.T) {
+	// The conformance suite and the NFS status mapping both rely on
+	// these sentinel errors being distinct.
+	errs := []error{ErrNotFound, ErrExist, ErrNotDir, ErrIsDir, ErrNotEmpty, ErrStale, ErrInval, ErrNoSpace, ErrPerm}
+	for i, a := range errs {
+		for j, b := range errs {
+			if (i == j) != (a == b) {
+				t.Fatalf("errors %d and %d identity mismatch", i, j)
+			}
+		}
+	}
+}

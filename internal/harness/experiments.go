@@ -1,0 +1,530 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"s4/internal/types"
+	"s4/internal/workloads"
+)
+
+// PhaseTime is one labeled measurement.
+type PhaseTime struct {
+	System SystemKind
+	Phase  string
+	Time   time.Duration
+}
+
+// Fig3Result is the PostMark comparison (creation and transaction
+// phases across the four systems).
+type Fig3Result struct {
+	Rows []PhaseTime
+	Cfg  workloads.PostMarkConfig
+}
+
+// RunFig3 executes PostMark on every system.
+func RunFig3(pm workloads.PostMarkConfig, diskBytes int64) (*Fig3Result, error) {
+	res := &Fig3Result{Cfg: pm}
+	for _, sys := range AllSystems() {
+		inst, err := New(Config{System: sys, DiskBytes: diskBytes})
+		if err != nil {
+			return nil, err
+		}
+		p := workloads.NewPostMark(inst.FS, pm)
+		mark := inst.Clock.Now()
+		if err := p.CreatePhase(); err != nil {
+			return nil, fmt.Errorf("%s create: %w", sys, err)
+		}
+		if err := inst.FS.Sync(); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, PhaseTime{sys, "create", inst.Elapsed(mark)})
+		mark = inst.Clock.Now()
+		if err := p.TransactionPhase(); err != nil {
+			return nil, fmt.Errorf("%s transactions: %w", sys, err)
+		}
+		if err := inst.FS.Sync(); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, PhaseTime{sys, "transactions", inst.Elapsed(mark)})
+		closeInst(inst)
+	}
+	return res, nil
+}
+
+// Fig4Result is the SSH-build comparison (unpack / configure / build).
+type Fig4Result struct {
+	Rows []PhaseTime
+}
+
+// RunFig4 executes SSH-build on every system.
+func RunFig4(cfg workloads.SSHBuildConfig, diskBytes int64) (*Fig4Result, error) {
+	res := &Fig4Result{}
+	for _, sys := range AllSystems() {
+		inst, err := New(Config{System: sys, DiskBytes: diskBytes})
+		if err != nil {
+			return nil, err
+		}
+		b := workloads.NewSSHBuild(inst.FS, cfg)
+		phases := []struct {
+			name string
+			fn   func() error
+		}{
+			{"unpack", b.UnpackPhase},
+			{"configure", b.ConfigurePhase},
+			{"build", b.BuildPhase},
+		}
+		for _, ph := range phases {
+			mark := inst.Clock.Now()
+			if err := ph.fn(); err != nil {
+				return nil, fmt.Errorf("%s %s: %w", sys, ph.name, err)
+			}
+			if err := inst.FS.Sync(); err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, PhaseTime{sys, ph.name, inst.Elapsed(mark)})
+		}
+		closeInst(inst)
+	}
+	return res, nil
+}
+
+// Fig5Point is one utilization sample of the cleaner study.
+type Fig5Point struct {
+	Utilization float64 // initial-set fraction of the device
+	TPSNoClean  float64 // transactions/sec, cleaner off
+	TPSClean    float64 // transactions/sec, cleaner competing
+}
+
+// Fig5Result is the cleaner-overhead sweep.
+type Fig5Result struct {
+	Points       []Fig5Point
+	Transactions int
+	DiskBytes    int64
+}
+
+// RunFig5 reproduces the Fig. 5 sweep: PostMark transactions against
+// initial file sets filling the given fractions of the device, once
+// with cleaning relegated to idle time (its reclamation happens but its
+// device time is not charged — the no-cleaning baseline) and once with
+// the cleaner competing with foreground work for the same spindle. The
+// detection window is set short so history ages during the run — the
+// regime in which the cleaner has real work, as in the paper.
+func RunFig5(utils []float64, transactions int, diskBytes int64) (*Fig5Result, error) {
+	if diskBytes == 0 {
+		diskBytes = 512 << 20
+	}
+	if transactions == 0 {
+		transactions = 10000
+	}
+	if len(utils) == 0 {
+		// 4KB-block metadata overhead makes >0.7 live utilization
+		// infeasible on this substrate (the paper's sector-granular
+		// drive reached 0.9); see EXPERIMENTS.md.
+		utils = []float64{0.02, 0.10, 0.30, 0.50, 0.60, 0.70}
+	}
+	res := &Fig5Result{Transactions: transactions, DiskBytes: diskBytes}
+	// The window bounds the in-flight (unreclaimable) history; headroom
+	// scales with the device, so the window must too or high-utilization
+	// points drown in their own churn on small test devices.
+	window := time.Duration(int64(20*time.Second) * diskBytes / (512 << 20))
+	if window < 5*time.Second {
+		window = 5 * time.Second
+	}
+	// Average PostMark file costs ~1.7 data blocks plus its share of
+	// directory records, journal sectors, checkpoints, and in-window
+	// audit: ~11KB of device footprint each (4KB-block rounding makes
+	// this fatter than the paper's; the x-axis reports the measured
+	// live fraction).
+	const liveFile = 11 << 10
+	for _, u := range utils {
+		files := int(float64(diskBytes) * u / liveFile)
+		if files < 100 {
+			files = 100
+		}
+		var tps [2]float64
+		var measured float64
+		for mode := 0; mode < 2; mode++ {
+			inst, err := New(Config{
+				System:    S4NFS,
+				DiskBytes: diskBytes,
+				// Short enough that history ages during the run (the
+				// regime where the cleaner works); 4KB-block rounding
+				// makes our in-flight history fatter than the paper's,
+				// so the window is proportionally tighter.
+				Window: window,
+				// Keep the paper's cache:disk proportion (128MB:2GB)
+				// so throughput falls as the working set outgrows the
+				// cache — the Fig. 5 left-edge drop.
+				BlockCacheBytes: diskBytes / 16,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pm := workloads.DefaultPostMark()
+			pm.Files = files
+			pm.Transactions = transactions
+			pm.Subdirs = 10
+			// During setup both modes may clean (the paper's initial
+			// condition is a steady-state file set, not a disk full of
+			// setup-churn history).
+			pm.OpsBetweenHook = 20
+			pm.Hook = func() { _, _ = inst.Drive.CleanOnce() }
+			p := workloads.NewPostMark(inst.FS, pm)
+			if err := p.CreatePhase(); err != nil {
+				return nil, fmt.Errorf("fig5 u=%.2f create: %w", u, err)
+			}
+			if err := inst.FS.Sync(); err != nil {
+				return nil, err
+			}
+			// Age the setup churn out of the window and clean to
+			// quiescence so the run starts with live data only. A pass
+			// visits a bounded object batch, so quiescence needs a
+			// full idle round-robin cycle.
+			inst.Clock.Advance(2 * window)
+			idleNeeded := inst.Drive.Status().Objects/4096 + 2
+			idle := 0
+			for i := 0; i < 2000 && idle < idleNeeded; i++ {
+				cs, err := inst.Drive.CleanOnce()
+				if err != nil {
+					return nil, err
+				}
+				if cs.BlocksAgedOut == 0 && cs.SegmentsFreed == 0 && cs.BlocksCopied == 0 {
+					idle++
+				} else {
+					idle = 0
+				}
+			}
+			if mode == 0 {
+				// Baseline: cleaning happens in idle time — space is
+				// reclaimed but no foreground device time is consumed.
+				in := inst
+				p.SetHook(20, func() {
+					in.Disk.SetFreeIO(true)
+					_, _ = in.Drive.CleanOnce()
+					in.Disk.SetFreeIO(false)
+				})
+				st := inst.Drive.Status()
+				measured = float64(st.LiveBlocks) / float64(st.TotalSegments*63)
+			}
+			mark := inst.Clock.Now()
+			if err := p.TransactionPhase(); err != nil {
+				return nil, fmt.Errorf("fig5 u=%.2f mode=%d txn: %w", u, mode, err)
+			}
+			if err := inst.FS.Sync(); err != nil {
+				return nil, err
+			}
+			el := inst.Elapsed(mark).Seconds()
+			if el <= 0 {
+				el = 1e-9
+			}
+			tps[mode] = float64(transactions) / el
+			closeInst(inst)
+		}
+		res.Points = append(res.Points, Fig5Point{Utilization: measured, TPSNoClean: tps[0], TPSClean: tps[1]})
+	}
+	return res, nil
+}
+
+// FundamentalCosts derives the §5.1.5 estimate from Fig. 5 data: the
+// extra cleaning overhead attributable to the history pool is the
+// difference of cleaning degradation at the active-set utilization vs
+// the active-set-plus-history utilization.
+func (r *Fig5Result) FundamentalCosts(activeU, withHistoryU float64) (atActive, atHistory, extra float64) {
+	degAt := func(u float64) float64 {
+		var best Fig5Point
+		bd := 1e9
+		for _, p := range r.Points {
+			if d := abs(p.Utilization - u); d < bd {
+				bd, best = d, p
+			}
+		}
+		if best.TPSNoClean == 0 {
+			return 0
+		}
+		return 1 - best.TPSClean/best.TPSNoClean
+	}
+	atActive = degAt(activeU)
+	atHistory = degAt(withHistoryU)
+	return atActive, atHistory, atHistory - atActive
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Fig6Result is the audit-overhead microbenchmark.
+type Fig6Result struct {
+	// Phase -> [auditOff, auditOn] times.
+	Phases  []string
+	Off, On map[string]time.Duration
+}
+
+// RunFig6 measures the small-file microbenchmark with auditing disabled
+// and enabled.
+func RunFig6(cfg workloads.MicroConfig, diskBytes int64) (*Fig6Result, error) {
+	res := &Fig6Result{
+		Phases: []string{"create", "read", "delete"},
+		Off:    map[string]time.Duration{},
+		On:     map[string]time.Duration{},
+	}
+	for _, audit := range []bool{false, true} {
+		// A small drive cache keeps the read phase disk-bound, which is
+		// where the paper's 7.2% penalty comes from: audit blocks
+		// interleaved with the data dilute segment locality (§5.1.4).
+		inst, err := New(Config{
+			System: S4NFS, DiskBytes: diskBytes,
+			DisableAudit:    !audit,
+			BlockCacheBytes: 4 << 20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m := workloads.NewMicro(inst.FS, cfg)
+		tgt := res.Off
+		if audit {
+			tgt = res.On
+		}
+		phases := []struct {
+			name string
+			fn   func() error
+		}{{"create", m.CreatePhase}, {"read", m.ReadPhase}, {"delete", m.DeletePhase}}
+		for _, ph := range phases {
+			if ph.name == "read" {
+				// Cold server cache for the read phase, as in a fresh
+				// benchmark run: drop what the create phase cached.
+				dropCaches(inst)
+			}
+			mark := inst.Clock.Now()
+			if err := ph.fn(); err != nil {
+				return nil, fmt.Errorf("fig6 audit=%v %s: %w", audit, ph.name, err)
+			}
+			if err := inst.FS.Sync(); err != nil {
+				return nil, err
+			}
+			tgt[ph.name] = inst.Elapsed(mark)
+		}
+		closeInst(inst)
+	}
+	return res, nil
+}
+
+// Penalty returns the audit slowdown per phase (fraction).
+func (r *Fig6Result) Penalty(phase string) float64 {
+	off := r.Off[phase]
+	if off == 0 {
+		return 0
+	}
+	return float64(r.On[phase]-r.Off[phase]) / float64(off)
+}
+
+// Fig2Result is the journal-based metadata ablation: metadata bytes
+// written per 4KB update, with journal-based vs conventional
+// (write-new-metadata-every-update) versioning.
+type Fig2Result struct {
+	Updates            int
+	JournalMetaBytes   int64
+	ConventionalBytes  int64
+	JournalPerUpdate   float64
+	ConventionalPerUpd float64
+	Amplification      float64
+}
+
+// RunFig2 measures metadata write traffic for random single-block
+// overwrites of a large (indirect-block-bearing) object.
+func RunFig2(updates int, diskBytes int64) (*Fig2Result, error) {
+	if updates == 0 {
+		updates = 500
+	}
+	measure := func(conventional bool) (int64, error) {
+		inst, err := New(Config{
+			System: S4NFS, DiskBytes: diskBytes,
+			Conventional: conventional, NoNetwork: true,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer closeInst(inst)
+		drv := inst.Drive
+		cred := types.Cred{User: 1, Client: 1}
+		id, err := drv.Create(cred, nil, nil)
+		if err != nil {
+			return 0, err
+		}
+		// A 2,000-block object: its map needs overflow (indirect)
+		// metadata blocks, the Fig. 2 scenario.
+		blob := make([]byte, types.MaxIO)
+		for off := uint64(0); off < 2000*types.BlockSize; off += types.MaxIO {
+			if err := drv.Write(cred, id, off, blob); err != nil {
+				return 0, err
+			}
+		}
+		if err := drv.Sync(cred); err != nil {
+			return 0, err
+		}
+		inst.Disk.ResetStats()
+		one := make([]byte, types.BlockSize)
+		rnd := uint64(12345)
+		dataBytes := int64(0)
+		for i := 0; i < updates; i++ {
+			rnd = rnd*6364136223846793005 + 1442695040888963407
+			blk := rnd % 2000
+			if err := drv.Write(cred, id, blk*types.BlockSize, one); err != nil {
+				return 0, err
+			}
+			if err := drv.Sync(cred); err != nil {
+				return 0, err
+			}
+			dataBytes += types.BlockSize
+		}
+		total := inst.Disk.Stats().SectorsWrite * 512
+		meta := total - dataBytes
+		if meta < 0 {
+			meta = 0
+		}
+		return meta, nil
+	}
+	j, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	c, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{
+		Updates: updates, JournalMetaBytes: j, ConventionalBytes: c,
+		JournalPerUpdate:   float64(j) / float64(updates),
+		ConventionalPerUpd: float64(c) / float64(updates),
+	}
+	if j > 0 {
+		res.Amplification = float64(c) / float64(j)
+	}
+	return res, nil
+}
+
+// MacroAuditResult is the §5.1.4 application-level audit penalty.
+type MacroAuditResult struct {
+	Off, On time.Duration
+	Penalty float64
+}
+
+// RunMacroAudit measures PostMark with auditing on and off.
+func RunMacroAudit(pm workloads.PostMarkConfig, diskBytes int64) (*MacroAuditResult, error) {
+	var times [2]time.Duration
+	for i, audit := range []bool{false, true} {
+		inst, err := New(Config{System: S4NFS, DiskBytes: diskBytes, DisableAudit: !audit})
+		if err != nil {
+			return nil, err
+		}
+		p := workloads.NewPostMark(inst.FS, pm)
+		mark := inst.Clock.Now()
+		if err := p.CreatePhase(); err != nil {
+			return nil, err
+		}
+		if err := p.TransactionPhase(); err != nil {
+			return nil, err
+		}
+		if err := inst.FS.Sync(); err != nil {
+			return nil, err
+		}
+		times[i] = inst.Elapsed(mark)
+		closeInst(inst)
+	}
+	r := &MacroAuditResult{Off: times[0], On: times[1]}
+	if times[0] > 0 {
+		r.Penalty = float64(times[1]-times[0]) / float64(times[0])
+	}
+	return r, nil
+}
+
+func closeInst(inst *Instance) {
+	if inst.Drive != nil {
+		_ = inst.Drive.Close()
+	}
+}
+
+func dropCaches(inst *Instance) {
+	// Only meaningful for ufs (page cache) — the S4 drive cache is part
+	// of the device. For the Fig. 6 S4 runs this is a no-op.
+	_ = inst
+}
+
+// ---- rendering ----
+
+// RenderPhaseTable formats rows grouped phase-major, like the paper's
+// bar charts.
+func RenderPhaseTable(title string, rows []PhaseTime) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	byPhase := map[string][]PhaseTime{}
+	var phaseOrder []string
+	for _, r := range rows {
+		if _, ok := byPhase[r.Phase]; !ok {
+			phaseOrder = append(phaseOrder, r.Phase)
+		}
+		byPhase[r.Phase] = append(byPhase[r.Phase], r)
+	}
+	for _, ph := range phaseOrder {
+		fmt.Fprintf(&b, "  %-14s", ph)
+		rs := byPhase[ph]
+		sort.Slice(rs, func(i, j int) bool { return order(rs[i].System) < order(rs[j].System) })
+		for _, r := range rs {
+			fmt.Fprintf(&b, "  %-12s %8.2fs", r.System, r.Time.Seconds())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func order(s SystemKind) int {
+	for i, k := range AllSystems() {
+		if k == s {
+			return i
+		}
+	}
+	return 99
+}
+
+// Render formats the Fig. 5 sweep.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 5: cleaner overhead (PostMark %d txns, %dMB disk)\n", r.Transactions, r.DiskBytes>>20)
+	fmt.Fprintf(&b, "  %-12s %14s %14s %10s\n", "utilization", "tps(no clean)", "tps(cleaning)", "slowdown")
+	for _, p := range r.Points {
+		slow := 0.0
+		if p.TPSNoClean > 0 {
+			slow = 1 - p.TPSClean/p.TPSNoClean
+		}
+		fmt.Fprintf(&b, "  %10.0f%% %14.1f %14.1f %9.1f%%\n",
+			p.Utilization*100, p.TPSNoClean, p.TPSClean, slow*100)
+	}
+	return b.String()
+}
+
+// Render formats the Fig. 6 comparison.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 6: auditing overhead (10,000 x 1KB files)\n")
+	fmt.Fprintf(&b, "  %-8s %12s %12s %9s\n", "phase", "audit off", "audit on", "penalty")
+	for _, ph := range r.Phases {
+		fmt.Fprintf(&b, "  %-8s %11.2fs %11.2fs %8.1f%%\n",
+			ph, r.Off[ph].Seconds(), r.On[ph].Seconds(), r.Penalty(ph)*100)
+	}
+	return b.String()
+}
+
+// Render formats the Fig. 2 ablation.
+func (r *Fig2Result) Render() string {
+	return fmt.Sprintf(
+		"Fig 2: metadata versioning efficiency (%d single-block updates)\n"+
+			"  journal-based metadata: %8.0f B metadata/update\n"+
+			"  conventional versioning:%8.0f B metadata/update\n"+
+			"  amplification:          %8.1fx\n",
+		r.Updates, r.JournalPerUpdate, r.ConventionalPerUpd, r.Amplification)
+}

@@ -1,0 +1,276 @@
+// Package harness assembles the paper's four server configurations over
+// the simulated testbed and runs the evaluation workloads against them,
+// reproducing each figure of OSDI '00 §5.
+//
+// Configurations (§5.1.1):
+//
+//	s4-objstore  S4 drive, network-attached; the S4 client translator
+//	             runs on the client host (Fig. 1a), so each NFS-level
+//	             operation costs extra client↔drive RPCs.
+//	s4-nfs       S4-enhanced NFS server: translator fused with the
+//	             drive (Fig. 1b); one network round trip per NFS op.
+//	bsd-ffs      FreeBSD-like NFS server on FFS with synchronous
+//	             metadata.
+//	linux-ext2   Linux-like NFS server on ext2 mounted "sync" (with its
+//	             incomplete sync behavior).
+//
+// All four run on the same simulated Cheetah-class disk and a shared
+// virtual clock; the network is modeled as per-RPC latency plus a
+// 100Mb/s payload term. Reported times are virtual seconds.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/fsys"
+	"s4/internal/s4fs"
+	"s4/internal/types"
+	"s4/internal/ufs"
+	"s4/internal/vclock"
+)
+
+// SystemKind names a server configuration.
+type SystemKind string
+
+// The four systems of Figs. 3 and 4.
+const (
+	S4ObjStore SystemKind = "s4-objstore"
+	S4NFS      SystemKind = "s4-nfs"
+	BSDFFS     SystemKind = "bsd-ffs"
+	LinuxExt2  SystemKind = "linux-ext2"
+)
+
+// AllSystems lists the comparison set in presentation order.
+func AllSystems() []SystemKind {
+	return []SystemKind{S4ObjStore, S4NFS, BSDFFS, LinuxExt2}
+}
+
+// Config parameterizes a testbed instance.
+type Config struct {
+	System SystemKind
+	// DiskBytes sizes the simulated disk (default 2GB, the Fig. 5
+	// device class).
+	DiskBytes int64
+	// Window is the S4 detection window (ignored for baselines).
+	Window time.Duration
+	// DisableAudit turns off S4 request auditing (Fig. 6).
+	DisableAudit bool
+	// Conventional enables the conventional-versioning ablation
+	// (Fig. 2).
+	Conventional bool
+	// BlockCacheBytes bounds the S4 drive cache (default 128MB, the
+	// paper's setting); baselines get ServerCacheBytes (default 256MB,
+	// standing in for "could grow to fill local memory").
+	BlockCacheBytes  int64
+	ServerCacheBytes int64
+	// NoNetwork disables the RPC latency model (pure disk study).
+	NoNetwork bool
+}
+
+// Instance is a runnable testbed: a file system view, its clock, and
+// the underlying devices for statistics.
+type Instance struct {
+	Sys   SystemKind
+	FS    fsys.FileSys
+	Clock *vclock.Virtual
+	Disk  *disk.Disk
+	Drive *core.Drive // nil for baselines
+}
+
+// Elapsed returns virtual time consumed since mark.
+func (in *Instance) Elapsed(mark time.Time) time.Duration {
+	return in.Clock.Now().Sub(mark)
+}
+
+// New builds a testbed instance.
+func New(cfg Config) (*Instance, error) {
+	if cfg.DiskBytes == 0 {
+		cfg.DiskBytes = 2 << 30
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 7 * 24 * time.Hour
+	}
+	if cfg.BlockCacheBytes == 0 {
+		cfg.BlockCacheBytes = 128 << 20
+	}
+	if cfg.ServerCacheBytes == 0 {
+		cfg.ServerCacheBytes = 256 << 20
+	}
+	clk := vclock.NewVirtual()
+	dev := disk.New(disk.SmallDisk(cfg.DiskBytes), clk)
+	inst := &Instance{Sys: cfg.System, Clock: clk, Disk: dev}
+
+	cred := types.Cred{User: 1000, Client: 1}
+	switch cfg.System {
+	case S4ObjStore, S4NFS:
+		drv, err := core.Format(dev, core.Options{
+			Clock:            clk,
+			Window:           cfg.Window,
+			BlockCacheBytes:  cfg.BlockCacheBytes,
+			ObjectCacheCount: 8192,
+			DisableAudit:     cfg.DisableAudit,
+			Conventional:     cfg.Conventional,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fs, err := s4fs.Mkfs(drv, s4fs.Options{Cred: cred, SyncEachOp: true})
+		if err != nil {
+			return nil, err
+		}
+		inst.Drive = drv
+		inst.FS = fs
+	case BSDFFS:
+		fs, err := ufs.Mkfs(dev, ufs.Options{Policy: ufs.FFSSync, Clock: clk, CacheBytes: cfg.ServerCacheBytes})
+		if err != nil {
+			return nil, err
+		}
+		inst.FS = fs
+	case LinuxExt2:
+		fs, err := ufs.Mkfs(dev, ufs.Options{Policy: ufs.Ext2Sync, Clock: clk, CacheBytes: cfg.ServerCacheBytes})
+		if err != nil {
+			return nil, err
+		}
+		inst.FS = fs
+	default:
+		return nil, fmt.Errorf("harness: unknown system %q", cfg.System)
+	}
+	if !cfg.NoNetwork {
+		inst.FS = wrapNet(inst.FS, clk, cfg.System)
+	}
+	return inst, nil
+}
+
+// Network model: a switched 100Mb/s LAN (§5.1.1). Each NFS operation
+// costs one request/reply round trip; payload bytes add wire time. The
+// s4-objstore configuration (translator on the client host) issues
+// extra drive RPCs per NFS operation — attribute fetches, directory
+// updates, and the explicit per-op Sync (§4.1.2) — modeled as an RPC
+// multiplier.
+const (
+	rpcLatency  = 150 * time.Microsecond // switch + stacks round trip
+	wireBytesNs = 80                     // ns per byte ≈ 100Mb/s
+)
+
+type netFS struct {
+	inner fsys.FileSys
+	clk   *vclock.Virtual
+	mult  int // RPC round trips per operation
+}
+
+func wrapNet(inner fsys.FileSys, clk *vclock.Virtual, sys SystemKind) fsys.FileSys {
+	mult := 1
+	if sys == S4ObjStore {
+		mult = 3 // NFS request + translated drive RPCs + sync
+	}
+	return &netFS{inner: inner, clk: clk, mult: mult}
+}
+
+func (n *netFS) charge(payload int) {
+	d := time.Duration(n.mult)*rpcLatency + time.Duration(payload*wireBytesNs)*time.Nanosecond
+	n.clk.Advance(d)
+}
+
+// Root returns the root handle (no RPC: cached mount result).
+func (n *netFS) Root() fsys.Handle { return n.inner.Root() }
+
+func (n *netFS) Lookup(dir fsys.Handle, name string) (fsys.Handle, fsys.Attr, error) {
+	n.charge(len(name))
+	return n.inner.Lookup(dir, name)
+}
+
+func (n *netFS) GetAttr(h fsys.Handle) (fsys.Attr, error) {
+	n.charge(0)
+	return n.inner.GetAttr(h)
+}
+
+func (n *netFS) SetAttr(h fsys.Handle, sa fsys.SetAttr) (fsys.Attr, error) {
+	n.charge(0)
+	return n.inner.SetAttr(h, sa)
+}
+
+func (n *netFS) Create(dir fsys.Handle, name string, mode uint32) (fsys.Handle, fsys.Attr, error) {
+	n.charge(len(name))
+	return n.inner.Create(dir, name, mode)
+}
+
+func (n *netFS) Mkdir(dir fsys.Handle, name string, mode uint32) (fsys.Handle, fsys.Attr, error) {
+	n.charge(len(name))
+	return n.inner.Mkdir(dir, name, mode)
+}
+
+func (n *netFS) Symlink(dir fsys.Handle, name, target string) (fsys.Handle, error) {
+	n.charge(len(name) + len(target))
+	return n.inner.Symlink(dir, name, target)
+}
+
+func (n *netFS) ReadLink(h fsys.Handle) (string, error) {
+	n.charge(0)
+	return n.inner.ReadLink(h)
+}
+
+func (n *netFS) Remove(dir fsys.Handle, name string) error {
+	n.charge(len(name))
+	return n.inner.Remove(dir, name)
+}
+
+func (n *netFS) Rmdir(dir fsys.Handle, name string) error {
+	n.charge(len(name))
+	return n.inner.Rmdir(dir, name)
+}
+
+func (n *netFS) Rename(fd fsys.Handle, fn string, td fsys.Handle, tn string) error {
+	n.charge(len(fn) + len(tn))
+	return n.inner.Rename(fd, fn, td, tn)
+}
+
+func (n *netFS) Link(h fsys.Handle, dir fsys.Handle, name string) error {
+	n.charge(len(name))
+	return n.inner.Link(h, dir, name)
+}
+
+// Read charges per 4KB transfer: NFSv2 was configured with 4KB
+// read/write sizes (§5.1.1), so large reads are multiple RPCs.
+func (n *netFS) Read(h fsys.Handle, off uint64, nn int) ([]byte, error) {
+	rpcs := (nn + 4095) / 4096
+	if rpcs < 1 {
+		rpcs = 1
+	}
+	for i := 0; i < rpcs; i++ {
+		n.charge(0)
+	}
+	n.clk.Advance(time.Duration(nn*wireBytesNs) * time.Nanosecond)
+	return n.inner.Read(h, off, nn)
+}
+
+func (n *netFS) Write(h fsys.Handle, off uint64, data []byte) error {
+	rpcs := (len(data) + 4095) / 4096
+	if rpcs < 1 {
+		rpcs = 1
+	}
+	for i := 0; i < rpcs; i++ {
+		n.charge(0)
+	}
+	n.clk.Advance(time.Duration(len(data)*wireBytesNs) * time.Nanosecond)
+	return n.inner.Write(h, off, data)
+}
+
+func (n *netFS) ReadDir(dir fsys.Handle) ([]fsys.DirEntry, error) {
+	n.charge(0)
+	ents, err := n.inner.ReadDir(dir)
+	n.clk.Advance(time.Duration(len(ents)*32*wireBytesNs) * time.Nanosecond)
+	return ents, err
+}
+
+func (n *netFS) StatFS() (fsys.Stat, error) {
+	n.charge(0)
+	return n.inner.StatFS()
+}
+
+func (n *netFS) Sync() error {
+	n.charge(0)
+	return n.inner.Sync()
+}

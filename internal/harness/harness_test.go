@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"s4/internal/workloads"
+)
+
+// Small-scale versions of every figure: these are correctness/shape
+// smoke tests; cmd/s4bench and bench_test.go run paper scale.
+
+func smallPostMark() workloads.PostMarkConfig {
+	pm := workloads.DefaultPostMark()
+	pm.Files = 150
+	pm.Transactions = 400
+	return pm
+}
+
+func TestAllSystemsBuild(t *testing.T) {
+	for _, sys := range AllSystems() {
+		inst, err := New(Config{System: sys, DiskBytes: 128 << 20})
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		h, _, err := inst.FS.Create(inst.FS.Root(), "probe", 0644)
+		if err != nil {
+			t.Fatalf("%s create: %v", sys, err)
+		}
+		if err := inst.FS.Write(h, 0, []byte("ok")); err != nil {
+			t.Fatalf("%s write: %v", sys, err)
+		}
+		got, err := inst.FS.Read(h, 0, 2)
+		if err != nil || string(got) != "ok" {
+			t.Fatalf("%s read: %q %v", sys, got, err)
+		}
+		closeInst(inst)
+	}
+}
+
+func TestNetworkModelCharges(t *testing.T) {
+	with, err := New(Config{System: BSDFFS, DiskBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := New(Config{System: BSDFFS, DiskBytes: 64 << 20, NoNetwork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(in *Instance) float64 {
+		mark := in.Clock.Now()
+		for i := 0; i < 50; i++ {
+			h, _, err := in.FS.Create(in.FS.Root(), "f"+string(rune('a'+i%26))+string(rune('a'+i/26)), 0644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = in.FS.Write(h, 0, make([]byte, 8192))
+		}
+		return in.Elapsed(mark).Seconds()
+	}
+	tWith, tWithout := run(with), run(without)
+	if tWith <= tWithout {
+		t.Fatalf("network model adds no time: with=%v without=%v", tWith, tWithout)
+	}
+}
+
+func TestFig3SmallShape(t *testing.T) {
+	res, err := RunFig3(smallPostMark(), 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[SystemKind]map[string]float64{}
+	for _, r := range res.Rows {
+		if times[r.System] == nil {
+			times[r.System] = map[string]float64{}
+		}
+		times[r.System][r.Phase] = r.Time.Seconds()
+	}
+	for _, sys := range AllSystems() {
+		if times[sys]["create"] <= 0 || times[sys]["transactions"] <= 0 {
+			t.Fatalf("%s: missing phases: %+v", sys, times[sys])
+		}
+	}
+	// Paper shape: the S4 systems beat the FFS baseline on PostMark
+	// (log structure wins on small-file churn).
+	if times[S4NFS]["transactions"] >= times[BSDFFS]["transactions"] {
+		t.Fatalf("S4-NFS (%.2fs) should beat BSD-FFS (%.2fs) on transactions",
+			times[S4NFS]["transactions"], times[BSDFFS]["transactions"])
+	}
+	out := RenderPhaseTable("Fig 3", res.Rows)
+	if !strings.Contains(out, "transactions") {
+		t.Fatal("render missing phase")
+	}
+}
+
+func TestFig4SmallShape(t *testing.T) {
+	cfg := workloads.DefaultSSHBuild()
+	cfg.SourceFiles = 60
+	cfg.ConfigureProbes = 25
+	res, err := RunFig4(cfg, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[SystemKind]map[string]float64{}
+	for _, r := range res.Rows {
+		if times[r.System] == nil {
+			times[r.System] = map[string]float64{}
+		}
+		times[r.System][r.Phase] = r.Time.Seconds()
+	}
+	// Paper shape: Linux's incomplete sync makes its configure phase
+	// visibly faster than FFS's.
+	if times[LinuxExt2]["configure"] >= times[BSDFFS]["configure"] {
+		t.Fatalf("ext2-sync configure (%.3fs) should beat ffs-sync (%.3fs)",
+			times[LinuxExt2]["configure"], times[BSDFFS]["configure"])
+	}
+}
+
+func TestFig5SmallShape(t *testing.T) {
+	res, err := RunFig5([]float64{0.05, 0.40}, 1500, 128<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points: %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.TPSNoClean <= 0 || p.TPSClean <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		if p.TPSClean > p.TPSNoClean*1.05 {
+			t.Fatalf("cleaning sped things up? %+v", p)
+		}
+	}
+	// Higher utilization is slower (cache + locality effects).
+	if res.Points[1].TPSNoClean >= res.Points[0].TPSNoClean {
+		t.Fatalf("no-clean throughput should fall with utilization: %+v", res.Points)
+	}
+	_ = res.Render()
+}
+
+func TestFig6SmallShape(t *testing.T) {
+	res, err := RunFig6(workloads.MicroConfig{Files: 800, FileSize: 1024, Dirs: 10, Seed: 1}, 128<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range res.Phases {
+		if res.Off[ph] <= 0 || res.On[ph] <= 0 {
+			t.Fatalf("phase %s degenerate: %+v", ph, res)
+		}
+	}
+	// Auditing must never be catastrophic; at this tiny scale the
+	// create/delete penalty sits within alignment noise of zero (the
+	// paper-scale run in s4bench shows the 1-3% band).
+	if p := res.Penalty("create"); p < -0.05 || p > 0.5 {
+		t.Fatalf("create penalty %.1f%% out of plausible band", p*100)
+	}
+	if p := res.Penalty("read"); p < 0 || p > 0.5 {
+		t.Fatalf("read penalty %.1f%% out of plausible band", p*100)
+	}
+	_ = res.Render()
+}
+
+func TestFig2Shape(t *testing.T) {
+	res, err := RunFig2(120, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point of journal-based metadata: far less metadata
+	// traffic than conventional per-update versioning.
+	if res.Amplification < 2 {
+		t.Fatalf("conventional/journal amplification %.1fx, want >= 2x\n%s",
+			res.Amplification, res.Render())
+	}
+}
+
+func TestMacroAuditSmall(t *testing.T) {
+	pm := smallPostMark()
+	res, err := RunMacroAudit(pm, 128<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Penalty < 0 || res.Penalty > 0.3 {
+		t.Fatalf("macro audit penalty %.1f%% implausible", res.Penalty*100)
+	}
+}
+
+func TestFundamentalCosts(t *testing.T) {
+	r := &Fig5Result{Points: []Fig5Point{
+		{Utilization: 0.6, TPSNoClean: 100, TPSClean: 57},
+		{Utilization: 0.8, TPSNoClean: 80, TPSClean: 37.6},
+	}}
+	a, h, extra := r.FundamentalCosts(0.6, 0.8)
+	if a < 0.42 || a > 0.44 || h < 0.52 || h > 0.54 || extra < 0.08 || extra > 0.12 {
+		t.Fatalf("costs: active=%.2f hist=%.2f extra=%.2f", a, h, extra)
+	}
+}

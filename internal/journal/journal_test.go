@@ -1,0 +1,246 @@
+package journal
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"s4/internal/seglog"
+	"s4/internal/types"
+)
+
+func sampleEntries() []*Entry {
+	return []*Entry{
+		{Type: EntCreate, Version: 1, Time: 100, User: 3, Client: 9},
+		{Type: EntWrite, Version: 2, Time: 200, User: 3, Client: 9,
+			FirstBlock: 4,
+			Old:        []seglog.BlockAddr{0, 17},
+			New:        []seglog.BlockAddr{901, 902},
+			OldSize:    100, NewSize: 24576},
+		{Type: EntTruncate, Version: 3, Time: 300, User: 3, Client: 9,
+			FirstBlock: 1,
+			Old:        []seglog.BlockAddr{801, 802, 803},
+			OldSize:    24576, NewSize: 4096},
+		{Type: EntSetAttr, Version: 4, Time: 400, User: 1, Client: 2,
+			OldAttr: []byte("old attr"), NewAttr: []byte("the new attribute blob")},
+		{Type: EntSetACL, Version: 5, Time: 500, User: 0, Client: 1,
+			ACLIndex: 3,
+			OldACL:   types.ACLEntry{User: 7, Perm: types.PermRead},
+			NewACL:   types.ACLEntry{User: 7, Perm: types.PermAll}},
+		{Type: EntDelete, Version: 6, Time: 600, User: 3, Client: 9, OldSize: 4096},
+		{Type: EntCheckpoint, Version: 6, Time: 700, InodeAddr: 5555},
+	}
+}
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	for _, e := range sampleEntries() {
+		enc := e.Encode(nil)
+		if len(enc) != e.EncodedSize() {
+			t.Fatalf("%v: EncodedSize=%d but len=%d", e.Type, e.EncodedSize(), len(enc))
+		}
+		got, rest, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", e.Type, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%v: %d trailing bytes", e.Type, len(rest))
+		}
+		if !entriesEqual(&got, e) {
+			t.Fatalf("%v: round trip mismatch\n got %+v\nwant %+v", e.Type, got, *e)
+		}
+	}
+}
+
+// entriesEqual compares semantically: nil and empty slices are the same.
+func entriesEqual(a, b *Entry) bool {
+	norm := func(e Entry) Entry {
+		if len(e.Old) == 0 {
+			e.Old = nil
+		}
+		if len(e.New) == 0 {
+			e.New = nil
+		}
+		if len(e.OldAttr) == 0 {
+			e.OldAttr = nil
+		}
+		if len(e.NewAttr) == 0 {
+			e.NewAttr = nil
+		}
+		return e
+	}
+	x, y := norm(*a), norm(*b)
+	return reflect.DeepEqual(x, y)
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, _, err := Decode([]byte{0xFF, 1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	// Truncated write entry.
+	e := &Entry{Type: EntWrite, Version: 1, Time: 1, New: []seglog.BlockAddr{1, 2}, Old: []seglog.BlockAddr{0, 0}}
+	enc := e.Encode(nil)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestPropertyWriteEntryRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	f := func(version uint64, ts int64, first uint32, n uint8, oldSize, newSize uint64) bool {
+		k := int(n)%MaxBlocksPerEntry + 1
+		e := &Entry{
+			Type: EntWrite, Version: version, Time: types.Timestamp(ts),
+			User: types.UserID(rnd.Uint32()), Client: types.ClientID(rnd.Uint32()),
+			FirstBlock: uint64(first), OldSize: oldSize, NewSize: newSize,
+			Old: make([]seglog.BlockAddr, k), New: make([]seglog.BlockAddr, k),
+		}
+		for i := 0; i < k; i++ {
+			e.Old[i] = seglog.BlockAddr(rnd.Uint64() >> 8)
+			e.New[i] = seglog.BlockAddr(rnd.Uint64() >> 8)
+		}
+		got, rest, err := Decode(e.Encode(nil))
+		return err == nil && len(rest) == 0 && entriesEqual(&got, e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSectorRoundTrip(t *testing.T) {
+	entries := sampleEntries()
+	sec, err := EncodeSector(77, 1234, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sec) > SectorSize {
+		t.Fatalf("sector too large: %d", len(sec))
+	}
+	obj, prev, got, ok, err := DecodeSector(sec)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if obj != 77 || prev != 1234 {
+		t.Fatalf("header: obj=%v prev=%v", obj, prev)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("entries: %d, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if !entriesEqual(&got[i], entries[i]) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestSectorLimits(t *testing.T) {
+	if _, err := EncodeSector(1, 0, nil); err == nil {
+		t.Fatal("empty sector accepted")
+	}
+	// Overflow: entries with large attrs.
+	big := &Entry{Type: EntSetAttr, OldAttr: bytes.Repeat([]byte{1}, 2000), NewAttr: bytes.Repeat([]byte{2}, 2000)}
+	if _, err := EncodeSector(1, 0, []*Entry{big, big}); err == nil {
+		t.Fatal("overflowing sector accepted")
+	}
+}
+
+func TestDecodeSectorRejectsCorrupt(t *testing.T) {
+	if _, _, _, _, err := DecodeSector(make([]byte, 4)); err == nil {
+		t.Fatal("short sector accepted")
+	}
+	sec, _ := EncodeSector(1, 0, sampleEntries()[:1])
+	sec[0] ^= 0xFF
+	if _, _, _, ok, err := DecodeSector(sec); err != nil || ok {
+		t.Fatalf("bad magic must read as empty slot: ok=%v err=%v", ok, err)
+	}
+	// A valid header with a truncated entry stream is corrupt.
+	sec2, _ := EncodeSector(1, 0, sampleEntries()[:2])
+	if _, _, _, _, err := DecodeSector(sec2[:SectorHeaderSize+1]); err == nil {
+		t.Fatal("torn sector accepted")
+	}
+}
+
+// memReader maps block addresses to 4KB blocks for walk tests.
+type memReader map[seglog.BlockAddr][]byte
+
+func (m memReader) Read(addr seglog.BlockAddr, buf []byte) error {
+	copy(buf, m[addr])
+	return nil
+}
+
+// at packs a sector blob into slot 0 of a fresh block.
+func blockWith(sec []byte) []byte {
+	b := make([]byte, seglog.BlockSize)
+	copy(b, sec)
+	return b
+}
+
+func TestWalkBackward(t *testing.T) {
+	// Build a 3-sector chain: versions 1..3 in sector A, 4..5 in B, 6 in C.
+	mk := func(obj types.ObjectID, prev SectorAddr, vs ...uint64) []byte {
+		var es []*Entry
+		for _, v := range vs {
+			es = append(es, &Entry{Type: EntWrite, Version: v, Time: types.Timestamp(v * 10)})
+		}
+		sec, err := EncodeSector(obj, prev, es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sec
+	}
+	a := MakeSectorAddr(100, 0)
+	b := MakeSectorAddr(200, 0)
+	c := MakeSectorAddr(300, 0)
+	r := memReader{
+		100: blockWith(mk(5, 0, 1, 2, 3)),
+		200: blockWith(mk(5, a, 4, 5)),
+		300: blockWith(mk(5, b, 6)),
+	}
+	var versions []uint64
+	err := WalkBackward(r, 5, c, func(e *Entry) (bool, error) {
+		versions = append(versions, e.Version)
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{6, 5, 4, 3, 2, 1}
+	if !reflect.DeepEqual(versions, want) {
+		t.Fatalf("walk order %v, want %v", versions, want)
+	}
+
+	// Early stop.
+	versions = versions[:0]
+	err = WalkBackward(r, 5, c, func(e *Entry) (bool, error) {
+		versions = append(versions, e.Version)
+		return e.Version == 4, nil
+	})
+	if err != nil || !reflect.DeepEqual(versions, []uint64{6, 5, 4}) {
+		t.Fatalf("early stop: %v %v", versions, err)
+	}
+
+	// Wrong object detected.
+	err = WalkBackward(r, 6, c, func(e *Entry) (bool, error) { return false, nil })
+	if err == nil {
+		t.Fatal("object mismatch undetected")
+	}
+}
+
+func TestEntryTypeString(t *testing.T) {
+	names := map[EntryType]string{
+		EntCreate: "create", EntWrite: "write", EntTruncate: "truncate",
+		EntSetAttr: "setattr", EntSetACL: "setacl", EntDelete: "delete",
+		EntCheckpoint: "checkpoint", EntryType(42): "entry(42)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package nfsv2
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"s4/internal/fsys"
+	"s4/internal/oncrpc"
+	"s4/internal/xdr"
+)
+
+// Client is a minimal NFSv2 client used by tools, tests, and examples
+// (a kernel would normally play this role).
+type Client struct {
+	rpc *oncrpc.Client
+}
+
+// DialClient connects to an NFSv2/MOUNT server at addr with the given
+// AUTH_UNIX identity.
+func DialClient(addr string, uid, gid uint32, machine string) (*Client, error) {
+	c, err := oncrpc.DialClient(addr, uid, gid, machine)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: c}, nil
+}
+
+// Close releases the socket.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// nfsError is a non-OK NFS status.
+type nfsError uint32
+
+func (e nfsError) Error() string { return fmt.Sprintf("nfs: status %d", uint32(e)) }
+
+// Status extracts the numeric NFS status from an error returned by this
+// client (0, false if the error is not an NFS status).
+func Status(err error) (uint32, bool) {
+	if e, ok := err.(nfsError); ok {
+		return uint32(e), true
+	}
+	return 0, false
+}
+
+func (c *Client) call(prog, vers, proc uint32, args *xdr.Encoder) (*xdr.Decoder, error) {
+	d, err := c.rpc.Call(prog, vers, proc, args.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (c *Client) nfsCall(proc uint32, args *xdr.Encoder) (*xdr.Decoder, error) {
+	d, err := c.call(ProgNFS, VersNFS, proc, args)
+	if err != nil {
+		return nil, err
+	}
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if st != OK {
+		return nil, nfsError(st)
+	}
+	return d, nil
+}
+
+// Mount resolves the export path to its root handle.
+func (c *Client) Mount(path string) (fsys.Handle, error) {
+	e := xdr.NewEncoder()
+	e.String(path)
+	d, err := c.call(ProgMount, VersMount, MountProcMnt, e)
+	if err != nil {
+		return 0, err
+	}
+	st, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	if st != OK {
+		return 0, nfsError(st)
+	}
+	return readFH(d)
+}
+
+func readFH(d *xdr.Decoder) (fsys.Handle, error) {
+	b, err := d.OpaqueFixed(FHSize)
+	if err != nil {
+		return 0, err
+	}
+	return fsys.Handle(binary.BigEndian.Uint64(b[:8])), nil
+}
+
+// skipFattr consumes a fattr structure (17 words).
+func skipFattr(d *xdr.Decoder) error {
+	for i := 0; i < 17; i++ {
+		if _, err := d.Uint32(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Attr is the client-side view of a fattr.
+type Attr struct {
+	Type  uint32
+	Mode  uint32
+	Nlink uint32
+	UID   uint32
+	Size  uint32
+}
+
+func readFattr(d *xdr.Decoder) (Attr, error) {
+	var a Attr
+	var err error
+	if a.Type, err = d.Uint32(); err != nil {
+		return a, err
+	}
+	if a.Mode, err = d.Uint32(); err != nil {
+		return a, err
+	}
+	if a.Nlink, err = d.Uint32(); err != nil {
+		return a, err
+	}
+	if a.UID, err = d.Uint32(); err != nil {
+		return a, err
+	}
+	if _, err = d.Uint32(); err != nil { // gid
+		return a, err
+	}
+	if a.Size, err = d.Uint32(); err != nil {
+		return a, err
+	}
+	for i := 0; i < 11; i++ { // blocksize..ctime
+		if _, err = d.Uint32(); err != nil {
+			return a, err
+		}
+	}
+	return a, nil
+}
+
+// GetAttr fetches a node's attributes.
+func (c *Client) GetAttr(h fsys.Handle) (Attr, error) {
+	e := xdr.NewEncoder()
+	encodeFH(e, h)
+	d, err := c.nfsCall(ProcGetattr, e)
+	if err != nil {
+		return Attr{}, err
+	}
+	return readFattr(d)
+}
+
+// Lookup resolves name in dir.
+func (c *Client) Lookup(dir fsys.Handle, name string) (fsys.Handle, Attr, error) {
+	e := xdr.NewEncoder()
+	encodeFH(e, dir)
+	e.String(name)
+	d, err := c.nfsCall(ProcLookup, e)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	h, err := readFH(d)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	a, err := readFattr(d)
+	return h, a, err
+}
+
+// Create makes a regular file.
+func (c *Client) Create(dir fsys.Handle, name string, mode uint32) (fsys.Handle, error) {
+	e := xdr.NewEncoder()
+	encodeFH(e, dir)
+	e.String(name)
+	writeSattr(e, mode)
+	d, err := c.nfsCall(ProcCreate, e)
+	if err != nil {
+		return 0, err
+	}
+	return readFH(d)
+}
+
+// Mkdir makes a directory.
+func (c *Client) Mkdir(dir fsys.Handle, name string, mode uint32) (fsys.Handle, error) {
+	e := xdr.NewEncoder()
+	encodeFH(e, dir)
+	e.String(name)
+	writeSattr(e, mode)
+	d, err := c.nfsCall(ProcMkdir, e)
+	if err != nil {
+		return 0, err
+	}
+	return readFH(d)
+}
+
+func writeSattr(e *xdr.Encoder, mode uint32) {
+	e.Uint32(mode)
+	for i := 0; i < 7; i++ {
+		e.Uint32(0xFFFFFFFF) // uid, gid, size, atime, mtime unset
+	}
+}
+
+// Write stores data at off (NFSv2 limits one call to 8KB).
+func (c *Client) Write(h fsys.Handle, off uint32, data []byte) error {
+	for len(data) > 0 {
+		n := len(data)
+		if n > MaxData {
+			n = MaxData
+		}
+		e := xdr.NewEncoder()
+		encodeFH(e, h)
+		e.Uint32(0)
+		e.Uint32(off)
+		e.Uint32(0)
+		e.Opaque(data[:n])
+		if _, err := c.nfsCall(ProcWrite, e); err != nil {
+			return err
+		}
+		off += uint32(n)
+		data = data[n:]
+	}
+	return nil
+}
+
+// Read returns up to count bytes at off.
+func (c *Client) Read(h fsys.Handle, off, count uint32) ([]byte, error) {
+	var out []byte
+	for count > 0 {
+		n := count
+		if n > MaxData {
+			n = MaxData
+		}
+		e := xdr.NewEncoder()
+		encodeFH(e, h)
+		e.Uint32(off)
+		e.Uint32(n)
+		e.Uint32(0)
+		d, err := c.nfsCall(ProcRead, e)
+		if err != nil {
+			return nil, err
+		}
+		if err := skipFattr(d); err != nil {
+			return nil, err
+		}
+		data, err := d.Opaque(MaxData + 16)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+		if uint32(len(data)) < n {
+			break
+		}
+		off += uint32(len(data))
+		count -= uint32(len(data))
+	}
+	return out, nil
+}
+
+// Remove unlinks a file.
+func (c *Client) Remove(dir fsys.Handle, name string) error {
+	e := xdr.NewEncoder()
+	encodeFH(e, dir)
+	e.String(name)
+	_, err := c.nfsCall(ProcRemove, e)
+	return err
+}
+
+// ReadDir lists a directory (following continuation cookies).
+func (c *Client) ReadDir(dir fsys.Handle) ([]string, error) {
+	var names []string
+	cookie := uint32(0)
+	for {
+		e := xdr.NewEncoder()
+		encodeFH(e, dir)
+		var cb [CookieSize]byte
+		binary.BigEndian.PutUint32(cb[:], cookie)
+		e.OpaqueFixed(cb[:])
+		e.Uint32(2048)
+		d, err := c.nfsCall(ProcReaddir, e)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			more, err := d.Bool()
+			if err != nil {
+				return nil, err
+			}
+			if !more {
+				break
+			}
+			if _, err := d.Uint32(); err != nil { // fileid
+				return nil, err
+			}
+			name, err := d.String(MaxName)
+			if err != nil {
+				return nil, err
+			}
+			ck, err := d.OpaqueFixed(CookieSize)
+			if err != nil {
+				return nil, err
+			}
+			cookie = binary.BigEndian.Uint32(ck)
+			names = append(names, name)
+		}
+		eof, err := d.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if eof {
+			return names, nil
+		}
+	}
+}

@@ -1,0 +1,525 @@
+// Package nfsv2 implements the NFS version 2 protocol (RFC 1094) and
+// its MOUNT companion over ONC RPC/UDP, serving any fsys.FileSys.
+//
+// This is the protocol surface of the paper's Fig. 1: pointed at an
+// s4fs.FS it is the "S4-enhanced NFS server" (Fig. 1b); pointed at a
+// ufs.FS it is the conventional baseline server. NFSv2 was chosen by
+// the authors because its lack of write caching keeps the drive's
+// per-operation picture complete (§4.1.2); the paper also notes NFS
+// carries no real authentication — the AUTH_UNIX uid is recorded but
+// not verified, which is precisely why the drive's own security
+// perimeter (internal/s4rpc) matters.
+package nfsv2
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"s4/internal/fsys"
+	"s4/internal/oncrpc"
+	"s4/internal/types"
+	"s4/internal/xdr"
+)
+
+// Program numbers.
+const (
+	ProgNFS    = 100003
+	VersNFS    = 2
+	ProgMount  = 100005
+	VersMount  = 1
+	FHSize     = 32
+	MaxData    = 8192
+	MaxName    = 255
+	MaxPath    = 1024
+	CookieSize = 4
+)
+
+// NFSv2 procedure numbers.
+const (
+	ProcNull     = 0
+	ProcGetattr  = 1
+	ProcSetattr  = 2
+	ProcLookup   = 4
+	ProcReadlink = 5
+	ProcRead     = 6
+	ProcWrite    = 8
+	ProcCreate   = 9
+	ProcRemove   = 10
+	ProcRename   = 11
+	ProcLink     = 12
+	ProcSymlink  = 13
+	ProcMkdir    = 14
+	ProcRmdir    = 15
+	ProcReaddir  = 16
+	ProcStatfs   = 17
+)
+
+// MOUNT procedure numbers.
+const (
+	MountProcNull = 0
+	MountProcMnt  = 1
+	MountProcUmnt = 3
+)
+
+// NFS status codes.
+const (
+	OK          = 0
+	ErrPerm     = 1
+	ErrNoEnt    = 2
+	ErrIO       = 5
+	ErrAcces    = 13
+	ErrExist    = 17
+	ErrNotDir   = 20
+	ErrIsDir    = 21
+	ErrNoSpc    = 28
+	ErrNameLong = 63
+	ErrNotEmpty = 66
+	ErrStale    = 70
+)
+
+func statusOf(err error) uint32 {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, fsys.ErrNotFound):
+		return ErrNoEnt
+	case errors.Is(err, fsys.ErrExist):
+		return ErrExist
+	case errors.Is(err, fsys.ErrNotDir):
+		return ErrNotDir
+	case errors.Is(err, fsys.ErrIsDir):
+		return ErrIsDir
+	case errors.Is(err, fsys.ErrNotEmpty):
+		return ErrNotEmpty
+	case errors.Is(err, fsys.ErrStale):
+		return ErrStale
+	case errors.Is(err, fsys.ErrNoSpace):
+		return ErrNoSpc
+	case errors.Is(err, fsys.ErrPerm), errors.Is(err, types.ErrPerm):
+		return ErrAcces
+	case errors.Is(err, types.ErrNameTooLong):
+		return ErrNameLong
+	}
+	return ErrIO
+}
+
+// encodeFH packs a handle into the 32-byte NFSv2 file handle.
+func encodeFH(e *xdr.Encoder, h fsys.Handle) {
+	var fh [FHSize]byte
+	binary.BigEndian.PutUint64(fh[:8], uint64(h))
+	copy(fh[8:], "S4NFSv2-FHANDLE")
+	e.OpaqueFixed(fh[:])
+}
+
+func decodeFH(d *xdr.Decoder) (fsys.Handle, error) {
+	b, err := d.OpaqueFixed(FHSize)
+	if err != nil {
+		return 0, err
+	}
+	return fsys.Handle(binary.BigEndian.Uint64(b[:8])), nil
+}
+
+// ftype values of RFC 1094.
+func ftypeOf(t fsys.FileType) uint32 {
+	switch t {
+	case fsys.TypeReg:
+		return 1 // NFREG
+	case fsys.TypeDir:
+		return 2 // NFDIR
+	case fsys.TypeSymlink:
+		return 5 // NFLNK
+	}
+	return 0 // NFNON
+}
+
+func encodeFattr(e *xdr.Encoder, h fsys.Handle, a fsys.Attr) {
+	e.Uint32(ftypeOf(a.Type))
+	mode := a.Mode
+	switch a.Type {
+	case fsys.TypeDir:
+		mode |= 0040000
+	case fsys.TypeSymlink:
+		mode |= 0120000
+	default:
+		mode |= 0100000
+	}
+	e.Uint32(mode)
+	e.Uint32(a.Nlink)
+	e.Uint32(a.UID)
+	e.Uint32(a.GID)
+	e.Uint32(uint32(a.Size))
+	e.Uint32(types.BlockSize) // blocksize
+	e.Uint32(0)               // rdev
+	e.Uint32(uint32((a.Size + types.BlockSize - 1) / types.BlockSize))
+	e.Uint32(1)         // fsid
+	e.Uint32(uint32(h)) // fileid
+	sec := uint32(a.Mtime.Time().Unix())
+	usec := uint32(a.Mtime.Time().Nanosecond() / 1000)
+	e.Uint32(sec) // atime
+	e.Uint32(usec)
+	e.Uint32(sec) // mtime
+	e.Uint32(usec)
+	csec := uint32(a.Ctime.Time().Unix())
+	e.Uint32(csec) // ctime
+	e.Uint32(uint32(a.Ctime.Time().Nanosecond() / 1000))
+}
+
+// sattr is the settable attribute struct; 0xFFFFFFFF means "don't set".
+type sattr struct {
+	mode, uid, gid, size uint32
+}
+
+func decodeSattr(d *xdr.Decoder) (sattr, error) {
+	var s sattr
+	var err error
+	if s.mode, err = d.Uint32(); err != nil {
+		return s, err
+	}
+	if s.uid, err = d.Uint32(); err != nil {
+		return s, err
+	}
+	if s.gid, err = d.Uint32(); err != nil {
+		return s, err
+	}
+	if s.size, err = d.Uint32(); err != nil {
+		return s, err
+	}
+	// atime, mtime (2 words each), ignored.
+	for i := 0; i < 4; i++ {
+		if _, err = d.Uint32(); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func (s sattr) apply() fsys.SetAttr {
+	const unset = 0xFFFFFFFF
+	var sa fsys.SetAttr
+	if s.mode != unset {
+		m := s.mode & 07777
+		sa.Mode = &m
+	}
+	if s.uid != unset {
+		u := s.uid
+		sa.UID = &u
+	}
+	if s.gid != unset {
+		g := s.gid
+		sa.GID = &g
+	}
+	if s.size != unset {
+		sz := uint64(s.size)
+		sa.Size = &sz
+	}
+	return sa
+}
+
+// Server serves NFSv2 + MOUNT for one FileSys export.
+type Server struct {
+	fs     fsys.FileSys
+	export string
+	rpc    *oncrpc.Server
+}
+
+// NewServer exports fs under the given mount path (e.g. "/s4").
+func NewServer(fs fsys.FileSys, export string) *Server {
+	s := &Server{fs: fs, export: export, rpc: oncrpc.NewServer()}
+	s.rpc.Register(ProgNFS, VersNFS, s.nfsHandler)
+	s.rpc.Register(ProgMount, VersMount, s.mountHandler)
+	return s
+}
+
+// ListenAndServe serves UDP on addr until Close.
+func (s *Server) ListenAndServe(addr string) error { return s.rpc.ListenAndServe(addr) }
+
+// Addr returns the bound address.
+func (s *Server) Addr() string {
+	a := s.rpc.Addr()
+	if a == nil {
+		return ""
+	}
+	return a.String()
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+func (s *Server) mountHandler(proc uint32, cred oncrpc.Cred, d *xdr.Decoder, e *xdr.Encoder) uint32 {
+	switch proc {
+	case MountProcNull:
+		return oncrpc.AcceptSuccess
+	case MountProcMnt:
+		path, err := d.String(MaxPath)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		if path != s.export {
+			e.Uint32(ErrNoEnt)
+			return oncrpc.AcceptSuccess
+		}
+		e.Uint32(OK)
+		encodeFH(e, s.fs.Root())
+		return oncrpc.AcceptSuccess
+	case MountProcUmnt:
+		if _, err := d.String(MaxPath); err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		return oncrpc.AcceptSuccess
+	}
+	return oncrpc.AcceptProcUnavail
+}
+
+func (s *Server) nfsHandler(proc uint32, cred oncrpc.Cred, d *xdr.Decoder, e *xdr.Encoder) uint32 {
+	switch proc {
+	case ProcNull:
+		return oncrpc.AcceptSuccess
+	case ProcGetattr:
+		h, err := decodeFH(d)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		a, err := s.fs.GetAttr(h)
+		if st := statusOf(err); st != OK {
+			e.Uint32(st)
+			return oncrpc.AcceptSuccess
+		}
+		e.Uint32(OK)
+		encodeFattr(e, h, a)
+	case ProcSetattr:
+		h, err := decodeFH(d)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		sa, err := decodeSattr(d)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		a, err := s.fs.SetAttr(h, sa.apply())
+		if st := statusOf(err); st != OK {
+			e.Uint32(st)
+			return oncrpc.AcceptSuccess
+		}
+		e.Uint32(OK)
+		encodeFattr(e, h, a)
+	case ProcLookup:
+		dir, name, ok := dirop(d)
+		if !ok {
+			return oncrpc.AcceptGarbageArgs
+		}
+		h, a, err := s.fs.Lookup(dir, name)
+		if st := statusOf(err); st != OK {
+			e.Uint32(st)
+			return oncrpc.AcceptSuccess
+		}
+		e.Uint32(OK)
+		encodeFH(e, h)
+		encodeFattr(e, h, a)
+	case ProcReadlink:
+		h, err := decodeFH(d)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		target, err := s.fs.ReadLink(h)
+		if st := statusOf(err); st != OK {
+			e.Uint32(st)
+			return oncrpc.AcceptSuccess
+		}
+		e.Uint32(OK)
+		e.String(target)
+	case ProcRead:
+		h, err := decodeFH(d)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		off, _ := d.Uint32()
+		count, _ := d.Uint32()
+		if _, err := d.Uint32(); err != nil { // totalcount (unused)
+			return oncrpc.AcceptGarbageArgs
+		}
+		if count > MaxData {
+			count = MaxData
+		}
+		data, err := s.fs.Read(h, uint64(off), int(count))
+		if st := statusOf(err); st != OK {
+			e.Uint32(st)
+			return oncrpc.AcceptSuccess
+		}
+		a, err := s.fs.GetAttr(h)
+		if st := statusOf(err); st != OK {
+			e.Uint32(st)
+			return oncrpc.AcceptSuccess
+		}
+		e.Uint32(OK)
+		encodeFattr(e, h, a)
+		e.Opaque(data)
+	case ProcWrite:
+		h, err := decodeFH(d)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		if _, err := d.Uint32(); err != nil { // beginoffset (unused)
+			return oncrpc.AcceptGarbageArgs
+		}
+		off, _ := d.Uint32()
+		if _, err := d.Uint32(); err != nil { // totalcount (unused)
+			return oncrpc.AcceptGarbageArgs
+		}
+		data, err := d.Opaque(MaxData + 16)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		werr := s.fs.Write(h, uint64(off), data)
+		if st := statusOf(werr); st != OK {
+			e.Uint32(st)
+			return oncrpc.AcceptSuccess
+		}
+		a, err := s.fs.GetAttr(h)
+		if st := statusOf(err); st != OK {
+			e.Uint32(st)
+			return oncrpc.AcceptSuccess
+		}
+		e.Uint32(OK)
+		encodeFattr(e, h, a)
+	case ProcCreate, ProcMkdir:
+		dir, name, ok := dirop(d)
+		if !ok {
+			return oncrpc.AcceptGarbageArgs
+		}
+		sa, err := decodeSattr(d)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		mode := sa.mode & 07777
+		var h fsys.Handle
+		var a fsys.Attr
+		if proc == ProcCreate {
+			h, a, err = s.fs.Create(dir, name, mode)
+		} else {
+			h, a, err = s.fs.Mkdir(dir, name, mode)
+		}
+		if st := statusOf(err); st != OK {
+			e.Uint32(st)
+			return oncrpc.AcceptSuccess
+		}
+		e.Uint32(OK)
+		encodeFH(e, h)
+		encodeFattr(e, h, a)
+	case ProcRemove, ProcRmdir:
+		dir, name, ok := dirop(d)
+		if !ok {
+			return oncrpc.AcceptGarbageArgs
+		}
+		var err error
+		if proc == ProcRemove {
+			err = s.fs.Remove(dir, name)
+		} else {
+			err = s.fs.Rmdir(dir, name)
+		}
+		e.Uint32(statusOf(err))
+	case ProcRename:
+		fromDir, fromName, ok := dirop(d)
+		if !ok {
+			return oncrpc.AcceptGarbageArgs
+		}
+		toDir, toName, ok := dirop(d)
+		if !ok {
+			return oncrpc.AcceptGarbageArgs
+		}
+		e.Uint32(statusOf(s.fs.Rename(fromDir, fromName, toDir, toName)))
+	case ProcLink:
+		h, err := decodeFH(d)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		dir, name, ok := dirop(d)
+		if !ok {
+			return oncrpc.AcceptGarbageArgs
+		}
+		e.Uint32(statusOf(s.fs.Link(h, dir, name)))
+	case ProcSymlink:
+		dir, name, ok := dirop(d)
+		if !ok {
+			return oncrpc.AcceptGarbageArgs
+		}
+		target, err := d.String(MaxPath)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		if _, err := decodeSattr(d); err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		_, serr := s.fs.Symlink(dir, name, target)
+		e.Uint32(statusOf(serr))
+	case ProcReaddir:
+		dir, err := decodeFH(d)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		cookieB, err := d.OpaqueFixed(CookieSize)
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		count, err := d.Uint32()
+		if err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		cookie := binary.BigEndian.Uint32(cookieB)
+		ents, err := s.fs.ReadDir(dir)
+		if st := statusOf(err); st != OK {
+			e.Uint32(st)
+			return oncrpc.AcceptSuccess
+		}
+		sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+		e.Uint32(OK)
+		budget := int(count)
+		i := int(cookie)
+		for ; i < len(ents); i++ {
+			need := 4 + 4 + len(ents[i].Name) + 8 + CookieSize
+			if budget < need+8 {
+				break
+			}
+			budget -= need
+			e.Bool(true) // value follows
+			e.Uint32(uint32(ents[i].Handle))
+			e.String(ents[i].Name)
+			var cb [CookieSize]byte
+			binary.BigEndian.PutUint32(cb[:], uint32(i+1))
+			e.OpaqueFixed(cb[:])
+		}
+		e.Bool(false)          // no more entries in this reply
+		e.Bool(i >= len(ents)) // eof
+	case ProcStatfs:
+		if _, err := decodeFH(d); err != nil {
+			return oncrpc.AcceptGarbageArgs
+		}
+		st, err := s.fs.StatFS()
+		if code := statusOf(err); code != OK {
+			e.Uint32(code)
+			return oncrpc.AcceptSuccess
+		}
+		e.Uint32(OK)
+		e.Uint32(MaxData)                                 // tsize
+		e.Uint32(types.BlockSize)                         // bsize
+		e.Uint32(uint32(st.TotalBytes / types.BlockSize)) // blocks
+		e.Uint32(uint32(st.FreeBytes / types.BlockSize))  // bfree
+		e.Uint32(uint32(st.FreeBytes / types.BlockSize))  // bavail
+	default:
+		return oncrpc.AcceptProcUnavail
+	}
+	return oncrpc.AcceptSuccess
+}
+
+// dirop decodes the (fhandle, name) pair common to directory operations.
+func dirop(d *xdr.Decoder) (fsys.Handle, string, bool) {
+	h, err := decodeFH(d)
+	if err != nil {
+		return 0, "", false
+	}
+	name, err := d.String(MaxName)
+	if err != nil {
+		return 0, "", false
+	}
+	return h, name, true
+}

@@ -1,0 +1,142 @@
+package nfsv2
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"time"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/s4fs"
+	"s4/internal/types"
+	"s4/internal/ufs"
+	"s4/internal/vclock"
+)
+
+// startS4 serves an S4-backed export over UDP loopback — the paper's
+// Fig. 1b configuration, end to end over a real socket.
+func startS4(t *testing.T) *Client {
+	t.Helper()
+	dev := disk.New(disk.SmallDisk(64<<20), nil)
+	drv, err := core.Format(dev, core.Options{
+		Clock: vclock.Wall{}, SegBlocks: 16, CheckpointBlocks: 16, Window: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := s4fs.Mkfs(drv, s4fs.Options{Cred: types.Cred{User: 1000, Client: 1}, SyncEachOp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return startServer(t, NewServer(fs, "/s4"), "/s4", func() { _ = drv.Close() })
+}
+
+func startUFS(t *testing.T) *Client {
+	t.Helper()
+	dev := disk.New(disk.SmallDisk(64<<20), nil)
+	fs, err := ufs.Mkfs(dev, ufs.Options{Policy: ufs.FFSSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return startServer(t, NewServer(fs, "/ufs"), "/ufs", nil)
+}
+
+func startServer(t *testing.T, srv *Server, export string, cleanup func()) *Client {
+	t.Helper()
+	go func() { _ = srv.ListenAndServe("127.0.0.1:0") }()
+	// Wait for bind.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server did not bind")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		if cleanup != nil {
+			cleanup()
+		}
+	})
+	c, err := DialClient(srv.Addr(), 1000, 1000, "testhost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func testLifecycle(t *testing.T, c *Client, export string) {
+	root, err := c.Mount(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong export path is refused.
+	if _, err := c.Mount("/nope"); err == nil {
+		t.Fatal("bogus export mounted")
+	}
+	dir, err := c.Mkdir(root, "home", 0755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh, err := c.Create(dir, "notes.txt", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("network file system payload "), 700) // ~20KB: multiple WRITEs
+	if err := c.Write(fh, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(fh, 0, uint32(len(payload)))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read back %d bytes, err=%v", len(got), err)
+	}
+	a, err := c.GetAttr(fh)
+	if err != nil || a.Size != uint32(len(payload)) || a.Type != 1 {
+		t.Fatalf("attr %+v err=%v", a, err)
+	}
+	// Lookup resolves the same handle.
+	lh, la, err := c.Lookup(dir, "notes.txt")
+	if err != nil || lh != fh || la.Size != a.Size {
+		t.Fatal(lh, la, err)
+	}
+	if _, _, err := c.Lookup(dir, "missing"); err == nil {
+		t.Fatal("lookup of missing name succeeded")
+	} else if st, ok := Status(err); !ok || st != ErrNoEnt {
+		t.Fatalf("want NFSERR_NOENT, got %v", err)
+	}
+	// Many files; readdir pages through cookies.
+	for i := 0; i < 60; i++ {
+		name := "f" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+		if _, err := c.Create(dir, name, 0644); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+	}
+	names, err := c.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 61 {
+		t.Fatalf("readdir: %d entries, want 61", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatal("readdir not sorted")
+	}
+	if err := c.Remove(dir, "notes.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Lookup(dir, "notes.txt"); err == nil {
+		t.Fatal("lookup after remove succeeded")
+	}
+}
+
+func TestNFSOverS4(t *testing.T) {
+	c := startS4(t)
+	testLifecycle(t, c, "/s4")
+}
+
+func TestNFSOverUFS(t *testing.T) {
+	c := startUFS(t)
+	testLifecycle(t, c, "/ufs")
+}

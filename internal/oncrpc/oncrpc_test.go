@@ -1,0 +1,93 @@
+package oncrpc
+
+import (
+	"testing"
+	"time"
+
+	"s4/internal/xdr"
+)
+
+const (
+	testProg = 200001
+	testVers = 1
+)
+
+func startEcho(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := NewServer()
+	s.Register(testProg, testVers, func(proc uint32, cred Cred, d *xdr.Decoder, e *xdr.Encoder) uint32 {
+		switch proc {
+		case 0:
+			return AcceptSuccess
+		case 1: // echo string + report uid
+			msg, err := d.String(1024)
+			if err != nil {
+				return AcceptGarbageArgs
+			}
+			e.String(msg)
+			e.Uint32(cred.UID)
+			return AcceptSuccess
+		}
+		return AcceptProcUnavail
+	})
+	go func() { _ = s.ListenAndServe("127.0.0.1:0") }()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("bind timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, s.Addr().String()
+}
+
+func TestCallEcho(t *testing.T) {
+	_, addr := startEcho(t)
+	c, err := DialClient(addr, 777, 100, "client.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	args := xdr.NewEncoder()
+	args.String("ping over ONC RPC")
+	d, err := c.Call(testProg, testVers, 1, args.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.String(1024)
+	if err != nil || got != "ping over ONC RPC" {
+		t.Fatal(got, err)
+	}
+	uid, err := d.Uint32()
+	if err != nil || uid != 777 {
+		t.Fatalf("AUTH_UNIX uid did not arrive: %d %v", uid, err)
+	}
+}
+
+func TestNullProc(t *testing.T) {
+	_, addr := startEcho(t)
+	c, err := DialClient(addr, 0, 0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(testProg, testVers, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownProgramAndProc(t *testing.T) {
+	_, addr := startEcho(t)
+	c, err := DialClient(addr, 0, 0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(999999, 1, 0, nil); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+	if _, err := c.Call(testProg, testVers, 42, nil); err == nil {
+		t.Fatal("unknown procedure accepted")
+	}
+}

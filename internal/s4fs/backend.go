@@ -1,0 +1,86 @@
+package s4fs
+
+import (
+	"s4/internal/core"
+	"s4/internal/types"
+)
+
+// Backend is the slice of the S4 command set the translator uses. A
+// backend is already bound to a session credential, matching the two
+// deployments of the paper's Fig. 1:
+//
+//   - Fig. 1a: the translator runs on the client host and the backend is
+//     an authenticated *s4rpc.Client session to a network-attached
+//     drive (it satisfies this interface as-is).
+//   - Fig. 1b: the translator is fused with the drive and the backend is
+//     a LocalBackend around the in-process *core.Drive.
+type Backend interface {
+	Create(acl []types.ACLEntry, attr []byte) (types.ObjectID, error)
+	Delete(obj types.ObjectID) error
+	Read(obj types.ObjectID, off, n uint64, at types.Timestamp) ([]byte, error)
+	Write(obj types.ObjectID, off uint64, data []byte) error
+	Truncate(obj types.ObjectID, size uint64) error
+	GetAttr(obj types.ObjectID, at types.Timestamp) (core.AttrInfo, error)
+	SetAttr(obj types.ObjectID, attr []byte) error
+	PCreate(name string, obj types.ObjectID) error
+	PMount(name string, at types.Timestamp) (types.ObjectID, error)
+	Sync() error
+	Status() (core.StatusInfo, error)
+}
+
+// LocalBackend binds an in-process drive to one credential.
+type LocalBackend struct {
+	Drv  *core.Drive
+	Cred types.Cred
+}
+
+var _ Backend = (*LocalBackend)(nil)
+
+// Create makes an object.
+func (b *LocalBackend) Create(acl []types.ACLEntry, attr []byte) (types.ObjectID, error) {
+	return b.Drv.Create(b.Cred, acl, attr)
+}
+
+// Delete removes an object (into the history pool).
+func (b *LocalBackend) Delete(obj types.ObjectID) error { return b.Drv.Delete(b.Cred, obj) }
+
+// Read returns object bytes as of `at`.
+func (b *LocalBackend) Read(obj types.ObjectID, off, n uint64, at types.Timestamp) ([]byte, error) {
+	return b.Drv.Read(b.Cred, obj, off, n, at)
+}
+
+// Write stores bytes at off.
+func (b *LocalBackend) Write(obj types.ObjectID, off uint64, data []byte) error {
+	return b.Drv.Write(b.Cred, obj, off, data)
+}
+
+// Truncate sets the object length.
+func (b *LocalBackend) Truncate(obj types.ObjectID, size uint64) error {
+	return b.Drv.Truncate(b.Cred, obj, size)
+}
+
+// GetAttr fetches attributes as of `at`.
+func (b *LocalBackend) GetAttr(obj types.ObjectID, at types.Timestamp) (core.AttrInfo, error) {
+	return b.Drv.GetAttr(b.Cred, obj, at)
+}
+
+// SetAttr replaces the opaque attribute blob.
+func (b *LocalBackend) SetAttr(obj types.ObjectID, attr []byte) error {
+	return b.Drv.SetAttr(b.Cred, obj, attr)
+}
+
+// PCreate binds a partition name.
+func (b *LocalBackend) PCreate(name string, obj types.ObjectID) error {
+	return b.Drv.PCreate(b.Cred, name, obj)
+}
+
+// PMount resolves a partition name as of `at`.
+func (b *LocalBackend) PMount(name string, at types.Timestamp) (types.ObjectID, error) {
+	return b.Drv.PMount(b.Cred, name, at)
+}
+
+// Sync forces acknowledged modifications durable.
+func (b *LocalBackend) Sync() error { return b.Drv.Sync(b.Cred) }
+
+// Status reports drive occupancy.
+func (b *LocalBackend) Status() (core.StatusInfo, error) { return b.Drv.Status(), nil }

@@ -1,0 +1,99 @@
+package s4fs_test
+
+// The Fig. 1a deployment test: the S4 client translator running over an
+// authenticated network session to a remote drive, exercised through
+// the shared file system conformance suite. (External test package to
+// avoid an import cycle with internal/s4rpc.)
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/fsys"
+	"s4/internal/s4fs"
+	"s4/internal/s4rpc"
+	"s4/internal/types"
+)
+
+func startRemoteDrive(t *testing.T) string {
+	t.Helper()
+	dev := disk.New(disk.SmallDisk(128<<20), nil)
+	drv, err := core.Format(dev, core.Options{SegBlocks: 32, CheckpointBlocks: 32, Window: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := s4rpc.NewKeyring([]byte("adm"))
+	keys.AddClient(7, []byte("workstation-key"))
+	srv := s4rpc.NewServer(drv, keys)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = drv.Close()
+	})
+	return ln.Addr().String()
+}
+
+func TestConformanceOverNetworkBackend(t *testing.T) {
+	fsys.RunConformance(t, func(t *testing.T) fsys.FileSys {
+		addr := startRemoteDrive(t)
+		c, err := s4rpc.Dial(addr, 7, 1000, []byte("workstation-key"), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		fs, err := s4fs.MkfsBackend(c, s4fs.Options{
+			Cred:       types.Cred{User: 1000, Client: 7},
+			SyncEachOp: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+}
+
+func TestRemoteMountSeesExistingTree(t *testing.T) {
+	addr := startRemoteDrive(t)
+	c, err := s4rpc.Dial(addr, 7, 1000, []byte("workstation-key"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	opts := s4fs.Options{Cred: types.Cred{User: 1000, Client: 7}, SyncEachOp: true}
+	fs1, err := s4fs.MkfsBackend(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := fs1.Create(fs1.Root(), "over-the-wire", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs1.Write(h, 0, []byte("fig 1a works")); err != nil {
+		t.Fatal(err)
+	}
+	// A second session mounts the same partition.
+	c2, err := s4rpc.Dial(addr, 7, 1000, []byte("workstation-key"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	fs2, err := s4fs.MountBackend(c2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := fs2.Lookup(fs2.Root(), "over-the-wire")
+	if err != nil || h2 != h {
+		t.Fatal(h2, err)
+	}
+	got, err := fs2.Read(h2, 0, 64)
+	if err != nil || string(got) != "fig 1a works" {
+		t.Fatal(string(got), err)
+	}
+}

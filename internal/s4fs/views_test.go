@@ -1,0 +1,64 @@
+package s4fs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"s4/internal/fsys"
+	"s4/internal/types"
+)
+
+func TestWithCredEnforcesDriveACLs(t *testing.T) {
+	fs, _ := newFS(t) // owner: user 1000
+	h, _, err := fs.Create(fs.Root(), "private", 0600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(h, 0, []byte("owner data")); err != nil {
+		t.Fatal(err)
+	}
+	// A stranger's view of the same tree is refused by the drive ACLs
+	// (objects were created with owner+admin entries only).
+	mallory := fs.WithCred(types.Cred{User: 666, Client: 9})
+	if _, err := mallory.Read(h, 0, 10); !errors.Is(err, types.ErrPerm) {
+		t.Fatalf("stranger read: %v", err)
+	}
+	if err := mallory.Write(h, 0, []byte("x")); !errors.Is(err, types.ErrPerm) {
+		t.Fatalf("stranger write: %v", err)
+	}
+	// The administrator's view reads everything.
+	admin := fs.WithCred(types.AdminCred())
+	got, err := admin.Read(h, 0, 16)
+	if err != nil || string(got) != "owner data" {
+		t.Fatal(string(got), err)
+	}
+}
+
+func TestWithCredAdminSeesHistoryAfterRecoveryFlagCleared(t *testing.T) {
+	fs, clk := newFS(t)
+	h, _, err := fs.Create(fs.Root(), "doc", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(h, 0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	tV1 := types.TS(clk.Now())
+	clk.Advance(time.Second)
+	if err := fs.Write(h, 0, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	admin := fs.WithCred(types.AdminCred()).AtTime(tV1)
+	got, err := admin.Read(h, 0, 2)
+	if err != nil || string(got) != "v1" {
+		t.Fatal(string(got), err)
+	}
+	// Historical views list the old directory state too.
+	ents, err := admin.ReadDir(admin.Root())
+	if err != nil || len(ents) != 1 || ents[0].Name != "doc" {
+		t.Fatalf("historical readdir: %v %v", ents, err)
+	}
+	var _ fsys.FileSys = admin
+}

@@ -1,0 +1,261 @@
+package s4rpc
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"s4/internal/audit"
+	"s4/internal/core"
+	"s4/internal/types"
+)
+
+// Client is an authenticated connection to an S4 drive. Methods mirror
+// Table 1; they are safe for concurrent use (requests serialize on the
+// connection, like the single command stream of a disk).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects and authenticates. For an administrative session pass
+// admin=true and the drive's administrator key.
+func Dial(addr string, client types.ClientID, user types.UserID, key []byte, admin bool) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	nonce, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(nonce)
+	hello := &Hello{Client: client, User: user, MAC: mac.Sum(nil), Admin: admin}
+	if err := writeGobFrame(conn, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var rep HelloReply
+	if err := readGobFrame(conn, &rep); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !rep.OK {
+		conn.Close()
+		return nil, fmt.Errorf("s4rpc: handshake rejected: %w", types.ErrAuthFailed)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close drops the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call issues one raw request (exported so tools can compose batches).
+func (c *Client) Call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeGobFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readGobFrame(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *Client) call1(req *Request) (*Response, error) {
+	resp, err := c.Call(req)
+	if err != nil {
+		return nil, err
+	}
+	if e := resp.Err(); e != nil {
+		return resp, e
+	}
+	return resp, nil
+}
+
+// Create makes an object (Table 1).
+func (c *Client) Create(acl []types.ACLEntry, attr []byte) (types.ObjectID, error) {
+	resp, err := c.call1(&Request{Op: types.OpCreate, ACL: acl, Attr: attr})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Obj, nil
+}
+
+// Delete removes an object; its versions stay in the history pool.
+func (c *Client) Delete(obj types.ObjectID) error {
+	_, err := c.call1(&Request{Op: types.OpDelete, Obj: obj})
+	return err
+}
+
+// Read returns up to n bytes at off of the version current at `at`.
+func (c *Client) Read(obj types.ObjectID, off, n uint64, at types.Timestamp) ([]byte, error) {
+	resp, err := c.call1(&Request{Op: types.OpRead, Obj: obj, Offset: off, Length: n, At: at})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Write stores data at off.
+func (c *Client) Write(obj types.ObjectID, off uint64, data []byte) error {
+	_, err := c.call1(&Request{Op: types.OpWrite, Obj: obj, Offset: off, Data: data})
+	return err
+}
+
+// Append writes at the object's end, returning the landing offset.
+func (c *Client) Append(obj types.ObjectID, data []byte) (uint64, error) {
+	resp, err := c.call1(&Request{Op: types.OpAppend, Obj: obj, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset, nil
+}
+
+// Truncate sets the object's length.
+func (c *Client) Truncate(obj types.ObjectID, size uint64) error {
+	_, err := c.call1(&Request{Op: types.OpTruncate, Obj: obj, Length: size})
+	return err
+}
+
+// GetAttr fetches attributes as of `at`.
+func (c *Client) GetAttr(obj types.ObjectID, at types.Timestamp) (core.AttrInfo, error) {
+	resp, err := c.call1(&Request{Op: types.OpGetAttr, Obj: obj, At: at})
+	if err != nil {
+		return core.AttrInfo{}, err
+	}
+	return resp.Attr, nil
+}
+
+// SetAttr replaces the opaque attribute blob.
+func (c *Client) SetAttr(obj types.ObjectID, attr []byte) error {
+	_, err := c.call1(&Request{Op: types.OpSetAttr, Obj: obj, Attr: attr})
+	return err
+}
+
+// GetACLByUser returns the effective entry for user as of `at`.
+func (c *Client) GetACLByUser(obj types.ObjectID, user types.UserID, at types.Timestamp) (types.ACLEntry, error) {
+	resp, err := c.call1(&Request{Op: types.OpGetACLByUser, Obj: obj, Offset: uint64(user), At: at})
+	if err != nil {
+		return types.ACLEntry{}, err
+	}
+	return resp.ACL, nil
+}
+
+// GetACLByIndex returns ACL slot idx as of `at`.
+func (c *Client) GetACLByIndex(obj types.ObjectID, idx int, at types.Timestamp) (types.ACLEntry, error) {
+	resp, err := c.call1(&Request{Op: types.OpGetACLByIndex, Obj: obj, ACLIdx: idx, At: at})
+	if err != nil {
+		return types.ACLEntry{}, err
+	}
+	return resp.ACL, nil
+}
+
+// SetACL replaces ACL slot idx.
+func (c *Client) SetACL(obj types.ObjectID, idx int, e types.ACLEntry) error {
+	_, err := c.call1(&Request{Op: types.OpSetACL, Obj: obj, ACLIdx: idx, ACL: []types.ACLEntry{e}})
+	return err
+}
+
+// PCreate binds name to obj.
+func (c *Client) PCreate(name string, obj types.ObjectID) error {
+	_, err := c.call1(&Request{Op: types.OpPCreate, Name: name, Obj: obj})
+	return err
+}
+
+// PDelete removes a name binding.
+func (c *Client) PDelete(name string) error {
+	_, err := c.call1(&Request{Op: types.OpPDelete, Name: name})
+	return err
+}
+
+// PList lists partitions as of `at`.
+func (c *Client) PList(at types.Timestamp) ([]core.PartEntry, error) {
+	resp, err := c.call1(&Request{Op: types.OpPList, At: at})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Parts, nil
+}
+
+// PMount resolves a partition name as of `at`.
+func (c *Client) PMount(name string, at types.Timestamp) (types.ObjectID, error) {
+	resp, err := c.call1(&Request{Op: types.OpPMount, Name: name, At: at})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Obj, nil
+}
+
+// Sync forces all acknowledged modifications durable.
+func (c *Client) Sync() error {
+	_, err := c.call1(&Request{Op: types.OpSync})
+	return err
+}
+
+// SetWindow adjusts the detection window (admin session).
+func (c *Client) SetWindow(w time.Duration) error {
+	_, err := c.call1(&Request{Op: types.OpSetWindow, Window: w})
+	return err
+}
+
+// Flush erases all objects' versions in (from, to] (admin session).
+func (c *Client) Flush(from, to types.Timestamp) error {
+	_, err := c.call1(&Request{Op: types.OpFlush, From: from, To: to})
+	return err
+}
+
+// FlushO erases one object's versions in (from, to] (admin session).
+func (c *Client) FlushO(obj types.ObjectID, from, to types.Timestamp) error {
+	_, err := c.call1(&Request{Op: types.OpFlushO, Obj: obj, From: from, To: to})
+	return err
+}
+
+// ListVersions returns an object's retained history, newest first.
+func (c *Client) ListVersions(obj types.ObjectID, max int) ([]core.VersionInfo, error) {
+	resp, err := c.call1(&Request{Op: types.OpListVersions, Obj: obj, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Versions, nil
+}
+
+// Revert copies the version at `at` forward as the new current version.
+func (c *Client) Revert(obj types.ObjectID, at types.Timestamp) error {
+	_, err := c.call1(&Request{Op: types.OpRevert, Obj: obj, At: at})
+	return err
+}
+
+// AuditRead returns audit records from seq on (admin session).
+func (c *Client) AuditRead(fromSeq uint64, max int) ([]audit.Record, error) {
+	resp, err := c.call1(&Request{Op: types.OpAuditRead, Seq: fromSeq, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+// Status reports drive occupancy and health.
+func (c *Client) Status() (core.StatusInfo, error) {
+	resp, err := c.call1(&Request{Op: types.OpStatus})
+	if err != nil {
+		return core.StatusInfo{}, err
+	}
+	return resp.Status, nil
+}
+
+// Batch executes several requests in one round trip (§4.1.2).
+func (c *Client) Batch(reqs []Request) ([]Response, error) {
+	resp, err := c.Call(&Request{Op: types.OpBatch, Batch: reqs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Batch, nil
+}

@@ -1,0 +1,92 @@
+// Package s4rpc implements the S4 drive's network protocol: the RPC set
+// of Table 1 (OSDI '00, §4.1.1) carried over TCP.
+//
+// The security perimeter (§3.2) lives here: every connection performs a
+// challenge–response handshake before any command is accepted, binding
+// the session to a ClientID whose secret key the drive knows. The
+// administrative commands (SetWindow, Flush, FlushO, AuditRead) require
+// the session to have authenticated with the drive's administrator key —
+// a client credential, however thoroughly stolen, can never reach them.
+// Per §4.1.2, the protocol also supports batching several commands in
+// one round trip.
+//
+// Framing: 4-byte big-endian length + gob-encoded message. Gob is the
+// stdlib's self-describing binary encoding; the handshake and every
+// request/response are fixed Go structs below.
+package s4rpc
+
+import (
+	"time"
+
+	"s4/internal/audit"
+	"s4/internal/core"
+	"s4/internal/types"
+)
+
+// Protocol constants.
+const (
+	// MaxFrame bounds one message (a write carries at most MaxIO).
+	MaxFrame = types.MaxIO + 1<<16
+	// nonceLen is the handshake challenge size.
+	nonceLen = 32
+)
+
+// Hello is the client's handshake message, answering the server's
+// nonce challenge.
+type Hello struct {
+	Client types.ClientID
+	User   types.UserID
+	// MAC is HMAC-SHA256(key, nonce) where key is the client's secret
+	// (or the administrator key for admin sessions).
+	MAC   []byte
+	Admin bool
+}
+
+// HelloReply completes the handshake.
+type HelloReply struct {
+	OK    bool
+	Errno uint8
+}
+
+// Request is one S4 command. Exactly the fields relevant to Op are set.
+type Request struct {
+	Op  types.Op
+	Obj types.ObjectID
+	// At is the optional time parameter of Table 1's time-based
+	// operations; TimeNowest reads the current version.
+	At     types.Timestamp
+	Offset uint64
+	Length uint64
+	Data   []byte
+	Name   string
+	ACL    []types.ACLEntry
+	ACLIdx int
+	Attr   []byte
+	User   types.UserID // per-request user (NFS-style credentials)
+	From   types.Timestamp
+	To     types.Timestamp
+	Window time.Duration
+	Seq    uint64 // AuditRead: starting sequence
+	Max    int    // AuditRead/ListVersions: result bound
+	// Batch carries sub-requests executed in order (§4.1.2); the reply
+	// carries per-entry results.
+	Batch []Request
+}
+
+// Response carries one command's result.
+type Response struct {
+	Errno    uint8
+	Data     []byte
+	Obj      types.ObjectID
+	Offset   uint64
+	Attr     core.AttrInfo
+	ACL      types.ACLEntry
+	Parts    []core.PartEntry
+	Versions []core.VersionInfo
+	Records  []audit.Record
+	Status   core.StatusInfo
+	Batch    []Response
+}
+
+// Err converts the wire errno back into a Go error (nil when 0).
+func (r *Response) Err() error { return core.ErrnoToError(r.Errno) }

@@ -1,0 +1,351 @@
+package s4rpc
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"s4/internal/core"
+	"s4/internal/types"
+)
+
+// Keyring maps principals to their session keys. The drive owner loads
+// it at startup; it lives inside the security perimeter.
+type Keyring struct {
+	mu      sync.RWMutex
+	clients map[types.ClientID][]byte
+	admin   []byte
+}
+
+// NewKeyring creates an empty keyring with the given administrator key.
+func NewKeyring(adminKey []byte) *Keyring {
+	return &Keyring{clients: make(map[types.ClientID][]byte), admin: adminKey}
+}
+
+// AddClient registers a client machine's secret.
+func (k *Keyring) AddClient(c types.ClientID, key []byte) {
+	k.mu.Lock()
+	k.clients[c] = append([]byte(nil), key...)
+	k.mu.Unlock()
+}
+
+func (k *Keyring) verify(h *Hello, nonce []byte) bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	key := k.clients[h.Client]
+	if h.Admin {
+		key = k.admin
+	}
+	if len(key) == 0 {
+		return false
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(nonce)
+	return hmac.Equal(mac.Sum(nil), h.MAC)
+}
+
+// Server exposes a core.Drive over TCP.
+type Server struct {
+	drv  *core.Drive
+	keys *Keyring
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+}
+
+// NewServer wraps drv with the given keyring.
+func NewServer(drv *core.Drive, keys *Keyring) *Server {
+	return &Server{drv: drv, keys: keys, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.shutdown
+			s.mu.Unlock()
+			if done {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener and drops every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.shutdown = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	// Challenge.
+	nonce := make([]byte, nonceLen)
+	if _, err := rand.Read(nonce); err != nil {
+		return
+	}
+	if err := writeFrame(conn, nonce); err != nil {
+		return
+	}
+	hello, err := readHello(conn)
+	if err != nil {
+		return
+	}
+	ok := s.keys.verify(hello, nonce)
+	if err := writeGobFrame(conn, &HelloReply{OK: ok, Errno: errnoOf(ok)}); err != nil || !ok {
+		return
+	}
+	cred := types.Cred{User: hello.User, Client: hello.Client, Admin: hello.Admin}
+	for {
+		var req Request
+		if err := readGobFrame(conn, &req); err != nil {
+			return
+		}
+		resp := s.dispatch(cred, &req)
+		if err := writeGobFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func errnoOf(ok bool) uint8 {
+	if ok {
+		return 0
+	}
+	return 15 // ErrAuthFailed's wire code
+}
+
+// dispatch executes one request (or batch) against the drive.
+func (s *Server) dispatch(cred types.Cred, req *Request) *Response {
+	// A request may narrow the user within the authenticated client
+	// session (the NFS gateway forwards per-request uids); it can never
+	// escalate to admin.
+	if req.User != 0 && !cred.Admin {
+		cred.User = req.User
+	}
+	resp := &Response{}
+	fail := func(err error) *Response {
+		resp.Errno = wireErrno(err)
+		return resp
+	}
+	switch req.Op {
+	case types.OpBatch:
+		for i := range req.Batch {
+			sub := s.dispatch(cred, &req.Batch[i])
+			resp.Batch = append(resp.Batch, *sub)
+		}
+	case types.OpCreate:
+		id, err := s.drv.Create(cred, req.ACL, req.Attr)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Obj = id
+	case types.OpDelete:
+		return fail(s.drv.Delete(cred, req.Obj))
+	case types.OpRead:
+		data, err := s.drv.Read(cred, req.Obj, req.Offset, req.Length, req.At)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = data
+	case types.OpWrite:
+		return fail(s.drv.Write(cred, req.Obj, req.Offset, req.Data))
+	case types.OpAppend:
+		off, err := s.drv.Append(cred, req.Obj, req.Data)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Offset = off
+	case types.OpTruncate:
+		return fail(s.drv.Truncate(cred, req.Obj, req.Length))
+	case types.OpGetAttr:
+		ai, err := s.drv.GetAttr(cred, req.Obj, req.At)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Attr = ai
+	case types.OpSetAttr:
+		return fail(s.drv.SetAttr(cred, req.Obj, req.Attr))
+	case types.OpGetACLByUser:
+		e, err := s.drv.GetACLByUser(cred, req.Obj, types.UserID(req.Offset), req.At)
+		if err != nil {
+			return fail(err)
+		}
+		resp.ACL = e
+	case types.OpGetACLByIndex:
+		e, err := s.drv.GetACLByIndex(cred, req.Obj, req.ACLIdx, req.At)
+		if err != nil {
+			return fail(err)
+		}
+		resp.ACL = e
+	case types.OpSetACL:
+		if len(req.ACL) != 1 {
+			return fail(types.ErrInval)
+		}
+		return fail(s.drv.SetACL(cred, req.Obj, req.ACLIdx, req.ACL[0]))
+	case types.OpPCreate:
+		return fail(s.drv.PCreate(cred, req.Name, req.Obj))
+	case types.OpPDelete:
+		return fail(s.drv.PDelete(cred, req.Name))
+	case types.OpPList:
+		ps, err := s.drv.PList(cred, req.At)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Parts = ps
+	case types.OpPMount:
+		id, err := s.drv.PMount(cred, req.Name, req.At)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Obj = id
+	case types.OpSync:
+		return fail(s.drv.Sync(cred))
+	case types.OpFlush:
+		return fail(s.drv.Flush(cred, req.From, req.To))
+	case types.OpFlushO:
+		return fail(s.drv.FlushO(cred, req.Obj, req.From, req.To))
+	case types.OpSetWindow:
+		return fail(s.drv.SetWindow(cred, req.Window))
+	case types.OpListVersions:
+		vs, err := s.drv.ListVersions(cred, req.Obj)
+		if err != nil {
+			return fail(err)
+		}
+		if req.Max > 0 && len(vs) > req.Max {
+			vs = vs[:req.Max]
+		}
+		resp.Versions = vs
+	case types.OpRevert:
+		return fail(s.drv.Revert(cred, req.Obj, req.At))
+	case types.OpAuditRead:
+		recs, err := s.drv.AuditRead(cred, req.Seq, req.Max)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Records = recs
+	case types.OpStatus:
+		resp.Status = s.drv.Status()
+	default:
+		return fail(types.ErrUnimplProto)
+	}
+	return resp
+}
+
+func wireErrno(err error) uint8 {
+	if err == nil {
+		return 0
+	}
+	for code := uint8(1); code < 32; code++ {
+		if e := core.ErrnoToError(code); e != nil && errors.Is(err, e) {
+			return code
+		}
+	}
+	return 255
+}
+
+// ---- framing ----
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("s4rpc: frame of %d bytes: %w", n, types.ErrTooLarge)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeGobFrame(w io.Writer, v any) error {
+	var buf frameBuffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	return writeFrame(w, buf.b)
+}
+
+func readGobFrame(r io.Reader, v any) error {
+	payload, err := readFrame(r)
+	if err != nil {
+		return err
+	}
+	return gob.NewDecoder(&frameReader{b: payload}).Decode(v)
+}
+
+func readHello(r io.Reader) (*Hello, error) {
+	var h Hello
+	if err := readGobFrame(r, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+type frameBuffer struct{ b []byte }
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+type frameReader struct {
+	b []byte
+	i int
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	if f.i >= len(f.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.b[f.i:])
+	f.i += n
+	return n, nil
+}

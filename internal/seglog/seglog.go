@@ -1,0 +1,749 @@
+// Package seglog implements the LFS-style segment log that underlies the
+// S4 drive (OSDI '00, §4.2.1).
+//
+// Because data in the history pool must never be overwritten, all
+// writes — data blocks, inode checkpoints, journal sectors, object-map
+// checkpoints, audit blocks — append to a log divided into fixed-size
+// segments. A segment is staged in memory and written with one large
+// sequential I/O, which is what makes comprehensive versioning cheap:
+// old versions simply stay where they are.
+//
+// On-disk layout (in 4KB blocks):
+//
+//	block 0                 superblock
+//	blocks 1 .. 2*cp        two alternating object-map checkpoint slots
+//	blocks 1+2*cp ..        segments: [summary block][payload blocks...]
+//
+// Each segment's summary block identifies every payload block (kind,
+// owning object, key, timestamp, length) and carries a monotonically
+// increasing write sequence number; crash recovery replays summaries
+// with sequence numbers newer than the last checkpoint.
+package seglog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"s4/internal/disk"
+	"s4/internal/types"
+)
+
+// BlockSize is the log block size; it matches the drive data block size.
+const BlockSize = types.BlockSize
+
+const sectorsPerBlock = BlockSize / disk.SectorSize
+
+// BlockAddr is the absolute block number of a log block on the device.
+// NilAddr (0) never addresses a valid payload block because block 0
+// holds the superblock.
+type BlockAddr uint64
+
+// NilAddr is the null block address.
+const NilAddr BlockAddr = 0
+
+// Kind tags what a payload block holds, so recovery and the cleaner can
+// interpret segments without consulting higher-level state.
+type Kind uint8
+
+// Payload block kinds.
+const (
+	KindInvalid Kind = iota
+	KindData         // object data block
+	KindInode        // inode checkpoint
+	KindJournal      // packed journal sector
+	KindImap         // object-map page (roll-forward aid)
+	KindAudit        // audit-log block (drive-owned, unversioned)
+	KindDelta        // delta-compressed old version data
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindInode:
+		return "inode"
+	case KindJournal:
+		return "journal"
+	case KindImap:
+		return "imap"
+	case KindAudit:
+		return "audit"
+	case KindDelta:
+		return "delta"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// SummaryEntry describes one payload block of a segment.
+type SummaryEntry struct {
+	Kind Kind
+	Obj  types.ObjectID
+	// Key is kind-specific: the file block index for data blocks, the
+	// version for inode checkpoints, zero otherwise.
+	Key  uint64
+	Time types.Timestamp
+	// Len is the number of meaningful bytes in the block (≤ BlockSize).
+	Len uint32
+}
+
+const summaryEntrySize = 1 + 8 + 8 + 8 + 4
+
+// Summary is a decoded segment summary.
+type Summary struct {
+	Seq     uint64
+	Entries []SummaryEntry
+}
+
+// Config holds format-time parameters.
+type Config struct {
+	// SegBlocks is blocks per segment including the summary block.
+	SegBlocks int
+	// CheckpointBlocks is the size of each of the two checkpoint slots.
+	CheckpointBlocks int
+}
+
+// DefaultConfig returns the parameters used by the paper-scale drive:
+// 256KB segments and 4MB checkpoint slots.
+func DefaultConfig() Config {
+	return Config{SegBlocks: 64, CheckpointBlocks: 1024}
+}
+
+const (
+	superMagic   = 0x53344C47 // "S4LG"
+	summaryMagic = 0x53344753 // "S4GS"
+	cpMagic      = 0x53344350 // "S4CP"
+	formatVer    = 1
+)
+
+// Log is an open segment log. Methods are safe for concurrent use.
+type Log struct {
+	dev disk.Device
+	cfg Config
+
+	segStart  int64 // first block of segment area
+	nSegments int64
+
+	mu       sync.Mutex
+	seq      uint64 // last issued segment write sequence
+	free     []bool // per-segment free flag
+	nFree    int64
+	curSeg   int64  // open segment (-1 if none)
+	buf      []byte // staged open segment (SegBlocks * BlockSize)
+	used     int    // payload blocks staged (excluding summary)
+	dirty    []bool // per payload block: staged but not yet on disk
+	nDirty   int
+	entries  []SummaryEntry
+	cpSlot   int   // next checkpoint slot to write (0 or 1)
+	appends  int64 // stats: blocks appended
+	segWrite int64 // stats: segment (full or partial) writes
+}
+
+// Format initializes dev with an empty log. Existing contents are
+// ignored; the superblock is rewritten.
+func Format(dev disk.Device, cfg Config) error {
+	if cfg.SegBlocks < 8 || cfg.SegBlocks > maxSegBlocks() {
+		return fmt.Errorf("seglog: SegBlocks %d out of range: %w", cfg.SegBlocks, types.ErrInval)
+	}
+	if cfg.CheckpointBlocks < 1 {
+		return fmt.Errorf("seglog: CheckpointBlocks must be positive: %w", types.ErrInval)
+	}
+	totalBlocks := dev.Capacity() / BlockSize
+	segStart := int64(1 + 2*cfg.CheckpointBlocks)
+	nSeg := (totalBlocks - segStart) / int64(cfg.SegBlocks)
+	if nSeg < 4 {
+		return fmt.Errorf("seglog: device too small (%d segments): %w", nSeg, types.ErrInval)
+	}
+	sb := make([]byte, BlockSize)
+	binary.LittleEndian.PutUint32(sb[0:], superMagic)
+	binary.LittleEndian.PutUint32(sb[4:], formatVer)
+	binary.LittleEndian.PutUint32(sb[8:], uint32(cfg.SegBlocks))
+	binary.LittleEndian.PutUint32(sb[12:], uint32(cfg.CheckpointBlocks))
+	binary.LittleEndian.PutUint64(sb[16:], uint64(nSeg))
+	binary.LittleEndian.PutUint32(sb[28:], crc32.ChecksumIEEE(sb[:28]))
+	if err := writeBlocks(dev, 0, sb); err != nil {
+		return err
+	}
+	// Invalidate both checkpoint slots.
+	empty := make([]byte, BlockSize)
+	for slot := 0; slot < 2; slot++ {
+		if err := writeBlocks(dev, 1+int64(slot*cfg.CheckpointBlocks), empty); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxSegBlocks() int {
+	return (BlockSize - summaryHeaderSize) / summaryEntrySize
+}
+
+const summaryHeaderSize = 4 + 8 + 4 + 4 // magic, seq, count, crc
+
+// Open attaches to a formatted device. It performs no replay; the owner
+// (the drive) restores free-map/sequence state from its checkpoint and
+// calls ScanFrom to roll forward.
+func Open(dev disk.Device) (*Log, error) {
+	sb := make([]byte, BlockSize)
+	if err := readBlocks(dev, 0, sb); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(sb[0:]) != superMagic {
+		return nil, fmt.Errorf("seglog: bad superblock magic: %w", types.ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(sb[28:]) != crc32.ChecksumIEEE(sb[:28]) {
+		return nil, fmt.Errorf("seglog: superblock checksum mismatch: %w", types.ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(sb[4:]); v != formatVer {
+		return nil, fmt.Errorf("seglog: format version %d unsupported: %w", v, types.ErrCorrupt)
+	}
+	cfg := Config{
+		SegBlocks:        int(binary.LittleEndian.Uint32(sb[8:])),
+		CheckpointBlocks: int(binary.LittleEndian.Uint32(sb[12:])),
+	}
+	nSeg := int64(binary.LittleEndian.Uint64(sb[16:]))
+	l := &Log{
+		dev:       dev,
+		cfg:       cfg,
+		segStart:  int64(1 + 2*cfg.CheckpointBlocks),
+		nSegments: nSeg,
+		free:      make([]bool, nSeg),
+		curSeg:    -1,
+		buf:       make([]byte, cfg.SegBlocks*BlockSize),
+	}
+	for i := range l.free {
+		l.free[i] = true
+	}
+	l.nFree = nSeg
+	return l, nil
+}
+
+// Config returns the format-time parameters.
+func (l *Log) Config() Config { return l.cfg }
+
+// NumSegments returns the number of segments on the device.
+func (l *Log) NumSegments() int64 { return l.nSegments }
+
+// PayloadBlocks returns the payload capacity of one segment, in blocks.
+func (l *Log) PayloadBlocks() int { return l.cfg.SegBlocks - 1 }
+
+// FreeSegments returns how many segments are currently free.
+func (l *Log) FreeSegments() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nFree
+}
+
+// Seq returns the last issued segment write sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Stats reports append and segment-write counts.
+func (l *Log) Stats() (appends, segWrites int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.segWrite
+}
+
+// SegOf returns the segment index containing addr, or -1 if addr is
+// outside the segment area.
+func (l *Log) SegOf(addr BlockAddr) int64 {
+	b := int64(addr)
+	if b < l.segStart {
+		return -1
+	}
+	seg := (b - l.segStart) / int64(l.cfg.SegBlocks)
+	if seg >= l.nSegments {
+		return -1
+	}
+	return seg
+}
+
+func (l *Log) segBase(seg int64) int64 { return l.segStart + seg*int64(l.cfg.SegBlocks) }
+
+// Append stages one payload block and returns its final disk address.
+// len(data) must be in (0, BlockSize]. The block becomes durable at the
+// next Sync or when the segment fills.
+func (l *Log) Append(kind Kind, obj types.ObjectID, key uint64, t types.Timestamp, data []byte) (BlockAddr, error) {
+	if len(data) == 0 || len(data) > BlockSize {
+		return NilAddr, fmt.Errorf("seglog: append of %d bytes: %w", len(data), types.ErrInval)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.curSeg < 0 {
+		if err := l.openSegmentLocked(); err != nil {
+			return NilAddr, err
+		}
+	}
+	idx := 1 + l.used // block index within the segment (0 is summary)
+	off := idx * BlockSize
+	copy(l.buf[off:off+BlockSize], data)
+	for i := off + len(data); i < off+BlockSize; i++ {
+		l.buf[i] = 0
+	}
+	l.entries = append(l.entries, SummaryEntry{Kind: kind, Obj: obj, Key: key, Time: t, Len: uint32(len(data))})
+	addr := BlockAddr(l.segBase(l.curSeg) + int64(idx))
+	l.dirty[idx-1] = true
+	l.nDirty++
+	l.used++
+	l.appends++
+	if l.used >= l.PayloadBlocks() {
+		if err := l.flushLocked(true); err != nil {
+			return NilAddr, err
+		}
+	}
+	return addr, nil
+}
+
+// InOpenSegment reports whether addr is a payload block of the still
+// open (rewritable) segment.
+func (l *Log) InOpenSegment(addr BlockAddr) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seg := l.SegOf(addr)
+	if seg < 0 || seg != l.curSeg {
+		return false
+	}
+	idx := int(int64(addr) - l.segBase(seg))
+	return idx >= 1 && idx <= l.used
+}
+
+// Rewrite replaces the contents of a payload block that is still in the
+// open segment. The drive uses it to extend an object's journal sector
+// across several partial-segment syncs, so packed entries accumulate in
+// one sector per segment (§4.2.2) instead of one per sync. Rewriting a
+// sealed block is an error: the log never overwrites durable history.
+func (l *Log) Rewrite(addr BlockAddr, data []byte) error {
+	if len(data) == 0 || len(data) > BlockSize {
+		return fmt.Errorf("seglog: rewrite of %d bytes: %w", len(data), types.ErrInval)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seg := l.SegOf(addr)
+	if seg < 0 || seg != l.curSeg {
+		return fmt.Errorf("seglog: rewrite outside open segment: %w", types.ErrInval)
+	}
+	idx := int(int64(addr) - l.segBase(seg))
+	if idx < 1 || idx > l.used {
+		return fmt.Errorf("seglog: rewrite of unallocated block: %w", types.ErrInval)
+	}
+	off := idx * BlockSize
+	copy(l.buf[off:off+BlockSize], data)
+	for i := off + len(data); i < off+BlockSize; i++ {
+		l.buf[i] = 0
+	}
+	l.entries[idx-1].Len = uint32(len(data))
+	// The block must reach disk again at the next flush.
+	if !l.dirty[idx-1] {
+		l.dirty[idx-1] = true
+		l.nDirty++
+	}
+	return nil
+}
+
+// Room returns how many payload blocks remain in the open segment; the
+// drive uses it to co-locate an object's journal sector with its data.
+func (l *Log) Room() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.curSeg < 0 {
+		return l.PayloadBlocks()
+	}
+	return l.PayloadBlocks() - l.used
+}
+
+// openSegmentLocked picks the next free segment, preferring the one
+// sequentially after the current to keep log writes contiguous.
+func (l *Log) openSegmentLocked() error {
+	if l.nFree == 0 {
+		return types.ErrNoSpace
+	}
+	start := int64(0)
+	if l.curSeg >= 0 {
+		start = (l.curSeg + 1) % l.nSegments
+	}
+	for i := int64(0); i < l.nSegments; i++ {
+		seg := (start + i) % l.nSegments
+		if l.free[seg] {
+			l.free[seg] = false
+			l.nFree--
+			l.curSeg = seg
+			l.used = 0
+			if l.dirty == nil {
+				l.dirty = make([]bool, l.cfg.SegBlocks)
+			}
+			for i := range l.dirty {
+				l.dirty[i] = false
+			}
+			l.nDirty = 0
+			l.entries = l.entries[:0]
+			for i := range l.buf {
+				l.buf[i] = 0
+			}
+			return nil
+		}
+	}
+	return types.ErrNoSpace
+}
+
+// Sync makes all staged blocks durable. A partially filled segment is
+// written out (summary plus the unwritten payload tail) and remains open
+// for further appends, mirroring LFS partial-segment writes.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.curSeg < 0 || l.nDirty == 0 {
+		return nil
+	}
+	return l.flushLocked(false)
+}
+
+// flushLocked makes the staged segment durable.
+//
+// Partial flush (closeSeg false): the dirty payload runs are written,
+// then a snapshot of the summary is appended in the slot right after
+// the last used block — the LFS partial-segment pattern, one
+// mostly-sequential write per sync, no seek back to the segment head.
+// Later appends overwrite the snapshot slot; recovery finds the newest
+// valid summary by scanning (findSummaryLocked).
+//
+// Seal (closeSeg true): the final summary lands in block 0, where
+// steady-state reads expect it.
+func (l *Log) flushLocked(closeSeg bool) error {
+	l.seq++
+	l.encodeSummaryLocked(l.seq)
+	base := l.segBase(l.curSeg)
+	if closeSeg {
+		if err := writeBlocks(l.dev, base, l.buf[:BlockSize]); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < l.used; {
+		if !l.dirty[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < l.used && l.dirty[j] {
+			j++
+		}
+		from, to := 1+i, 1+j
+		if err := writeBlocks(l.dev, base+int64(from), l.buf[from*BlockSize:to*BlockSize]); err != nil {
+			return err
+		}
+		for k := i; k < j; k++ {
+			l.dirty[k] = false
+		}
+		i = j
+	}
+	if !closeSeg {
+		// Trailing summary snapshot; usually contiguous with the tail
+		// run just written, so the disk model charges no seek.
+		if err := writeBlocks(l.dev, base+int64(1+l.used), l.buf[:BlockSize]); err != nil {
+			return err
+		}
+	}
+	l.nDirty = 0
+	l.segWrite++
+	if closeSeg {
+		l.curSeg = -1
+	}
+	return nil
+}
+
+func (l *Log) encodeSummaryLocked(seq uint64) {
+	sb := l.buf[:BlockSize]
+	for i := range sb {
+		sb[i] = 0
+	}
+	binary.LittleEndian.PutUint32(sb[0:], summaryMagic)
+	binary.LittleEndian.PutUint64(sb[4:], seq)
+	binary.LittleEndian.PutUint32(sb[12:], uint32(len(l.entries)))
+	off := summaryHeaderSize
+	for _, e := range l.entries {
+		sb[off] = byte(e.Kind)
+		binary.LittleEndian.PutUint64(sb[off+1:], uint64(e.Obj))
+		binary.LittleEndian.PutUint64(sb[off+9:], e.Key)
+		binary.LittleEndian.PutUint64(sb[off+17:], uint64(e.Time))
+		binary.LittleEndian.PutUint32(sb[off+25:], e.Len)
+		off += summaryEntrySize
+	}
+	binary.LittleEndian.PutUint32(sb[16:], crc32.ChecksumIEEE(sb[summaryHeaderSize:]))
+}
+
+// Read fills buf (length ≤ BlockSize) with the contents of the block at
+// addr. Blocks still staged in the open segment are served from memory.
+func (l *Log) Read(addr BlockAddr, buf []byte) error {
+	if len(buf) > BlockSize {
+		return fmt.Errorf("seglog: read of %d bytes: %w", len(buf), types.ErrInval)
+	}
+	seg := l.SegOf(addr)
+	if seg < 0 {
+		return fmt.Errorf("seglog: address %d outside segment area: %w", addr, types.ErrInval)
+	}
+	idx := int(int64(addr) - l.segBase(seg))
+	if idx == 0 {
+		return fmt.Errorf("seglog: address %d is a summary block: %w", addr, types.ErrInval)
+	}
+	l.mu.Lock()
+	if seg == l.curSeg && idx <= l.used {
+		copy(buf, l.buf[idx*BlockSize:idx*BlockSize+len(buf)])
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	if len(buf) == BlockSize {
+		return readBlocks(l.dev, int64(addr), buf)
+	}
+	full := make([]byte, BlockSize)
+	if err := readBlocks(l.dev, int64(addr), full); err != nil {
+		return err
+	}
+	copy(buf, full)
+	return nil
+}
+
+// ReadSummary decodes the summary of a sealed (or partially synced)
+// segment. ok is false if the segment has never been written or its
+// summary is invalid.
+func (l *Log) ReadSummary(seg int64) (Summary, bool, error) {
+	if seg < 0 || seg >= l.nSegments {
+		return Summary{}, false, fmt.Errorf("seglog: segment %d out of range: %w", seg, types.ErrInval)
+	}
+	l.mu.Lock()
+	if seg == l.curSeg {
+		// Serve the staged summary.
+		s := Summary{Seq: l.seq, Entries: append([]SummaryEntry(nil), l.entries...)}
+		l.mu.Unlock()
+		return s, true, nil
+	}
+	l.mu.Unlock()
+	return l.findSummary(seg)
+}
+
+// findSummary locates the newest valid summary of a segment on disk: a
+// sealed segment's summary lives in block 0; a partially synced one's
+// lives in the trailing snapshot slot right after its last used block.
+func (l *Log) findSummary(seg int64) (Summary, bool, error) {
+	sb := make([]byte, BlockSize)
+	if err := readBlocks(l.dev, l.segBase(seg), sb); err != nil {
+		return Summary{}, false, err
+	}
+	best, found, err := decodeSummary(sb)
+	if err != nil {
+		return Summary{}, false, err
+	}
+	if found && len(best.Entries) >= l.PayloadBlocks() {
+		return best, true, nil // sealed: full summary in block 0
+	}
+	for i := 1; i < l.cfg.SegBlocks; i++ {
+		if err := readBlocks(l.dev, l.segBase(seg)+int64(i), sb); err != nil {
+			return Summary{}, false, err
+		}
+		s, ok, err := decodeSummary(sb)
+		if err != nil {
+			return Summary{}, false, err
+		}
+		// A genuine trailing snapshot at slot i describes exactly the
+		// i-1 payload blocks before it.
+		if ok && len(s.Entries) == i-1 && (!found || s.Seq > best.Seq) {
+			best, found = s, true
+		}
+	}
+	return best, found, nil
+}
+
+func decodeSummary(sb []byte) (Summary, bool, error) {
+	if binary.LittleEndian.Uint32(sb[0:]) != summaryMagic {
+		return Summary{}, false, nil
+	}
+	count := int(binary.LittleEndian.Uint32(sb[12:]))
+	if count < 0 || summaryHeaderSize+count*summaryEntrySize > BlockSize {
+		return Summary{}, false, nil
+	}
+	if binary.LittleEndian.Uint32(sb[16:]) != crc32.ChecksumIEEE(sb[summaryHeaderSize:]) {
+		return Summary{}, false, nil
+	}
+	s := Summary{Seq: binary.LittleEndian.Uint64(sb[4:])}
+	off := summaryHeaderSize
+	for i := 0; i < count; i++ {
+		s.Entries = append(s.Entries, SummaryEntry{
+			Kind: Kind(sb[off]),
+			Obj:  types.ObjectID(binary.LittleEndian.Uint64(sb[off+1:])),
+			Key:  binary.LittleEndian.Uint64(sb[off+9:]),
+			Time: types.Timestamp(binary.LittleEndian.Uint64(sb[off+17:])),
+			Len:  binary.LittleEndian.Uint32(sb[off+25:]),
+		})
+		off += summaryEntrySize
+	}
+	return s, true, nil
+}
+
+// EntryAt returns the block address of entry i in segment seg.
+func (l *Log) EntryAt(seg int64, i int) BlockAddr {
+	return BlockAddr(l.segBase(seg) + int64(1+i))
+}
+
+// FreeSegment returns seg to the free pool. The caller (the cleaner)
+// must have established that no live or in-window block remains in it.
+// Freeing the open segment is rejected.
+func (l *Log) FreeSegment(seg int64) error {
+	if seg < 0 || seg >= l.nSegments {
+		return fmt.Errorf("seglog: segment %d out of range: %w", seg, types.ErrInval)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seg == l.curSeg {
+		return fmt.Errorf("seglog: cannot free open segment %d: %w", seg, types.ErrInval)
+	}
+	if !l.free[seg] {
+		l.free[seg] = true
+		l.nFree++
+	}
+	return nil
+}
+
+// MarkAllocated records (during recovery) that seg holds data.
+func (l *Log) MarkAllocated(seg int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.free[seg] {
+		l.free[seg] = false
+		l.nFree--
+	}
+}
+
+// SetSeq restores the write sequence counter during recovery.
+func (l *Log) SetSeq(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.seq {
+		l.seq = seq
+	}
+}
+
+// ScanFrom visits every written segment whose summary sequence is
+// greater than afterSeq, in increasing sequence order. Recovery uses it
+// to roll the object map forward from the last checkpoint.
+func (l *Log) ScanFrom(afterSeq uint64, fn func(seg int64, sum Summary) error) error {
+	type hit struct {
+		seg int64
+		sum Summary
+	}
+	var hits []hit
+	for seg := int64(0); seg < l.nSegments; seg++ {
+		sum, ok, err := l.findSummary(seg)
+		if err != nil || !ok || sum.Seq <= afterSeq {
+			continue
+		}
+		hits = append(hits, hit{seg, sum})
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].sum.Seq < hits[j].sum.Seq })
+	for _, h := range hits {
+		if err := fn(h.seg, h.sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCheckpoint durably stores an opaque state blob (the drive's
+// object map and allocator state) in the next alternating checkpoint
+// slot. The blob must fit the slot.
+func (l *Log) WriteCheckpoint(data []byte) error {
+	maxLen := l.cfg.CheckpointBlocks*BlockSize - cpHeaderSize
+	if len(data) > maxLen {
+		return fmt.Errorf("seglog: checkpoint %d bytes exceeds slot %d: %w", len(data), maxLen, types.ErrTooLarge)
+	}
+	l.mu.Lock()
+	slot := l.cpSlot
+	l.cpSlot = 1 - l.cpSlot
+	l.seq++
+	seq := l.seq
+	l.mu.Unlock()
+
+	blob := make([]byte, cpHeaderSize+len(data))
+	binary.LittleEndian.PutUint32(blob[0:], cpMagic)
+	binary.LittleEndian.PutUint64(blob[4:], seq)
+	binary.LittleEndian.PutUint32(blob[12:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(blob[16:], crc32.ChecksumIEEE(data))
+	copy(blob[cpHeaderSize:], data)
+	// Pad to block multiple.
+	if r := len(blob) % BlockSize; r != 0 {
+		blob = append(blob, make([]byte, BlockSize-r)...)
+	}
+	base := int64(1 + slot*l.cfg.CheckpointBlocks)
+	return writeBlocks(l.dev, base, blob)
+}
+
+const cpHeaderSize = 4 + 8 + 4 + 4
+
+// ReadCheckpoint returns the newest valid checkpoint blob and the log
+// sequence at which it was taken. ok is false when no valid checkpoint
+// exists (freshly formatted device).
+func (l *Log) ReadCheckpoint() (data []byte, seq uint64, ok bool, err error) {
+	hdr := make([]byte, BlockSize)
+	var bestSlot = -1
+	var bestSeq uint64
+	var bestLen uint32
+	var bestCRC uint32
+	for slot := 0; slot < 2; slot++ {
+		base := int64(1 + slot*l.cfg.CheckpointBlocks)
+		if err := readBlocks(l.dev, base, hdr); err != nil {
+			return nil, 0, false, err
+		}
+		if binary.LittleEndian.Uint32(hdr[0:]) != cpMagic {
+			continue
+		}
+		s := binary.LittleEndian.Uint64(hdr[4:])
+		n := binary.LittleEndian.Uint32(hdr[12:])
+		if int(n) > l.cfg.CheckpointBlocks*BlockSize-cpHeaderSize {
+			continue
+		}
+		if bestSlot < 0 || s > bestSeq {
+			bestSlot, bestSeq, bestLen = slot, s, n
+			bestCRC = binary.LittleEndian.Uint32(hdr[16:])
+		}
+	}
+	if bestSlot < 0 {
+		return nil, 0, false, nil
+	}
+	base := int64(1 + bestSlot*l.cfg.CheckpointBlocks)
+	total := cpHeaderSize + int(bestLen)
+	nBlocks := (total + BlockSize - 1) / BlockSize
+	blob := make([]byte, nBlocks*BlockSize)
+	if err := readBlocks(l.dev, base, blob); err != nil {
+		return nil, 0, false, err
+	}
+	data = blob[cpHeaderSize : cpHeaderSize+int(bestLen)]
+	if crc32.ChecksumIEEE(data) != bestCRC {
+		return nil, 0, false, fmt.Errorf("seglog: checkpoint payload corrupt: %w", types.ErrCorrupt)
+	}
+	l.mu.Lock()
+	l.cpSlot = 1 - bestSlot
+	if bestSeq > l.seq {
+		l.seq = bestSeq
+	}
+	l.mu.Unlock()
+	return data, bestSeq, true, nil
+}
+
+// CurrentSegment returns the open segment index, or -1.
+func (l *Log) CurrentSegment() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.curSeg
+}
+
+func writeBlocks(dev disk.Device, block int64, data []byte) error {
+	return dev.WriteSectors(block*sectorsPerBlock, data)
+}
+
+func readBlocks(dev disk.Device, block int64, data []byte) error {
+	return dev.ReadSectors(block*sectorsPerBlock, data)
+}

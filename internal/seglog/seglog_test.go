@@ -1,0 +1,404 @@
+package seglog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"s4/internal/disk"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+func newLog(t *testing.T, capacity int64) (*Log, *disk.Disk) {
+	t.Helper()
+	d := disk.New(disk.SmallDisk(capacity), vclock.NewVirtual())
+	cfg := Config{SegBlocks: 16, CheckpointBlocks: 4}
+	if err := Format(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, d
+}
+
+func TestFormatOpen(t *testing.T) {
+	l, _ := newLog(t, 8<<20)
+	if l.Config().SegBlocks != 16 {
+		t.Fatalf("config = %+v", l.Config())
+	}
+	if l.NumSegments() < 4 {
+		t.Fatalf("segments = %d", l.NumSegments())
+	}
+	if l.FreeSegments() != l.NumSegments() {
+		t.Fatal("fresh log must have all segments free")
+	}
+}
+
+func TestFormatRejectsBadConfig(t *testing.T) {
+	d := disk.New(disk.SmallDisk(8<<20), nil)
+	if err := Format(d, Config{SegBlocks: 2, CheckpointBlocks: 4}); err == nil {
+		t.Fatal("tiny SegBlocks accepted")
+	}
+	if err := Format(d, Config{SegBlocks: 100000, CheckpointBlocks: 4}); err == nil {
+		t.Fatal("oversized SegBlocks accepted")
+	}
+	tiny := disk.New(disk.SmallDisk(64<<10), nil)
+	if err := Format(tiny, Config{SegBlocks: 16, CheckpointBlocks: 4}); err == nil {
+		t.Fatal("too-small device accepted")
+	}
+}
+
+func TestOpenRejectsUnformatted(t *testing.T) {
+	d := disk.New(disk.SmallDisk(8<<20), nil)
+	if _, err := Open(d); !errors.Is(err, types.ErrCorrupt) {
+		t.Fatalf("open of unformatted device: %v", err)
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l, _ := newLog(t, 8<<20)
+	data := bytes.Repeat([]byte{0xAB}, 1000)
+	addr, err := l.Append(KindData, 42, 7, 100, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == NilAddr {
+		t.Fatal("nil address returned")
+	}
+	got := make([]byte, 1000)
+	if err := l.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, got) {
+		t.Fatal("staged read mismatch")
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, got) {
+		t.Fatal("durable read mismatch")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	l, _ := newLog(t, 8<<20)
+	if _, err := l.Append(KindData, 1, 0, 0, nil); err == nil {
+		t.Fatal("empty append accepted")
+	}
+	if _, err := l.Append(KindData, 1, 0, 0, make([]byte, BlockSize+1)); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+}
+
+func TestSegmentRollover(t *testing.T) {
+	l, _ := newLog(t, 8<<20)
+	payload := l.PayloadBlocks()
+	addrs := make([]BlockAddr, 0, payload*3)
+	for i := 0; i < payload*3; i++ {
+		a, err := l.Append(KindData, 1, uint64(i), types.Timestamp(i), []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	if l.FreeSegments() > l.NumSegments()-3 {
+		t.Fatalf("expected at least 3 segments consumed, free=%d of %d", l.FreeSegments(), l.NumSegments())
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range addrs {
+		got := make([]byte, 1)
+		if err := l.Read(a, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("block %d = %#x, want %#x", i, got[0], byte(i))
+		}
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	l, _ := newLog(t, 8<<20)
+	for i := 0; i < l.PayloadBlocks(); i++ {
+		if _, err := l.Append(KindJournal, types.ObjectID(i+10), uint64(i*3), types.Timestamp(1000+i), []byte{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Segment sealed; its summary must decode from disk.
+	sum, ok, err := l.ReadSummary(0)
+	if err != nil || !ok {
+		t.Fatalf("summary not readable: ok=%v err=%v", ok, err)
+	}
+	if len(sum.Entries) != l.PayloadBlocks() {
+		t.Fatalf("entries = %d, want %d", len(sum.Entries), l.PayloadBlocks())
+	}
+	for i, e := range sum.Entries {
+		want := SummaryEntry{Kind: KindJournal, Obj: types.ObjectID(i + 10), Key: uint64(i * 3), Time: types.Timestamp(1000 + i), Len: 3}
+		if e != want {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, want)
+		}
+	}
+}
+
+func TestPartialSyncThenMoreAppends(t *testing.T) {
+	l, _ := newLog(t, 8<<20)
+	a1, _ := l.Append(KindData, 1, 0, 1, []byte("one"))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := l.Append(KindData, 1, 1, 2, []byte("two"))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Both blocks in the same (still open) segment.
+	if l.SegOf(a1) != l.SegOf(a2) {
+		t.Fatal("partial sync must not seal the segment")
+	}
+	sum, ok, err := l.ReadSummary(l.SegOf(a1))
+	if err != nil || !ok || len(sum.Entries) != 2 {
+		t.Fatalf("summary after partial syncs: ok=%v err=%v entries=%d", ok, err, len(sum.Entries))
+	}
+	// Redundant sync is a no-op.
+	_, before := l.Stats()
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := l.Stats(); after != before {
+		t.Fatal("no-op sync wrote to disk")
+	}
+}
+
+func TestFreeAndReuseSegment(t *testing.T) {
+	l, _ := newLog(t, 8<<20)
+	for i := 0; i < l.PayloadBlocks(); i++ { // fill & seal segment 0
+		if _, err := l.Append(KindData, 1, uint64(i), 0, []byte{0xEE}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	free := l.FreeSegments()
+	if err := l.FreeSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	if l.FreeSegments() != free+1 {
+		t.Fatal("free count did not increase")
+	}
+	if err := l.FreeSegment(0); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if l.FreeSegments() != free+1 {
+		t.Fatal("double free counted twice")
+	}
+}
+
+func TestCannotFreeOpenSegment(t *testing.T) {
+	l, _ := newLog(t, 8<<20)
+	a, _ := l.Append(KindData, 1, 0, 0, []byte{1})
+	if err := l.FreeSegment(l.SegOf(a)); err == nil {
+		t.Fatal("freed the open segment")
+	}
+}
+
+func TestDeviceFullAfterAllSegmentsUsed(t *testing.T) {
+	l, _ := newLog(t, 1<<20) // tiny device
+	var err error
+	for i := 0; i < int(l.NumSegments())*l.PayloadBlocks()+1; i++ {
+		_, err = l.Append(KindData, 1, uint64(i), 0, []byte{1})
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, types.ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	l, _ := newLog(t, 8<<20)
+	if _, _, ok, err := l.ReadCheckpoint(); err != nil || ok {
+		t.Fatalf("fresh device must have no checkpoint: ok=%v err=%v", ok, err)
+	}
+	blob1 := bytes.Repeat([]byte("alpha"), 100)
+	if err := l.WriteCheckpoint(blob1); err != nil {
+		t.Fatal(err)
+	}
+	blob2 := bytes.Repeat([]byte("beta"), 2000) // multi-block
+	if err := l.WriteCheckpoint(blob2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok, err := l.ReadCheckpoint()
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if !bytes.Equal(got, blob2) {
+		t.Fatal("checkpoint must return the newest blob")
+	}
+	// Oversized checkpoint rejected.
+	if err := l.WriteCheckpoint(make([]byte, l.Config().CheckpointBlocks*BlockSize)); !errors.Is(err, types.ErrTooLarge) {
+		t.Fatalf("oversized checkpoint: %v", err)
+	}
+}
+
+func TestRecoveryScanFrom(t *testing.T) {
+	d := disk.New(disk.SmallDisk(8<<20), vclock.NewVirtual())
+	if err := Format(d, Config{SegBlocks: 16, CheckpointBlocks: 4}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write one sealed segment, checkpoint, then one more sealed segment.
+	for i := 0; i < l.PayloadBlocks(); i++ {
+		if _, err := l.Append(KindData, 1, uint64(i), 0, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteCheckpoint([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	cpSeq := l.Seq()
+	for i := 0; i < l.PayloadBlocks(); i++ {
+		if _, err := l.Append(KindData, 2, uint64(i), 0, []byte{2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "Crash": reopen from the same device.
+	l2, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, seq, ok, err := l2.ReadCheckpoint()
+	if err != nil || !ok || string(blob) != "state" || seq != cpSeq {
+		t.Fatalf("checkpoint after reopen: %q seq=%d ok=%v err=%v", blob, seq, ok, err)
+	}
+	var post []types.ObjectID
+	err = l2.ScanFrom(seq, func(seg int64, sum Summary) error {
+		for _, e := range sum.Entries {
+			post = append(post, e.Obj)
+		}
+		l2.MarkAllocated(seg)
+		l2.SetSeq(sum.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(post) != l.PayloadBlocks() {
+		t.Fatalf("replayed %d entries, want %d", len(post), l.PayloadBlocks())
+	}
+	for _, o := range post {
+		if o != 2 {
+			t.Fatalf("replayed pre-checkpoint entry for %v", o)
+		}
+	}
+}
+
+func TestScanOrderIsSeqOrder(t *testing.T) {
+	l, _ := newLog(t, 8<<20)
+	// Seal three segments.
+	for s := 0; s < 3; s++ {
+		for i := 0; i < l.PayloadBlocks(); i++ {
+			if _, err := l.Append(KindData, types.ObjectID(s+1), 0, 0, []byte{1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var seqs []uint64
+	if err := l.ScanFrom(0, func(seg int64, sum Summary) error {
+		seqs = append(seqs, sum.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 {
+		t.Fatalf("scanned %d segments, want 3", len(seqs))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatal("scan not in sequence order")
+		}
+	}
+}
+
+func TestSequentialWritePattern(t *testing.T) {
+	// The whole point of log structure: many small appends must produce
+	// few, large disk writes.
+	clk := vclock.NewVirtual()
+	d := disk.New(disk.SmallDisk(8<<20), clk)
+	if err := Format(d, Config{SegBlocks: 64, CheckpointBlocks: 4}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	n := 63 * 4 // four full segments worth of appends
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(KindData, 1, uint64(i), 0, make([]byte, BlockSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.Writes > 8 { // 2 disk writes per sealed segment (summary + payload)
+		t.Fatalf("%d appends caused %d disk writes; log must batch", n, s.Writes)
+	}
+}
+
+func TestPropertyRandomAppendsReadBack(t *testing.T) {
+	l, _ := newLog(t, 16<<20)
+	rnd := rand.New(rand.NewSource(7))
+	type rec struct {
+		addr BlockAddr
+		data []byte
+	}
+	var recs []rec
+	f := func(sz uint16, syncIt bool) bool {
+		n := int(sz)%BlockSize + 1
+		data := make([]byte, n)
+		rnd.Read(data)
+		addr, err := l.Append(KindData, 9, uint64(len(recs)), 0, data)
+		if err != nil {
+			return false
+		}
+		recs = append(recs, rec{addr, data})
+		if syncIt {
+			if err := l.Sync(); err != nil {
+				return false
+			}
+		}
+		// Read back a random earlier record.
+		r := recs[rnd.Intn(len(recs))]
+		got := make([]byte, len(r.data))
+		if err := l.Read(r.addr, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, r.data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindData: "data", KindInode: "inode", KindJournal: "journal",
+		KindImap: "imap", KindAudit: "audit", KindDelta: "delta",
+		Kind(99): fmt.Sprintf("kind(%d)", 99),
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

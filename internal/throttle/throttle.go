@@ -1,0 +1,176 @@
+// Package throttle implements the history-pool abuse defense of OSDI '00
+// §3.3.
+//
+// A self-securing drive cannot simply drop old versions when the history
+// pool fills (an intruder could then destroy evidence), stop versioning
+// (diagnosis becomes impossible), or refuse all writes (denial of
+// service for everyone). The paper's hybrid: detect probable abuse and
+// selectively slow the offending client so administrators can intervene
+// while well-behaved users continue working.
+//
+// Detector model: each client owns an exponentially decayed counter of
+// history-pool bytes it has generated. When the pool's occupancy passes
+// a pressure threshold, clients whose consumption rate exceeds their
+// fair share are penalized with a per-request delay that grows with both
+// pool pressure and the client's excess.
+package throttle
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"s4/internal/types"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// PoolBytes is the history-pool capacity being defended.
+	PoolBytes int64
+	// PressureAt is the pool fraction (0..1) above which throttling
+	// engages. Below it no client is ever delayed.
+	PressureAt float64
+	// FairShare is the per-client consumption rate (bytes/sec) regarded
+	// as legitimate; above it the client is a throttle candidate.
+	FairShare float64
+	// HalfLife controls the decay of per-client rate estimates.
+	HalfLife time.Duration
+	// MaxDelay caps the injected per-request delay.
+	MaxDelay time.Duration
+}
+
+// DefaultConfig sizes the detector for a pool of the given capacity.
+func DefaultConfig(poolBytes int64) Config {
+	return Config{
+		PoolBytes:  poolBytes,
+		PressureAt: 0.7,
+		FairShare:  1 << 20, // 1 MB/s of history generation
+		HalfLife:   10 * time.Second,
+		MaxDelay:   250 * time.Millisecond,
+	}
+}
+
+// Throttle is the per-drive abuse detector. Methods are safe for
+// concurrent use.
+type Throttle struct {
+	cfg Config
+
+	mu      sync.Mutex
+	clients map[types.ClientID]*state
+	pool    int64 // current history-pool occupancy (set by the drive)
+}
+
+type state struct {
+	rate     float64 // decayed bytes/sec estimate
+	lastSeen time.Time
+	total    int64
+}
+
+// New creates a Throttle with the given configuration.
+func New(cfg Config) *Throttle {
+	if cfg.HalfLife <= 0 {
+		cfg.HalfLife = 10 * time.Second
+	}
+	return &Throttle{cfg: cfg, clients: make(map[types.ClientID]*state)}
+}
+
+// SetPool informs the detector of the current history-pool occupancy.
+func (t *Throttle) SetPool(bytes int64) {
+	t.mu.Lock()
+	t.pool = bytes
+	t.mu.Unlock()
+}
+
+// Record charges a client for bytes of history-pool growth at time now
+// and returns the delay to inject before serving its next request
+// (zero for well-behaved clients or an unpressured pool).
+func (t *Throttle) Record(c types.ClientID, bytes int64, now time.Time) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.clients[c]
+	if s == nil {
+		s = &state{lastSeen: now}
+		t.clients[c] = s
+	}
+	// Exponential decay of the rate estimate.
+	dt := now.Sub(s.lastSeen)
+	if dt > 0 {
+		decay := float64(dt) / float64(t.cfg.HalfLife)
+		if decay > 30 {
+			s.rate = 0
+		} else {
+			s.rate /= pow2(decay)
+		}
+		s.lastSeen = now
+	}
+	// Charge the bytes as an instantaneous rate over the half-life.
+	s.rate += float64(bytes) / t.cfg.HalfLife.Seconds()
+	s.total += bytes
+	return t.delayLocked(s)
+}
+
+// Delay returns the current penalty for a client without charging it.
+func (t *Throttle) Delay(c types.ClientID) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.clients[c]
+	if s == nil {
+		return 0
+	}
+	return t.delayLocked(s)
+}
+
+func (t *Throttle) delayLocked(s *state) time.Duration {
+	if t.cfg.PoolBytes <= 0 {
+		return 0
+	}
+	pressure := float64(t.pool) / float64(t.cfg.PoolBytes)
+	if pressure < t.cfg.PressureAt {
+		return 0
+	}
+	excess := s.rate/t.cfg.FairShare - 1
+	if excess <= 0 {
+		return 0
+	}
+	// Delay grows with both the client's excess and how deep into the
+	// pressure zone the pool is.
+	zone := (pressure - t.cfg.PressureAt) / (1 - t.cfg.PressureAt)
+	d := time.Duration(float64(t.cfg.MaxDelay) * zone * min1(excess/4))
+	if d > t.cfg.MaxDelay {
+		d = t.cfg.MaxDelay
+	}
+	return d
+}
+
+// Suspects returns clients currently subject to a nonzero delay, for
+// the administrator's attention.
+func (t *Throttle) Suspects() []types.ClientID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []types.ClientID
+	for c, s := range t.clients {
+		if t.delayLocked(s) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TotalCharged returns the cumulative history bytes charged to c.
+func (t *Throttle) TotalCharged(c types.ClientID) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := t.clients[c]; s != nil {
+		return s.total
+	}
+	return 0
+}
+
+func min1(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func pow2(x float64) float64 { return math.Exp2(x) }

@@ -1,0 +1,127 @@
+package throttle
+
+import (
+	"testing"
+	"time"
+
+	"s4/internal/types"
+)
+
+func base() (Config, time.Time) {
+	cfg := Config{
+		PoolBytes:  100 << 20,
+		PressureAt: 0.7,
+		FairShare:  1 << 20,
+		HalfLife:   10 * time.Second,
+		MaxDelay:   250 * time.Millisecond,
+	}
+	return cfg, time.Date(2000, 10, 23, 9, 0, 0, 0, time.UTC)
+}
+
+func TestNoDelayWhenPoolUnpressured(t *testing.T) {
+	cfg, now := base()
+	th := New(cfg)
+	th.SetPool(10 << 20) // 10% full
+	// Even an abusive rate causes no delay while the pool is healthy.
+	for i := 0; i < 100; i++ {
+		if d := th.Record(1, 10<<20, now.Add(time.Duration(i)*time.Millisecond)); d != 0 {
+			t.Fatalf("delayed %v with unpressured pool", d)
+		}
+	}
+}
+
+func TestAbuserThrottledOthersNot(t *testing.T) {
+	cfg, now := base()
+	th := New(cfg)
+	th.SetPool(90 << 20) // 90% full: pressure zone
+	// Client 1 hammers; client 2 trickles.
+	var abuserDelay, normalDelay time.Duration
+	for i := 0; i < 50; i++ {
+		ts := now.Add(time.Duration(i) * 100 * time.Millisecond)
+		abuserDelay = th.Record(1, 5<<20, ts)  // ~50 MB/s
+		normalDelay = th.Record(2, 10<<10, ts) // ~100 KB/s
+	}
+	if abuserDelay == 0 {
+		t.Fatal("abuser not throttled under pool pressure")
+	}
+	if normalDelay != 0 {
+		t.Fatalf("well-behaved client delayed %v", normalDelay)
+	}
+	suspects := th.Suspects()
+	if len(suspects) != 1 || suspects[0] != types.ClientID(1) {
+		t.Fatalf("suspects = %v", suspects)
+	}
+}
+
+func TestDelayGrowsWithPressure(t *testing.T) {
+	cfg, now := base()
+	measure := func(pool int64) time.Duration {
+		th := New(cfg)
+		th.SetPool(pool)
+		var d time.Duration
+		for i := 0; i < 50; i++ {
+			d = th.Record(1, 5<<20, now.Add(time.Duration(i)*100*time.Millisecond))
+		}
+		return d
+	}
+	d75, d95 := measure(75<<20), measure(95<<20)
+	if d95 <= d75 {
+		t.Fatalf("delay must grow with pool pressure: 75%%=%v 95%%=%v", d75, d95)
+	}
+	if d95 > cfg.MaxDelay {
+		t.Fatalf("delay %v exceeds cap %v", d95, cfg.MaxDelay)
+	}
+}
+
+func TestRateDecays(t *testing.T) {
+	cfg, now := base()
+	th := New(cfg)
+	th.SetPool(95 << 20)
+	for i := 0; i < 50; i++ {
+		th.Record(1, 5<<20, now.Add(time.Duration(i)*100*time.Millisecond))
+	}
+	if th.Delay(1) == 0 {
+		t.Fatal("abuser should be throttled")
+	}
+	// After many half-lives of silence the penalty disappears.
+	if d := th.Record(1, 0, now.Add(10*time.Minute)); d != 0 {
+		t.Fatalf("penalty persisted after decay: %v", d)
+	}
+}
+
+func TestUnknownClientHasNoDelay(t *testing.T) {
+	cfg, _ := base()
+	th := New(cfg)
+	th.SetPool(99 << 20)
+	if th.Delay(99) != 0 {
+		t.Fatal("unknown client delayed")
+	}
+}
+
+func TestTotalCharged(t *testing.T) {
+	cfg, now := base()
+	th := New(cfg)
+	th.Record(5, 100, now)
+	th.Record(5, 200, now.Add(time.Second))
+	if got := th.TotalCharged(5); got != 300 {
+		t.Fatalf("TotalCharged = %d", got)
+	}
+	if th.TotalCharged(6) != 0 {
+		t.Fatal("uncharged client has nonzero total")
+	}
+}
+
+func TestZeroPoolDisablesThrottle(t *testing.T) {
+	_, now := base()
+	th := New(Config{PoolBytes: 0, HalfLife: time.Second})
+	if d := th.Record(1, 1<<30, now); d != 0 {
+		t.Fatal("throttle active with no pool configured")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(1 << 30)
+	if cfg.PoolBytes != 1<<30 || cfg.PressureAt <= 0 || cfg.MaxDelay <= 0 {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+}

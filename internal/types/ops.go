@@ -1,0 +1,98 @@
+package types
+
+// Op enumerates the S4 RPC commands of Table 1 (OSDI '00, §4.1.1), plus
+// the session-management operations the network layer needs. The audit
+// log records the Op of every request.
+type Op uint8
+
+// Table 1 operations. Ops marked "time-based" in the paper accept an
+// optional Timestamp selecting the version that was current at that
+// time; TimeBased reports that property.
+const (
+	OpInvalid Op = iota
+	OpCreate
+	OpDelete
+	OpRead // time-based
+	OpWrite
+	OpAppend
+	OpTruncate
+	OpGetAttr // time-based
+	OpSetAttr
+	OpGetACLByUser  // time-based
+	OpGetACLByIndex // time-based
+	OpSetACL
+	OpPCreate
+	OpPDelete
+	OpPList  // time-based
+	OpPMount // time-based
+	OpSync
+	OpFlush     // admin
+	OpFlushO    // admin
+	OpSetWindow // admin
+
+	// Extensions beyond Table 1 used by recovery tools; all read-only
+	// except OpRevert, which copies an old version forward as a new one
+	// (§3.3 "the drive copy forward the old version").
+	OpListVersions
+	OpRevert
+	OpAuditRead // admin
+	OpStatus
+
+	// Session management (not object operations).
+	OpHello
+	OpBatch
+
+	opMax
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid", OpCreate: "create", OpDelete: "delete",
+	OpRead: "read", OpWrite: "write", OpAppend: "append",
+	OpTruncate: "truncate", OpGetAttr: "getattr", OpSetAttr: "setattr",
+	OpGetACLByUser: "getacl-user", OpGetACLByIndex: "getacl-index",
+	OpSetACL: "setacl", OpPCreate: "pcreate", OpPDelete: "pdelete",
+	OpPList: "plist", OpPMount: "pmount", OpSync: "sync",
+	OpFlush: "flush", OpFlushO: "flusho", OpSetWindow: "setwindow",
+	OpListVersions: "listversions", OpRevert: "revert",
+	OpAuditRead: "auditread", OpStatus: "status",
+	OpHello: "hello", OpBatch: "batch",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o > OpInvalid && o < opMax }
+
+// TimeBased reports whether o accepts the optional time parameter
+// (Table 1's "Allows Time-Based Access" column).
+func (o Op) TimeBased() bool {
+	switch o {
+	case OpRead, OpGetAttr, OpGetACLByUser, OpGetACLByIndex, OpPList, OpPMount:
+		return true
+	}
+	return false
+}
+
+// Mutating reports whether o creates a new object version.
+func (o Op) Mutating() bool {
+	switch o {
+	case OpCreate, OpDelete, OpWrite, OpAppend, OpTruncate, OpSetAttr,
+		OpSetACL, OpPCreate, OpPDelete, OpRevert:
+		return true
+	}
+	return false
+}
+
+// Admin reports whether o requires administrative credentials.
+func (o Op) Admin() bool {
+	switch o {
+	case OpFlush, OpFlushO, OpSetWindow, OpAuditRead:
+		return true
+	}
+	return false
+}

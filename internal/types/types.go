@@ -1,0 +1,183 @@
+// Package types defines the identifiers, credentials, limits, and error
+// values shared by every layer of the S4 self-securing storage stack.
+//
+// S4 objects live in a flat namespace managed by the drive. Every object
+// is named by an ObjectID assigned at creation and used by clients for
+// all subsequent references (OSDI '00, §4.1). Credentials identify the
+// (user, client-machine) pair that issued a request; the drive's audit
+// log records both.
+package types
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ObjectID uniquely names an object on a drive. IDs are never reused
+// within a drive's lifetime: reuse would let a newly created object
+// shadow history-pool versions of a dead one.
+type ObjectID uint64
+
+// Reserved object IDs. User objects start at FirstUserObject.
+const (
+	// NoObject is the zero ObjectID; it never names a real object.
+	NoObject ObjectID = 0
+	// AuditObject is the drive-owned append-only audit log (§4.2.3).
+	// It is written only by the drive front end and is not versioned.
+	AuditObject ObjectID = 1
+	// PartitionTable is the drive-owned table of named objects
+	// ("partitions", §4.1). It is versioned like any other object.
+	PartitionTable ObjectID = 2
+	// FirstUserObject is the first ObjectID handed to clients.
+	FirstUserObject ObjectID = 16
+)
+
+func (id ObjectID) String() string { return fmt.Sprintf("obj#%d", uint64(id)) }
+
+// UserID identifies a principal on whose behalf requests are made.
+type UserID uint32
+
+// ClientID identifies a client machine (an authenticated RPC session
+// binds to one ClientID).
+type ClientID uint32
+
+// Well-known principals.
+const (
+	// AdminUser is the drive administrator. Only the administrator may
+	// issue SetWindow, Flush, FlushO, and may read history versions of
+	// objects whose ACL Recovery flag is clear (§3.4, §3.5).
+	AdminUser UserID = 0
+	// AnonUser is the unauthenticated principal.
+	AnonUser UserID = 0xFFFFFFFF
+)
+
+// Cred carries the authenticated identity of a request.
+type Cred struct {
+	User   UserID
+	Client ClientID
+	// Admin is set only by the RPC layer after verifying the
+	// administrative key; it can never be set by a client request body.
+	Admin bool
+}
+
+// AdminCred returns the administrative credential used by local tools
+// operating inside the security perimeter.
+func AdminCred() Cred { return Cred{User: AdminUser, Admin: true} }
+
+// Perm is a set of access-permission bits in an ACL entry.
+type Perm uint32
+
+const (
+	// PermRead allows Read, GetAttr, GetACL on the current version.
+	PermRead Perm = 1 << iota
+	// PermWrite allows Write, Append, Truncate, SetAttr.
+	PermWrite
+	// PermDelete allows Delete.
+	PermDelete
+	// PermSetACL allows SetACL.
+	PermSetACL
+	// PermRecover is the paper's Recovery flag: when set, the user may
+	// read (recover) versions of this object from the history pool once
+	// they are overwritten or deleted. When clear, only the device
+	// administrator may (§4.1.1).
+	PermRecover
+
+	// PermRW is the common read/write grant.
+	PermRW = PermRead | PermWrite
+	// PermAll grants everything including history recovery.
+	PermAll = PermRead | PermWrite | PermDelete | PermSetACL | PermRecover
+)
+
+// Has reports whether p contains every bit of q.
+func (p Perm) Has(q Perm) bool { return p&q == q }
+
+func (p Perm) String() string {
+	b := []byte("-----")
+	if p.Has(PermRead) {
+		b[0] = 'r'
+	}
+	if p.Has(PermWrite) {
+		b[1] = 'w'
+	}
+	if p.Has(PermDelete) {
+		b[2] = 'd'
+	}
+	if p.Has(PermSetACL) {
+		b[3] = 'a'
+	}
+	if p.Has(PermRecover) {
+		b[4] = 'R'
+	}
+	return string(b)
+}
+
+// ACLEntry grants Perm to one user. The wildcard user EveryoneID grants
+// to all users.
+type ACLEntry struct {
+	User UserID
+	Perm Perm
+}
+
+// EveryoneID is the ACL wildcard principal.
+const EveryoneID UserID = 0xFFFFFFFE
+
+// Timestamp is nanoseconds since the Unix epoch. S4 uses explicit
+// integer timestamps on the wire and on disk so that versions order
+// totally and deterministically under the virtual clock.
+type Timestamp int64
+
+// TimeNowest is a Timestamp beyond any real time; reading "at"
+// TimeNowest returns the current version.
+const TimeNowest Timestamp = 1<<63 - 1
+
+// TS converts a time.Time to a Timestamp.
+func TS(t time.Time) Timestamp { return Timestamp(t.UnixNano()) }
+
+// Time converts a Timestamp back to a time.Time.
+func (ts Timestamp) Time() time.Time { return time.Unix(0, int64(ts)) }
+
+func (ts Timestamp) String() string {
+	if ts == TimeNowest {
+		return "now"
+	}
+	return ts.Time().UTC().Format(time.RFC3339Nano)
+}
+
+// Limits shared across the stack.
+const (
+	// BlockSize is the drive's data block size in bytes.
+	BlockSize = 4096
+	// MaxNameLen bounds partition and directory-entry names.
+	MaxNameLen = 255
+	// MaxAttrLen bounds the opaque attribute blob a client file system
+	// may attach to an object (§4.1: "opaque attribute space").
+	MaxAttrLen = 512
+	// MaxACLEntries bounds the per-object ACL table.
+	MaxACLEntries = 32
+	// MaxIO bounds a single read/write/append payload.
+	MaxIO = 1 << 20
+)
+
+// Errors returned across package boundaries. RPC maps these to stable
+// wire codes; errors.Is works through the mapping.
+var (
+	ErrNoObject     = errors.New("s4: no such object")
+	ErrExist        = errors.New("s4: object or name already exists")
+	ErrPerm         = errors.New("s4: permission denied")
+	ErrAdminOnly    = errors.New("s4: administrative access required")
+	ErrNoVersion    = errors.New("s4: no version at requested time")
+	ErrInval        = errors.New("s4: invalid argument")
+	ErrNoSpace      = errors.New("s4: device full")
+	ErrHistoryFull  = errors.New("s4: history pool exhausted")
+	ErrThrottled    = errors.New("s4: client throttled (history-pool abuse suspected)")
+	ErrNameTooLong  = errors.New("s4: name too long")
+	ErrNotEmpty     = errors.New("s4: not empty")
+	ErrCorrupt      = errors.New("s4: on-disk structure corrupt")
+	ErrReadOnly     = errors.New("s4: object is drive-reserved and read-only to clients")
+	ErrBadHandle    = errors.New("s4: stale or malformed handle")
+	ErrAuthFailed   = errors.New("s4: authentication failed")
+	ErrTooLarge     = errors.New("s4: request exceeds size limit")
+	ErrUnimplProto  = errors.New("s4: unimplemented protocol operation")
+	ErrDriveStopped = errors.New("s4: drive is shut down")
+)

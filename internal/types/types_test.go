@@ -1,0 +1,86 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPermHas(t *testing.T) {
+	if !PermAll.Has(PermRead | PermWrite | PermDelete | PermSetACL | PermRecover) {
+		t.Fatal("PermAll must contain every bit")
+	}
+	if PermRW.Has(PermDelete) {
+		t.Fatal("PermRW must not contain PermDelete")
+	}
+	if !PermRW.Has(PermRead) || !PermRW.Has(PermWrite) {
+		t.Fatal("PermRW must contain read and write")
+	}
+	var none Perm
+	if !PermRead.Has(none) {
+		t.Fatal("every perm contains the empty set")
+	}
+}
+
+func TestPermString(t *testing.T) {
+	cases := map[Perm]string{
+		0:                     "-----",
+		PermRead:              "r----",
+		PermRW:                "rw---",
+		PermAll:               "rwdaR",
+		PermRecover:           "----R",
+		PermDelete | PermRead: "r-d--",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Perm(%b).String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestTimestampRoundTrip(t *testing.T) {
+	f := func(ns int64) bool {
+		ts := Timestamp(ns)
+		if ts == TimeNowest {
+			return true
+		}
+		return TS(ts.Time()) == ts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampNowest(t *testing.T) {
+	if TimeNowest.String() != "now" {
+		t.Fatalf("TimeNowest.String() = %q", TimeNowest.String())
+	}
+	now := time.Date(2000, 10, 23, 0, 0, 0, 0, time.UTC)
+	if TS(now) >= TimeNowest {
+		t.Fatal("real timestamps must order below TimeNowest")
+	}
+}
+
+func TestReservedObjectIDs(t *testing.T) {
+	if NoObject != 0 {
+		t.Fatal("NoObject must be the zero value")
+	}
+	for _, id := range []ObjectID{AuditObject, PartitionTable} {
+		if id >= FirstUserObject || id == NoObject {
+			t.Fatalf("reserved id %v must be in (0, FirstUserObject)", id)
+		}
+	}
+}
+
+func TestObjectIDString(t *testing.T) {
+	if got := ObjectID(42).String(); got != "obj#42" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestAdminCred(t *testing.T) {
+	c := AdminCred()
+	if !c.Admin || c.User != AdminUser {
+		t.Fatalf("AdminCred() = %+v", c)
+	}
+}

@@ -1,0 +1,642 @@
+package ufs
+
+import (
+	"encoding/binary"
+
+	"s4/internal/fsys"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// FileSys implementation. All operations hold fs.mu; the disk model
+// underneath accounts their I/O time.
+
+// Root returns the root directory handle.
+func (fs *FS) Root() fsys.Handle { return fsys.Handle(rootIno) }
+
+func (fs *FS) attrOf(ino uint64, in *inode) fsys.Attr {
+	return fsys.Attr{
+		Type: in.typ, Mode: in.mode, Nlink: in.nlink,
+		UID: in.uid, GID: in.gid, Size: in.size,
+		Mtime: in.mtime, Ctime: in.ctime,
+	}
+}
+
+// GetAttr returns h's attributes.
+func (fs *FS) GetAttr(h fsys.Handle) (fsys.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	in, err := fs.getInode(uint64(h))
+	if err != nil {
+		return fsys.Attr{}, err
+	}
+	return fs.attrOf(uint64(h), in), nil
+}
+
+// ---- directories ----
+
+// loadDir returns dir's entry cache, reading records from disk on first
+// touch.
+func (fs *FS) loadDir(ino uint64) (map[string]dirRec, *inode, error) {
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return nil, nil, err
+	}
+	if in.typ != fsys.TypeDir {
+		return nil, nil, fsys.ErrNotDir
+	}
+	if m, ok := fs.dirs[ino]; ok {
+		return m, in, nil
+	}
+	m := make(map[string]dirRec)
+	slots := in.size / recSize
+	for s := uint64(0); s < slots; s++ {
+		rec, err := fs.readDirSlot(in, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rec.name != "" {
+			rec.slot = s
+			m[rec.name] = rec
+		}
+	}
+	fs.dirs[ino] = m
+	return m, in, nil
+}
+
+func (fs *FS) readDirSlot(in *inode, slot uint64) (dirRec, error) {
+	blkIdx := slot * recSize / blockSize
+	off := slot * recSize % blockSize
+	b, err := fs.blockOf(in, blkIdx)
+	if err != nil || b == 0 {
+		return dirRec{}, err
+	}
+	data, err := fs.readData(b)
+	if err != nil {
+		return dirRec{}, err
+	}
+	buf := data[off : off+recSize]
+	n := int(buf[0])
+	if n == 0 || n > maxNameLen {
+		return dirRec{}, nil
+	}
+	return dirRec{
+		name: string(buf[1 : 1+n]),
+		typ:  fsys.FileType(buf[118]),
+		ino:  binary.LittleEndian.Uint64(buf[119:]),
+	}, nil
+}
+
+// writeDirSlot updates one record in place; the touched directory block
+// joins the dirty metadata set (synchronous under FFSSync).
+func (fs *FS) writeDirSlot(dirIno uint64, in *inode, slot uint64, rec dirRec) error {
+	blkIdx := slot * recSize / blockSize
+	off := slot * recSize % blockSize
+	b, err := fs.blockOf(in, blkIdx)
+	if err != nil {
+		return err
+	}
+	if b == 0 {
+		if b, err = fs.allocBlock(); err != nil {
+			return err
+		}
+		if err := fs.setBlockOf(dirIno, in, blkIdx, b); err != nil {
+			return err
+		}
+	}
+	data, err := fs.readData(b)
+	if err != nil {
+		return err
+	}
+	blk := make([]byte, blockSize)
+	copy(blk, data)
+	rb := blk[off : off+recSize]
+	for i := range rb {
+		rb[i] = 0
+	}
+	rb[0] = byte(len(rec.name))
+	copy(rb[1:1+maxNameLen], rec.name)
+	rb[118] = byte(rec.typ)
+	binary.LittleEndian.PutUint64(rb[119:], rec.ino)
+	fs.cachePut(b, blk)
+	fs.markDirBlockDirty(b)
+	return nil
+}
+
+func (fs *FS) addEntry(dirIno uint64, rec dirRec) error {
+	m, in, err := fs.loadDir(dirIno)
+	if err != nil {
+		return err
+	}
+	if _, exists := m[rec.name]; exists {
+		return fsys.ErrExist
+	}
+	rec.slot = uint64(len(m))
+	if err := fs.writeDirSlot(dirIno, in, rec.slot, rec); err != nil {
+		return err
+	}
+	if end := (rec.slot + 1) * recSize; end > in.size {
+		in.size = end
+	}
+	in.mtime = vclock.TS(fs.clk)
+	fs.markInodeDirty(dirIno)
+	m[rec.name] = rec
+	return nil
+}
+
+func (fs *FS) dropEntry(dirIno uint64, name string) (dirRec, error) {
+	m, in, err := fs.loadDir(dirIno)
+	if err != nil {
+		return dirRec{}, err
+	}
+	victim, ok := m[name]
+	if !ok {
+		return dirRec{}, fsys.ErrNotFound
+	}
+	last := uint64(len(m)) - 1
+	if victim.slot != last {
+		// Swap the final record into the hole.
+		var lastRec dirRec
+		for _, r := range m {
+			if r.slot == last {
+				lastRec = r
+				break
+			}
+		}
+		lastRec.slot = victim.slot
+		if err := fs.writeDirSlot(dirIno, in, victim.slot, lastRec); err != nil {
+			return dirRec{}, err
+		}
+		m[lastRec.name] = lastRec
+	} else {
+		if err := fs.writeDirSlot(dirIno, in, victim.slot, dirRec{}); err != nil {
+			return dirRec{}, err
+		}
+	}
+	in.size = last * recSize
+	in.mtime = vclock.TS(fs.clk)
+	fs.markInodeDirty(dirIno)
+	delete(m, name)
+	return victim, nil
+}
+
+// Lookup resolves name in dir.
+func (fs *FS) Lookup(dir fsys.Handle, name string) (fsys.Handle, fsys.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	m, _, err := fs.loadDir(uint64(dir))
+	if err != nil {
+		return 0, fsys.Attr{}, err
+	}
+	rec, ok := m[name]
+	if !ok {
+		return 0, fsys.Attr{}, fsys.ErrNotFound
+	}
+	in, err := fs.getInode(rec.ino)
+	if err != nil {
+		return 0, fsys.Attr{}, err
+	}
+	return fsys.Handle(rec.ino), fs.attrOf(rec.ino, in), nil
+}
+
+// ReadDir lists dir.
+func (fs *FS) ReadDir(dir fsys.Handle) ([]fsys.DirEntry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	m, _, err := fs.loadDir(uint64(dir))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fsys.DirEntry, 0, len(m))
+	for _, r := range m {
+		out = append(out, fsys.DirEntry{Name: r.name, Handle: fsys.Handle(r.ino), Type: r.typ})
+	}
+	return out, nil
+}
+
+// ---- node creation ----
+
+func (fs *FS) makeNode(dir fsys.Handle, name string, typ fsys.FileType, mode uint32, data []byte) (fsys.Handle, fsys.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if len(name) == 0 || len(name) > maxNameLen {
+		return 0, fsys.Attr{}, types.ErrNameTooLong
+	}
+	m, _, err := fs.loadDir(uint64(dir))
+	if err != nil {
+		return 0, fsys.Attr{}, err
+	}
+	if _, exists := m[name]; exists {
+		return 0, fsys.Attr{}, fsys.ErrExist
+	}
+	ino, err := fs.allocInode()
+	if err != nil {
+		return 0, fsys.Attr{}, err
+	}
+	now := vclock.TS(fs.clk)
+	nlink := uint32(1)
+	if typ == fsys.TypeDir {
+		nlink = 2
+	}
+	in := &inode{typ: typ, mode: mode, nlink: nlink, mtime: now, ctime: now}
+	fs.inodes[ino] = in
+	fs.markInodeDirty(ino)
+	if typ == fsys.TypeDir {
+		fs.dirs[ino] = map[string]dirRec{}
+	}
+	if len(data) > 0 {
+		if err := fs.writeLocked(ino, in, 0, data); err != nil {
+			return 0, fsys.Attr{}, err
+		}
+	}
+	if err := fs.addEntry(uint64(dir), dirRec{name: name, ino: ino, typ: typ}); err != nil {
+		fs.inodeUse[ino] = false
+		delete(fs.inodes, ino)
+		return 0, fsys.Attr{}, err
+	}
+	if err := fs.flushPolicy(&ino); err != nil {
+		return 0, fsys.Attr{}, err
+	}
+	return fsys.Handle(ino), fs.attrOf(ino, in), nil
+}
+
+// Create makes a regular file.
+func (fs *FS) Create(dir fsys.Handle, name string, mode uint32) (fsys.Handle, fsys.Attr, error) {
+	return fs.makeNode(dir, name, fsys.TypeReg, mode, nil)
+}
+
+// Mkdir makes a directory.
+func (fs *FS) Mkdir(dir fsys.Handle, name string, mode uint32) (fsys.Handle, fsys.Attr, error) {
+	return fs.makeNode(dir, name, fsys.TypeDir, mode, nil)
+}
+
+// Symlink makes a symbolic link.
+func (fs *FS) Symlink(dir fsys.Handle, name, target string) (fsys.Handle, error) {
+	h, _, err := fs.makeNode(dir, name, fsys.TypeSymlink, 0777, []byte(target))
+	return h, err
+}
+
+// ReadLink returns a symlink target.
+func (fs *FS) ReadLink(h fsys.Handle) (string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	in, err := fs.getInode(uint64(h))
+	if err != nil {
+		return "", err
+	}
+	if in.typ != fsys.TypeSymlink {
+		return "", fsys.ErrInval
+	}
+	data, err := fs.readLocked(in, 0, int(in.size))
+	return string(data), err
+}
+
+// ---- removal ----
+
+func (fs *FS) freeFileBlocks(ino uint64, in *inode) error {
+	blocks := (in.size + blockSize - 1) / blockSize
+	for i := uint64(0); i < blocks; i++ {
+		b, err := fs.blockOf(in, i)
+		if err != nil {
+			return err
+		}
+		if b != 0 {
+			fs.freeBlock(b)
+		}
+	}
+	if in.indirect != 0 {
+		fs.freeBlock(in.indirect)
+		in.indirect = 0
+		in.ptrs = nil
+	}
+	return nil
+}
+
+// Remove unlinks a non-directory.
+func (fs *FS) Remove(dir fsys.Handle, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	m, _, err := fs.loadDir(uint64(dir))
+	if err != nil {
+		return err
+	}
+	rec, ok := m[name]
+	if !ok {
+		return fsys.ErrNotFound
+	}
+	if rec.typ == fsys.TypeDir {
+		return fsys.ErrIsDir
+	}
+	if _, err := fs.dropEntry(uint64(dir), name); err != nil {
+		return err
+	}
+	in, err := fs.getInode(rec.ino)
+	if err != nil {
+		return err
+	}
+	if in.nlink > 1 {
+		in.nlink--
+		fs.markInodeDirty(rec.ino)
+	} else {
+		if err := fs.freeFileBlocks(rec.ino, in); err != nil {
+			return err
+		}
+		in.typ = fsys.TypeNone
+		fs.markInodeDirty(rec.ino)
+		fs.inodeUse[rec.ino] = false
+		delete(fs.inodes, rec.ino)
+	}
+	return fs.flushPolicy(nil)
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(dir fsys.Handle, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	m, _, err := fs.loadDir(uint64(dir))
+	if err != nil {
+		return err
+	}
+	rec, ok := m[name]
+	if !ok {
+		return fsys.ErrNotFound
+	}
+	if rec.typ != fsys.TypeDir {
+		return fsys.ErrNotDir
+	}
+	sub, subIn, err := fs.loadDir(rec.ino)
+	if err != nil {
+		return err
+	}
+	if len(sub) > 0 {
+		return fsys.ErrNotEmpty
+	}
+	if _, err := fs.dropEntry(uint64(dir), name); err != nil {
+		return err
+	}
+	if err := fs.freeFileBlocks(rec.ino, subIn); err != nil {
+		return err
+	}
+	subIn.typ = fsys.TypeNone
+	fs.markInodeDirty(rec.ino)
+	fs.inodeUse[rec.ino] = false
+	delete(fs.inodes, rec.ino)
+	delete(fs.dirs, rec.ino)
+	return fs.flushPolicy(nil)
+}
+
+// Rename moves an entry, replacing a compatible target.
+func (fs *FS) Rename(fromDir fsys.Handle, fromName string, toDir fsys.Handle, toName string) error {
+	fs.mu.Lock()
+	sm, _, err := fs.loadDir(uint64(fromDir))
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	src, ok := sm[fromName]
+	fs.mu.Unlock()
+	if !ok {
+		return fsys.ErrNotFound
+	}
+	// Handle target replacement through the public paths (they manage
+	// link counts and block freeing).
+	fs.mu.Lock()
+	dm, _, err := fs.loadDir(uint64(toDir))
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	dst, exists := dm[toName]
+	fs.mu.Unlock()
+	if exists {
+		switch {
+		case dst.typ == fsys.TypeDir && src.typ != fsys.TypeDir:
+			return fsys.ErrIsDir
+		case dst.typ == fsys.TypeDir:
+			if err := fs.Rmdir(toDir, toName); err != nil {
+				return err
+			}
+		default:
+			if err := fs.Remove(toDir, toName); err != nil {
+				return err
+			}
+		}
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.dropEntry(uint64(fromDir), fromName); err != nil {
+		return err
+	}
+	if err := fs.addEntry(uint64(toDir), dirRec{name: toName, ino: src.ino, typ: src.typ}); err != nil {
+		return err
+	}
+	return fs.flushPolicy(nil)
+}
+
+// Link makes a hard link.
+func (fs *FS) Link(h fsys.Handle, dir fsys.Handle, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	in, err := fs.getInode(uint64(h))
+	if err != nil {
+		return err
+	}
+	if in.typ == fsys.TypeDir {
+		return fsys.ErrIsDir
+	}
+	if err := fs.addEntry(uint64(dir), dirRec{name: name, ino: uint64(h), typ: in.typ}); err != nil {
+		return err
+	}
+	in.nlink++
+	fs.markInodeDirty(uint64(h))
+	return fs.flushPolicy(nil)
+}
+
+// ---- data I/O ----
+
+func (fs *FS) readLocked(in *inode, off uint64, n int) ([]byte, error) {
+	if off >= in.size {
+		return nil, nil
+	}
+	if off+uint64(n) > in.size {
+		n = int(in.size - off)
+	}
+	out := make([]byte, n)
+	filled := 0
+	for filled < n {
+		blkIdx := (off + uint64(filled)) / blockSize
+		bo := (off + uint64(filled)) % blockSize
+		want := int(blockSize - bo)
+		if want > n-filled {
+			want = n - filled
+		}
+		b, err := fs.blockOf(in, blkIdx)
+		if err != nil {
+			return nil, err
+		}
+		if b != 0 {
+			data, err := fs.readData(b)
+			if err != nil {
+				return nil, err
+			}
+			copy(out[filled:filled+want], data[bo:int(bo)+want])
+		}
+		filled += want
+	}
+	return out, nil
+}
+
+// Read returns up to n bytes at off.
+func (fs *FS) Read(h fsys.Handle, off uint64, n int) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	in, err := fs.getInode(uint64(h))
+	if err != nil {
+		return nil, err
+	}
+	return fs.readLocked(in, off, n)
+}
+
+func (fs *FS) writeLocked(ino uint64, in *inode, off uint64, data []byte) error {
+	end := off + uint64(len(data))
+	if (end+blockSize-1)/blockSize > maxFileBlocks {
+		return fsys.ErrNoSpace
+	}
+	pos := off
+	for pos < end {
+		blkIdx := pos / blockSize
+		bo := pos % blockSize
+		want := blockSize - bo
+		if want > end-pos {
+			want = end - pos
+		}
+		b, err := fs.blockOf(in, blkIdx)
+		if err != nil {
+			return err
+		}
+		var blk []byte
+		if b == 0 {
+			if b, err = fs.allocBlock(); err != nil {
+				return err
+			}
+			if err := fs.setBlockOf(ino, in, blkIdx, b); err != nil {
+				return err
+			}
+			blk = make([]byte, blockSize)
+		} else {
+			old, err := fs.readData(b)
+			if err != nil {
+				return err
+			}
+			blk = make([]byte, blockSize)
+			copy(blk, old)
+		}
+		copy(blk[bo:bo+want], data[pos-off:pos-off+uint64(want)])
+		// In-place data write-through (conventional file system: data
+		// is overwritten where it lives; no old version survives).
+		if err := fs.writeData(b, blk); err != nil {
+			return err
+		}
+		pos += want
+	}
+	if end > in.size {
+		in.size = end
+	}
+	in.mtime = vclock.TS(fs.clk)
+	fs.markInodeDirty(ino)
+	return nil
+}
+
+// Write stores data at off.
+func (fs *FS) Write(h fsys.Handle, off uint64, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino := uint64(h)
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return err
+	}
+	if in.typ == fsys.TypeDir {
+		return fsys.ErrIsDir
+	}
+	if err := fs.writeLocked(ino, in, off, data); err != nil {
+		return err
+	}
+	return fs.flushPolicy(&ino)
+}
+
+// SetAttr applies a partial update; Size truncates/extends.
+func (fs *FS) SetAttr(h fsys.Handle, sa fsys.SetAttr) (fsys.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino := uint64(h)
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return fsys.Attr{}, err
+	}
+	if sa.Mode != nil {
+		in.mode = *sa.Mode
+	}
+	if sa.UID != nil {
+		in.uid = *sa.UID
+	}
+	if sa.GID != nil {
+		in.gid = *sa.GID
+	}
+	if sa.Size != nil && *sa.Size != in.size {
+		if in.typ == fsys.TypeDir {
+			return fsys.Attr{}, fsys.ErrIsDir
+		}
+		newSize := *sa.Size
+		if newSize < in.size {
+			// Free whole blocks beyond the new size and zero the tail
+			// of the retained partial block.
+			firstGone := (newSize + blockSize - 1) / blockSize
+			lastOld := (in.size - 1) / blockSize
+			for i := firstGone; i <= lastOld; i++ {
+				if b, err := fs.blockOf(in, i); err == nil && b != 0 {
+					fs.freeBlock(b)
+					_ = fs.setBlockOf(ino, in, i, 0)
+				}
+			}
+			if rem := newSize % blockSize; rem != 0 {
+				if b, err := fs.blockOf(in, newSize/blockSize); err == nil && b != 0 {
+					old, err := fs.readData(b)
+					if err != nil {
+						return fsys.Attr{}, err
+					}
+					blk := make([]byte, blockSize)
+					copy(blk[:rem], old[:rem])
+					if err := fs.writeData(b, blk); err != nil {
+						return fsys.Attr{}, err
+					}
+				}
+			}
+		} else if (newSize+blockSize-1)/blockSize > maxFileBlocks {
+			return fsys.Attr{}, fsys.ErrNoSpace
+		}
+		in.size = newSize
+	}
+	in.mtime = vclock.TS(fs.clk)
+	fs.markInodeDirty(ino)
+	if err := fs.flushPolicy(&ino); err != nil {
+		return fsys.Attr{}, err
+	}
+	return fs.attrOf(ino, in), nil
+}
+
+// StatFS reports capacity.
+func (fs *FS) StatFS() (fsys.Stat, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var used int64
+	for _, u := range fs.blockUse {
+		if u {
+			used++
+		}
+	}
+	return fsys.Stat{
+		TotalBytes: uint64(fs.nBlocks) * blockSize,
+		FreeBytes:  uint64(fs.nBlocks-used) * blockSize,
+	}, nil
+}

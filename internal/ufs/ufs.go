@@ -1,0 +1,507 @@
+// Package ufs is the conventional, update-in-place file system used as
+// the paper's comparison baseline (§5.1.1): the FreeBSD FFS/NFS and
+// Linux ext2(sync)/NFS servers of Figs. 3 and 4.
+//
+// It is a classic Unix layout on the shared simulated disk — superblock,
+// block bitmap, inode table, data blocks, directories as fixed-size
+// record arrays — with a write policy knob that reproduces the two
+// baselines' characters:
+//
+//   - FFSSync: every metadata change (inode, directory block, bitmap)
+//     is written synchronously at operation end, each as its own small
+//     disk write. This is why FFS-backed NFSv2 is slow on small-file
+//     create/delete workloads.
+//   - Ext2Sync: file data and the file's own inode are written through,
+//     but directory blocks and bitmaps are only marked dirty and flushed
+//     lazily — reproducing the paper's observation that the Linux
+//     "sync" mount issued far fewer write I/Os (a flaw, §5.1.2).
+//   - Async: everything is cached until Sync.
+//
+// Like the S4 client, ufs keeps an in-memory directory cache so lookups
+// cost no I/O once warm; what differs between the systems under test is
+// the write traffic, which is the effect the figures measure.
+package ufs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"s4/internal/disk"
+	"s4/internal/fsys"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// Policy selects the metadata write discipline.
+type Policy uint8
+
+// Write policies.
+const (
+	// FFSSync models FreeBSD FFS under NFSv2: synchronous metadata.
+	FFSSync Policy = iota
+	// Ext2Sync models Linux 2.2 ext2 mounted sync (incompletely).
+	Ext2Sync
+	// Async defers all metadata until Sync.
+	Async
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FFSSync:
+		return "ffs-sync"
+	case Ext2Sync:
+		return "ext2-sync"
+	case Async:
+		return "async"
+	}
+	return "policy?"
+}
+
+const (
+	blockSize     = types.BlockSize
+	inodeSize     = 256
+	inodesPerBlk  = blockSize / inodeSize
+	ptrsPerBlock  = blockSize / 8
+	nDirect       = 12
+	recSize       = 128
+	maxNameLen    = 117
+	superMagic    = 0x55465331 // "UFS1"
+	rootIno       = 1
+	maxFileBlocks = nDirect + ptrsPerBlock // direct + single indirect
+)
+
+// inode is the in-memory (and, serialized, on-disk) inode.
+type inode struct {
+	typ      fsys.FileType
+	mode     uint32
+	nlink    uint32
+	uid      uint32
+	gid      uint32
+	size     uint64
+	mtime    types.Timestamp
+	ctime    types.Timestamp
+	direct   [nDirect]uint64
+	indirect uint64 // block number of the pointer block
+	// ptrs caches the indirect pointer block contents (loaded lazily).
+	ptrs []uint64
+}
+
+func (in *inode) encode(buf []byte) {
+	buf[0] = byte(in.typ)
+	binary.LittleEndian.PutUint32(buf[1:], in.mode)
+	binary.LittleEndian.PutUint32(buf[5:], in.nlink)
+	binary.LittleEndian.PutUint32(buf[9:], in.uid)
+	binary.LittleEndian.PutUint32(buf[13:], in.gid)
+	binary.LittleEndian.PutUint64(buf[17:], in.size)
+	binary.LittleEndian.PutUint64(buf[25:], uint64(in.mtime))
+	binary.LittleEndian.PutUint64(buf[33:], uint64(in.ctime))
+	p := 41
+	for i := 0; i < nDirect; i++ {
+		binary.LittleEndian.PutUint64(buf[p:], in.direct[i])
+		p += 8
+	}
+	binary.LittleEndian.PutUint64(buf[p:], in.indirect)
+}
+
+func decodeInode(buf []byte) inode {
+	var in inode
+	in.typ = fsys.FileType(buf[0])
+	in.mode = binary.LittleEndian.Uint32(buf[1:])
+	in.nlink = binary.LittleEndian.Uint32(buf[5:])
+	in.uid = binary.LittleEndian.Uint32(buf[9:])
+	in.gid = binary.LittleEndian.Uint32(buf[13:])
+	in.size = binary.LittleEndian.Uint64(buf[17:])
+	in.mtime = types.Timestamp(binary.LittleEndian.Uint64(buf[25:]))
+	in.ctime = types.Timestamp(binary.LittleEndian.Uint64(buf[33:]))
+	p := 41
+	for i := 0; i < nDirect; i++ {
+		in.direct[i] = binary.LittleEndian.Uint64(buf[p:])
+		p += 8
+	}
+	in.indirect = binary.LittleEndian.Uint64(buf[p:])
+	return in
+}
+
+// Options configures mkfs/mount.
+type Options struct {
+	Policy Policy
+	// Inodes fixes the inode table size; 0 picks 1 inode per 8KB.
+	Inodes int
+	// CacheBytes bounds the in-memory data block cache (the server's
+	// page cache; the paper's NFS servers could grow to 512MB). 0
+	// means 256MB.
+	CacheBytes int64
+	// Clock for mtime stamps; nil means wall clock.
+	Clock vclock.Clock
+}
+
+type dirRec struct {
+	name string
+	ino  uint64
+	typ  fsys.FileType
+	slot uint64
+}
+
+// FS is a mounted ufs file system. It implements fsys.FileSys.
+type FS struct {
+	dev  disk.Device
+	opts Options
+	clk  vclock.Clock
+
+	nBlocks    int64
+	bmStart    int64 // block bitmap start block
+	bmBlocks   int64
+	itabStart  int64
+	itabBlocks int64
+	dataStart  int64
+	nInodes    int
+
+	mu        sync.Mutex
+	inodes    map[uint64]*inode // loaded inodes (all, once touched)
+	inodeUse  []bool
+	blockUse  []bool
+	allocHint int64
+	dirs      map[uint64]map[string]dirRec
+
+	// Write-back state.
+	dirtyMeta  map[int64][]byte // metadata block -> contents to write
+	cache      map[uint64][]byte
+	cacheList  []uint64 // rough FIFO for eviction
+	cacheBytes int64
+}
+
+var _ fsys.FileSys = (*FS)(nil)
+
+// Mkfs formats dev and returns a mounted file system with a root
+// directory.
+func Mkfs(dev disk.Device, opts Options) (*FS, error) {
+	if opts.Clock == nil {
+		opts.Clock = vclock.Wall{}
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 256 << 20
+	}
+	nBlocks := dev.Capacity() / blockSize
+	nInodes := opts.Inodes
+	if nInodes == 0 {
+		nInodes = int(dev.Capacity() / 8192)
+	}
+	fs := &FS{dev: dev, opts: opts, clk: opts.Clock, nBlocks: nBlocks, nInodes: nInodes}
+	fs.bmStart = 1
+	fs.bmBlocks = (nBlocks + blockSize*8 - 1) / (blockSize * 8)
+	fs.itabStart = fs.bmStart + fs.bmBlocks
+	fs.itabBlocks = int64((nInodes + inodesPerBlk - 1) / inodesPerBlk)
+	fs.dataStart = fs.itabStart + fs.itabBlocks
+	if fs.dataStart+16 >= nBlocks {
+		return nil, fmt.Errorf("ufs: device too small: %w", types.ErrInval)
+	}
+	fs.initState()
+	// Superblock.
+	sb := make([]byte, blockSize)
+	binary.LittleEndian.PutUint32(sb[0:], superMagic)
+	binary.LittleEndian.PutUint64(sb[4:], uint64(nBlocks))
+	binary.LittleEndian.PutUint64(sb[12:], uint64(nInodes))
+	if err := fs.writeBlock(0, sb); err != nil {
+		return nil, err
+	}
+	// Root directory.
+	now := vclock.TS(fs.clk)
+	root := &inode{typ: fsys.TypeDir, mode: 0755, nlink: 2, mtime: now, ctime: now}
+	fs.inodes[rootIno] = root
+	fs.inodeUse[rootIno] = true
+	fs.dirs[rootIno] = map[string]dirRec{}
+	fs.markInodeDirty(rootIno)
+	if err := fs.flushPolicy(nil); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func (fs *FS) initState() {
+	fs.inodes = make(map[uint64]*inode)
+	fs.inodeUse = make([]bool, fs.nInodes+1)
+	fs.blockUse = make([]bool, fs.nBlocks)
+	for b := int64(0); b < fs.dataStart; b++ {
+		fs.blockUse[b] = true
+	}
+	fs.allocHint = fs.dataStart
+	fs.dirs = make(map[uint64]map[string]dirRec)
+	fs.dirtyMeta = make(map[int64][]byte)
+	fs.cache = make(map[uint64][]byte)
+}
+
+// ---- low-level block I/O ----
+
+func (fs *FS) writeBlock(b int64, data []byte) error {
+	return fs.dev.WriteSectors(b*(blockSize/disk.SectorSize), data)
+}
+
+func (fs *FS) readBlock(b int64, data []byte) error {
+	return fs.dev.ReadSectors(b*(blockSize/disk.SectorSize), data)
+}
+
+// cachePut stores a data block in the page cache with rough FIFO
+// eviction.
+func (fs *FS) cachePut(b uint64, data []byte) {
+	if _, ok := fs.cache[b]; !ok {
+		fs.cacheList = append(fs.cacheList, b)
+		fs.cacheBytes += blockSize
+	}
+	fs.cache[b] = data
+	for fs.cacheBytes > fs.opts.CacheBytes && len(fs.cacheList) > 0 {
+		old := fs.cacheList[0]
+		fs.cacheList = fs.cacheList[1:]
+		if _, ok := fs.cache[old]; ok {
+			delete(fs.cache, old)
+			fs.cacheBytes -= blockSize
+		}
+	}
+}
+
+// readData returns a data block through the page cache.
+func (fs *FS) readData(b uint64) ([]byte, error) {
+	if data, ok := fs.cache[b]; ok {
+		return data, nil
+	}
+	data := make([]byte, blockSize)
+	if err := fs.readBlock(int64(b), data); err != nil {
+		return nil, err
+	}
+	fs.cachePut(b, data)
+	return data, nil
+}
+
+// writeData writes a file data block through to disk and cache.
+func (fs *FS) writeData(b uint64, data []byte) error {
+	fs.cachePut(b, data)
+	return fs.writeBlock(int64(b), data)
+}
+
+// ---- allocation ----
+
+func (fs *FS) allocBlock() (uint64, error) {
+	for i := int64(0); i < fs.nBlocks; i++ {
+		b := fs.allocHint + i
+		if b >= fs.nBlocks {
+			b -= fs.nBlocks - fs.dataStart
+		}
+		if b < fs.dataStart {
+			b = fs.dataStart
+		}
+		if !fs.blockUse[b] {
+			fs.blockUse[b] = true
+			fs.allocHint = b + 1
+			fs.markBitmapDirty(b)
+			return uint64(b), nil
+		}
+	}
+	return 0, fsys.ErrNoSpace
+}
+
+func (fs *FS) freeBlock(b uint64) {
+	if int64(b) >= fs.dataStart && int64(b) < fs.nBlocks {
+		fs.blockUse[b] = false
+		fs.markBitmapDirty(int64(b))
+		delete(fs.cache, b)
+	}
+}
+
+func (fs *FS) allocInode() (uint64, error) {
+	for i := 1; i <= fs.nInodes; i++ {
+		if !fs.inodeUse[i] {
+			fs.inodeUse[i] = true
+			return uint64(i), nil
+		}
+	}
+	return 0, fsys.ErrNoSpace
+}
+
+// ---- dirty metadata tracking & policy ----
+
+func (fs *FS) markInodeDirty(ino uint64) {
+	blk := fs.itabStart + int64(ino)/inodesPerBlk
+	fs.dirtyMeta[blk] = nil // contents built at flush
+}
+
+func (fs *FS) markBitmapDirty(b int64) {
+	blk := fs.bmStart + b/(blockSize*8)
+	fs.dirtyMeta[blk] = nil
+}
+
+func (fs *FS) markDirBlockDirty(dataBlk uint64) {
+	fs.dirtyMeta[int64(dataBlk)] = nil
+}
+
+// buildMetaBlock materializes the current contents of a metadata block.
+func (fs *FS) buildMetaBlock(blk int64) ([]byte, error) {
+	buf := make([]byte, blockSize)
+	switch {
+	case blk >= fs.itabStart && blk < fs.itabStart+fs.itabBlocks:
+		first := uint64((blk - fs.itabStart) * inodesPerBlk)
+		for i := uint64(0); i < inodesPerBlk; i++ {
+			ino := first + i
+			if in, ok := fs.inodes[ino]; ok && ino != 0 {
+				in.encode(buf[i*inodeSize : (i+1)*inodeSize])
+			}
+		}
+	case blk >= fs.bmStart && blk < fs.bmStart+fs.bmBlocks:
+		firstBit := (blk - fs.bmStart) * blockSize * 8
+		for i := int64(0); i < blockSize*8 && firstBit+i < fs.nBlocks; i++ {
+			if fs.blockUse[firstBit+i] {
+				buf[i/8] |= 1 << (i % 8)
+			}
+		}
+	default:
+		// Directory data block: already written through writeData's
+		// cache; fetch from cache (or disk).
+		data, err := fs.readData(uint64(blk))
+		if err != nil {
+			return nil, err
+		}
+		copy(buf, data)
+	}
+	return buf, nil
+}
+
+// flushPolicy applies the write policy after a mutating operation.
+// fileIno, when non-nil, names the file whose data/inode were touched
+// (ext2-sync writes that inode through but leaves the rest dirty).
+func (fs *FS) flushPolicy(fileIno *uint64) error {
+	switch fs.opts.Policy {
+	case FFSSync:
+		return fs.flushAllMetaLocked()
+	case Ext2Sync:
+		if fileIno != nil {
+			blk := fs.itabStart + int64(*fileIno)/inodesPerBlk
+			if _, dirty := fs.dirtyMeta[blk]; dirty {
+				data, err := fs.buildMetaBlock(blk)
+				if err != nil {
+					return err
+				}
+				if err := fs.writeBlock(blk, data); err != nil {
+					return err
+				}
+				delete(fs.dirtyMeta, blk)
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// flushAllMetaLocked writes every dirty metadata block, one small write
+// each — the synchronous-metadata cost the paper's FFS baseline pays.
+func (fs *FS) flushAllMetaLocked() error {
+	for blk := range fs.dirtyMeta {
+		data, err := fs.buildMetaBlock(blk)
+		if err != nil {
+			return err
+		}
+		if err := fs.writeBlock(blk, data); err != nil {
+			return err
+		}
+		delete(fs.dirtyMeta, blk)
+	}
+	return nil
+}
+
+// Sync flushes all dirty metadata.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.flushAllMetaLocked()
+}
+
+// ---- block mapping ----
+
+// blockOf returns the data block holding file block idx (0 = hole).
+func (fs *FS) blockOf(in *inode, idx uint64) (uint64, error) {
+	if idx < nDirect {
+		return in.direct[idx], nil
+	}
+	idx -= nDirect
+	if idx >= ptrsPerBlock {
+		return 0, fsys.ErrInval
+	}
+	if in.indirect == 0 {
+		return 0, nil
+	}
+	if in.ptrs == nil {
+		data, err := fs.readData(in.indirect)
+		if err != nil {
+			return 0, err
+		}
+		in.ptrs = make([]uint64, ptrsPerBlock)
+		for i := range in.ptrs {
+			in.ptrs[i] = binary.LittleEndian.Uint64(data[i*8:])
+		}
+	}
+	return in.ptrs[idx], nil
+}
+
+// setBlockOf installs a mapping, allocating the indirect block when
+// needed. ino is the owning inode number (for dirty tracking).
+func (fs *FS) setBlockOf(ino uint64, in *inode, idx uint64, b uint64) error {
+	if idx < nDirect {
+		in.direct[idx] = b
+		fs.markInodeDirty(ino)
+		return nil
+	}
+	idx -= nDirect
+	if idx >= ptrsPerBlock {
+		return fsys.ErrInval
+	}
+	if in.indirect == 0 {
+		nb, err := fs.allocBlock()
+		if err != nil {
+			return err
+		}
+		in.indirect = nb
+		in.ptrs = make([]uint64, ptrsPerBlock)
+		fs.markInodeDirty(ino)
+	}
+	if in.ptrs == nil {
+		if _, err := fs.blockOf(in, nDirect); err != nil { // loads ptrs
+			return err
+		}
+		if in.ptrs == nil {
+			in.ptrs = make([]uint64, ptrsPerBlock)
+		}
+	}
+	in.ptrs[idx] = b
+	// The pointer block is metadata: write it through the dirty set.
+	buf := make([]byte, blockSize)
+	for i := range in.ptrs {
+		binary.LittleEndian.PutUint64(buf[i*8:], in.ptrs[i])
+	}
+	fs.cachePut(in.indirect, buf)
+	fs.markDirBlockDirty(in.indirect)
+	return nil
+}
+
+func (fs *FS) getInode(ino uint64) (*inode, error) {
+	if ino == 0 || ino > uint64(fs.nInodes) {
+		return nil, fsys.ErrStale
+	}
+	if in, ok := fs.inodes[ino]; ok {
+		return in, nil
+	}
+	if !fs.inodeUse[ino] {
+		return nil, fsys.ErrStale
+	}
+	// Load from the inode table.
+	blk := fs.itabStart + int64(ino)/inodesPerBlk
+	buf := make([]byte, blockSize)
+	if err := fs.readBlock(blk, buf); err != nil {
+		return nil, err
+	}
+	off := (ino % inodesPerBlk) * inodeSize
+	in := decodeInode(buf[off : off+inodeSize])
+	if in.typ == fsys.TypeNone {
+		return nil, fsys.ErrStale
+	}
+	fs.inodes[ino] = &in
+	return &in, nil
+}

@@ -1,0 +1,141 @@
+package ufs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"s4/internal/disk"
+	"s4/internal/fsys"
+	"s4/internal/vclock"
+)
+
+func newUFS(t *testing.T, p Policy) (*FS, *disk.Disk, *vclock.Virtual) {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	dev := disk.New(disk.SmallDisk(128<<20), clk)
+	fs, err := Mkfs(dev, Options{Policy: p, Clock: clk, CacheBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, dev, clk
+}
+
+func TestConformanceFFSSync(t *testing.T) {
+	fsys.RunConformance(t, func(t *testing.T) fsys.FileSys {
+		fs, _, _ := newUFS(t, FFSSync)
+		return fs
+	})
+}
+
+func TestConformanceExt2Sync(t *testing.T) {
+	fsys.RunConformance(t, func(t *testing.T) fsys.FileSys {
+		fs, _, _ := newUFS(t, Ext2Sync)
+		return fs
+	})
+}
+
+func TestConformanceAsync(t *testing.T) {
+	fsys.RunConformance(t, func(t *testing.T) fsys.FileSys {
+		fs, _, _ := newUFS(t, Async)
+		return fs
+	})
+}
+
+func TestPolicyWriteTraffic(t *testing.T) {
+	// The whole point of the baselines: FFS-sync issues many more
+	// metadata writes than ext2-sync for a create-heavy workload
+	// (§5.1.2's explanation of the Linux configure-phase anomaly).
+	measure := func(p Policy) int64 {
+		fs, dev, _ := newUFS(t, p)
+		dev.ResetStats()
+		for i := 0; i < 100; i++ {
+			name := "f" + string(rune('a'+i/10)) + string(rune('0'+i%10))
+			h, _, err := fs.Create(fs.Root(), name, 0644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Write(h, 0, bytes.Repeat([]byte{1}, 1000)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dev.Stats().Writes
+	}
+	ffs, ext2 := measure(FFSSync), measure(Ext2Sync)
+	if ffs <= ext2 {
+		t.Fatalf("FFS-sync (%d writes) must exceed ext2-sync (%d writes)", ffs, ext2)
+	}
+	if ext2 == 0 {
+		t.Fatal("ext2-sync wrote nothing; data must still be written through")
+	}
+}
+
+func TestBlockReuseAfterDelete(t *testing.T) {
+	// Unlike S4, a conventional file system reuses freed blocks at
+	// once — deleted data is unrecoverable (the vulnerability the paper
+	// addresses).
+	fs, _, _ := newUFS(t, FFSSync)
+	h, _, err := fs.Create(fs.Root(), "victim", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(h, 0, bytes.Repeat([]byte{0xAB}, 8*blockSize)); err != nil {
+		t.Fatal(err)
+	}
+	stBefore, _ := fs.StatFS()
+	if err := fs.Remove(fs.Root(), "victim"); err != nil {
+		t.Fatal(err)
+	}
+	stAfter, _ := fs.StatFS()
+	if stAfter.FreeBytes <= stBefore.FreeBytes {
+		t.Fatal("blocks not reclaimed immediately on delete")
+	}
+}
+
+func TestSyncFlushesDirtyMetadata(t *testing.T) {
+	fs, dev, _ := newUFS(t, Async)
+	for i := 0; i < 20; i++ {
+		if _, _, err := fs.Create(fs.Root(), "f"+string(rune('a'+i)), 0644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := dev.Stats().Writes
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().Writes == before {
+		t.Fatal("sync issued no writes despite dirty metadata")
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileSizeLimit(t *testing.T) {
+	fs, _, _ := newUFS(t, Async)
+	h, _, err := fs.Create(fs.Root(), "big", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beyond direct + single indirect must fail cleanly.
+	tooBig := uint64(maxFileBlocks+1) * blockSize
+	if err := fs.Write(h, tooBig-blockSize, []byte("x")); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestMtimeAdvances(t *testing.T) {
+	fs, _, clk := newUFS(t, Async)
+	h, a0, err := fs.Create(fs.Root(), "t", 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if err := fs.Write(h, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := fs.GetAttr(h)
+	if a1.Mtime <= a0.Mtime {
+		t.Fatal("mtime did not advance")
+	}
+}

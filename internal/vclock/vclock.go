@@ -1,0 +1,90 @@
+// Package vclock provides the clock abstraction used throughout S4.
+//
+// All performance-sensitive components (the disk model, the drive, the
+// cleaner, the RPC latency model) take a Clock rather than calling
+// time.Now directly. Production daemons use Wall; the benchmark harness
+// uses Virtual, a deterministic discrete-event clock that components
+// advance by the service time of each simulated operation. Two runs with
+// the same seed therefore produce identical timings.
+package vclock
+
+import (
+	"sync"
+	"time"
+
+	"s4/internal/types"
+)
+
+// Clock is the time source abstraction.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks (or, for a virtual clock, advances time) for d.
+	Sleep(d time.Duration)
+}
+
+// Advancer is implemented by clocks whose time is moved explicitly by
+// the simulation (the disk model advances the clock by each request's
+// service time).
+type Advancer interface {
+	// Advance moves the clock forward by d. Negative d is ignored.
+	Advance(d time.Duration)
+}
+
+// Wall is the real-time clock.
+type Wall struct{}
+
+// Now returns the wall-clock time.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d of real time.
+func (Wall) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Virtual is a deterministic simulated clock. The zero value starts at
+// the Unix epoch; NewVirtual picks a fixed, readable base time.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtual returns a virtual clock starting at a fixed base time.
+func NewVirtual() *Virtual {
+	return &Virtual{now: time.Date(2000, time.October, 23, 9, 0, 0, 0, time.UTC)}
+}
+
+// NewVirtualAt returns a virtual clock starting at t.
+func NewVirtualAt(t time.Time) *Virtual { return &Virtual{now: t} }
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep advances the virtual clock by d; it never blocks.
+func (v *Virtual) Sleep(d time.Duration) { v.Advance(d) }
+
+// Advance moves the virtual clock forward by d. Negative durations are
+// ignored so callers may pass computed deltas without clamping.
+func (v *Virtual) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	v.mu.Unlock()
+}
+
+// Set jumps the clock to t if t is later than the current time. It is
+// used by harnesses that replay traces with absolute timestamps.
+func (v *Virtual) Set(t time.Time) {
+	v.mu.Lock()
+	if t.After(v.now) {
+		v.now = t
+	}
+	v.mu.Unlock()
+}
+
+// TS returns the clock's current time as a types.Timestamp.
+func TS(c Clock) types.Timestamp { return types.TS(c.Now()) }

@@ -1,0 +1,90 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	start := v.Now()
+	v.Advance(3 * time.Second)
+	if got := v.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("advanced %v, want 3s", got)
+	}
+	v.Advance(-time.Second) // negative ignored
+	if got := v.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("negative advance moved clock: %v", got)
+	}
+}
+
+func TestVirtualSleepDoesNotBlock(t *testing.T) {
+	v := NewVirtual()
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(24 * time.Hour)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("virtual Sleep blocked")
+	}
+	if v.Now().Sub(NewVirtual().Now()) != 24*time.Hour {
+		t.Fatal("Sleep must advance virtual time")
+	}
+}
+
+func TestVirtualSet(t *testing.T) {
+	v := NewVirtual()
+	base := v.Now()
+	v.Set(base.Add(time.Hour))
+	if !v.Now().Equal(base.Add(time.Hour)) {
+		t.Fatal("Set forward failed")
+	}
+	v.Set(base) // backward jump ignored
+	if !v.Now().Equal(base.Add(time.Hour)) {
+		t.Fatal("Set must never move the clock backward")
+	}
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual()
+	start := v.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now().Sub(start); got != 8*1000*time.Microsecond {
+		t.Fatalf("lost advances: %v", got)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	var w Wall
+	before := time.Now()
+	got := w.Now()
+	if got.Before(before.Add(-time.Second)) {
+		t.Fatal("wall clock is wildly off")
+	}
+	// Interface compliance.
+	var _ Clock = Wall{}
+	var _ Clock = NewVirtual()
+	var _ Advancer = NewVirtual()
+}
+
+func TestNewVirtualAt(t *testing.T) {
+	at := time.Date(1999, 1, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtualAt(at)
+	if !v.Now().Equal(at) {
+		t.Fatal("NewVirtualAt start time wrong")
+	}
+}

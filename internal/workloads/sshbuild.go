@@ -1,0 +1,328 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"s4/internal/fsys"
+)
+
+// SSHBuild models the paper's SSH-build benchmark (§5.1.1): unpacking,
+// configuring, and building SSH v1.2.27. We cannot ship the original
+// tarball, so a seeded synthetic source tree with the same character is
+// used: ~1MB compressed archive ≈ 3MB of sources in a handful of
+// directories, a configure phase that generates and deletes many tiny
+// probe programs, and a build phase that reads every source and writes
+// object files and executables. What the figures compare is file-system
+// write traffic, which this trace reproduces: metadata-heavy unpack,
+// small-file-churn configure, and large-write build.
+type SSHBuildConfig struct {
+	Seed int64
+	// SourceFiles and meanSize control tree scale; defaults approximate
+	// ssh-1.2.27 (about 270 C files and headers, ~3MB total).
+	SourceFiles int
+	MeanSize    int
+	// ConfigureProbes is the number of feature-test programs the
+	// configure phase compiles and removes.
+	ConfigureProbes int
+}
+
+// DefaultSSHBuild matches the paper's workload scale.
+func DefaultSSHBuild() SSHBuildConfig {
+	return SSHBuildConfig{Seed: 1, SourceFiles: 270, MeanSize: 11000, ConfigureProbes: 120}
+}
+
+// SSHBuild is an executable instance.
+type SSHBuild struct {
+	cfg SSHBuildConfig
+	fs  fsys.FileSys
+	rnd *rand.Rand
+
+	srcDirs  []fsys.Handle
+	srcFiles []sshFile
+	buildDir fsys.Handle
+}
+
+type sshFile struct {
+	dir  fsys.Handle
+	name string
+	h    fsys.Handle
+	size int
+}
+
+// NewSSHBuild prepares an instance over fs.
+func NewSSHBuild(fs fsys.FileSys, cfg SSHBuildConfig) *SSHBuild {
+	if cfg.SourceFiles == 0 {
+		cfg = DefaultSSHBuild()
+	}
+	return &SSHBuild{cfg: cfg, fs: fs, rnd: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+func (s *SSHBuild) fill(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(' ' + s.rnd.Intn(94))
+	}
+	return b
+}
+
+// fileSize draws a source-file size: mostly small, a few large (the
+// long-tailed distribution of C sources).
+func (s *SSHBuild) fileSize() int {
+	base := s.rnd.Intn(s.cfg.MeanSize) + 200
+	if s.rnd.Intn(10) == 0 {
+		base *= 5 // the occasional big file (e.g. sshd.c)
+	}
+	return base
+}
+
+// UnpackPhase simulates "tar xzf ssh-1.2.27.tar.gz": directory creation
+// plus sequential writes of every source file, stressing metadata
+// operations on files of varying sizes.
+func (s *SSHBuild) UnpackPhase() error {
+	top, _, err := s.fs.Mkdir(s.fs.Root(), "ssh-1.2.27", 0755)
+	if err != nil {
+		return err
+	}
+	dirNames := []string{".", "lib", "zlib", "gmp", "rsaref", "doc", "config"}
+	dirs := []fsys.Handle{top}
+	for _, n := range dirNames[1:] {
+		d, _, err := s.fs.Mkdir(top, n, 0755)
+		if err != nil {
+			return err
+		}
+		dirs = append(dirs, d)
+	}
+	s.srcDirs = dirs
+	for i := 0; i < s.cfg.SourceFiles; i++ {
+		d := dirs[s.rnd.Intn(len(dirs))]
+		name := fmt.Sprintf("src%03d.c", i)
+		if s.rnd.Intn(4) == 0 {
+			name = fmt.Sprintf("hdr%03d.h", i)
+		}
+		h, _, err := s.fs.Create(d, name, 0644)
+		if err != nil {
+			return err
+		}
+		size := s.fileSize()
+		// Tar writes sequentially in 10KB-ish chunks.
+		data := s.fill(size)
+		for off := 0; off < size; off += 10240 {
+			end := off + 10240
+			if end > size {
+				end = size
+			}
+			if err := s.fs.Write(h, uint64(off), data[off:end]); err != nil {
+				return err
+			}
+		}
+		s.srcFiles = append(s.srcFiles, sshFile{dir: d, name: name, h: h, size: size})
+	}
+	return nil
+}
+
+// ConfigurePhase simulates ./configure: many small feature probes are
+// written, "compiled" (read back, tiny binary written), and removed,
+// then config.h and Makefiles are generated.
+func (s *SSHBuild) ConfigurePhase() error {
+	top := s.srcDirs[0]
+	cfgDir, _, err := s.fs.Mkdir(top, "conftest.dir", 0755)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < s.cfg.ConfigureProbes; i++ {
+		src := fmt.Sprintf("conftest%d.c", i)
+		h, _, err := s.fs.Create(cfgDir, src, 0644)
+		if err != nil {
+			return err
+		}
+		if err := s.fs.Write(h, 0, s.fill(200+s.rnd.Intn(800))); err != nil {
+			return err
+		}
+		// "Compile": read the probe and a couple of headers, write the
+		// test binary, run it, delete both.
+		if _, err := s.fs.Read(h, 0, 1024); err != nil {
+			return err
+		}
+		if len(s.srcFiles) > 0 {
+			f := s.srcFiles[s.rnd.Intn(len(s.srcFiles))]
+			if _, err := s.fs.Read(f.h, 0, 4096); err != nil {
+				return err
+			}
+		}
+		bin := fmt.Sprintf("conftest%d", i)
+		bh, _, err := s.fs.Create(cfgDir, bin, 0755)
+		if err != nil {
+			return err
+		}
+		if err := s.fs.Write(bh, 0, s.fill(3000+s.rnd.Intn(5000))); err != nil {
+			return err
+		}
+		if err := s.fs.Remove(cfgDir, src); err != nil {
+			return err
+		}
+		if err := s.fs.Remove(cfgDir, bin); err != nil {
+			return err
+		}
+	}
+	// Generated outputs.
+	for _, out := range []struct {
+		name string
+		size int
+	}{{"config.h", 9000}, {"config.status", 25000}, {"Makefile", 30000}, {"config.log", 45000}} {
+		h, _, err := s.fs.Create(top, out.name, 0644)
+		if err != nil {
+			return err
+		}
+		if err := s.fs.Write(h, 0, s.fill(out.size)); err != nil {
+			return err
+		}
+	}
+	return s.fs.Rmdir(top, "conftest.dir")
+}
+
+// BuildPhase simulates make: every source is read, an object file is
+// written per compilation unit, executables are linked, and temporary
+// files are removed. CPU time is not modeled — the figures compare file
+// system service time, and the harness adds the network cost.
+func (s *SSHBuild) BuildPhase() error {
+	top := s.srcDirs[0]
+	bd, _, err := s.fs.Mkdir(top, "obj", 0755)
+	if err != nil {
+		return err
+	}
+	s.buildDir = bd
+	var objs []sshFile
+	for i, f := range s.srcFiles {
+		// Compile: read the unit (and headers are in cache after the
+		// first pass, like a real build).
+		if _, err := s.fs.Read(f.h, 0, f.size); err != nil {
+			return err
+		}
+		if f.name[len(f.name)-1] == 'h' {
+			continue
+		}
+		obj := fmt.Sprintf("src%03d.o", i)
+		oh, _, err := s.fs.Create(bd, obj, 0644)
+		if err != nil {
+			return err
+		}
+		osize := f.size/2 + 512
+		if err := s.fs.Write(oh, 0, s.fill(osize)); err != nil {
+			return err
+		}
+		objs = append(objs, sshFile{dir: bd, name: obj, h: oh, size: osize})
+	}
+	// Link: read all objects, write executables.
+	for _, exe := range []struct {
+		name string
+		size int
+	}{{"ssh", 1 << 20}, {"sshd", 1 << 20}, {"scp", 200 << 10}, {"ssh-keygen", 180 << 10}} {
+		total := 0
+		for _, o := range objs {
+			if _, err := s.fs.Read(o.h, 0, o.size); err != nil {
+				return err
+			}
+			total += o.size
+		}
+		h, _, err := s.fs.Create(top, exe.name, 0755)
+		if err != nil {
+			return err
+		}
+		data := s.fill(exe.size)
+		for off := 0; off < len(data); off += 64 << 10 {
+			end := off + 64<<10
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := s.fs.Write(h, uint64(off), data[off:end]); err != nil {
+				return err
+			}
+		}
+	}
+	// make clean-ish: remove temporaries.
+	for _, o := range objs[:len(objs)/4] {
+		if err := s.fs.Remove(bd, o.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Micro is the small-file microbenchmark of §5.1.4 / Fig. 6.
+type MicroConfig struct {
+	Files    int // default 10,000
+	FileSize int // default 1KB
+	Dirs     int // default 10
+	Seed     int64
+}
+
+// DefaultMicro matches the paper.
+func DefaultMicro() MicroConfig {
+	return MicroConfig{Files: 10000, FileSize: 1024, Dirs: 10, Seed: 1}
+}
+
+// Micro runs against fs; phases are separated so the harness can time
+// them.
+type Micro struct {
+	cfg  MicroConfig
+	fs   fsys.FileSys
+	dirs []fsys.Handle
+	hs   []fsys.Handle
+	data []byte
+}
+
+// NewMicro prepares an instance.
+func NewMicro(fs fsys.FileSys, cfg MicroConfig) *Micro {
+	if cfg.Files == 0 {
+		cfg = DefaultMicro()
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	data := make([]byte, cfg.FileSize)
+	rnd.Read(data)
+	return &Micro{cfg: cfg, fs: fs, data: data}
+}
+
+// CreatePhase creates the files split across the directories.
+func (m *Micro) CreatePhase() error {
+	for i := 0; i < m.cfg.Dirs; i++ {
+		h, _, err := m.fs.Mkdir(m.fs.Root(), fmt.Sprintf("dir%d", i), 0755)
+		if err != nil {
+			return err
+		}
+		m.dirs = append(m.dirs, h)
+	}
+	for i := 0; i < m.cfg.Files; i++ {
+		d := m.dirs[i%m.cfg.Dirs]
+		h, _, err := m.fs.Create(d, fmt.Sprintf("f%05d", i), 0644)
+		if err != nil {
+			return err
+		}
+		if err := m.fs.Write(h, 0, m.data); err != nil {
+			return err
+		}
+		m.hs = append(m.hs, h)
+	}
+	return nil
+}
+
+// ReadPhase reads every file in creation order.
+func (m *Micro) ReadPhase() error {
+	for _, h := range m.hs {
+		if _, err := m.fs.Read(h, 0, m.cfg.FileSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeletePhase removes every file in creation order.
+func (m *Micro) DeletePhase() error {
+	for i := range m.hs {
+		d := m.dirs[i%m.cfg.Dirs]
+		if err := m.fs.Remove(d, fmt.Sprintf("f%05d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

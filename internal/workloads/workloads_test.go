@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"s4/internal/disk"
+	"s4/internal/fsys"
+	"s4/internal/ufs"
+	"s4/internal/vclock"
+)
+
+func memFS(t *testing.T) fsys.FileSys {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	dev := disk.New(disk.SmallDisk(256<<20), clk)
+	fs, err := ufs.Mkfs(dev, ufs.Options{Policy: ufs.Async, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestPostMarkRuns(t *testing.T) {
+	fs := memFS(t)
+	cfg := DefaultPostMark()
+	cfg.Files = 200
+	cfg.Transactions = 500
+	p := NewPostMark(fs, cfg)
+	if err := p.CreatePhase(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TransactionPhase(); err != nil {
+		t.Fatal(err)
+	}
+	r := p.Result()
+	if r.Created < 200 || r.Transactions != 500 {
+		t.Fatalf("result %+v", r)
+	}
+	if r.Read == 0 || r.Appended == 0 || r.Deleted == 0 {
+		t.Fatalf("unbalanced transaction mix: %+v", r)
+	}
+	if err := p.CleanupPhase(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(fs.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ents {
+		sub, err := fs.ReadDir(d.Handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sub) != 0 {
+			t.Fatalf("cleanup left %d files in %s", len(sub), d.Name)
+		}
+	}
+}
+
+func TestPostMarkDeterministic(t *testing.T) {
+	run := func() PostMarkResult {
+		fs := memFS(t)
+		cfg := DefaultPostMark()
+		cfg.Files = 100
+		cfg.Transactions = 300
+		p := NewPostMark(fs, cfg)
+		if err := p.CreatePhase(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.TransactionPhase(); err != nil {
+			t.Fatal(err)
+		}
+		return p.Result()
+	}
+	if run() != run() {
+		t.Fatal("postmark is not deterministic for a fixed seed")
+	}
+}
+
+func TestPostMarkHook(t *testing.T) {
+	fs := memFS(t)
+	cfg := DefaultPostMark()
+	cfg.Files = 50
+	cfg.Transactions = 100
+	calls := 0
+	cfg.OpsBetweenHook = 10
+	cfg.Hook = func() { calls++ }
+	p := NewPostMark(fs, cfg)
+	if err := p.CreatePhase(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TransactionPhase(); err != nil {
+		t.Fatal(err)
+	}
+	// 50 creates + 100 transactions at every-10 = 5 + 10 firings.
+	if calls != 15 {
+		t.Fatalf("hook called %d times, want 15", calls)
+	}
+}
+
+func TestSSHBuildRuns(t *testing.T) {
+	fs := memFS(t)
+	cfg := DefaultSSHBuild()
+	cfg.SourceFiles = 60
+	cfg.ConfigureProbes = 20
+	b := NewSSHBuild(fs, cfg)
+	if err := b.UnpackPhase(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ConfigurePhase(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BuildPhase(); err != nil {
+		t.Fatal(err)
+	}
+	// The tree exists with generated artifacts.
+	top, _, err := fs.Lookup(fs.Root(), "ssh-1.2.27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"config.h", "Makefile", "ssh", "sshd", "obj"} {
+		if _, _, err := fs.Lookup(top, want); err != nil {
+			t.Fatalf("missing %s after build: %v", want, err)
+		}
+	}
+	// conftest dir was cleaned up.
+	if _, _, err := fs.Lookup(top, "conftest.dir"); err == nil {
+		t.Fatal("conftest.dir not removed")
+	}
+}
+
+func TestMicroRuns(t *testing.T) {
+	fs := memFS(t)
+	cfg := MicroConfig{Files: 300, FileSize: 1024, Dirs: 10, Seed: 1}
+	m := NewMicro(fs, cfg)
+	if err := m.CreatePhase(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReadPhase(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeletePhase(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d, _, err := fs.Lookup(fs.Root(), "dir"+string(rune('0'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents, _ := fs.ReadDir(d)
+		if len(ents) != 0 {
+			t.Fatalf("dir%d still holds %d files", i, len(ents))
+		}
+	}
+	_ = time.Second
+}

@@ -1,0 +1,96 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(0xDEADBEEF)
+	e.Int32(-42)
+	e.Uint64(1 << 40)
+	e.Bool(true)
+	e.Bool(false)
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint32(); v != 0xDEADBEEF {
+		t.Fatal(v)
+	}
+	if v, _ := d.Int32(); v != -42 {
+		t.Fatal(v)
+	}
+	if v, _ := d.Uint64(); v != 1<<40 {
+		t.Fatal(v)
+	}
+	if v, _ := d.Bool(); !v {
+		t.Fatal("bool true")
+	}
+	if v, _ := d.Bool(); v {
+		t.Fatal("bool false")
+	}
+	if d.Remaining() != 0 {
+		t.Fatal("leftover bytes")
+	}
+}
+
+func TestOpaqueAlignment(t *testing.T) {
+	for n := 0; n < 9; n++ {
+		e := NewEncoder()
+		e.Opaque(bytes.Repeat([]byte{7}, n))
+		e.Uint32(0x1234)
+		if len(e.Bytes())%4 != 0 {
+			t.Fatalf("n=%d: stream not 4-aligned", n)
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque(0)
+		if err != nil || len(got) != n {
+			t.Fatal(n, err)
+		}
+		if v, _ := d.Uint32(); v != 0x1234 {
+			t.Fatalf("n=%d: following word corrupted", n)
+		}
+	}
+}
+
+func TestStringBound(t *testing.T) {
+	e := NewEncoder()
+	e.String("hello world")
+	d := NewDecoder(e.Bytes())
+	if _, err := d.String(5); err == nil {
+		t.Fatal("bound not enforced")
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if _, err := d.Uint32(); !errors.Is(err, ErrShort) {
+		t.Fatal(err)
+	}
+	// Opaque with a length larger than the remaining buffer.
+	e := NewEncoder()
+	e.Uint32(1000)
+	d = NewDecoder(e.Bytes())
+	if _, err := d.Opaque(0); !errors.Is(err, ErrShort) {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOpaqueRoundTrip(t *testing.T) {
+	f := func(data []byte, s string) bool {
+		e := NewEncoder()
+		e.Opaque(data)
+		e.String(s)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque(0)
+		if err != nil || !bytes.Equal(got, data) {
+			return false
+		}
+		gs, err := d.String(0)
+		return err == nil && gs == s && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@
 //	s4bench -fig 6 -macro            §5.1.4 application-level audit cost
 //	s4bench -fig 5 -costs            §5.1.5 fundamental-cost derivation
 //	s4bench -scale 0.2               shrink workloads (quick look)
+//	s4bench -torture -seed 7         crash-consistency torture sweep
 package main
 
 import (
@@ -30,8 +31,19 @@ func main() {
 	costs := flag.Bool("costs", false, "with -fig 5: fundamental-cost derivation (§5.1.5)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper scale)")
 	disk := flag.Int64("disk", 2<<30, "simulated disk size for figs 3/4/6 in bytes")
+	tort := flag.Bool("torture", false, "run the crash-consistency torture harness instead of a figure")
+	seed := flag.Int64("seed", 1, "with -torture: workload seed")
+	ops := flag.Int("ops", 0, "with -torture: workload operations (0 = default 300)")
+	points := flag.Int("points", 0, "with -torture: cap verified crash points (0 = all)")
 	flag.Parse()
 
+	if *tort {
+		if err := runTorture(*seed, *ops, *points); err != nil {
+			fmt.Fprintf(os.Stderr, "torture: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !*all && *fig == 0 {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"s4/internal/torture"
+)
+
+// runTorture drives the crash-consistency torture harness from the
+// command line: one seeded workload, every crash point verified, a
+// non-zero exit if any invariant breaks. See internal/torture.
+func runTorture(seed int64, ops, maxPoints int) error {
+	cfg := torture.Config{
+		Seed:              seed,
+		Ops:               ops,
+		Torn:              true,
+		PostRecoverySmoke: true,
+		MaxCrashPoints:    maxPoints,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	start := time.Now()
+	res, err := torture.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("torture seed=%d: %d ops, %d objects, %d syncs, %d device writes\n",
+		seed, res.Ops, res.Objects, res.Syncs, res.Writes)
+	fmt.Printf("  %d crash points verified (%d torn) in %v wall time\n",
+		res.CrashPoints, res.TornPoints, time.Since(start).Round(time.Millisecond))
+	if len(res.Violations) == 0 {
+		fmt.Println("  all invariants held")
+		return nil
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
+	return fmt.Errorf("%d invariant violations", len(res.Violations))
+}

@@ -181,8 +181,8 @@ func DecodeBlock(data []byte) ([]Record, error) {
 	}
 	count := int(binary.LittleEndian.Uint16(data[4:]))
 	used := int(binary.LittleEndian.Uint16(data[6:]))
-	if used > len(data) {
-		return nil, fmt.Errorf("audit: block length overflow: %w", types.ErrCorrupt)
+	if used < blockHeaderSize || used > len(data) {
+		return nil, fmt.Errorf("audit: block length %d out of range: %w", used, types.ErrCorrupt)
 	}
 	rest := data[blockHeaderSize:used]
 	recs := make([]Record, 0, count)

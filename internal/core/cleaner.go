@@ -123,8 +123,16 @@ func (d *Drive) CleanOnce() (CleanStats, error) {
 }
 
 // deferFree queues an emptied segment for release at the next
-// checkpoint barrier.
+// checkpoint barrier. A still-durable checkpoint or journal chain may
+// reference blocks in the segment until that barrier commits, so
+// releasing early lets new appends clobber state recovery depends on —
+// UnsafeImmediateReuse opts into exactly that fault so the torture
+// harness can demonstrate the corruption it causes.
 func (d *Drive) deferFree(seg int64) {
+	if d.opts.UnsafeImmediateReuse {
+		_ = d.log.FreeSegment(seg)
+		return
+	}
 	d.pendingFree[seg] = true
 }
 

@@ -62,6 +62,13 @@ type Options struct {
 	// PendingFlushEntries bounds unflushed journal entries per object
 	// before a forced sector flush.
 	PendingFlushEntries int
+	// UnsafeImmediateReuse disables the deferred-reuse barrier: the
+	// cleaner returns emptied segments to the allocator immediately
+	// instead of holding them until the next checkpoint commits. This
+	// deliberately re-creates the crash window the barrier exists to
+	// close (DESIGN.md §6) so the torture harness can prove it catches
+	// the resulting corruption. Never set outside tests.
+	UnsafeImmediateReuse bool
 }
 
 func (o *Options) fill(dev disk.Device) {

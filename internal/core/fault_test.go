@@ -21,8 +21,11 @@ func TestWriteFailsCleanlyOnDeviceError(t *testing.T) {
 	}
 
 	boom := errors.New("medium error")
+	oldContent := []byte("stable state")
+	newContent := bytes.Repeat([]byte{0xEE}, 12)
 	// Fail several upcoming I/Os one at a time; after each, the drive
-	// must keep serving and the stable data must remain readable.
+	// must keep serving, and the readable content must be exactly the
+	// old version or exactly the new one — never a blend, never short.
 	for n := int64(0); n < 4; n++ {
 		e.dev.FailAfter(n, boom)
 		_ = e.d.Write(alice, id, 0, bytes.Repeat([]byte{0xEE}, 6*types.BlockSize))
@@ -32,8 +35,8 @@ func TestWriteFailsCleanlyOnDeviceError(t *testing.T) {
 		if err != nil {
 			t.Fatalf("n=%d: read after fault: %v", n, err)
 		}
-		if string(got) != "stable state" && got[0] != 0xEE {
-			t.Fatalf("n=%d: corrupted content %q", n, got)
+		if !bytes.Equal(got, oldContent) && !bytes.Equal(got, newContent) {
+			t.Fatalf("n=%d: content %q is neither the old nor the new version", n, got)
 		}
 		e.tick()
 	}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"s4/internal/audit"
+	"s4/internal/journal"
+	"s4/internal/seglog"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// CheckInvariants walks every durable structure the drive knows about —
+// object data blocks, inode checkpoints, journal chains, history blocks
+// inside the detection window, and audit blocks — and verifies that
+// each referenced block is readable, decodes, and lives in a segment
+// the allocator still considers allocated. A reference into a freed
+// segment means the cleaner's deferred-reuse barrier (DESIGN.md §6) was
+// violated: the next append may clobber state recovery depends on.
+//
+// The torture harness runs this after every crash recovery; it is also
+// safe to call on a live drive (it takes the drive lock).
+func (d *Drive) CheckInvariants() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return types.ErrDriveStopped
+	}
+	buf := make([]byte, seglog.BlockSize)
+	checkAddr := func(id types.ObjectID, what string, addr seglog.BlockAddr) error {
+		if addr == seglog.NilAddr {
+			return nil
+		}
+		seg := d.log.SegOf(addr)
+		if seg < 0 {
+			return fmt.Errorf("core: %v %s at block %d outside segment area: %w", id, what, addr, types.ErrCorrupt)
+		}
+		if d.log.IsFree(seg) {
+			return fmt.Errorf("core: %v %s at block %d references freed segment %d: %w", id, what, addr, seg, types.ErrCorrupt)
+		}
+		if err := d.log.Read(addr, buf); err != nil {
+			return fmt.Errorf("core: %v %s at block %d unreadable: %v: %w", id, what, addr, err, types.ErrCorrupt)
+		}
+		return nil
+	}
+
+	ageCut := vclock.TS(d.clk) - types.Timestamp(d.window)
+	ids := make([]types.ObjectID, 0, len(d.objects))
+	for id := range d.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		o := d.objects[id]
+		if err := d.loadInode(o); err != nil {
+			return fmt.Errorf("core: %v inode unloadable: %w", id, err)
+		}
+		for idx := range o.ino.blocks {
+			if err := checkAddr(id, "data block", o.ino.blocks[idx]); err != nil {
+				return err
+			}
+		}
+		for _, a := range o.cpBlocks {
+			if err := checkAddr(id, "checkpoint block", a); err != nil {
+				return err
+			}
+		}
+		// Walk the retained journal chain; entries young enough to be
+		// inside the detection window must still reach their history
+		// blocks (the old-version data the entry's undo needs).
+		for addr := o.jhead; addr != journal.NilSector; {
+			if err := checkAddr(id, "journal sector", addr.Block()); err != nil {
+				return err
+			}
+			obj, prev, entries, err := journal.ReadSector(d.log, addr)
+			if err != nil {
+				return fmt.Errorf("core: %v journal sector %d undecodable: %v: %w", id, addr, err, types.ErrCorrupt)
+			}
+			if obj != id {
+				return fmt.Errorf("core: %v journal sector %d owned by %v: %w", id, addr, obj, types.ErrCorrupt)
+			}
+			for i := range entries {
+				e := &entries[i]
+				if e.Time < ageCut || e.Version <= o.floorVersion {
+					continue // aged out; its history blocks may be gone
+				}
+				for _, old := range e.Old {
+					if err := checkAddr(id, "history block", old); err != nil {
+						return err
+					}
+				}
+			}
+			if addr == o.jtail {
+				break
+			}
+			addr = prev
+		}
+	}
+
+	for _, r := range d.auditBlocks {
+		if err := checkAddr(types.AuditObject, "audit block", r.addr); err != nil {
+			return err
+		}
+		if _, err := audit.DecodeBlock(buf); err != nil {
+			return fmt.Errorf("core: audit block %d undecodable: %w", r.addr, err)
+		}
+	}
+
+	// Loading every inode may have blown past the object cache budget;
+	// trim back down so a live caller's cache stays bounded.
+	return d.evictColdLocked()
+}

@@ -349,7 +349,12 @@ func (d *Drive) recoverJournalSector(addr journal.SectorAddr, id types.ObjectID,
 
 func (d *Drive) recoverAuditBlock(addr seglog.BlockAddr, firstSeq uint64, lastTime types.Timestamp) {
 	for _, r := range d.auditBlocks {
-		if r.addr == addr {
+		// Matching firstSeq with a different address means the cleaner
+		// relocated the block and the crash beat the checkpoint that
+		// would have recorded the move: both copies hold the same
+		// records, so keep the first (the checkpointed original, whose
+		// segment the deferred-reuse barrier kept intact).
+		if r.addr == addr || r.firstSeq == firstSeq {
 			return
 		}
 	}

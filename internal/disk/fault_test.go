@@ -1,0 +1,185 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"s4/internal/types"
+)
+
+func sect(b byte) []byte { return bytes.Repeat([]byte{b}, SectorSize) }
+
+func readSector(t *testing.T, d Device, sector int64) []byte {
+	t.Helper()
+	buf := make([]byte, SectorSize)
+	if err := d.ReadSectors(sector, buf); err != nil {
+		t.Fatalf("read sector %d: %v", sector, err)
+	}
+	return buf
+}
+
+func TestFaultDiskBasicReadWrite(t *testing.T) {
+	f := NewFault(1 << 20)
+	if f.Capacity() != 1<<20 {
+		t.Fatalf("capacity = %d", f.Capacity())
+	}
+	if err := f.WriteSectors(3, sect(0xAB)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSector(t, f, 3); !bytes.Equal(got, sect(0xAB)) {
+		t.Fatal("readback mismatch")
+	}
+	// Unwritten sectors read as zeros.
+	if got := readSector(t, f, 4); !bytes.Equal(got, sect(0)) {
+		t.Fatal("unwritten sector not zero")
+	}
+	// Out-of-range requests are rejected.
+	if err := f.WriteSectors(f.Capacity()/SectorSize, sect(1)); !errors.Is(err, types.ErrInval) {
+		t.Fatalf("out-of-range write: %v", err)
+	}
+	if err := f.ReadSectors(0, make([]byte, 100)); !errors.Is(err, types.ErrInval) {
+		t.Fatalf("unaligned read: %v", err)
+	}
+}
+
+func TestFaultDiskImageAt(t *testing.T) {
+	f := NewFault(1 << 20)
+	if err := f.WriteSectors(0, sect(0x01)); err != nil {
+		t.Fatal(err)
+	}
+	f.StartRecording()
+	for i := byte(0); i < 10; i++ {
+		if err := f.WriteSectors(int64(i), sect(0x10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Writes() != 10 {
+		t.Fatalf("recorded %d writes", f.Writes())
+	}
+	// Image at 0 is the pre-recording base: sector 0 has the old value.
+	img0, err := f.ImageAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readSector(t, img0, 0); !bytes.Equal(got, sect(0x01)) {
+		t.Fatal("image 0 lost base contents")
+	}
+	// Image at k holds exactly the first k writes.
+	img5, err := f.ImageAt(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 5; i++ {
+		if got := readSector(t, img5, int64(i)); !bytes.Equal(got, sect(0x10+i)) {
+			t.Fatalf("image 5 sector %d wrong", i)
+		}
+	}
+	if got := readSector(t, img5, 5); !bytes.Equal(got, sect(0)) {
+		t.Fatal("image 5 leaked write 5")
+	}
+	// Images are isolated: writing an image touches neither the recorder
+	// nor previously returned images.
+	if err := img5.WriteSectors(0, sect(0xFF)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSector(t, f, 0); !bytes.Equal(got, sect(0x10)) {
+		t.Fatal("image write leaked into recorder")
+	}
+	if got := readSector(t, img0, 0); !bytes.Equal(got, sect(0x01)) {
+		t.Fatal("image write leaked into sibling image")
+	}
+	// Going backwards replays from the base.
+	img2, err := f.ImageAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readSector(t, img2, 2); !bytes.Equal(got, sect(0)) {
+		t.Fatal("backward image leaked later write")
+	}
+	if _, err := f.ImageAt(11); !errors.Is(err, types.ErrInval) {
+		t.Fatalf("out-of-range crash point: %v", err)
+	}
+}
+
+func TestFaultDiskTornImage(t *testing.T) {
+	f := NewFault(1 << 20)
+	f.StartRecording()
+	big := append(append([]byte(nil), sect(0xAA)...), sect(0xBB)...)
+	if err := f.WriteSectors(10, big); err != nil {
+		t.Fatal(err)
+	}
+	img, err := f.TornImageAt(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readSector(t, img, 10); !bytes.Equal(got, sect(0xAA)) {
+		t.Fatal("torn image lost persisted prefix")
+	}
+	if got := readSector(t, img, 11); !bytes.Equal(got, sect(0)) {
+		t.Fatal("torn image persisted past the tear")
+	}
+	// The full image still has both sectors.
+	full, err := f.ImageAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readSector(t, full, 11); !bytes.Equal(got, sect(0xBB)) {
+		t.Fatal("full image lost data")
+	}
+}
+
+func TestFaultDiskInjectedFaults(t *testing.T) {
+	f := NewFault(1 << 20)
+	f.StartRecording()
+
+	// Dropped write: acknowledged, not persisted, journaled as empty.
+	f.DropAfter(0)
+	if err := f.WriteSectors(0, sect(0x11)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSector(t, f, 0); !bytes.Equal(got, sect(0)) {
+		t.Fatal("dropped write reached media")
+	}
+	if r := f.Record(0); r.Sectors() != 0 {
+		t.Fatalf("dropped write journaled %d sectors", r.Sectors())
+	}
+
+	// Torn write: only the prefix persists.
+	f.TearAfter(0, 1)
+	big := append(append([]byte(nil), sect(0x22)...), sect(0x33)...)
+	if err := f.WriteSectors(4, big); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSector(t, f, 4); !bytes.Equal(got, sect(0x22)) {
+		t.Fatal("torn write lost prefix")
+	}
+	if got := readSector(t, f, 5); !bytes.Equal(got, sect(0)) {
+		t.Fatal("torn write persisted past the tear")
+	}
+	if r := f.Record(1); r.Sectors() != 1 {
+		t.Fatalf("torn write journaled %d sectors", r.Sectors())
+	}
+
+	// Bit-rot: reads see flipped bits until cleared; media is untouched.
+	if err := f.WriteSectors(8, sect(0x0F)); err != nil {
+		t.Fatal(err)
+	}
+	f.RotSector(8, 0xF0)
+	if got := readSector(t, f, 8); !bytes.Equal(got, sect(0xFF)) {
+		t.Fatal("bit-rot not applied on read")
+	}
+	f.ClearFaults()
+	if got := readSector(t, f, 8); !bytes.Equal(got, sect(0x0F)) {
+		t.Fatal("bit-rot persisted after ClearFaults")
+	}
+
+	// Hard error, one-shot like Disk.FailAfter.
+	f.FailAfter(0, types.ErrCorrupt)
+	if err := f.ReadSectors(0, make([]byte, SectorSize)); !errors.Is(err, types.ErrCorrupt) {
+		t.Fatalf("injected error: %v", err)
+	}
+	if err := f.ReadSectors(0, make([]byte, SectorSize)); err != nil {
+		t.Fatalf("fault not one-shot: %v", err)
+	}
+}

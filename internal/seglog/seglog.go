@@ -57,6 +57,7 @@ const (
 	KindImap         // object-map page (roll-forward aid)
 	KindAudit        // audit-log block (drive-owned, unversioned)
 	KindDelta        // delta-compressed old version data
+	KindPad          // dead slot reserving a partial-flush summary snapshot
 )
 
 func (k Kind) String() string {
@@ -73,6 +74,8 @@ func (k Kind) String() string {
 		return "audit"
 	case KindDelta:
 		return "delta"
+	case KindPad:
+		return "pad"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -275,6 +278,13 @@ func (l *Log) Append(kind Kind, obj types.ObjectID, key uint64, t types.Timestam
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.curSeg >= 0 && l.used >= l.PayloadBlocks() {
+		// A partial-flush pad can leave the segment full without an
+		// append having sealed it; seal now so this block starts fresh.
+		if err := l.flushLocked(true); err != nil {
+			return NilAddr, err
+		}
+	}
 	if l.curSeg < 0 {
 		if err := l.openSegmentLocked(); err != nil {
 			return NilAddr, err
@@ -385,6 +395,19 @@ func (l *Log) openSegmentLocked() error {
 			for i := range l.buf {
 				l.buf[i] = 0
 			}
+			// Invalidate any sealed summary left from the segment's
+			// previous life. Seal writes block 0 only after the payload
+			// is durable, so while this segment is open the newest
+			// trailing snapshot is authoritative — a stale block-0
+			// summary from before the reuse must not shadow it. Fresh
+			// segments (the common case) only pay a read here.
+			sb := make([]byte, BlockSize)
+			if err := readBlocks(l.dev, l.segBase(seg), sb); err != nil {
+				return err
+			}
+			if _, stale, _ := decodeSummary(sb); stale {
+				return writeBlocks(l.dev, l.segBase(seg), l.buf[:BlockSize])
+			}
 			return nil
 		}
 	}
@@ -409,20 +432,23 @@ func (l *Log) Sync() error {
 // then a snapshot of the summary is appended in the slot right after
 // the last used block — the LFS partial-segment pattern, one
 // mostly-sequential write per sync, no seek back to the segment head.
-// Later appends overwrite the snapshot slot; recovery finds the newest
-// valid summary by scanning (findSummaryLocked).
+// The snapshot's slot is then retired with a pad entry, so no later
+// append can overwrite the only durable summary before its replacement
+// lands; recovery finds the newest valid snapshot by scanning
+// (findSummary). A crash anywhere inside the flush leaves the previous
+// snapshot intact and loses only unacknowledged work.
 //
-// Seal (closeSeg true): the final summary lands in block 0, where
-// steady-state reads expect it.
+// Seal (closeSeg true): the payload is written first, then the final
+// summary lands in block 0, where steady-state reads expect it. A
+// summary never declares blocks that are not already durable, so a
+// crash mid-seal falls back to the newest partial snapshot.
 func (l *Log) flushLocked(closeSeg bool) error {
+	if !closeSeg && l.used >= l.PayloadBlocks() {
+		closeSeg = true // no slot left for a snapshot; seal instead
+	}
 	l.seq++
 	l.encodeSummaryLocked(l.seq)
 	base := l.segBase(l.curSeg)
-	if closeSeg {
-		if err := writeBlocks(l.dev, base, l.buf[:BlockSize]); err != nil {
-			return err
-		}
-	}
 	for i := 0; i < l.used; {
 		if !l.dirty[i] {
 			i++
@@ -441,12 +467,23 @@ func (l *Log) flushLocked(closeSeg bool) error {
 		}
 		i = j
 	}
-	if !closeSeg {
+	if closeSeg {
+		if err := writeBlocks(l.dev, base, l.buf[:BlockSize]); err != nil {
+			return err
+		}
+	} else {
 		// Trailing summary snapshot; usually contiguous with the tail
 		// run just written, so the disk model charges no seek.
 		if err := writeBlocks(l.dev, base+int64(1+l.used), l.buf[:BlockSize]); err != nil {
 			return err
 		}
+		// Retire the snapshot's slot. Appends continue after it, so the
+		// snapshot stays intact until the next flush writes a newer one
+		// further along — crash-consistency depends on never destroying
+		// the last durable summary. The pad is declared (dead) space in
+		// every later summary and is reclaimed with the segment.
+		l.entries = append(l.entries, SummaryEntry{Kind: KindPad})
+		l.used++
 	}
 	l.nDirty = 0
 	l.segWrite++
@@ -608,6 +645,18 @@ func (l *Log) FreeSegment(seg int64) error {
 	return nil
 }
 
+// IsFree reports whether seg sits in the allocator's free pool. The
+// drive's consistency checker uses it to assert that no durable
+// structure references a freed segment.
+func (l *Log) IsFree(seg int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seg < 0 || seg >= l.nSegments {
+		return false
+	}
+	return l.free[seg]
+}
+
 // MarkAllocated records (during recovery) that seg holds data.
 func (l *Log) MarkAllocated(seg int64) {
 	l.mu.Lock()
@@ -685,13 +734,15 @@ const cpHeaderSize = 4 + 8 + 4 + 4
 
 // ReadCheckpoint returns the newest valid checkpoint blob and the log
 // sequence at which it was taken. ok is false when no valid checkpoint
-// exists (freshly formatted device).
+// exists (freshly formatted device). A slot whose payload fails its CRC
+// — a checkpoint write torn by a crash — is skipped, so the alternate
+// slot still anchors recovery; that is the whole point of alternating
+// slots.
 func (l *Log) ReadCheckpoint() (data []byte, seq uint64, ok bool, err error) {
 	hdr := make([]byte, BlockSize)
 	var bestSlot = -1
 	var bestSeq uint64
-	var bestLen uint32
-	var bestCRC uint32
+	var bestData []byte
 	for slot := 0; slot < 2; slot++ {
 		base := int64(1 + slot*l.cfg.CheckpointBlocks)
 		if err := readBlocks(l.dev, base, hdr); err != nil {
@@ -705,24 +756,22 @@ func (l *Log) ReadCheckpoint() (data []byte, seq uint64, ok bool, err error) {
 		if int(n) > l.cfg.CheckpointBlocks*BlockSize-cpHeaderSize {
 			continue
 		}
+		total := cpHeaderSize + int(n)
+		nBlocks := (total + BlockSize - 1) / BlockSize
+		blob := make([]byte, nBlocks*BlockSize)
+		if err := readBlocks(l.dev, base, blob); err != nil {
+			return nil, 0, false, err
+		}
+		payload := blob[cpHeaderSize : cpHeaderSize+int(n)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[16:]) {
+			continue
+		}
 		if bestSlot < 0 || s > bestSeq {
-			bestSlot, bestSeq, bestLen = slot, s, n
-			bestCRC = binary.LittleEndian.Uint32(hdr[16:])
+			bestSlot, bestSeq, bestData = slot, s, payload
 		}
 	}
 	if bestSlot < 0 {
 		return nil, 0, false, nil
-	}
-	base := int64(1 + bestSlot*l.cfg.CheckpointBlocks)
-	total := cpHeaderSize + int(bestLen)
-	nBlocks := (total + BlockSize - 1) / BlockSize
-	blob := make([]byte, nBlocks*BlockSize)
-	if err := readBlocks(l.dev, base, blob); err != nil {
-		return nil, 0, false, err
-	}
-	data = blob[cpHeaderSize : cpHeaderSize+int(bestLen)]
-	if crc32.ChecksumIEEE(data) != bestCRC {
-		return nil, 0, false, fmt.Errorf("seglog: checkpoint payload corrupt: %w", types.ErrCorrupt)
 	}
 	l.mu.Lock()
 	l.cpSlot = 1 - bestSlot
@@ -730,7 +779,7 @@ func (l *Log) ReadCheckpoint() (data []byte, seq uint64, ok bool, err error) {
 		l.seq = bestSeq
 	}
 	l.mu.Unlock()
-	return data, bestSeq, true, nil
+	return bestData, bestSeq, true, nil
 }
 
 // CurrentSegment returns the open segment index, or -1.

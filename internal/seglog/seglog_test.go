@@ -164,9 +164,24 @@ func TestPartialSyncThenMoreAppends(t *testing.T) {
 	if l.SegOf(a1) != l.SegOf(a2) {
 		t.Fatal("partial sync must not seal the segment")
 	}
+	// Each partial flush retires its snapshot slot with a pad entry so
+	// later appends cannot overwrite the last durable summary.
 	sum, ok, err := l.ReadSummary(l.SegOf(a1))
-	if err != nil || !ok || len(sum.Entries) != 2 {
-		t.Fatalf("summary after partial syncs: ok=%v err=%v entries=%d", ok, err, len(sum.Entries))
+	if err != nil || !ok {
+		t.Fatalf("summary after partial syncs: ok=%v err=%v", ok, err)
+	}
+	var kinds []Kind
+	for _, e := range sum.Entries {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []Kind{KindData, KindPad, KindData, KindPad}
+	if len(kinds) != len(want) {
+		t.Fatalf("summary entries = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("summary entries = %v, want %v", kinds, want)
+		}
 	}
 	// Redundant sync is a no-op.
 	_, before := l.Stats()
@@ -245,6 +260,133 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	// Oversized checkpoint rejected.
 	if err := l.WriteCheckpoint(make([]byte, l.Config().CheckpointBlocks*BlockSize)); !errors.Is(err, types.ErrTooLarge) {
 		t.Fatalf("oversized checkpoint: %v", err)
+	}
+}
+
+// TestPartialFlushCrashKeepsPriorSync crashes the device at every
+// write boundary of a run of append+Sync rounds and checks that the
+// recovered summaries still cover everything the last completed Sync
+// acknowledged. This is the regression test for the partial-flush
+// ordering bug: before snapshot slots were retired with pad entries,
+// the first append after a sync overwrote the only durable summary,
+// and a crash before the next snapshot landed lost every acked entry
+// of the open segment.
+func TestPartialFlushCrashKeepsPriorSync(t *testing.T) {
+	fd := disk.NewFault(8 << 20)
+	if err := Format(fd, Config{SegBlocks: 16, CheckpointBlocks: 4}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.StartRecording()
+
+	type mark struct{ writes, acked int }
+	var marks []mark
+	appended := 0
+	for r := 0; r < 12; r++ { // spans several segments (pads included)
+		for i := 0; i < 2; i++ {
+			data := bytes.Repeat([]byte{byte(appended + 1)}, 100)
+			if _, err := l.Append(KindData, 1, uint64(appended), types.Timestamp(appended), data); err != nil {
+				t.Fatal(err)
+			}
+			appended++
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		marks = append(marks, mark{writes: fd.Writes(), acked: appended})
+	}
+
+	total := fd.Writes()
+	for k := 0; k <= total; k++ {
+		img, err := fd.ImageAt(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, err := Open(img)
+		if err != nil {
+			t.Fatalf("crash@%d: reopen: %v", k, err)
+		}
+		seen := make(map[uint64]bool)
+		buf := make([]byte, BlockSize)
+		for seg := int64(0); seg < lr.NumSegments(); seg++ {
+			sum, ok, err := lr.ReadSummary(seg)
+			if err != nil || !ok {
+				continue
+			}
+			for i, e := range sum.Entries {
+				if e.Kind != KindData {
+					continue
+				}
+				if err := lr.Read(lr.EntryAt(seg, i), buf); err != nil {
+					t.Fatalf("crash@%d: data entry %d unreadable: %v", k, e.Key, err)
+				}
+				if e.Len != 100 || buf[0] != byte(e.Key+1) || buf[99] != byte(e.Key+1) {
+					t.Fatalf("crash@%d: data entry %d corrupt (len %d, byte %#x)", k, e.Key, e.Len, buf[0])
+				}
+				seen[e.Key] = true
+			}
+		}
+		want := 0
+		for _, m := range marks {
+			if m.writes <= k {
+				want = m.acked
+			}
+		}
+		for key := 0; key < want; key++ {
+			if !seen[uint64(key)] {
+				t.Fatalf("crash@%d: acked entry %d missing from recovered summaries (%d acked, %d recovered)",
+					k, key, want, len(seen))
+			}
+		}
+	}
+}
+
+func TestCheckpointTornSlotFallsBack(t *testing.T) {
+	// A crash can tear the checkpoint write mid-transfer. The torn slot
+	// fails its CRC and recovery must fall back to the older slot, not
+	// error out — that is what the alternating slots are for.
+	d := disk.NewFault(8 << 20)
+	if err := Format(d, Config{SegBlocks: 16, CheckpointBlocks: 4}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := bytes.Repeat([]byte("old"), 500)
+	if err := l.WriteCheckpoint(old); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the very next write (the second checkpoint) after one sector.
+	d.TearAfter(0, 1)
+	if err := l.WriteCheckpoint(bytes.Repeat([]byte("new"), 500)); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok, err := l2.ReadCheckpoint()
+	if err != nil || !ok {
+		t.Fatalf("recovery after torn checkpoint: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatal("torn checkpoint must fall back to the surviving slot")
+	}
+	// Both slots torn: no checkpoint, but still no error.
+	d.TearAfter(0, 1)
+	if err := l2.WriteCheckpoint(bytes.Repeat([]byte("x"), 500)); err != nil {
+		t.Fatal(err)
+	}
+	d.TearAfter(0, 1)
+	if err := l2.WriteCheckpoint(bytes.Repeat([]byte("y"), 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := l2.ReadCheckpoint(); err != nil || ok {
+		t.Fatalf("doubly-torn checkpoint: ok=%v err=%v", ok, err)
 	}
 }
 

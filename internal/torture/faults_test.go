@@ -1,0 +1,126 @@
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// reopenWeak reopens a (possibly damaged) crash image and exercises it
+// without any oracle: the drive may refuse with a clean error, but it
+// must never panic and reads must never wedge. Returns a description
+// of the first panic, or "".
+func reopenWeak(w *run, dev disk.Device) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	opts := w.opts
+	opts.Clock = vclock.NewVirtualAt(w.endTime.Time())
+	drv, err := core.Open(dev, opts)
+	if err != nil {
+		return "" // clean refusal is acceptable for silent damage
+	}
+	admin := types.AdminCred()
+	_, _ = drv.AuditRead(admin, 0, 0)
+	_ = drv.CheckInvariants()
+	for _, m := range w.objects {
+		ai, err := drv.GetAttr(admin, m.id, types.TimeNowest)
+		if err != nil || ai.Deleted || ai.Size == 0 {
+			continue
+		}
+		_, _ = drv.Read(admin, m.id, 0, min64(ai.Size, types.MaxIO), types.TimeNowest)
+	}
+	return ""
+}
+
+// TestDroppedWriteNeverWedges silently discards one acknowledged device
+// write (lost-write fault) at every position in turn and requires that
+// reopening the resulting image either succeeds or fails cleanly —
+// never a panic or a hang. The sector journal records a dropped write
+// as empty, so ImageAt materializes the lost-write image directly.
+func TestDroppedWriteNeverWedges(t *testing.T) {
+	cfg := Config{Seed: 42, Ops: 120}
+	cfg.fill()
+	w, err := runWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.rec.Writes()
+	step := 1
+	if testing.Short() {
+		step = 7
+	}
+	for j := 0; j < n; j += step {
+		img, err := w.rec.ImageDropping(n, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg := reopenWeak(w, img); msg != "" {
+			t.Errorf("write %d dropped: %s", j, msg)
+		}
+	}
+}
+
+// TestBitRotNeverWedges flips bits in a spread of sectors of the final
+// image and requires the drive to refuse or serve cleanly, never
+// panic: recovery reads arbitrary sectors and every decoder it calls
+// must bound-check what it finds.
+func TestBitRotNeverWedges(t *testing.T) {
+	cfg := Config{Seed: 43, Ops: 120}
+	cfg.fill()
+	w, err := runWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.rec.Writes()
+	rng := rand.New(rand.NewSource(99))
+	sectors := w.rec.Capacity() / disk.SectorSize
+	rounds := 40
+	if testing.Short() {
+		rounds = 8
+	}
+	for r := 0; r < rounds; r++ {
+		img, err := w.rec.ImageAt(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			img.RotSector(rng.Int63n(sectors), byte(1+rng.Intn(255)))
+		}
+		if msg := reopenWeak(w, img); msg != "" {
+			t.Errorf("rot round %d: %s", r, msg)
+		}
+	}
+}
+
+// TestDeviceErrorFailsCleanly arms a hard I/O error mid-recovery and
+// checks the drive reports it instead of panicking.
+func TestDeviceErrorFailsCleanly(t *testing.T) {
+	cfg := Config{Seed: 44, Ops: 60}
+	cfg.fill()
+	w, err := runWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := w.rec.ImageAt(w.rec.Writes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errBoom := errors.New("boom")
+	img.FailAfter(0, errBoom)
+	opts := w.opts
+	opts.Clock = vclock.NewVirtualAt(w.endTime.Time())
+	if _, err := core.Open(img, opts); err == nil {
+		t.Fatal("open succeeded with a failing device")
+	} else if !errors.Is(err, errBoom) {
+		t.Fatalf("open error %v does not wrap the device error", err)
+	}
+}

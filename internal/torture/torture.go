@@ -1,0 +1,404 @@
+// Package torture is the deterministic crash-consistency torture
+// harness for the S4 drive.
+//
+// A seeded random workload (multiple clients issuing create / write /
+// append / truncate / setattr / setacl / delete / read, interleaved
+// with Sync, Checkpoint, and CleanOnce) runs over a recording fault
+// device (disk.FaultDisk) while an oracle mirrors every acknowledged
+// state change. The harness then materializes the crash image after
+// *every* acknowledged device write — plus, optionally, a torn prefix
+// of each multi-sector write — reopens the drive on it, and checks the
+// recovery invariants the paper promises (§3.3, §4.2):
+//
+//  1. recovery — reopening any crash image never errors or panics;
+//  2. durability — every version acknowledged by Sync (or Checkpoint)
+//     before the crash reads back exactly at its timestamp;
+//  3. history — all older oracle snapshots inside the detection window
+//     reproduce exactly under time-based reads;
+//  4. audit — the recovered audit log is a contiguous run of the
+//     oracle's op sequence, in order, with matching
+//     op/object/user/outcome; only records older than the detection
+//     window may age off the front, only records newer than the last
+//     durable checkpoint may fall off the back;
+//  5. reuse — no durable structure references a segment the cleaner
+//     returned to the allocator (Drive.CheckInvariants, the
+//     deferred-reuse barrier of DESIGN.md §6);
+//
+// plus a post-recovery smoke op proving the reopened drive still
+// serves writes. Everything is driven by Config.Seed: a failing crash
+// point reproduces exactly.
+package torture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"s4/internal/audit"
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// Config parameterizes one torture run. The zero value of any field
+// takes the default noted on it.
+type Config struct {
+	Seed int64
+	// Ops is the number of client operations in the workload (300).
+	Ops int
+	// Clients is the number of distinct credentials issuing ops (3).
+	Clients int
+	// MaxObjects caps how many objects the workload creates (20).
+	MaxObjects int
+	// DiskBytes sizes the simulated device (8MB). Small on purpose:
+	// every crash point replays recovery over the whole device.
+	DiskBytes int64
+	// SegBlocks / CheckpointBlocks parameterize the segment log (16/16).
+	SegBlocks        int
+	CheckpointBlocks int
+	// Window is the detection window (1h — far longer than the virtual
+	// time the workload spans, so nothing ages out and every snapshot
+	// stays checkable).
+	Window time.Duration
+	// SyncEveryN / CheckpointEveryN / CleanEveryN set the expected op
+	// gap between Syncs (4), Checkpoints (40), and CleanOnce calls (30).
+	SyncEveryN       int
+	CheckpointEveryN int
+	CleanEveryN      int
+	// Torn adds, for every multi-sector write, a second crash image in
+	// which only the first half of that write's sectors persisted.
+	Torn bool
+	// MaxCrashPoints caps how many plain write boundaries are verified
+	// (0 = all of them); sampling keeps the first and last.
+	MaxCrashPoints int
+	// PostRecoverySmoke issues a create+write+sync+read on each
+	// recovered image to prove the drive still serves.
+	PostRecoverySmoke bool
+	// UnsafeImmediateReuse forwards to core.Options: it disables the
+	// cleaner's deferred-reuse barrier so regression tests can prove
+	// the harness catches the resulting corruption.
+	UnsafeImmediateReuse bool
+	// Logf, when set, receives progress lines (pass t.Logf).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Ops == 0 {
+		c.Ops = 300
+	}
+	if c.Clients == 0 {
+		c.Clients = 3
+	}
+	if c.MaxObjects == 0 {
+		c.MaxObjects = 20
+	}
+	if c.DiskBytes == 0 {
+		c.DiskBytes = 8 << 20
+	}
+	if c.SegBlocks == 0 {
+		c.SegBlocks = 16
+	}
+	if c.CheckpointBlocks == 0 {
+		c.CheckpointBlocks = 16
+	}
+	if c.Window == 0 {
+		c.Window = time.Hour
+	}
+	if c.SyncEveryN == 0 {
+		c.SyncEveryN = 4
+	}
+	if c.CheckpointEveryN == 0 {
+		c.CheckpointEveryN = 40
+	}
+	if c.CleanEveryN == 0 {
+		c.CleanEveryN = 30
+	}
+}
+
+// Violation is one broken invariant at one crash point.
+type Violation struct {
+	CrashPoint int  // writes persisted before the crash
+	Torn       bool // write CrashPoint itself half-persisted
+	Invariant  string
+	Detail     string
+}
+
+func (v Violation) String() string {
+	torn := ""
+	if v.Torn {
+		torn = "+torn"
+	}
+	return fmt.Sprintf("crash@%d%s [%s]: %s", v.CrashPoint, torn, v.Invariant, v.Detail)
+}
+
+// Result summarizes a torture run.
+type Result struct {
+	Ops         int // workload operations executed
+	Writes      int // device writes recorded
+	Syncs       int // durability points in the workload
+	Objects     int // objects the workload created
+	CrashPoints int // crash images verified (plain + torn)
+	TornPoints  int // of which torn
+	Violations  []Violation
+}
+
+// Run executes the workload and verifies every crash point.
+func Run(cfg Config) (Result, error) {
+	cfg.fill()
+	w, err := runWorkload(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Ops:     cfg.Ops,
+		Writes:  w.rec.Writes(),
+		Syncs:   len(w.syncs),
+		Objects: len(w.objects),
+	}
+	points := make([]int, 0, res.Writes+1)
+	for k := 0; k <= res.Writes; k++ {
+		points = append(points, k)
+	}
+	if cfg.MaxCrashPoints > 0 && len(points) > cfg.MaxCrashPoints {
+		sampled := make([]int, 0, cfg.MaxCrashPoints)
+		stride := float64(len(points)-1) / float64(cfg.MaxCrashPoints-1)
+		for i := 0; i < cfg.MaxCrashPoints; i++ {
+			sampled = append(sampled, int(float64(i)*stride))
+		}
+		sampled[len(sampled)-1] = len(points) - 1
+		points = sampled
+	}
+	for i, k := range points {
+		img, err := w.rec.ImageAt(k)
+		if err != nil {
+			return res, err
+		}
+		res.CrashPoints++
+		res.Violations = append(res.Violations, w.verifyImage(img, k, false)...)
+		if cfg.Torn && k < res.Writes {
+			if sec := w.rec.Record(k).Sectors(); sec >= 2 {
+				timg, err := w.rec.TornImageAt(k, sec/2)
+				if err != nil {
+					return res, err
+				}
+				res.CrashPoints++
+				res.TornPoints++
+				res.Violations = append(res.Violations, w.verifyImage(timg, k, true)...)
+			}
+		}
+		if cfg.Logf != nil && (i+1)%200 == 0 {
+			cfg.Logf("torture seed=%d: %d/%d crash points, %d violations",
+				cfg.Seed, i+1, len(points), len(res.Violations))
+		}
+	}
+	return res, nil
+}
+
+// verifyImage reopens one crash image and checks every invariant.
+// Panics anywhere in recovery or verification count as recovery
+// violations ("never wedges"), not test crashes.
+func (w *run) verifyImage(dev disk.Device, k int, torn bool) (vs []Violation) {
+	viol := func(inv, format string, args ...any) {
+		vs = append(vs, Violation{CrashPoint: k, Torn: torn, Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			viol("recovery", "panic: %v", r)
+		}
+	}()
+
+	// Invariant 1: recovery itself.
+	opts := w.opts
+	opts.Clock = vclock.NewVirtualAt(w.endTime.Time())
+	drv, err := core.Open(dev, opts)
+	if err != nil {
+		viol("recovery", "reopen failed: %v", err)
+		return vs
+	}
+	admin := types.AdminCred()
+
+	now := drv.Now()
+	winCut := now - types.Timestamp(w.opts.Window)
+	mark := w.lastMark(k)
+
+	// Invariant 4: the recovered audit log is a contiguous run of the
+	// oracle's op sequence — a prefix may have aged out of the
+	// detection window and a post-checkpoint tail may be lost, but
+	// every checkpoint-covered record inside the window must be
+	// present, in order, with matching op/object/user/outcome. Checked
+	// first — verification reads below append their own audit records
+	// to the reopened drive.
+	recs, err := drv.AuditRead(admin, 0, 0)
+	if err != nil {
+		viol("audit", "audit read failed: %v", err)
+	} else if msg := w.checkAudit(recs, w.lastCpMark(k), winCut); msg != "" {
+		viol("audit", "%s", msg)
+	}
+
+	// Invariant 5: no durable structure reaches into a freed segment.
+	if err := drv.CheckInvariants(); err != nil {
+		viol("reuse", "%v", err)
+	}
+
+	// Invariants 2 and 3: everything synced before the crash — the
+	// newest durable version of each object and all window-covered
+	// history beneath it — must read back exactly.
+	if mark != nil {
+		for _, m := range w.objects {
+			newest := -1
+			for si := range m.snaps {
+				if m.snaps[si].at <= mark.at {
+					newest = si
+				}
+			}
+			for si := 0; si <= newest; si++ {
+				sn := &m.snaps[si]
+				if sn.at <= winCut {
+					continue // aged out of the guarantee
+				}
+				inv := "history"
+				if si == newest {
+					inv = "durability"
+				}
+				if msg := checkSnap(drv, admin, m.id, sn); msg != "" {
+					viol(inv, "object %v: %s", m.id, msg)
+				}
+			}
+		}
+	}
+
+	// Unsynced state may be lost, but the drive must still serve it
+	// without internal errors: absent entirely, or readable.
+	for _, m := range w.objects {
+		ai, err := drv.GetAttr(admin, m.id, types.TimeNowest)
+		if err != nil {
+			if !errors.Is(err, types.ErrNoObject) {
+				viol("recovery", "object %v getattr after recovery: %v", m.id, err)
+			}
+			continue
+		}
+		if !ai.Deleted && ai.Size > 0 {
+			if _, err := drv.Read(admin, m.id, 0, min64(ai.Size, types.MaxIO), types.TimeNowest); err != nil {
+				viol("recovery", "object %v unreadable after recovery: %v", m.id, err)
+			}
+		}
+	}
+
+	// The reopened drive must still accept and persist new work.
+	if w.cfg.PostRecoverySmoke {
+		cred := types.Cred{User: 100, Client: 1}
+		payload := []byte("post-crash smoke write")
+		id, err := drv.Create(cred, everyoneACL(), nil)
+		if err != nil {
+			viol("recovery", "post-crash create: %v", err)
+			return vs
+		}
+		if err := drv.Write(cred, id, 0, payload); err != nil {
+			viol("recovery", "post-crash write: %v", err)
+			return vs
+		}
+		if err := drv.Sync(cred); err != nil {
+			viol("recovery", "post-crash sync: %v", err)
+			return vs
+		}
+		got, err := drv.Read(cred, id, 0, uint64(len(payload)), types.TimeNowest)
+		if err != nil || !bytes.Equal(got, payload) {
+			viol("recovery", "post-crash readback: %q, %v", got, err)
+		}
+	}
+	return vs
+}
+
+// checkAudit matches the recovered audit records against the oracle's
+// op sequence, returning "" if they form a contiguous run of it whose
+// absent prefix is entirely older than the detection window (eligible
+// for aging) and whose absent tail is entirely newer than the last
+// durable checkpoint (audit records batch a block at a time per
+// §5.1.4, so individual Syncs do not pin them). Audit timestamps are
+// nondecreasing, so aging can only ever trim a prefix and a crash can
+// only ever lose a suffix.
+func (w *run) checkAudit(recs []audit.Record, mark *syncMark, winCut types.Timestamp) string {
+	markAt := types.Timestamp(0)
+	if mark != nil {
+		markAt = mark.at
+	}
+	limit := 0
+	for limit < len(w.audits) && w.audits[limit].at <= winCut {
+		limit++
+	}
+	match := func(i int) bool {
+		if i+len(recs) > len(w.audits) {
+			return false
+		}
+		for j, r := range recs {
+			exp := w.audits[i+j]
+			if r.Op != exp.op || r.Obj != exp.obj || r.User != exp.user || r.OK != exp.ok {
+				return false
+			}
+		}
+		// Everything the oracle has beyond the recovered run must have
+		// been unacknowledged when the crash hit.
+		return i+len(recs) >= len(w.audits) || w.audits[i+len(recs)].at > markAt
+	}
+	for i := 0; i <= limit; i++ {
+		if match(i) {
+			return ""
+		}
+	}
+	first := "none"
+	if len(recs) > 0 {
+		first = fmt.Sprintf("{op %v obj %v user %v ok %v}", recs[0].Op, recs[0].Obj, recs[0].User, recs[0].OK)
+	}
+	return fmt.Sprintf("%d recovered records (first %s) do not align with the %d-op oracle (%d age-eligible, durable through %v)",
+		len(recs), first, len(w.audits), limit, markAt)
+}
+
+// checkSnap verifies one oracle snapshot against the recovered drive,
+// returning "" on success.
+func checkSnap(drv *core.Drive, admin types.Cred, id types.ObjectID, sn *snapshot) string {
+	if sn.deleted {
+		if _, err := drv.Read(admin, id, 0, 1, sn.at); !errors.Is(err, types.ErrNoObject) {
+			return fmt.Sprintf("read at %v of deleted version: %v (want ErrNoObject)", sn.at, err)
+		}
+		return ""
+	}
+	ai, err := drv.GetAttr(admin, id, sn.at)
+	if err != nil {
+		return fmt.Sprintf("getattr at %v: %v", sn.at, err)
+	}
+	if ai.Deleted {
+		return fmt.Sprintf("version at %v reads as deleted", sn.at)
+	}
+	if ai.Size != uint64(len(sn.data)) {
+		return fmt.Sprintf("size at %v = %d, oracle %d", sn.at, ai.Size, len(sn.data))
+	}
+	if !bytes.Equal(ai.Attr, sn.attr) {
+		return fmt.Sprintf("attr at %v = %q, oracle %q", sn.at, ai.Attr, sn.attr)
+	}
+	var got []byte
+	for off := uint64(0); off < ai.Size; off += types.MaxIO {
+		part, err := drv.Read(admin, id, off, min64(ai.Size-off, types.MaxIO), sn.at)
+		if err != nil {
+			return fmt.Sprintf("read at %v off %d: %v", sn.at, off, err)
+		}
+		got = append(got, part...)
+	}
+	if !bytes.Equal(got, sn.data) {
+		for i := range got {
+			if got[i] != sn.data[i] {
+				return fmt.Sprintf("content at %v differs from byte %d of %d", sn.at, i, len(sn.data))
+			}
+		}
+		return fmt.Sprintf("content at %v truncated: %d of %d bytes", sn.at, len(got), len(sn.data))
+	}
+	return ""
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package torture
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// sweepSeeds picks the seeds for the main sweep: one seed in -short
+// runs, a few in the default tier-1 run, and a wide nightly sweep when
+// S4_TORTURE_LONG is set (see .github/workflows/ci.yml).
+func sweepSeeds(t *testing.T) ([]int64, Config) {
+	cfg := Config{
+		Torn:              true,
+		PostRecoverySmoke: true,
+	}
+	if os.Getenv("S4_TORTURE_LONG") != "" {
+		cfg.Ops = 1000
+		return []int64{1, 2, 3, 4, 5, 6, 7, 8}, cfg
+	}
+	if testing.Short() {
+		return []int64{1}, cfg
+	}
+	return []int64{1, 2, 3}, cfg
+}
+
+// TestTortureSweep is the tentpole check: enumerate every crash point
+// of a seeded workload (plus a torn variant of each multi-sector
+// write) and hold all five recovery invariants at each one.
+func TestTortureSweep(t *testing.T) {
+	seeds, cfg := sweepSeeds(t)
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(name(seed), func(t *testing.T) {
+			cfg := cfg
+			cfg.Seed = seed
+			cfg.Logf = t.Logf
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("seed=%d: %d ops, %d objects, %d syncs, %d device writes -> %d crash points (%d torn), %d violations",
+				seed, res.Ops, res.Objects, res.Syncs, res.Writes, res.CrashPoints, res.TornPoints, len(res.Violations))
+			for i, v := range res.Violations {
+				if i == 10 {
+					t.Errorf("... and %d more", len(res.Violations)-10)
+					break
+				}
+				t.Errorf("%s", v)
+			}
+			if res.CrashPoints < 500 {
+				t.Fatalf("only %d crash points enumerated; want >= 500", res.CrashPoints)
+			}
+		})
+	}
+}
+
+// TestBrokenReuseBarrierCaught proves the harness has teeth. With the
+// cleaner's deferred-reuse barrier disabled (segments recycled before
+// the checkpoint covering their relocation is durable — DESIGN.md §6),
+// some crash point must recover state that references a clobbered
+// segment, and the sweep must flag it. The identical configuration
+// with the barrier intact must stay clean.
+func TestBrokenReuseBarrierCaught(t *testing.T) {
+	base := Config{
+		Ops:              400,
+		Window:           250 * time.Millisecond,
+		SegBlocks:        16,
+		SyncEveryN:       3,
+		CheckpointEveryN: 25,
+		CleanEveryN:      4,
+	}
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, seed := range seeds {
+		broken := base
+		broken.Seed = seed
+		broken.UnsafeImmediateReuse = true
+		res, err := Run(broken)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) == 0 {
+			continue
+		}
+		t.Logf("seed=%d: broken barrier caught at %d of %d crash points, e.g. %s",
+			seed, len(res.Violations), res.CrashPoints, res.Violations[0])
+		ctl := base
+		ctl.Seed = seed
+		resC, err := Run(ctl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range resC.Violations {
+			t.Errorf("barrier intact, yet: %s", v)
+		}
+		return
+	}
+	t.Fatalf("deferred-reuse barrier disabled, yet no violation across seeds %v", seeds)
+}
+
+func name(seed int64) string {
+	return "seed=" + string(rune('0'+seed%10))
+}

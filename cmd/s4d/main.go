@@ -38,6 +38,7 @@ func main() {
 	window := flag.Duration("window", 7*24*time.Hour, "detection window")
 	format := flag.Bool("format", false, "format the image even if it has data")
 	cleanEvery := flag.Duration("clean", 30*time.Second, "cleaner interval (0 disables)")
+	workers := flag.Int("workers", 0, "request-dispatch pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *adminKey == "" {
@@ -76,6 +77,7 @@ func main() {
 	}
 
 	srv := s4rpc.NewServer(drv, keys)
+	srv.SetWorkers(*workers)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("s4d: listen: %v", err)

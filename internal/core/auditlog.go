@@ -131,12 +131,17 @@ func requestCapture(cred types.Cred, op types.Op, obj types.ObjectID, off, lengt
 }
 
 // auditOp appends one audit record for a just-executed request. Caller
-// holds d.mu.
+// holds the drive lock in either mode; the audit pipeline itself is
+// serialized by auditMu so concurrent requests interleave their records
+// in a single sequence.
 func (d *Drive) auditOp(cred types.Cred, op types.Op, obj types.ObjectID, off, length uint64, arg string, err error) {
+	d.statsMu.Lock()
 	d.stats.Ops[op]++
+	d.statsMu.Unlock()
 	if d.opts.DisableAudit {
 		return
 	}
+	d.auditMu.Lock()
 	d.auditSeq++
 	rec := audit.Record{
 		Seq: d.auditSeq, Time: vclock.TS(d.clk),
@@ -146,15 +151,20 @@ func (d *Drive) auditOp(cred types.Cred, op types.Op, obj types.ObjectID, off, l
 		OK:  err == nil, Errno: errno(err),
 	}
 	d.auditBuf = append(d.auditBuf, rec)
-	d.stats.AuditRecords++
 	// Flush when a block's worth of records has accumulated.
 	if len(d.auditBuf) >= 8 {
 		if sz := d.auditBufSize(); sz >= audit.BlockCapacity {
 			_ = d.flushAuditLocked()
 		}
 	}
+	d.auditMu.Unlock()
+	d.statsMu.Lock()
+	d.stats.AuditRecords++
+	d.statsMu.Unlock()
 }
 
+// auditBufSize sums the encoded size of buffered records. Caller holds
+// auditMu.
 func (d *Drive) auditBufSize() int {
 	n := 0
 	for i := range d.auditBuf {
@@ -164,6 +174,8 @@ func (d *Drive) auditBufSize() int {
 }
 
 // flushAuditLocked writes buffered audit records as audit blocks.
+// Caller holds auditMu (the segment log and usage counters are
+// internally synchronized).
 func (d *Drive) flushAuditLocked() error {
 	for len(d.auditBuf) > 0 {
 		// Fill one block.
@@ -200,15 +212,20 @@ func (d *Drive) flushAuditLocked() error {
 
 // AuditRead returns up to max audit records with Seq >= fromSeq
 // (administrative: the audit log reveals every principal's activity).
+// It runs under the shared drive lock: flushed audit blocks are
+// immutable and the shared hold keeps the cleaner from freeing them,
+// so only the buffered tail needs the audit mutex.
 func (d *Drive) AuditRead(cred types.Cred, fromSeq uint64, max int) ([]audit.Record, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	recs, err := d.auditReadLocked(cred, fromSeq, max)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	recs, err := d.auditReadShared(cred, fromSeq, max)
 	d.auditOp(cred, types.OpAuditRead, types.AuditObject, fromSeq, uint64(max), "", err)
 	return recs, err
 }
 
-func (d *Drive) auditReadLocked(cred types.Cred, fromSeq uint64, max int) ([]audit.Record, error) {
+// auditReadShared implements AuditRead. Caller holds the shared drive
+// lock but not auditMu.
+func (d *Drive) auditReadShared(cred types.Cred, fromSeq uint64, max int) ([]audit.Record, error) {
 	if d.closed {
 		return nil, types.ErrDriveStopped
 	}
@@ -218,9 +235,16 @@ func (d *Drive) auditReadLocked(cred types.Cred, fromSeq uint64, max int) ([]aud
 	if max <= 0 || max > 100000 {
 		max = 100000
 	}
+	// Snapshot the block list and buffered tail, then scan without
+	// auditMu: concurrent auditOps may append records, but those
+	// post-date this request.
+	d.auditMu.Lock()
+	blocks := append([]auditBlockRef(nil), d.auditBlocks...)
+	tail := append([]audit.Record(nil), d.auditBuf...)
+	d.auditMu.Unlock()
 	var out []audit.Record
 	buf := make([]byte, seglog.BlockSize)
-	for _, ref := range d.auditBlocks {
+	for _, ref := range blocks {
 		if len(out) >= max {
 			return out[:max], nil
 		}
@@ -242,9 +266,9 @@ func (d *Drive) auditReadLocked(cred types.Cred, fromSeq uint64, max int) ([]aud
 			}
 		}
 	}
-	for i := range d.auditBuf {
-		if d.auditBuf[i].Seq >= fromSeq {
-			out = append(out, d.auditBuf[i])
+	for i := range tail {
+		if tail[i].Seq >= fromSeq {
+			out = append(out, tail[i])
 		}
 	}
 	if len(out) > max {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"sync"
 
 	"s4/internal/seglog"
 )
@@ -10,7 +11,12 @@ import (
 // for the drive's buffer cache (the paper's S4 drives ran a 128MB buffer
 // cache and a 32MB object cache, §5.1.1). It caches immutable log blocks
 // only, so invalidation is needed just when the cleaner frees segments.
+//
+// The cache is internally synchronized (its mutex is a leaf in the
+// drive's lock hierarchy), so concurrent readers hit it without any
+// drive-level exclusive lock.
 type blockCache struct {
+	mu       sync.Mutex
 	capBytes int64
 	curBytes int64
 	lru      *list.List // front = most recent; values are *cacheEnt
@@ -38,6 +44,8 @@ func (c *blockCache) get(addr seglog.BlockAddr) []byte {
 	if c.capBytes <= 0 {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.byAddr[addr]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
@@ -53,6 +61,8 @@ func (c *blockCache) put(addr seglog.BlockAddr, data []byte) {
 	if c.capBytes <= 0 {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.byAddr[addr]; ok {
 		ent := el.Value.(*cacheEnt)
 		c.curBytes += int64(len(data) - len(ent.data))
@@ -72,8 +82,15 @@ func (c *blockCache) put(addr seglog.BlockAddr, data []byte) {
 	}
 }
 
-// drop removes one address (cleaner freed its block).
+// drop removes one address (cleaner freed its block, or a shared
+// journal block was rewritten in place).
 func (c *blockCache) drop(addr seglog.BlockAddr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dropLocked(addr)
+}
+
+func (c *blockCache) dropLocked(addr seglog.BlockAddr) {
 	if el, ok := c.byAddr[addr]; ok {
 		ent := el.Value.(*cacheEnt)
 		c.lru.Remove(el)
@@ -85,7 +102,16 @@ func (c *blockCache) drop(addr seglog.BlockAddr) {
 // dropRange removes every cached block with addr in [lo, hi) — used when
 // a whole segment is freed.
 func (c *blockCache) dropRange(lo, hi seglog.BlockAddr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for addr := lo; addr < hi; addr++ {
-		c.drop(addr)
+		c.dropLocked(addr)
 	}
+}
+
+// counters returns the hit/miss totals.
+func (c *blockCache) counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }

@@ -48,6 +48,10 @@ type CleanStats struct {
 }
 
 // CleanOnce performs one bounded cleaning pass and reports what it did.
+// It holds the exclusive drive lock throughout: that is the mutual
+// exclusion the lock-free history read path relies on — no sector or
+// block it might free can be mid-walk, because walkers hold the shared
+// lock for their whole operation.
 func (d *Drive) CleanOnce() (CleanStats, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -55,7 +59,9 @@ func (d *Drive) CleanOnce() (CleanStats, error) {
 	if d.closed {
 		return cs, types.ErrDriveStopped
 	}
+	d.statsMu.Lock()
 	d.stats.CleanerRuns++
+	d.statsMu.Unlock()
 	ageCut := vclock.TS(d.clk) - types.Timestamp(d.window)
 
 	// Phase 1: age history out of the window, a bounded batch of
@@ -84,6 +90,7 @@ func (d *Drive) CleanOnce() (CleanStats, error) {
 	// Phase 1b: audit blocks whose newest record has left the window
 	// are released (the audit log serves intrusion diagnosis; beyond
 	// the window its guarantee has lapsed, like any history).
+	d.auditMu.Lock()
 	kept := d.auditBlocks[:0]
 	for _, r := range d.auditBlocks {
 		if r.lastTime < ageCut {
@@ -94,6 +101,7 @@ func (d *Drive) CleanOnce() (CleanStats, error) {
 		}
 	}
 	d.auditBlocks = kept
+	d.auditMu.Unlock()
 
 	// Phase 2: reclaim empty segments.
 	if err := d.reclaimSegmentsLocked(&cs); err != nil {
@@ -117,8 +125,10 @@ func (d *Drive) CleanOnce() (CleanStats, error) {
 			return cs, err
 		}
 	}
+	d.statsMu.Lock()
 	d.stats.SegmentsFreed += int64(cs.SegmentsFreed)
 	d.stats.BlocksCompacted += int64(cs.BlocksCopied)
+	d.statsMu.Unlock()
 	return cs, nil
 }
 
@@ -298,9 +308,11 @@ func (d *Drive) reapObjectLocked(o *object, cs *CleanStats) error {
 		addr = prev
 	}
 	if o.ino != nil {
-		d.loaded--
+		d.loaded.Add(-1)
 	}
+	d.lruMu.Lock()
 	d.objLRU.Remove(o.lruEl)
+	d.lruMu.Unlock()
 	delete(d.objects, o.id)
 	return nil
 }
@@ -421,7 +433,10 @@ func (d *Drive) relocateJournalBlockLocked(blk seglog.BlockAddr, cs *CleanStats)
 			return false, err
 		}
 	}
-	return d.jblockRef[blk] == 0, nil
+	d.logMu.Lock()
+	drained := d.jblockRef[blk] == 0
+	d.logMu.Unlock()
+	return drained, nil
 }
 
 // relocateChainLocked re-places o's retained journal chain at the log
@@ -466,7 +481,9 @@ func (d *Drive) relocateChainLocked(o *object, avoid seglog.BlockAddr, cs *Clean
 		if err != nil {
 			return err
 		}
+		d.logMu.Lock()
 		sa, err := d.placeSectorLocked(enc, vclock.TS(d.clk))
+		d.logMu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -496,7 +513,10 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 	// would churn them forever).
 	for i := range sum.Entries {
 		addr := d.log.EntryAt(seg, i)
-		if sum.Entries[i].Kind == seglog.KindJournal && d.jblockRef[addr] > 0 {
+		d.logMu.Lock()
+		inChain := d.jblockRef[addr] > 0
+		d.logMu.Unlock()
+		if sum.Entries[i].Kind == seglog.KindJournal && inChain {
 			if !pressed {
 				return nil
 			}
@@ -525,7 +545,7 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 			if o.ino.Block(se.Key) != addr {
 				continue // dead or historical; aging handles it
 			}
-			data, err := d.readBlockLocked(addr)
+			data, err := d.readBlock(addr)
 			if err != nil {
 				return err
 			}
@@ -573,6 +593,7 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 			}
 			cs.BlocksCopied++
 		case seglog.KindAudit:
+			d.auditMu.Lock()
 			idx := -1
 			for j := range d.auditBlocks {
 				if d.auditBlocks[j].addr == addr {
@@ -581,17 +602,21 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 				}
 			}
 			if idx < 0 {
+				d.auditMu.Unlock()
 				continue
 			}
-			data, err := d.readBlockLocked(addr)
+			data, err := d.readBlock(addr)
 			if err != nil {
+				d.auditMu.Unlock()
 				return err
 			}
 			newAddr, err := d.log.Append(seglog.KindAudit, types.AuditObject, se.Key, se.Time, data[:se.Len])
 			if err != nil {
+				d.auditMu.Unlock()
 				return err
 			}
 			d.auditBlocks[idx].addr = newAddr
+			d.auditMu.Unlock()
 			d.usage.liveBorn(segOf(d.log, newAddr))
 			d.usage.freeLive(seg)
 			d.cache.drop(addr)

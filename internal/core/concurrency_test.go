@@ -2,13 +2,26 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"math/rand"
+	"os"
 	"sync"
 	"testing"
 	"time"
 
 	"s4/internal/types"
 )
+
+// stressScale shrinks the concurrency stress tests under -short or the
+// CI race job's S4_STRESS_SHORT knob (the race detector multiplies
+// runtime ~10x).
+func stressScale() int {
+	if testing.Short() || os.Getenv("S4_STRESS_SHORT") != "" {
+		return 4
+	}
+	return 1
+}
 
 // TestConcurrentClients drives the drive from several goroutines at
 // once (distinct users and objects), with the cleaner running in a
@@ -105,5 +118,278 @@ func TestConcurrentClients(t *testing.T) {
 		if err != nil || !bytes.Equal(got, final[i]) {
 			t.Fatalf("client %d: content wrong after recovery (err=%v)", i, err)
 		}
+	}
+}
+
+// TestSharedObjectStress hammers the SAME objects from many writers and
+// history readers at once, with the cleaner aging history out from
+// under them (a deliberately short detection window). Each writer owns
+// a disjoint block-aligned region of every object, so the final content
+// is deterministic even though the object-level lock interleaves their
+// versions arbitrarily. Readers walk version history concurrently and
+// may only ever observe ErrNoVersion (aged out) — any other error, or a
+// torn read, is a bug in the snapshot read path.
+func TestSharedObjectStress(t *testing.T) {
+	e := newTestDrive(t, func(o *Options) { o.Window = 100 * time.Millisecond })
+	scale := stressScale()
+	const (
+		writers = 4
+		readers = 3
+		objects = 3
+	)
+	rounds := 48 / scale
+	region := 2 * int(types.BlockSize) // per-writer slice of each object
+
+	// EveryoneID/PermAll so every writer and reader (including the
+	// PermRecover history walks) shares the objects.
+	acl := []types.ACLEntry{{User: types.EveryoneID, Perm: types.PermAll}}
+	ids := make([]types.ObjectID, objects)
+	for i := range ids {
+		id, err := e.d.Create(alice, acl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	e.tick()
+
+	errs := make(chan error, writers+readers+1)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cred := types.Cred{User: types.UserID(100 + w), Client: types.ClientID(w + 1)}
+			off := uint64(w * region)
+			for r := 0; r < rounds; r++ {
+				data := bytes.Repeat([]byte{byte(w + 1), byte(r)}, region/2)
+				for _, id := range ids {
+					if err := e.d.Write(cred, id, off, data); err != nil {
+						errs <- fmt.Errorf("writer %d round %d: %w", w, r, err)
+						return
+					}
+				}
+				e.tick()
+				if r%11 == 0 {
+					if err := e.d.Sync(cred); err != nil {
+						errs <- fmt.Errorf("writer %d sync: %w", w, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	var rdWG sync.WaitGroup
+	for rd := 0; rd < readers; rd++ {
+		rd := rd
+		rdWG.Add(1)
+		go func() {
+			defer rdWG.Done()
+			rng := rand.New(rand.NewSource(int64(rd) + 1))
+			cred := types.Cred{User: types.UserID(300 + rd), Client: types.ClientID(10 + rd)}
+			var past []types.Timestamp
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				past = append(past, e.d.Now())
+				at := past[rng.Intn(len(past))]
+				id := ids[rng.Intn(objects)]
+				blk := uint64(rng.Intn(writers * 2))
+				_, err := e.d.Read(cred, id, blk*types.BlockSize, types.BlockSize, at)
+				if err != nil && !errors.Is(err, types.ErrNoVersion) {
+					errs <- fmt.Errorf("reader %d read at %v: %w", rd, at, err)
+					return
+				}
+				if _, err := e.d.GetAttr(cred, id, at); err != nil && !errors.Is(err, types.ErrNoVersion) {
+					errs <- fmt.Errorf("reader %d getattr: %w", rd, err)
+					return
+				}
+				if i%17 == 0 {
+					if _, err := e.d.ListVersions(cred, id); err != nil {
+						errs <- fmt.Errorf("reader %d listversions: %w", rd, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var cleanerWG sync.WaitGroup
+	cleanerWG.Add(1)
+	go func() {
+		defer cleanerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := e.d.CleanOnce(); err != nil {
+					errs <- fmt.Errorf("cleaner: %w", err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	rdWG.Wait()
+	close(stop)
+	cleanerWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every writer's region holds exactly its final round's pattern.
+	verify := func() {
+		t.Helper()
+		for _, id := range ids {
+			for w := 0; w < writers; w++ {
+				want := bytes.Repeat([]byte{byte(w + 1), byte(rounds - 1)}, region/2)
+				got, err := e.d.Read(admin, id, uint64(w*region), uint64(region), types.TimeNowest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("object %d writer %d: final region content wrong", id, w)
+				}
+			}
+		}
+	}
+	verify()
+	if err := e.d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.d.Sync(alice); err != nil {
+		t.Fatal(err)
+	}
+	e.reopen()
+	verify()
+	if err := e.d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotStability pins a timestamp t0, takes a golden read at t0,
+// then checks that Read(at=t0) returns byte-identical results while
+// concurrent writers overwrite and extend the same object — before,
+// during, and after the churn. This is the immutability property the
+// lock-free history read path depends on: a version, once written, can
+// never change, so a snapshot walk needs no lock against writers.
+func TestSnapshotStability(t *testing.T) {
+	e := newTestDrive(t) // 1h window: nothing ages out mid-test
+	id := e.create(alice)
+	const blocks = 4
+	base := make([]byte, blocks*types.BlockSize)
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < int(types.BlockSize); i++ {
+			base[b*int(types.BlockSize)+i] = 0xA0 + byte(b)
+		}
+	}
+	e.write(alice, id, 0, base)
+	t0 := e.d.Now()
+	e.tick()
+	golden := e.read(alice, id, 0, uint64(len(base)), t0)
+	if !bytes.Equal(golden, base) {
+		t.Fatal("golden read at t0 does not match baseline")
+	}
+
+	scale := stressScale()
+	const writers, readers = 3, 3
+	rounds := 40 / scale
+	const appendLen = 512
+	errs := make(chan error, writers+readers)
+	var wwg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 99))
+			for r := 0; r < rounds; r++ {
+				// Overwrite a random baseline block with a pattern that
+				// can never equal the baseline (high nibble differs).
+				pat := bytes.Repeat([]byte{0x10*byte(w+1) + byte(r&0xF)}, int(types.BlockSize))
+				blk := uint64(rng.Intn(blocks))
+				if err := e.d.Write(alice, id, blk*types.BlockSize, pat); err != nil {
+					errs <- fmt.Errorf("writer %d overwrite: %w", w, err)
+					return
+				}
+				if _, err := e.d.Append(alice, id, make([]byte, appendLen)); err != nil {
+					errs <- fmt.Errorf("writer %d append: %w", w, err)
+					return
+				}
+				e.tick()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var rwg sync.WaitGroup
+	for rd := 0; rd < readers; rd++ {
+		rd := rd
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				got, err := e.d.Read(alice, id, 0, uint64(len(base)), t0)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d at t0: %w", rd, err)
+					return
+				}
+				if !bytes.Equal(got, golden) {
+					errs <- fmt.Errorf("reader %d: read at t0 changed during concurrent writes", rd)
+					return
+				}
+				ai, err := e.d.GetAttr(alice, id, t0)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d getattr at t0: %w", rd, err)
+					return
+				}
+				if ai.Size != uint64(len(base)) {
+					errs <- fmt.Errorf("reader %d: size at t0 = %d, want %d", rd, ai.Size, len(base))
+					return
+				}
+			}
+		}()
+	}
+	wwg.Wait()
+	close(done)
+	rwg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After the churn: t0 still reads the golden bytes, the live object
+	// has diverged, and every append landed exactly once.
+	if got := e.read(alice, id, 0, uint64(len(base)), t0); !bytes.Equal(got, golden) {
+		t.Fatal("read at t0 changed after concurrent writes finished")
+	}
+	if got := e.read(alice, id, 0, uint64(len(base)), types.TimeNowest); bytes.Equal(got, golden) {
+		t.Fatal("live content should have diverged from the t0 snapshot")
+	}
+	ai, err := e.d.GetAttr(alice, id, types.TimeNowest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(len(base)) + uint64(writers*rounds*appendLen)
+	if ai.Size != want {
+		t.Fatalf("final size %d, want %d (every append exactly once)", ai.Size, want)
+	}
+	if err := e.d.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

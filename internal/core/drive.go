@@ -14,8 +14,32 @@
 //   - a cleaner that reclaims only space aged out of the window;
 //   - history-pool abuse throttling (internal/throttle).
 //
-// All exported methods are safe for concurrent use; operations serialize
-// on the drive, matching a single-spindle device.
+// All exported methods are safe for concurrent use.
+//
+// # Lock hierarchy
+//
+// The drive uses layered locks so that operations on different objects
+// proceed in parallel and readers of one object proceed in parallel
+// with each other (DESIGN.md §9). Acquisition order, outermost first:
+//
+//	Drive.mu (RWMutex)  >  object.mu (RWMutex)  >  Drive.logMu
+//	                                            >  seglog.Log (internal)
+//
+// with auditMu, statsMu, lruMu, and the block cache's internal mutex as
+// leaves that never hold anything else except the seglog lock (audit
+// flushes append to the log while holding auditMu).
+//
+//   - Per-object operations (Read/Write/GetAttr/...) hold Drive.mu for
+//     reading for their entire duration and take object.mu for the one
+//     object they touch. Two object locks are never held at once.
+//   - Whole-drive operations (Create, CleanOnce, Checkpoint, Flush,
+//     Close, SetWindow, CheckInvariants, eviction, partition updates,
+//     recovery) hold Drive.mu for writing, which excludes every
+//     per-object operation; they may then touch any object's fields
+//     without taking object locks.
+//
+// Functions named *Locked document in their comment which of these
+// locks the caller must hold.
 package core
 
 import (
@@ -23,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"s4/internal/audit"
@@ -100,8 +125,16 @@ func (o *Options) fill(dev disk.Device) {
 }
 
 // object is the drive's in-memory state for one object.
+//
+// Fields are guarded by mu together with the drive lock: per-object
+// operations hold Drive.mu for reading plus o.mu (shared for reads,
+// exclusive for mutations); whole-drive operations hold Drive.mu for
+// writing and may access the fields directly, since that excludes
+// every per-object operation.
 type object struct {
-	id          types.ObjectID
+	id types.ObjectID
+	mu sync.RWMutex
+
 	ino         *Inode // nil when evicted (reloadable from cpBlocks)
 	nextVersion uint64
 	// Last durable full-metadata checkpoint.
@@ -146,42 +179,65 @@ type Stats struct {
 	ThrottleDelays  time.Duration
 }
 
-// Drive is an open S4 drive.
+// Drive is an open S4 drive. See the package comment for the lock
+// hierarchy its fields follow.
 type Drive struct {
 	dev  disk.Device
 	log  *seglog.Log
 	clk  vclock.Clock
 	opts Options
 
-	mu      sync.Mutex
+	// mu is the drive-wide structural lock. Held shared by every
+	// per-object operation for its whole duration (including lock-free
+	// history walks: the shared hold is what keeps the cleaner and
+	// Flush from rewriting sectors mid-walk); held exclusively by
+	// whole-drive operations. objects, nextOID, window, and closed are
+	// written only under the exclusive hold.
+	mu      sync.RWMutex
 	objects map[types.ObjectID]*object
-	objLRU  *list.List // front = hottest; values are *object
 	nextOID types.ObjectID
 	window  time.Duration
-	usage   *segUsage
-	cache   *blockCache
-	// jblockRef counts in-chain journal sectors per log block (several
-	// objects' 512-byte sectors share one block); a block is freed when
-	// its count reaches zero.
-	jblockRef map[seglog.BlockAddr]int
-	// jstage is the journal block currently accepting new sectors.
+	usage   *segUsage   // atomic counters; no lock needed
+	cache   *blockCache // internally locked
+	closed  bool
+
+	// lruMu guards objLRU mutation. The list is traversed without lruMu
+	// only under the exclusive drive lock (evictColdLocked), which
+	// excludes every MoveToFront caller.
+	lruMu  sync.Mutex
+	objLRU *list.List // front = hottest; values are *object
+
+	// logMu serializes multi-call journal-block sequences: several
+	// objects' 512-byte sectors share each staged journal block, and
+	// both sector placement and head-sector merges read-modify-write
+	// shared blocks. jblockRef counts in-chain journal sectors per log
+	// block (a block is freed when its count reaches zero); jstage is
+	// the journal block currently accepting new sectors.
+	logMu      sync.Mutex
+	jblockRef  map[seglog.BlockAddr]int
 	jstageAddr seglog.BlockAddr
 	jstageUsed int
 
+	// auditMu guards the audit pipeline. It is taken while holding
+	// Drive.mu (either mode) and object locks, never the reverse.
+	auditMu     sync.Mutex
 	auditBuf    []audit.Record
 	auditSeq    uint64
 	auditBlocks []auditBlockRef
 
-	thr   *throttle.Throttle
-	stats Stats
+	// statsMu guards stats. Cache hit/miss counters live inside the
+	// block cache and are merged in DriveStats.
+	statsMu sync.Mutex
+	stats   Stats
 
-	loaded int // objects with a materialized inode
+	thr *throttle.Throttle
+
+	loaded atomic.Int32 // objects with a materialized inode
 	// pendingFree holds segments emptied by the cleaner; they return
 	// to the allocator only after the next object-map checkpoint, so a
 	// crash can never find the checkpointed state referencing a reused
-	// segment.
+	// segment. Touched only under the exclusive drive lock.
 	pendingFree map[int64]bool
-	closed      bool
 }
 
 type auditBlockRef struct {
@@ -256,8 +312,8 @@ func (d *Drive) Close() error {
 
 // Window returns the current detection window.
 func (d *Drive) Window() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.window
 }
 
@@ -265,11 +321,14 @@ func (d *Drive) Window() time.Duration {
 func (d *Drive) Now() types.Timestamp { return vclock.TS(d.clk) }
 
 // registerObject installs a fresh object with its initial inode.
+// Caller holds the exclusive drive lock.
 func (d *Drive) registerObject(id types.ObjectID, now types.Timestamp, acl []types.ACLEntry) *object {
 	o := &object{id: id, ino: newInode(id, now, acl), nextVersion: 2}
+	d.lruMu.Lock()
 	o.lruEl = d.objLRU.PushFront(o)
+	d.lruMu.Unlock()
 	d.objects[id] = o
-	d.loaded++
+	d.loaded.Add(1)
 	return o
 }
 
@@ -300,6 +359,9 @@ func checkReserved(cred types.Cred, id types.ObjectID) error {
 
 // ---- Object lookup / loading ----
 
+// getObject looks up an object and materializes its inode. Caller
+// holds the exclusive drive lock (per-object paths use getObjectShared
+// plus lockObjectRead/lockObjectWrite instead).
 func (d *Drive) getObject(id types.ObjectID) (*object, error) {
 	o, ok := d.objects[id]
 	if !ok {
@@ -308,14 +370,62 @@ func (d *Drive) getObject(id types.ObjectID) (*object, error) {
 	if err := d.loadInode(o); err != nil {
 		return nil, err
 	}
+	d.lruMu.Lock()
 	d.objLRU.MoveToFront(o.lruEl)
+	d.lruMu.Unlock()
 	return o, nil
+}
+
+// getObjectShared looks up an object under the shared drive lock. The
+// returned object's inode may be unloaded; lockObjectRead or
+// lockObjectWrite materializes it under the object lock.
+func (d *Drive) getObjectShared(id types.ObjectID) (*object, error) {
+	o, ok := d.objects[id]
+	if !ok {
+		return nil, types.ErrNoObject
+	}
+	d.lruMu.Lock()
+	d.objLRU.MoveToFront(o.lruEl)
+	d.lruMu.Unlock()
+	return o, nil
+}
+
+// lockObjectRead takes o.mu shared with the inode materialized; on
+// success the caller must o.mu.RUnlock. Caller holds the shared drive
+// lock, which excludes eviction, so a loaded inode stays loaded.
+func (d *Drive) lockObjectRead(o *object) error {
+	for {
+		o.mu.RLock()
+		if o.ino != nil {
+			return nil
+		}
+		o.mu.RUnlock()
+		o.mu.Lock()
+		err := d.loadInode(o)
+		o.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// lockObjectWrite takes o.mu exclusively with the inode materialized;
+// on success the caller must o.mu.Unlock. Caller holds the shared
+// drive lock.
+func (d *Drive) lockObjectWrite(o *object) error {
+	o.mu.Lock()
+	if err := d.loadInode(o); err != nil {
+		o.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // loadInode materializes o.ino: from its checkpoint if one exists, or
 // by replaying the complete journal chain — journal-based metadata
 // means the journal alone can rebuild any object whose chain still
-// reaches its creation (§4.2.2).
+// reaches its creation (§4.2.2). Caller holds o.mu exclusively or the
+// exclusive drive lock.
 func (d *Drive) loadInode(o *object) error {
 	if o.ino != nil {
 		return nil
@@ -345,7 +455,7 @@ func (d *Drive) loadInode(o *object) error {
 			in.redo(e)
 		}
 		o.ino = in
-		d.loaded++
+		d.loaded.Add(1)
 		return nil
 	}
 	root := make([]byte, seglog.BlockSize)
@@ -357,7 +467,7 @@ func (d *Drive) loadInode(o *object) error {
 		return err
 	}
 	o.ino = in
-	d.loaded++
+	d.loaded.Add(1)
 	return nil
 }
 
@@ -369,12 +479,13 @@ func (o *object) journalComplete() bool {
 
 // evictColdLocked checkpoints and drops inodes beyond the object cache
 // limit, coldest first. Unflushed journal entries are flushed so the
-// checkpoint is complete and the inode can be dropped safely.
+// checkpoint is complete and the inode can be dropped safely. Caller
+// holds the exclusive drive lock.
 func (d *Drive) evictColdLocked() error {
-	if d.loaded <= d.opts.ObjectCacheCount {
+	if int(d.loaded.Load()) <= d.opts.ObjectCacheCount {
 		return nil
 	}
-	for el := d.objLRU.Back(); el != nil && d.loaded > d.opts.ObjectCacheCount; {
+	for el := d.objLRU.Back(); el != nil && int(d.loaded.Load()) > d.opts.ObjectCacheCount; {
 		prev := el.Prev()
 		o := el.Value.(*object)
 		if o.ino != nil {
@@ -390,18 +501,34 @@ func (d *Drive) evictColdLocked() error {
 				}
 			}
 			o.ino = nil
-			d.loaded--
+			d.loaded.Add(-1)
 		}
 		el = prev
 	}
 	return nil
 }
 
+// maybeEvict trims the object cache after an operation that may have
+// materialized inodes. It runs after the shared lock is released:
+// eviction touches other objects and so needs the exclusive lock.
+func (d *Drive) maybeEvict() error {
+	if int(d.loaded.Load()) <= d.opts.ObjectCacheCount {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	return d.evictColdLocked()
+}
+
 // ---- Journal machinery ----
 
 // appendEntry applies e to the object's current inode and queues it for
 // the next journal-sector flush. It also maintains usage accounting for
-// the block pointers the entry deprecates.
+// the block pointers the entry deprecates. Caller holds o.mu
+// exclusively (plus the shared drive lock) or the exclusive drive lock.
 func (d *Drive) appendEntry(o *object, e *journal.Entry) {
 	// Deprecate overwritten/removed blocks into the history pool.
 	for _, old := range e.Old {
@@ -423,7 +550,9 @@ func (d *Drive) appendEntry(o *object, e *journal.Entry) {
 		// object parked at "never" must wake when new history arrives.
 		o.nextAge = birth
 	}
+	d.statsMu.Lock()
 	d.stats.VersionsMade++
+	d.statsMu.Unlock()
 	if d.opts.Conventional {
 		// Ablation: versioning file systems without journal-based
 		// metadata write fresh metadata per update (§4.2.2, Fig. 2).
@@ -442,12 +571,18 @@ func (d *Drive) readJSector(sa journal.SectorAddr) (prev journal.SectorAddr, ent
 }
 
 // unrefJSector drops one in-chain sector reference; the shared journal
-// block is released when its last sector goes.
+// block is released when its last sector goes. It acquires logMu, so
+// the caller must not hold it.
 func (d *Drive) unrefJSector(sa journal.SectorAddr) {
 	blk := sa.Block()
+	d.logMu.Lock()
 	d.jblockRef[blk]--
-	if d.jblockRef[blk] <= 0 {
+	free := d.jblockRef[blk] <= 0
+	if free {
 		delete(d.jblockRef, blk)
+	}
+	d.logMu.Unlock()
+	if free {
 		d.usage.freeLive(segOf(d.log, blk))
 		d.cache.drop(blk)
 	}
@@ -457,7 +592,7 @@ func (d *Drive) unrefJSector(sa journal.SectorAddr) {
 // journal block, starting a fresh block when the current one is full or
 // sealed. Up to journal.SectorsPerBlock sectors — usually belonging to
 // different objects — share each block, which is what keeps
-// journal-based metadata compact (§4.2.2).
+// journal-based metadata compact (§4.2.2). Caller holds logMu.
 func (d *Drive) placeSectorLocked(sec []byte, newest types.Timestamp) (journal.SectorAddr, error) {
 	if d.jstageAddr != seglog.NilAddr && d.jstageUsed < journal.SectorsPerBlock && d.log.InOpenSegment(d.jstageAddr) {
 		buf := make([]byte, seglog.BlockSize)
@@ -490,8 +625,13 @@ func (d *Drive) placeSectorLocked(sec []byte, newest types.Timestamp) (journal.S
 // links them onto the object's backward chain. While the head sector
 // still sits in the open segment and has room, new entries are merged
 // into it in place, so a busy object accumulates one packed sector
-// rather than one per sync.
+// rather than one per sync. Caller holds o.mu exclusively (plus the
+// shared drive lock) or the exclusive drive lock; logMu is acquired
+// here because the head merge and sector placement read-modify-write
+// journal blocks shared with other objects.
 func (d *Drive) flushJournalLocked(o *object) error {
+	d.logMu.Lock()
+	defer d.logMu.Unlock()
 	if len(o.pending) > 0 && o.jhead != journal.NilSector && d.log.InOpenSegment(o.jhead.Block()) {
 		prev, existing, err := d.readJSector(o.jhead)
 		if err != nil {
@@ -571,7 +711,8 @@ func (d *Drive) flushJournalLocked(o *object) error {
 // checkpointObjectLocked writes a full metadata copy of o to the log and
 // releases the superseded checkpoint blocks (journal-based metadata
 // makes stale checkpoints disposable; only journal aging prunes
-// history, §4.2.2).
+// history, §4.2.2). Caller holds o.mu exclusively (plus the shared
+// drive lock) or the exclusive drive lock.
 func (d *Drive) checkpointObjectLocked(o *object) error {
 	if o.ino == nil || o.cpVersion == o.ino.Version && o.inodeRoot != seglog.NilAddr {
 		return nil
@@ -608,14 +749,14 @@ func (d *Drive) checkpointObjectLocked(o *object) error {
 
 // ---- Data block I/O ----
 
-// readBlockLocked returns the contents of the log block at addr (always
-// BlockSize bytes; the log zero-pads short payloads).
-func (d *Drive) readBlockLocked(addr seglog.BlockAddr) ([]byte, error) {
+// readBlock returns the contents of the log block at addr (always
+// BlockSize bytes; the log zero-pads short payloads). The cache and
+// the segment log are internally synchronized, so no drive or object
+// lock is needed beyond whatever keeps addr referenced.
+func (d *Drive) readBlock(addr seglog.BlockAddr) ([]byte, error) {
 	if b := d.cache.get(addr); b != nil {
-		d.stats.CacheHits++
 		return b, nil
 	}
-	d.stats.CacheMisses++
 	buf := make([]byte, seglog.BlockSize)
 	if err := d.log.Read(addr, buf); err != nil {
 		return nil, err
@@ -628,7 +769,8 @@ func (d *Drive) readBlockLocked(addr seglog.BlockAddr) ([]byte, error) {
 
 // Create makes a new object. An empty ACL defaults to full rights for
 // the creating user (including history recovery — the Recovery flag —
-// which the user may later clear with SetACL, §3.4).
+// which the user may later clear with SetACL, §3.4). Creation mutates
+// the object map, so it is a whole-drive operation.
 func (d *Drive) Create(cred types.Cred, acl []types.ACLEntry, attr []byte) (types.ObjectID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -639,7 +781,7 @@ func (d *Drive) Create(cred types.Cred, acl []types.ACLEntry, attr []byte) (type
 		d.auditOp(cred, types.OpCreate, 0, 0, 0, "", types.ErrTooLarge)
 		return 0, types.ErrTooLarge
 	}
-	d.throttleLocked(cred)
+	d.throttle(cred)
 	if len(acl) == 0 {
 		acl = []types.ACLEntry{{User: cred.User, Perm: types.PermAll}}
 	}
@@ -653,7 +795,8 @@ func (d *Drive) Create(cred types.Cred, acl []types.ACLEntry, attr []byte) (type
 
 // createObjectLocked registers a new object and journals its birth,
 // initial ACL, and initial attributes, so that crash recovery can
-// rebuild the object entirely from the log.
+// rebuild the object entirely from the log. Caller holds the exclusive
+// drive lock.
 func (d *Drive) createObjectLocked(id types.ObjectID, cred types.Cred, acl []types.ACLEntry, attr []byte) *object {
 	now := vclock.TS(d.clk)
 	o := d.registerObject(id, now, nil)
@@ -679,38 +822,46 @@ func (d *Drive) createObjectLocked(id types.ObjectID, cred types.Cred, acl []typ
 // Delete marks an object deleted. Its versions — including the final
 // one — remain recoverable for the detection window.
 func (d *Drive) Delete(cred types.Cred, id types.ObjectID) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	err := d.deleteLocked(cred, id)
+	d.mu.RLock()
+	err := d.deleteShared(cred, id)
 	d.auditOp(cred, types.OpDelete, id, 0, 0, "", err)
+	d.mu.RUnlock()
+	if eerr := d.maybeEvict(); err == nil {
+		err = eerr
+	}
 	return err
 }
 
-func (d *Drive) deleteLocked(cred types.Cred, id types.ObjectID) error {
+// deleteShared implements Delete. Caller holds the shared drive lock.
+func (d *Drive) deleteShared(cred types.Cred, id types.ObjectID) error {
 	if d.closed {
 		return types.ErrDriveStopped
 	}
 	if err := checkReserved(cred, id); err != nil {
 		return err
 	}
-	o, err := d.getObject(id)
+	o, err := d.getObjectShared(id)
 	if err != nil {
 		return err
 	}
+	if err := d.lockObjectWrite(o); err != nil {
+		return err
+	}
+	defer o.mu.Unlock()
 	if o.ino.Deleted {
 		return types.ErrNoObject
 	}
 	if err := d.checkPerm(cred, o.ino, types.PermDelete); err != nil {
 		return err
 	}
-	d.throttleLocked(cred)
+	d.throttle(cred)
 	now := vclock.TS(d.clk)
 	d.appendEntry(o, &journal.Entry{
 		Type: journal.EntDelete, Version: o.nextVersion, Time: now,
 		User: cred.User, Client: cred.Client, OldSize: o.ino.Size,
 	})
 	o.nextVersion++
-	d.chargeLocked(cred, int64(o.ino.Size))
+	d.charge(cred, int64(o.ino.Size))
 	return nil
 }
 
@@ -718,15 +869,25 @@ func (d *Drive) deleteLocked(cred types.Cred, id types.ObjectID) error {
 // current at time at (TimeNowest for the live version). Reading any
 // non-current version requires the Recovery flag or administrative
 // credentials (§3.4).
+//
+// Reads of the live version hold the object lock shared, so they run
+// in parallel with each other; history reads snapshot the object and
+// reconstruct the old version with no object lock held at all — old
+// versions are immutable by construction, so back-in-time reads never
+// block writers (DESIGN.md §9).
 func (d *Drive) Read(cred types.Cred, id types.ObjectID, off, n uint64, at types.Timestamp) ([]byte, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	data, err := d.readLocked(cred, id, off, n, at)
+	d.mu.RLock()
+	data, err := d.readShared(cred, id, off, n, at)
 	d.auditOp(cred, types.OpRead, id, off, n, "", err)
+	d.mu.RUnlock()
+	if eerr := d.maybeEvict(); err == nil {
+		err = eerr
+	}
 	return data, err
 }
 
-func (d *Drive) readLocked(cred types.Cred, id types.ObjectID, off, n uint64, at types.Timestamp) ([]byte, error) {
+// readShared implements Read. Caller holds the shared drive lock.
+func (d *Drive) readShared(cred types.Cred, id types.ObjectID, off, n uint64, at types.Timestamp) ([]byte, error) {
 	if d.closed {
 		return nil, types.ErrDriveStopped
 	}
@@ -736,23 +897,37 @@ func (d *Drive) readLocked(cred types.Cred, id types.ObjectID, off, n uint64, at
 	if id == types.AuditObject && !cred.Admin {
 		return nil, types.ErrPerm
 	}
-	o, err := d.getObject(id)
+	o, err := d.getObjectShared(id)
 	if err != nil {
 		return nil, err
 	}
-	in, current, err := d.inodeAtLocked(o, at)
-	if err != nil {
+	if err := d.lockObjectRead(o); err != nil {
 		return nil, err
 	}
-	need := types.PermRead
-	if !current {
+	var in *Inode
+	if at >= o.ino.ModTime {
+		// Live version: read under the shared object lock.
+		defer o.mu.RUnlock()
+		if err := d.checkPerm(cred, o.ino, types.PermRead); err != nil {
+			return nil, err
+		}
+		in = o.ino
+	} else {
 		// Historical version: the Recovery flag gates access. The
 		// CURRENT ACL governs, so clearing the flag hides all old
-		// versions from everyone but the administrator (§3.4).
-		need = types.PermRead | types.PermRecover
-	}
-	if err := d.checkPerm(cred, o.ino, need); err != nil {
-		return nil, err
+		// versions from everyone but the administrator (§3.4). The
+		// permission verdict is captured before the snapshot walk but
+		// reported after it, preserving error precedence.
+		permErr := d.checkPerm(cred, o.ino, types.PermRead|types.PermRecover)
+		snap := snapshotObject(o)
+		o.mu.RUnlock()
+		in, err = d.inodeAtSnap(snap, at)
+		if err != nil {
+			return nil, err
+		}
+		if permErr != nil {
+			return nil, permErr
+		}
 	}
 	if in.Deleted {
 		return nil, types.ErrNoObject
@@ -774,7 +949,7 @@ func (d *Drive) readLocked(cred types.Cred, id types.ObjectID, off, n uint64, at
 		}
 		addr := in.Block(blk)
 		if addr != seglog.NilAddr {
-			data, err := d.readBlockLocked(addr)
+			data, err := d.readBlock(addr)
 			if err != nil {
 				return nil, err
 			}
@@ -782,68 +957,89 @@ func (d *Drive) readLocked(cred types.Cred, id types.ObjectID, off, n uint64, at
 		}
 		filled += want
 	}
+	d.statsMu.Lock()
 	d.stats.BytesRead += int64(n)
+	d.statsMu.Unlock()
 	return out, nil
 }
 
 // Write replaces bytes [off, off+len(data)) of the live version,
-// creating a new version. It never disturbs prior versions.
+// creating a new version. It never disturbs prior versions. Writers to
+// different objects proceed in parallel.
 func (d *Drive) Write(cred types.Cred, id types.ObjectID, off uint64, data []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	err := d.writeLocked(cred, id, off, data, types.OpWrite)
+	d.mu.RLock()
+	_, err := d.writeShared(cred, id, off, data)
 	d.auditOp(cred, types.OpWrite, id, off, uint64(len(data)), "", err)
+	d.mu.RUnlock()
+	if eerr := d.maybeEvict(); err == nil {
+		err = eerr
+	}
 	return err
 }
 
 // Append writes data at the live version's end, returning the offset at
 // which it landed.
 func (d *Drive) Append(cred types.Cred, id types.ObjectID, data []byte) (uint64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	var off uint64
-	var err error
-	if o, e := d.objects[id]; e {
-		if lerr := d.loadInode(o); lerr == nil && o.ino != nil {
-			off = o.ino.Size
-		}
-	}
-	err = d.writeLocked(cred, id, ^uint64(0), data, types.OpAppend)
+	d.mu.RLock()
+	off, err := d.writeShared(cred, id, ^uint64(0), data)
 	d.auditOp(cred, types.OpAppend, id, off, uint64(len(data)), "", err)
+	d.mu.RUnlock()
+	if eerr := d.maybeEvict(); err == nil {
+		err = eerr
+	}
 	return off, err
 }
 
-// writeLocked implements Write and Append (off == ^0 means append).
-func (d *Drive) writeLocked(cred types.Cred, id types.ObjectID, off uint64, data []byte, op types.Op) error {
+// writeShared implements Write and Append (off == ^0 means append),
+// returning the offset the data landed at. Caller holds the shared
+// drive lock. Resolving the append offset and performing the write
+// happen under one exclusive object lock hold, so concurrent appends
+// to the same object land at distinct offsets.
+func (d *Drive) writeShared(cred types.Cred, id types.ObjectID, off uint64, data []byte) (uint64, error) {
 	if d.closed {
-		return types.ErrDriveStopped
+		return 0, types.ErrDriveStopped
 	}
 	if len(data) == 0 {
-		return nil
+		// Empty writes succeed without creating a version; report where
+		// an append would have landed.
+		var sz uint64
+		if o, err := d.getObjectShared(id); err == nil && d.lockObjectRead(o) == nil {
+			sz = o.ino.Size
+			o.mu.RUnlock()
+		}
+		return sz, nil
 	}
 	if len(data) > types.MaxIO {
-		return types.ErrTooLarge
+		return 0, types.ErrTooLarge
 	}
 	if err := checkReserved(cred, id); err != nil {
-		return err
+		return 0, err
 	}
-	o, err := d.getObject(id)
+	o, err := d.getObjectShared(id)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	if err := d.lockObjectWrite(o); err != nil {
+		return 0, err
+	}
+	defer o.mu.Unlock()
+	if off == ^uint64(0) {
+		off = o.ino.Size
 	}
 	if o.ino.Deleted {
-		return types.ErrNoObject
+		return off, types.ErrNoObject
 	}
 	if err := d.checkPerm(cred, o.ino, types.PermWrite); err != nil {
-		return err
+		return off, err
 	}
-	d.throttleLocked(cred)
-	return d.writeBlocksLocked(cred, o, off, data)
+	d.throttle(cred)
+	return off, d.writeBlocksLocked(cred, o, off, data)
 }
 
 // writeBlocksLocked performs the block-level write on an authorized
 // object. It is shared by the external write path and internal writers
-// (partition table, Revert).
+// (partition table, Revert). Caller holds o.mu exclusively (plus the
+// shared drive lock) or the exclusive drive lock.
 func (d *Drive) writeBlocksLocked(cred types.Cred, o *object, off uint64, data []byte) error {
 	in := o.ino
 	if off == ^uint64(0) {
@@ -874,7 +1070,7 @@ func (d *Drive) writeBlocksLocked(cred types.Cred, o *object, off uint64, data [
 			// current size are zeros regardless of stale block tails.
 			merged := make([]byte, types.BlockSize)
 			if old := in.Block(blk); old != seglog.NilAddr {
-				prev, err := d.readBlockLocked(old)
+				prev, err := d.readBlock(old)
 				if err != nil {
 					return err
 				}
@@ -943,42 +1139,56 @@ func (d *Drive) writeBlocksLocked(cred types.Cred, o *object, off uint64, data [
 		blk += uint64(n)
 		remaining = remaining[n:]
 	}
+	d.statsMu.Lock()
 	d.stats.BytesWritten += int64(len(data))
-	d.chargeLocked(cred, histBytes)
-	return d.evictColdLocked()
+	d.statsMu.Unlock()
+	d.charge(cred, histBytes)
+	return nil
 }
 
 // Truncate sets the live version's length, creating a new version.
 // Shrinks move the discarded block pointers into the history pool.
 func (d *Drive) Truncate(cred types.Cred, id types.ObjectID, size uint64) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	err := d.truncateLocked(cred, id, size)
+	d.mu.RLock()
+	err := d.truncateShared(cred, id, size)
 	d.auditOp(cred, types.OpTruncate, id, size, 0, "", err)
+	d.mu.RUnlock()
+	if eerr := d.maybeEvict(); err == nil {
+		err = eerr
+	}
 	return err
 }
 
-func (d *Drive) truncateLocked(cred types.Cred, id types.ObjectID, size uint64) error {
+// truncateShared implements Truncate. Caller holds the shared drive
+// lock.
+func (d *Drive) truncateShared(cred types.Cred, id types.ObjectID, size uint64) error {
 	if d.closed {
 		return types.ErrDriveStopped
 	}
 	if err := checkReserved(cred, id); err != nil {
 		return err
 	}
-	o, err := d.getObject(id)
+	o, err := d.getObjectShared(id)
 	if err != nil {
 		return err
 	}
+	if err := d.lockObjectWrite(o); err != nil {
+		return err
+	}
+	defer o.mu.Unlock()
 	if o.ino.Deleted {
 		return types.ErrNoObject
 	}
 	if err := d.checkPerm(cred, o.ino, types.PermWrite); err != nil {
 		return err
 	}
-	d.throttleLocked(cred)
+	d.throttle(cred)
 	return d.truncateBlocksLocked(cred, o, size)
 }
 
+// truncateBlocksLocked performs the block-level truncate. Caller holds
+// o.mu exclusively (plus the shared drive lock) or the exclusive drive
+// lock.
 func (d *Drive) truncateBlocksLocked(cred types.Cred, o *object, size uint64) error {
 	in := o.ino
 	now := vclock.TS(d.clk)
@@ -1048,7 +1258,7 @@ func (d *Drive) truncateBlocksLocked(cred types.Cred, o *object, size uint64) er
 	if rem := size % types.BlockSize; rem != 0 {
 		tailBlk := size / types.BlockSize
 		if oldAddr := in.Block(tailBlk); oldAddr != seglog.NilAddr {
-			prev, err := d.readBlockLocked(oldAddr)
+			prev, err := d.readBlock(oldAddr)
 			if err != nil {
 				return err
 			}
@@ -1072,7 +1282,7 @@ func (d *Drive) truncateBlocksLocked(cred types.Cred, o *object, size uint64) er
 			histBytes += types.BlockSize
 		}
 	}
-	d.chargeLocked(cred, histBytes)
+	d.charge(cred, histBytes)
 	return nil
 }
 
@@ -1089,31 +1299,46 @@ type AttrInfo struct {
 
 // GetAttr returns attributes of the version current at time at.
 func (d *Drive) GetAttr(cred types.Cred, id types.ObjectID, at types.Timestamp) (AttrInfo, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	ai, err := d.getAttrLocked(cred, id, at)
+	d.mu.RLock()
+	ai, err := d.getAttrShared(cred, id, at)
 	d.auditOp(cred, types.OpGetAttr, id, 0, 0, "", err)
+	d.mu.RUnlock()
+	if eerr := d.maybeEvict(); err == nil {
+		err = eerr
+	}
 	return ai, err
 }
 
-func (d *Drive) getAttrLocked(cred types.Cred, id types.ObjectID, at types.Timestamp) (AttrInfo, error) {
+// getAttrShared implements GetAttr. Caller holds the shared drive lock.
+func (d *Drive) getAttrShared(cred types.Cred, id types.ObjectID, at types.Timestamp) (AttrInfo, error) {
 	if d.closed {
 		return AttrInfo{}, types.ErrDriveStopped
 	}
-	o, err := d.getObject(id)
+	o, err := d.getObjectShared(id)
 	if err != nil {
 		return AttrInfo{}, err
 	}
-	in, current, err := d.inodeAtLocked(o, at)
-	if err != nil {
+	if err := d.lockObjectRead(o); err != nil {
 		return AttrInfo{}, err
 	}
-	need := types.PermRead
-	if !current {
-		need = types.PermRead | types.PermRecover
-	}
-	if err := d.checkPerm(cred, o.ino, need); err != nil {
-		return AttrInfo{}, err
+	var in *Inode
+	if at >= o.ino.ModTime {
+		defer o.mu.RUnlock()
+		if err := d.checkPerm(cred, o.ino, types.PermRead); err != nil {
+			return AttrInfo{}, err
+		}
+		in = o.ino
+	} else {
+		permErr := d.checkPerm(cred, o.ino, types.PermRead|types.PermRecover)
+		snap := snapshotObject(o)
+		o.mu.RUnlock()
+		in, err = d.inodeAtSnap(snap, at)
+		if err != nil {
+			return AttrInfo{}, err
+		}
+		if permErr != nil {
+			return AttrInfo{}, permErr
+		}
 	}
 	return AttrInfo{
 		ID: id, Version: in.Version, Size: in.Size,
@@ -1124,14 +1349,18 @@ func (d *Drive) getAttrLocked(cred types.Cred, id types.ObjectID, at types.Times
 
 // SetAttr replaces the opaque attribute blob, creating a new version.
 func (d *Drive) SetAttr(cred types.Cred, id types.ObjectID, attr []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	err := d.setAttrLocked(cred, id, attr)
+	d.mu.RLock()
+	err := d.setAttrShared(cred, id, attr)
 	d.auditOp(cred, types.OpSetAttr, id, 0, uint64(len(attr)), "", err)
+	d.mu.RUnlock()
+	if eerr := d.maybeEvict(); err == nil {
+		err = eerr
+	}
 	return err
 }
 
-func (d *Drive) setAttrLocked(cred types.Cred, id types.ObjectID, attr []byte) error {
+// setAttrShared implements SetAttr. Caller holds the shared drive lock.
+func (d *Drive) setAttrShared(cred types.Cred, id types.ObjectID, attr []byte) error {
 	if d.closed {
 		return types.ErrDriveStopped
 	}
@@ -1141,17 +1370,21 @@ func (d *Drive) setAttrLocked(cred types.Cred, id types.ObjectID, attr []byte) e
 	if err := checkReserved(cred, id); err != nil {
 		return err
 	}
-	o, err := d.getObject(id)
+	o, err := d.getObjectShared(id)
 	if err != nil {
 		return err
 	}
+	if err := d.lockObjectWrite(o); err != nil {
+		return err
+	}
+	defer o.mu.Unlock()
 	if o.ino.Deleted {
 		return types.ErrNoObject
 	}
 	if err := d.checkPerm(cred, o.ino, types.PermWrite); err != nil {
 		return err
 	}
-	d.throttleLocked(cred)
+	d.throttle(cred)
 	now := vclock.TS(d.clk)
 	d.appendEntry(o, &journal.Entry{
 		Type: journal.EntSetAttr, Version: o.nextVersion, Time: now,
@@ -1165,47 +1398,60 @@ func (d *Drive) setAttrLocked(cred types.Cred, id types.ObjectID, attr []byte) e
 
 // GetACLByUser returns the effective ACL entry for user at time at.
 func (d *Drive) GetACLByUser(cred types.Cred, id types.ObjectID, user types.UserID, at types.Timestamp) (types.ACLEntry, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	e, err := d.getACLLocked(cred, id, at, func(in *Inode) (types.ACLEntry, error) {
+	d.mu.RLock()
+	e, err := d.getACLShared(cred, id, at, func(in *Inode) (types.ACLEntry, error) {
 		return types.ACLEntry{User: user, Perm: in.PermFor(user)}, nil
 	})
 	d.auditOp(cred, types.OpGetACLByUser, id, uint64(user), 0, "", err)
+	d.mu.RUnlock()
 	return e, err
 }
 
 // GetACLByIndex returns slot idx of the ACL table at time at.
 func (d *Drive) GetACLByIndex(cred types.Cred, id types.ObjectID, idx int, at types.Timestamp) (types.ACLEntry, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	e, err := d.getACLLocked(cred, id, at, func(in *Inode) (types.ACLEntry, error) {
+	d.mu.RLock()
+	e, err := d.getACLShared(cred, id, at, func(in *Inode) (types.ACLEntry, error) {
 		if idx < 0 || idx >= len(in.ACL) {
 			return types.ACLEntry{}, types.ErrInval
 		}
 		return in.ACL[idx], nil
 	})
 	d.auditOp(cred, types.OpGetACLByIndex, id, uint64(idx), 0, "", err)
+	d.mu.RUnlock()
 	return e, err
 }
 
-func (d *Drive) getACLLocked(cred types.Cred, id types.ObjectID, at types.Timestamp, pick func(*Inode) (types.ACLEntry, error)) (types.ACLEntry, error) {
+// getACLShared implements the ACL reads. Caller holds the shared drive
+// lock.
+func (d *Drive) getACLShared(cred types.Cred, id types.ObjectID, at types.Timestamp, pick func(*Inode) (types.ACLEntry, error)) (types.ACLEntry, error) {
 	if d.closed {
 		return types.ACLEntry{}, types.ErrDriveStopped
 	}
-	o, err := d.getObject(id)
+	o, err := d.getObjectShared(id)
 	if err != nil {
 		return types.ACLEntry{}, err
 	}
-	in, current, err := d.inodeAtLocked(o, at)
-	if err != nil {
+	if err := d.lockObjectRead(o); err != nil {
 		return types.ACLEntry{}, err
 	}
-	need := types.PermRead
-	if !current {
-		need = types.PermRead | types.PermRecover
-	}
-	if err := d.checkPerm(cred, o.ino, need); err != nil {
-		return types.ACLEntry{}, err
+	var in *Inode
+	if at >= o.ino.ModTime {
+		defer o.mu.RUnlock()
+		if err := d.checkPerm(cred, o.ino, types.PermRead); err != nil {
+			return types.ACLEntry{}, err
+		}
+		in = o.ino
+	} else {
+		permErr := d.checkPerm(cred, o.ino, types.PermRead|types.PermRecover)
+		snap := snapshotObject(o)
+		o.mu.RUnlock()
+		in, err = d.inodeAtSnap(snap, at)
+		if err != nil {
+			return types.ACLEntry{}, err
+		}
+		if permErr != nil {
+			return types.ACLEntry{}, permErr
+		}
 	}
 	return pick(in)
 }
@@ -1214,14 +1460,15 @@ func (d *Drive) getACLLocked(cred types.Cred, id types.ObjectID, at types.Timest
 // PermSetACL; this is how a user clears the Recovery flag to hide old
 // versions of a sensitive file from everyone but the administrator.
 func (d *Drive) SetACL(cred types.Cred, id types.ObjectID, idx int, entry types.ACLEntry) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	err := d.setACLLocked(cred, id, idx, entry)
+	d.mu.RLock()
+	err := d.setACLShared(cred, id, idx, entry)
 	d.auditOp(cred, types.OpSetACL, id, uint64(idx), 0, "", err)
+	d.mu.RUnlock()
 	return err
 }
 
-func (d *Drive) setACLLocked(cred types.Cred, id types.ObjectID, idx int, entry types.ACLEntry) error {
+// setACLShared implements SetACL. Caller holds the shared drive lock.
+func (d *Drive) setACLShared(cred types.Cred, id types.ObjectID, idx int, entry types.ACLEntry) error {
 	if d.closed {
 		return types.ErrDriveStopped
 	}
@@ -1231,17 +1478,21 @@ func (d *Drive) setACLLocked(cred types.Cred, id types.ObjectID, idx int, entry 
 	if err := checkReserved(cred, id); err != nil {
 		return err
 	}
-	o, err := d.getObject(id)
+	o, err := d.getObjectShared(id)
 	if err != nil {
 		return err
 	}
+	if err := d.lockObjectWrite(o); err != nil {
+		return err
+	}
+	defer o.mu.Unlock()
 	if o.ino.Deleted {
 		return types.ErrNoObject
 	}
 	if err := d.checkPerm(cred, o.ino, types.PermSetACL); err != nil {
 		return err
 	}
-	d.throttleLocked(cred)
+	d.throttle(cred)
 	var old types.ACLEntry
 	if idx < len(o.ino.ACL) {
 		old = o.ino.ACL[idx]
@@ -1261,22 +1512,30 @@ func (d *Drive) setACLLocked(cred types.Cred, id types.ObjectID, idx int, entry 
 // forced to disk. The S4 client calls this at the end of each mutating
 // NFS operation to honor NFSv2 semantics (§4.1.2).
 func (d *Drive) Sync(cred types.Cred) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	err := d.syncLocked()
+	d.mu.RLock()
+	err := d.syncShared()
 	d.auditOp(cred, types.OpSync, 0, 0, 0, "", err)
+	d.mu.RUnlock()
 	return err
 }
 
-func (d *Drive) syncLocked() error {
+// syncShared flushes every object's pending journal entries and forces
+// the log. Caller holds the shared drive lock; the object map is safe
+// to iterate because it is mutated only under the exclusive lock, and
+// each object is flushed under its own lock.
+func (d *Drive) syncShared() error {
 	if d.closed {
 		return types.ErrDriveStopped
 	}
 	for _, o := range d.objects {
+		o.mu.Lock()
+		var err error
 		if len(o.pending) > 0 {
-			if err := d.flushJournalLocked(o); err != nil {
-				return err
-			}
+			err = d.flushJournalLocked(o)
+		}
+		o.mu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
 	// Audit records are drive-internal: they are flushed when a block's
@@ -1287,6 +1546,8 @@ func (d *Drive) syncLocked() error {
 }
 
 // SetWindow adjusts the guaranteed detection window (administrative).
+// It re-schedules every object's aging, so it is a whole-drive
+// operation.
 func (d *Drive) SetWindow(cred types.Cred, w time.Duration) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -1326,12 +1587,23 @@ type StatusInfo struct {
 
 // Status reports drive occupancy and health.
 func (d *Drive) Status() StatusInfo {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	cp := 0
 	for _, o := range d.objects {
+		o.mu.RLock()
 		cp += len(o.cpBlocks)
+		o.mu.RUnlock()
 	}
+	d.auditMu.Lock()
+	auditBlocks := len(d.auditBlocks)
+	d.auditMu.Unlock()
+	d.logMu.Lock()
+	journalBlocks := len(d.jblockRef)
+	d.logMu.Unlock()
+	d.statsMu.Lock()
+	auditRecords := d.stats.AuditRecords
+	d.statsMu.Unlock()
 	return StatusInfo{
 		Window:        d.window,
 		Objects:       len(d.objects),
@@ -1339,9 +1611,9 @@ func (d *Drive) Status() StatusInfo {
 		HistoryBlocks: d.usage.historyBlocks(),
 		FreeSegments:  d.log.FreeSegments(),
 		TotalSegments: d.log.NumSegments(),
-		AuditRecords:  d.stats.AuditRecords,
-		AuditBlocks:   len(d.auditBlocks),
-		JournalBlocks: len(d.jblockRef),
+		AuditRecords:  auditRecords,
+		AuditBlocks:   auditBlocks,
+		JournalBlocks: journalBlocks,
 		CPBlocks:      cp,
 		Suspects:      d.thr.Suspects(),
 	}
@@ -1349,13 +1621,16 @@ func (d *Drive) Status() StatusInfo {
 
 // DriveStats returns a copy of the activity counters.
 func (d *Drive) DriveStats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.statsMu.Lock()
 	s := d.stats
 	s.Ops = make(map[types.Op]int64, len(d.stats.Ops))
 	for k, v := range d.stats.Ops {
 		s.Ops[k] = v
 	}
+	d.statsMu.Unlock()
+	s.CacheHits, s.CacheMisses = d.cache.counters()
 	s.HistoryBlocks = d.usage.historyBlocks()
 	s.LiveBlocks = d.usage.liveBlocks()
 	s.FreeSegments = d.log.FreeSegments()
@@ -1365,21 +1640,26 @@ func (d *Drive) DriveStats() Stats {
 
 // ---- Throttle integration ----
 
-// throttleLocked injects the abuse-detector delay for cred's client
-// before a mutating operation proceeds (§3.3: selectively increasing
-// latency lets well-behaved users keep working during an attack).
-func (d *Drive) throttleLocked(cred types.Cred) {
+// throttle injects the abuse-detector delay for cred's client before a
+// mutating operation proceeds (§3.3: selectively increasing latency
+// lets well-behaved users keep working during an attack). The delay is
+// served while holding the target object's lock, so an abusive
+// client's penalty also defers its own queued work, not other objects.
+func (d *Drive) throttle(cred types.Cred) {
 	if cred.Admin {
 		return
 	}
 	if delay := d.thr.Delay(cred.Client); delay > 0 {
+		d.statsMu.Lock()
 		d.stats.ThrottleDelays += delay
+		d.statsMu.Unlock()
 		d.clk.Sleep(delay)
 	}
 }
 
-// chargeLocked charges history-pool growth to the client.
-func (d *Drive) chargeLocked(cred types.Cred, histBytes int64) {
+// charge charges history-pool growth to the client. The throttle and
+// usage counters are internally synchronized.
+func (d *Drive) charge(cred types.Cred, histBytes int64) {
 	if histBytes <= 0 {
 		return
 	}

@@ -13,14 +13,65 @@ import (
 // This file implements the history-pool side of the drive: time-based
 // version reconstruction, version listing, copy-forward restore, and
 // the administrative Flush/FlushO history erasure of Table 1.
+//
+// History reconstruction runs against an object *snapshot* so the
+// object lock is released before any disk I/O happens: flushed journal
+// sectors and superseded data blocks are immutable (only the cleaner
+// and Flush rewrite them, and both hold the drive lock exclusively,
+// which a walker's shared hold excludes), so a snapshot of the chain
+// head plus a clone of the live inode pins a consistent view no matter
+// how many new versions writers stack on top (DESIGN.md §9).
 
-// walkEntriesLocked visits o's journal entries newest-first: unflushed
-// pending entries, then flushed sectors following the backward chain,
+// objSnapshot is a point-in-time view of one object, sufficient to
+// reconstruct any retained version without holding the object's lock.
+type objSnapshot struct {
+	id      types.ObjectID
+	ino     *Inode           // private clone of the live inode
+	pending []*journal.Entry // private copy of the unflushed tail
+	jhead   journal.SectorAddr
+	jtail   journal.SectorAddr
+	// chainLim is the newest entry version that existed in the flushed
+	// chain when the snapshot was taken. Concurrent journal flushes may
+	// merge younger entries into the (shared, rewritable) head sector;
+	// the walk skips chain entries above chainLim so the snapshot never
+	// sees them twice or out of order.
+	chainLim  uint64
+	floorTime types.Timestamp
+}
+
+// snapshotObject captures o. Caller holds o.mu (either mode, with the
+// inode loaded) or the exclusive drive lock. The pending copy must be a
+// fresh array: flushJournalLocked compacts o.pending in place, so a
+// shared backing array would mutate under the walker.
+func snapshotObject(o *object) *objSnapshot {
+	p := make([]*journal.Entry, len(o.pending))
+	copy(p, o.pending)
+	s := &objSnapshot{
+		id: o.id, ino: o.ino.Clone(), pending: p,
+		jhead: o.jhead, jtail: o.jtail,
+		floorTime: o.floorTime,
+	}
+	// Every flushed entry's version precedes every pending entry's
+	// (flushes drain the oldest prefix), so the newest chain version at
+	// snapshot time is just below pending, or the inode's version when
+	// nothing is pending.
+	if len(p) > 0 {
+		s.chainLim = p[0].Version - 1
+	} else {
+		s.chainLim = o.ino.Version
+	}
+	return s
+}
+
+// walkEntriesSnap visits the snapshot's journal entries newest-first:
+// the pending copy, then flushed sectors following the backward chain,
 // stopping at the retained tail (sectors older than jtail were freed by
-// the cleaner). fn returning true stops the walk.
-func (d *Drive) walkEntriesLocked(o *object, fn func(e *journal.Entry) (bool, error)) error {
-	for i := len(o.pending) - 1; i >= 0; i-- {
-		stop, err := fn(o.pending[i])
+// the cleaner). fn returning true stops the walk. Caller holds the
+// shared or exclusive drive lock — that is what keeps the cleaner from
+// relocating chain sectors mid-walk; no object lock is needed.
+func (d *Drive) walkEntriesSnap(s *objSnapshot, fn func(e *journal.Entry) (bool, error)) error {
+	for i := len(s.pending) - 1; i >= 0; i-- {
+		stop, err := fn(s.pending[i])
 		if err != nil {
 			return err
 		}
@@ -28,16 +79,23 @@ func (d *Drive) walkEntriesLocked(o *object, fn func(e *journal.Entry) (bool, er
 			return nil
 		}
 	}
-	for addr := o.jhead; addr != journal.NilSector; {
+	for addr := s.jhead; addr != journal.NilSector; {
 		obj, prev, entries, err := journal.ReadSector(d.log, addr)
 		if err != nil {
 			return err
 		}
-		if obj != o.id {
-			return fmt.Errorf("core: journal chain of %v crossed into %v: %w", o.id, obj, types.ErrCorrupt)
+		if obj != s.id {
+			return fmt.Errorf("core: journal chain of %v crossed into %v: %w", s.id, obj, types.ErrCorrupt)
 		}
 		for i := len(entries) - 1; i >= 0; i-- {
-			stop, err := fn(&entries[i])
+			e := &entries[i]
+			if e.Version > s.chainLim && e.Type != journal.EntCheckpoint {
+				// Merged into the head sector after this snapshot was
+				// taken; the pending copy already covered (or post-dates)
+				// it.
+				continue
+			}
+			stop, err := fn(e)
 			if err != nil {
 				return err
 			}
@@ -45,7 +103,7 @@ func (d *Drive) walkEntriesLocked(o *object, fn func(e *journal.Entry) (bool, er
 				return nil
 			}
 		}
-		if addr == o.jtail {
+		if addr == s.jtail {
 			break
 		}
 		addr = prev
@@ -53,23 +111,16 @@ func (d *Drive) walkEntriesLocked(o *object, fn func(e *journal.Entry) (bool, er
 	return nil
 }
 
-// inodeAtLocked returns the object's inode as of time at. current
-// reports whether that is the live version (at sees the newest state).
-// The returned inode is the live one when current; callers must not
-// mutate it.
-func (d *Drive) inodeAtLocked(o *object, at types.Timestamp) (in *Inode, current bool, err error) {
-	if err := d.loadInode(o); err != nil {
-		return nil, false, err
+// inodeAtSnap reconstructs the snapshot's inode as of time at by
+// undoing entries younger than at, newest-first. The returned inode is
+// private to the caller. Caller holds the shared or exclusive drive
+// lock; no object lock is needed.
+func (d *Drive) inodeAtSnap(s *objSnapshot, at types.Timestamp) (*Inode, error) {
+	if at < s.floorTime {
+		return nil, fmt.Errorf("core: time %v predates retained history: %w", at, types.ErrNoVersion)
 	}
-	if at >= o.ino.ModTime {
-		return o.ino, true, nil
-	}
-	if at < o.floorTime {
-		return nil, false, fmt.Errorf("core: time %v predates retained history: %w", at, types.ErrNoVersion)
-	}
-	clone := o.ino.Clone()
-	undone := false
-	err = d.walkEntriesLocked(o, func(e *journal.Entry) (bool, error) {
+	clone := s.ino
+	err := d.walkEntriesSnap(s, func(e *journal.Entry) (bool, error) {
 		if e.Time <= at {
 			return true, nil
 		}
@@ -78,17 +129,31 @@ func (d *Drive) inodeAtLocked(o *object, at types.Timestamp) (in *Inode, current
 			return true, types.ErrNoVersion
 		}
 		clone.undo(e)
-		undone = true
 		return false, nil
 	})
 	if err != nil {
+		return nil, err
+	}
+	if at < clone.CreateTime {
+		return nil, types.ErrNoVersion
+	}
+	return clone, nil
+}
+
+// inodeAtLocked returns the object's inode as of time at. current
+// reports whether that is the live version (at sees the newest state).
+// The returned inode is the live one when current; callers must not
+// mutate it. Caller holds o.mu exclusively (plus the shared drive
+// lock) or the exclusive drive lock.
+func (d *Drive) inodeAtLocked(o *object, at types.Timestamp) (in *Inode, current bool, err error) {
+	if err := d.loadInode(o); err != nil {
 		return nil, false, err
 	}
-	_ = undone
-	if at < clone.CreateTime {
-		return nil, false, types.ErrNoVersion
+	if at >= o.ino.ModTime {
+		return o.ino, true, nil
 	}
-	return clone, false, nil
+	in, err = d.inodeAtSnap(snapshotObject(o), at)
+	return in, false, err
 }
 
 // VersionInfo describes one version transition of an object.
@@ -105,27 +170,38 @@ type VersionInfo struct {
 // first. Like any history access it requires the Recovery flag (or
 // administrative credentials).
 func (d *Drive) ListVersions(cred types.Cred, id types.ObjectID) ([]VersionInfo, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	vs, err := d.listVersionsLocked(cred, id)
+	d.mu.RLock()
+	vs, err := d.listVersionsShared(cred, id)
 	d.auditOp(cred, types.OpListVersions, id, 0, 0, "", err)
+	d.mu.RUnlock()
+	if eerr := d.maybeEvict(); err == nil {
+		err = eerr
+	}
 	return vs, err
 }
 
-func (d *Drive) listVersionsLocked(cred types.Cred, id types.ObjectID) ([]VersionInfo, error) {
+// listVersionsShared implements ListVersions. Caller holds the shared
+// drive lock.
+func (d *Drive) listVersionsShared(cred types.Cred, id types.ObjectID) ([]VersionInfo, error) {
 	if d.closed {
 		return nil, types.ErrDriveStopped
 	}
-	o, err := d.getObject(id)
+	o, err := d.getObjectShared(id)
 	if err != nil {
 		return nil, err
 	}
-	if err := d.checkPerm(cred, o.ino, types.PermRead|types.PermRecover); err != nil {
+	if err := d.lockObjectRead(o); err != nil {
 		return nil, err
 	}
+	if err := d.checkPerm(cred, o.ino, types.PermRead|types.PermRecover); err != nil {
+		o.mu.RUnlock()
+		return nil, err
+	}
+	snap := snapshotObject(o)
+	o.mu.RUnlock()
 	var out []VersionInfo
-	size := o.ino.Size
-	err = d.walkEntriesLocked(o, func(e *journal.Entry) (bool, error) {
+	size := snap.ino.Size
+	err = d.walkEntriesSnap(snap, func(e *journal.Entry) (bool, error) {
 		if e.Type == journal.EntCheckpoint {
 			return false, nil
 		}
@@ -148,26 +224,36 @@ func (d *Drive) listVersionsLocked(cred types.Cred, id types.ObjectID) ([]Versio
 
 // Revert restores the object to its state at time at by copying the old
 // version forward as a new version (§3.3). Data blocks are physically
-// copied so block liveness never spans versions.
+// copied so block liveness never spans versions. It mutates only the
+// one object, so it runs under the shared drive lock with the object
+// locked exclusively.
 func (d *Drive) Revert(cred types.Cred, id types.ObjectID, at types.Timestamp) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	err := d.revertLocked(cred, id, at)
+	d.mu.RLock()
+	err := d.revertShared(cred, id, at)
 	d.auditOp(cred, types.OpRevert, id, uint64(at), 0, "", err)
+	d.mu.RUnlock()
+	if eerr := d.maybeEvict(); err == nil {
+		err = eerr
+	}
 	return err
 }
 
-func (d *Drive) revertLocked(cred types.Cred, id types.ObjectID, at types.Timestamp) error {
+// revertShared implements Revert. Caller holds the shared drive lock.
+func (d *Drive) revertShared(cred types.Cred, id types.ObjectID, at types.Timestamp) error {
 	if d.closed {
 		return types.ErrDriveStopped
 	}
 	if err := checkReserved(cred, id); err != nil {
 		return err
 	}
-	o, err := d.getObject(id)
+	o, err := d.getObjectShared(id)
 	if err != nil {
 		return err
 	}
+	if err := d.lockObjectWrite(o); err != nil {
+		return err
+	}
+	defer o.mu.Unlock()
 	old, current, err := d.inodeAtLocked(o, at)
 	if err != nil {
 		return err
@@ -186,7 +272,7 @@ func (d *Drive) revertLocked(cred types.Cred, id types.ObjectID, at types.Timest
 	if old.Deleted {
 		return fmt.Errorf("core: target version is deleted: %w", types.ErrNoVersion)
 	}
-	d.throttleLocked(cred)
+	d.throttle(cred)
 	now := vclock.TS(d.clk)
 
 	// Revive if currently deleted.
@@ -229,7 +315,7 @@ func (d *Drive) revertLocked(cred types.Cred, id types.ObjectID, at types.Timest
 			if oldAddr == seglog.NilAddr {
 				content = make([]byte, types.BlockSize)
 			} else {
-				b, err := d.readBlockLocked(oldAddr)
+				b, err := d.readBlock(oldAddr)
 				if err != nil {
 					return err
 				}
@@ -289,7 +375,8 @@ func (d *Drive) revertLocked(cred types.Cred, id types.ObjectID, at types.Timest
 
 // Flush removes all versions of all objects between two times
 // (administrative; Table 1). The current state of every object is
-// preserved; only intermediate history in (from, to] is erased.
+// preserved; only intermediate history in (from, to] is erased. It
+// rewrites journal chains, so it is a whole-drive operation.
 func (d *Drive) Flush(cred types.Cred, from, to types.Timestamp) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -341,14 +428,15 @@ func (d *Drive) FlushO(cred types.Cred, id types.ObjectID, from, to types.Timest
 // rebuilds the retained entries' undo state by replaying from the
 // oldest reconstructible version, reconciles the final state with the
 // live inode via a synthesized merge entry, rewrites the journal chain,
-// and frees data blocks referenced only by the erased versions.
+// and frees data blocks referenced only by the erased versions. Caller
+// holds the exclusive drive lock.
 func (d *Drive) flushObjectLocked(o *object, from, to types.Timestamp) error {
 	if err := d.loadInode(o); err != nil {
 		return err
 	}
 	// Collect all retained entries, oldest first.
 	var all []*journal.Entry
-	if err := d.walkEntriesLocked(o, func(e *journal.Entry) (bool, error) {
+	if err := d.walkEntriesSnap(snapshotObject(o), func(e *journal.Entry) (bool, error) {
 		cp := *e
 		all = append(all, &cp)
 		return false, nil
@@ -556,7 +644,8 @@ func (d *Drive) mergeEntries(from, to *Inode, ver uint64, ts types.Timestamp) []
 
 // rewriteChainLocked replaces o's journal chain with entries (oldest
 // first), freeing the old sectors, and checkpoints the object so crash
-// recovery never replays the retired chain.
+// recovery never replays the retired chain. Caller holds the exclusive
+// drive lock.
 func (d *Drive) rewriteChainLocked(o *object, entries []*journal.Entry) error {
 	// Free old sectors.
 	for addr := o.jhead; addr != journal.NilSector; {
@@ -618,9 +707,8 @@ func divergentBlocks(a, b *Inode) []uint64 {
 	return out
 }
 
-// HistoryBytes reports current history-pool occupancy in bytes.
+// HistoryBytes reports current history-pool occupancy in bytes. The
+// usage counters are atomic, so no lock is needed.
 func (d *Drive) HistoryBytes() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.usage.historyBlocks() * types.BlockSize
 }

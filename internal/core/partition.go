@@ -92,7 +92,7 @@ func (d *Drive) readObjectDataLocked(in *Inode) ([]byte, error) {
 		if addr == 0 {
 			continue
 		}
-		data, err := d.readBlockLocked(addr)
+		data, err := d.readBlock(addr)
 		if err != nil {
 			return nil, err
 		}

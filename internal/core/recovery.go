@@ -50,8 +50,11 @@ func (d *Drive) checkpointLocked() error {
 			}
 		}
 	}
-	if err := d.flushAuditLocked(); err != nil {
-		return err
+	d.auditMu.Lock()
+	auditErr := d.flushAuditLocked()
+	d.auditMu.Unlock()
+	if auditErr != nil {
+		return auditErr
 	}
 	if err := d.log.Sync(); err != nil {
 		return err
@@ -314,7 +317,7 @@ func (d *Drive) recoverJournalSector(addr journal.SectorAddr, id types.ObjectID,
 				return fmt.Errorf("core: %v: journal without create or checkpoint: %w", id, types.ErrCorrupt)
 			}
 			o.ino = newInode(id, entries[0].Time, nil)
-			d.loaded++
+			d.loaded.Add(1)
 		}
 	}
 	newest := entries[len(entries)-1].Version

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"s4/internal/seglog"
 )
 
@@ -15,18 +17,23 @@ import (
 //     by aging; no command can release them.
 //
 // A segment with live == 0 and hist == 0 is reclaimable.
+//
+// The counters are atomic so per-object operations running in parallel
+// under the shared drive lock can account blocks without coordination;
+// the cleaner's read-decide-act sequences run under the exclusive
+// drive lock, which keeps its victim choices consistent.
 type segUsage struct {
-	live []int32
-	hist []int32
+	live []atomic.Int32
+	hist []atomic.Int32
 }
 
 func newSegUsage(nSeg int64) *segUsage {
-	return &segUsage{live: make([]int32, nSeg), hist: make([]int32, nSeg)}
+	return &segUsage{live: make([]atomic.Int32, nSeg), hist: make([]atomic.Int32, nSeg)}
 }
 
 func (u *segUsage) liveBorn(seg int64) {
 	if seg >= 0 {
-		u.live[seg]++
+		u.live[seg].Add(1)
 	}
 }
 
@@ -34,8 +41,8 @@ func (u *segUsage) liveBorn(seg int64) {
 // truncated away, or its object was deleted).
 func (u *segUsage) deprecate(seg int64) {
 	if seg >= 0 {
-		u.live[seg]--
-		u.hist[seg]++
+		u.live[seg].Add(-1)
+		u.hist[seg].Add(1)
 	}
 }
 
@@ -43,7 +50,7 @@ func (u *segUsage) deprecate(seg int64) {
 // detection window.
 func (u *segUsage) ageOut(seg int64) {
 	if seg >= 0 {
-		u.hist[seg]--
+		u.hist[seg].Add(-1)
 	}
 }
 
@@ -52,25 +59,25 @@ func (u *segUsage) ageOut(seg int64) {
 // metadata, so stale checkpoints are disposable, §4.2.2).
 func (u *segUsage) freeLive(seg int64) {
 	if seg >= 0 {
-		u.live[seg]--
+		u.live[seg].Add(-1)
 	}
 }
 
 // reclaimable reports whether seg holds nothing.
 func (u *segUsage) reclaimable(seg int64) bool {
-	return u.live[seg] <= 0 && u.hist[seg] <= 0
+	return u.live[seg].Load() <= 0 && u.hist[seg].Load() <= 0
 }
 
 // occupancy returns (live, hist) for seg.
 func (u *segUsage) occupancy(seg int64) (int32, int32) {
-	return u.live[seg], u.hist[seg]
+	return u.live[seg].Load(), u.hist[seg].Load()
 }
 
 // historyBlocks sums history-pool occupancy in blocks.
 func (u *segUsage) historyBlocks() int64 {
 	var n int64
-	for _, h := range u.hist {
-		n += int64(h)
+	for i := range u.hist {
+		n += int64(u.hist[i].Load())
 	}
 	return n
 }
@@ -78,15 +85,16 @@ func (u *segUsage) historyBlocks() int64 {
 // liveBlocks sums live occupancy in blocks.
 func (u *segUsage) liveBlocks() int64 {
 	var n int64
-	for _, l := range u.live {
-		n += int64(l)
+	for i := range u.live {
+		n += int64(u.live[i].Load())
 	}
 	return n
 }
 
 func (u *segUsage) reset() {
 	for i := range u.live {
-		u.live[i], u.hist[i] = 0, 0
+		u.live[i].Store(0)
+		u.hist[i].Store(0)
 	}
 }
 

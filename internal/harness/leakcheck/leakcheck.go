@@ -1,0 +1,49 @@
+// Package leakcheck fails tests that leave goroutines behind — a
+// Drive.Close or server shutdown that strands a worker, cleaner, or
+// connection handler shows up as a diff against the goroutine count
+// taken at the start of the test.
+//
+//	defer leakcheck.Check(t)()
+//
+// The checker polls briefly before failing: goroutines that are
+// mid-exit when the test body returns (connection handlers draining
+// after Close, runtime bookkeeping) need a moment to unwind, and a
+// fixed sleep would either flake or slow every test.
+package leakcheck
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Check records the current goroutine count and returns a function
+// that fails t if, after a grace period, more goroutines exist than at
+// the start. Use as: defer leakcheck.Check(t)().
+func Check(t TB) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leakcheck: %d goroutines at test start, %d after shutdown; dump:\n%s", base, n, buf)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 
 	"s4/internal/core"
@@ -51,7 +52,11 @@ func (k *Keyring) verify(h *Hello, nonce []byte) bool {
 	return hmac.Equal(mac.Sum(nil), h.MAC)
 }
 
-// Server exposes a core.Drive over TCP.
+// Server exposes a core.Drive over TCP. Requests from all connections
+// are dispatched on a bounded worker pool (SetWorkers), so a flood of
+// connections cannot spawn an unbounded number of drive operations;
+// with the drive's fine-grained locking, pool workers are what actually
+// run in parallel.
 type Server struct {
 	drv  *core.Drive
 	keys *Keyring
@@ -60,49 +65,133 @@ type Server struct {
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	shutdown bool
+	workers  int
+	tasks    chan task
+	serving  bool
+
+	done     chan struct{} // closed by Close: unblocks queued submitters
+	stopped  chan struct{} // closed when Serve has fully torn down
+	workerWG sync.WaitGroup
+}
+
+type task struct {
+	cred types.Cred
+	req  *Request
+	resp chan *Response
 }
 
 // NewServer wraps drv with the given keyring.
 func NewServer(drv *core.Drive, keys *Keyring) *Server {
-	return &Server{drv: drv, keys: keys, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		drv: drv, keys: keys,
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
 }
 
-// Serve accepts connections on ln until Close. It blocks.
+// SetWorkers bounds the request-dispatch pool. Call before Serve;
+// n <= 0 (the default) selects GOMAXPROCS.
+func (s *Server) SetWorkers(n int) {
+	s.mu.Lock()
+	s.workers = n
+	s.mu.Unlock()
+}
+
+// Serve accepts connections on ln until Close. It blocks, and does not
+// return until every connection handler and pool worker has exited —
+// shutdown leaves no goroutines behind.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
+	s.serving = true
+	n := s.workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s.tasks = make(chan task)
+	for i := 0; i < n; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
 	s.mu.Unlock()
+
+	var connWG sync.WaitGroup
+	var retErr error
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			done := s.shutdown
 			s.mu.Unlock()
-			if done {
-				return nil
+			if !done {
+				retErr = err
 			}
-			return err
+			break
 		}
 		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			_ = conn.Close()
+			break
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		go s.serveConn(conn)
+		connWG.Add(1)
+		go func() {
+			defer connWG.Done()
+			s.serveConn(conn)
+		}()
+	}
+	connWG.Wait()
+	close(s.tasks)
+	s.workerWG.Wait()
+	close(s.stopped)
+	return retErr
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.tasks {
+		t.resp <- s.dispatch(t.cred, t.req)
 	}
 }
 
-// Close stops the listener and drops every connection.
+// submit runs one request on the pool, blocking until a worker picks it
+// up (backpressure) or the server shuts down.
+func (s *Server) submit(cred types.Cred, req *Request) *Response {
+	t := task{cred: cred, req: req, resp: make(chan *Response, 1)}
+	select {
+	case s.tasks <- t:
+		return <-t.resp
+	case <-s.done:
+		return &Response{Errno: wireErrno(types.ErrDriveStopped)}
+	}
+}
+
+// Close stops the listener, drops every connection, and — if Serve is
+// running — waits for its handlers and workers to finish.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	already := s.shutdown
 	s.shutdown = true
+	if !already {
+		close(s.done)
+	}
 	ln := s.ln
 	for c := range s.conns {
 		_ = c.Close()
 	}
+	serving := s.serving
 	s.mu.Unlock()
+	var err error
 	if ln != nil {
-		return ln.Close()
+		err = ln.Close()
 	}
-	return nil
+	if serving {
+		<-s.stopped
+	}
+	return err
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -134,7 +223,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := readGobFrame(conn, &req); err != nil {
 			return
 		}
-		resp := s.dispatch(cred, &req)
+		resp := s.submit(cred, &req)
 		if err := writeGobFrame(conn, resp); err != nil {
 			return
 		}

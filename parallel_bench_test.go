@@ -1,0 +1,141 @@
+package s4bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// BenchmarkParallelThroughput measures drive ops/sec under concurrent
+// clients — the workload the fine-grained locking work targets. Unlike
+// the figure benchmarks (virtual time, simulated spindle), this one
+// runs on the wall clock with an untimed memory disk so it measures
+// the drive's own synchronization, not the disk model. Client count is
+// imposed by pinning GOMAXPROCS for the duration of the sub-benchmark,
+// so b.RunParallel spawns exactly `clients` worker goroutines.
+//
+// Modes:
+//   - read:    random 4KB reads of the live version (cache-hot)
+//   - write:   512B overwrites at offset 0 of a per-client object
+//   - history: time-parameterized reads of a superseded version
+func BenchmarkParallelThroughput(b *testing.B) {
+	for _, mode := range []string{"read", "write", "history"} {
+		for _, clients := range []int{1, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mode, clients), func(b *testing.B) {
+				benchParallel(b, mode, clients)
+			})
+		}
+	}
+}
+
+const (
+	ptObjects   = 64
+	ptObjBlocks = 16 // 64KB per object
+)
+
+func benchParallel(b *testing.B, mode string, clients int) {
+	window := time.Hour
+	if mode == "write" {
+		// Writes deprecate their predecessors; a short window plus
+		// opportunistic cleaning keeps long runs from filling the log.
+		window = 100 * time.Millisecond
+	}
+	dev := disk.New(disk.SmallDisk(512<<20), nil)
+	drv, err := core.Format(dev, core.Options{
+		Clock:  vclock.Wall{},
+		Window: window,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer drv.Close()
+
+	// World-writable objects so every synthetic client can touch any of
+	// them (history recovery included).
+	acl := []types.ACLEntry{{User: types.EveryoneID, Perm: types.PermAll}}
+	owner := types.Cred{User: 100, Client: 1}
+	ids := make([]types.ObjectID, ptObjects)
+	block := make([]byte, types.BlockSize)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	for i := range ids {
+		id, err := drv.Create(owner, acl, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+		for blk := 0; blk < ptObjBlocks; blk++ {
+			if err := drv.Write(owner, id, uint64(blk)*types.BlockSize, block); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// A second round of writes gives the history mode a superseded
+	// version to reconstruct: atHist falls between the rounds.
+	var atHist types.Timestamp
+	if mode == "history" {
+		time.Sleep(5 * time.Millisecond)
+		atHist = drv.Now()
+		time.Sleep(5 * time.Millisecond)
+		for _, id := range ids {
+			for blk := 0; blk < ptObjBlocks; blk += 4 {
+				if err := drv.Write(owner, id, uint64(blk)*types.BlockSize, block); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := drv.Sync(owner); err != nil {
+		b.Fatal(err)
+	}
+
+	prev := runtime.GOMAXPROCS(clients)
+	defer runtime.GOMAXPROCS(prev)
+	var clientSeq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		n := clientSeq.Add(1)
+		cred := types.Cred{User: types.UserID(100 + n), Client: types.ClientID(n)}
+		rng := rand.New(rand.NewSource(n))
+		payload := block[:512]
+		myObj := ids[int(n)%len(ids)]
+		for pb.Next() {
+			switch mode {
+			case "read":
+				id := ids[rng.Intn(len(ids))]
+				off := uint64(rng.Intn(ptObjBlocks)) * types.BlockSize
+				if _, err := drv.Read(cred, id, off, types.BlockSize, types.TimeNowest); err != nil {
+					b.Fatal(err)
+				}
+			case "write":
+				err := drv.Write(cred, myObj, 0, payload)
+				for retry := 0; err == types.ErrNoSpace && retry < 3; retry++ {
+					if _, cerr := drv.CleanOnce(); cerr != nil {
+						b.Fatal(cerr)
+					}
+					err = drv.Write(cred, myObj, 0, payload)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			case "history":
+				id := ids[rng.Intn(len(ids))]
+				off := uint64(rng.Intn(ptObjBlocks)) * types.BlockSize
+				if _, err := drv.Read(cred, id, off, types.BlockSize, atHist); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}

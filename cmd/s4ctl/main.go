@@ -33,21 +33,26 @@ func main() {
 	clientID := flag.Uint("clientid", 1, "client id for non-admin sessions")
 	clientKey := flag.String("clientkey", "", "client key for non-admin sessions")
 	user := flag.Uint("user", 0, "user id for non-admin sessions")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-call deadline")
+	retries := flag.Int("retries", 8, "attempts per call across reconnects (1 disables retry)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
 
-	var c *s4rpc.Client
-	var err error
+	cfg := s4rpc.Config{
+		Addr: *addr, CallTimeout: *timeout, MaxAttempts: *retries,
+	}
 	if *adminKey != "" {
-		c, err = s4rpc.Dial(*addr, 0, types.AdminUser, []byte(*adminKey), true)
+		cfg.User, cfg.Key, cfg.Admin = types.AdminUser, []byte(*adminKey), true
 	} else if *clientKey != "" {
-		c, err = s4rpc.Dial(*addr, types.ClientID(*clientID), types.UserID(*user), []byte(*clientKey), false)
+		cfg.Client = types.ClientID(*clientID)
+		cfg.User, cfg.Key = types.UserID(*user), []byte(*clientKey)
 	} else {
 		fatal("one of -adminkey or -clientkey is required")
 	}
+	c, err := s4rpc.DialConfig(cfg)
 	if err != nil {
 		fatal("connect: %v", err)
 	}

@@ -39,6 +39,11 @@ func main() {
 	format := flag.Bool("format", false, "format the image even if it has data")
 	cleanEvery := flag.Duration("clean", 30*time.Second, "cleaner interval (0 disables)")
 	workers := flag.Int("workers", 0, "request-dispatch pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "request queue depth before shedding ErrBusy (0 = 4x workers)")
+	connLimit := flag.Int("conn-limit", 0, "max concurrent connections (0 = unlimited)")
+	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-frame I/O deadline, evicts stalled peers (0 disables)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful drain on shutdown: in-flight requests get their replies (0 = drop immediately)")
+	throttleHint := flag.Bool("throttle-hint", true, "surface abuse throttling as fast-fail retry-after hints instead of in-band delays")
 	flag.Parse()
 
 	if *adminKey == "" {
@@ -49,7 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("s4d: open image: %v", err)
 	}
-	opts := core.Options{Window: *window}
+	opts := core.Options{Window: *window, SurfaceThrottle: *throttleHint}
 	var drv *core.Drive
 	if *format || isBlank(dev) {
 		drv, err = core.Format(dev, opts)
@@ -78,6 +83,9 @@ func main() {
 
 	srv := s4rpc.NewServer(drv, keys)
 	srv.SetWorkers(*workers)
+	srv.SetQueueDepth(*queue)
+	srv.SetConnLimit(*connLimit)
+	srv.SetIOTimeout(*ioTimeout)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("s4d: listen: %v", err)
@@ -108,9 +116,14 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("s4d: shutting down")
 		close(stopClean)
-		_ = srv.Close()
+		if *drain > 0 {
+			log.Printf("s4d: draining (up to %v)", *drain)
+			_ = srv.Shutdown(*drain)
+		} else {
+			log.Printf("s4d: shutting down")
+			_ = srv.Close()
+		}
 	}()
 	if err := srv.Serve(ln); err != nil {
 		log.Printf("s4d: serve: %v", err)

@@ -54,6 +54,8 @@ func errno(err error) uint8 {
 		return 16
 	case errors.Is(err, types.ErrDriveStopped):
 		return 17
+	case errors.Is(err, types.ErrBusy):
+		return 18
 	}
 	return 255
 }
@@ -97,6 +99,8 @@ func ErrnoToError(code uint8) error {
 		return types.ErrTooLarge
 	case 17:
 		return types.ErrDriveStopped
+	case 18:
+		return types.ErrBusy
 	}
 	return errors.New("s4: remote error")
 }

@@ -84,6 +84,14 @@ type Options struct {
 	Conventional bool
 	// Throttle overrides the history-pool abuse detector configuration.
 	Throttle *throttle.Config
+	// SurfaceThrottle changes how abuse penalties are served: instead of
+	// sleeping in-band (holding the target object's lock for the whole
+	// penalty), a penalized mutation fails fast with a
+	// types.RetryableError wrapping ErrThrottled that carries the delay
+	// as a retry-after hint. The RPC server sets this so the penalty is
+	// served client-side by backoff rather than by a captive worker;
+	// direct in-process callers keep the transparent sleep.
+	SurfaceThrottle bool
 	// PendingFlushEntries bounds unflushed journal entries per object
 	// before a forced sector flush.
 	PendingFlushEntries int
@@ -781,7 +789,10 @@ func (d *Drive) Create(cred types.Cred, acl []types.ACLEntry, attr []byte) (type
 		d.auditOp(cred, types.OpCreate, 0, 0, 0, "", types.ErrTooLarge)
 		return 0, types.ErrTooLarge
 	}
-	d.throttle(cred)
+	if err := d.throttle(cred); err != nil {
+		d.auditOp(cred, types.OpCreate, 0, 0, 0, "", err)
+		return 0, err
+	}
 	if len(acl) == 0 {
 		acl = []types.ACLEntry{{User: cred.User, Perm: types.PermAll}}
 	}
@@ -854,7 +865,9 @@ func (d *Drive) deleteShared(cred types.Cred, id types.ObjectID) error {
 	if err := d.checkPerm(cred, o.ino, types.PermDelete); err != nil {
 		return err
 	}
-	d.throttle(cred)
+	if err := d.throttle(cred); err != nil {
+		return err
+	}
 	now := vclock.TS(d.clk)
 	d.appendEntry(o, &journal.Entry{
 		Type: journal.EntDelete, Version: o.nextVersion, Time: now,
@@ -1032,7 +1045,9 @@ func (d *Drive) writeShared(cred types.Cred, id types.ObjectID, off uint64, data
 	if err := d.checkPerm(cred, o.ino, types.PermWrite); err != nil {
 		return off, err
 	}
-	d.throttle(cred)
+	if err := d.throttle(cred); err != nil {
+		return off, err
+	}
 	return off, d.writeBlocksLocked(cred, o, off, data)
 }
 
@@ -1182,7 +1197,9 @@ func (d *Drive) truncateShared(cred types.Cred, id types.ObjectID, size uint64) 
 	if err := d.checkPerm(cred, o.ino, types.PermWrite); err != nil {
 		return err
 	}
-	d.throttle(cred)
+	if err := d.throttle(cred); err != nil {
+		return err
+	}
 	return d.truncateBlocksLocked(cred, o, size)
 }
 
@@ -1384,7 +1401,9 @@ func (d *Drive) setAttrShared(cred types.Cred, id types.ObjectID, attr []byte) e
 	if err := d.checkPerm(cred, o.ino, types.PermWrite); err != nil {
 		return err
 	}
-	d.throttle(cred)
+	if err := d.throttle(cred); err != nil {
+		return err
+	}
 	now := vclock.TS(d.clk)
 	d.appendEntry(o, &journal.Entry{
 		Type: journal.EntSetAttr, Version: o.nextVersion, Time: now,
@@ -1492,7 +1511,9 @@ func (d *Drive) setACLShared(cred types.Cred, id types.ObjectID, idx int, entry 
 	if err := d.checkPerm(cred, o.ino, types.PermSetACL); err != nil {
 		return err
 	}
-	d.throttle(cred)
+	if err := d.throttle(cred); err != nil {
+		return err
+	}
 	var old types.ACLEntry
 	if idx < len(o.ino.ACL) {
 		old = o.ino.ACL[idx]
@@ -1640,21 +1661,30 @@ func (d *Drive) DriveStats() Stats {
 
 // ---- Throttle integration ----
 
-// throttle injects the abuse-detector delay for cred's client before a
-// mutating operation proceeds (§3.3: selectively increasing latency
-// lets well-behaved users keep working during an attack). The delay is
-// served while holding the target object's lock, so an abusive
-// client's penalty also defers its own queued work, not other objects.
-func (d *Drive) throttle(cred types.Cred) {
+// throttle applies the abuse-detector penalty for cred's client before
+// a mutating operation proceeds (§3.3: selectively increasing latency
+// lets well-behaved users keep working during an attack). By default
+// the delay is served in-band while holding the target object's lock,
+// so an abusive client's penalty also defers its own queued work, not
+// other objects. With Options.SurfaceThrottle the penalty is returned
+// as a retryable error carrying the delay, and the operation does not
+// execute — the caller (the RPC server) pushes the wait to the client.
+func (d *Drive) throttle(cred types.Cred) error {
 	if cred.Admin {
-		return
+		return nil
 	}
-	if delay := d.thr.Delay(cred.Client); delay > 0 {
-		d.statsMu.Lock()
-		d.stats.ThrottleDelays += delay
-		d.statsMu.Unlock()
-		d.clk.Sleep(delay)
+	delay := d.thr.Delay(cred.Client)
+	if delay <= 0 {
+		return nil
 	}
+	d.statsMu.Lock()
+	d.stats.ThrottleDelays += delay
+	d.statsMu.Unlock()
+	if d.opts.SurfaceThrottle {
+		return &types.RetryableError{Err: types.ErrThrottled, After: delay}
+	}
+	d.clk.Sleep(delay)
+	return nil
 }
 
 // charge charges history-pool growth to the client. The throttle and

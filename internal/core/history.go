@@ -272,7 +272,9 @@ func (d *Drive) revertShared(cred types.Cred, id types.ObjectID, at types.Timest
 	if old.Deleted {
 		return fmt.Errorf("core: target version is deleted: %w", types.ErrNoVersion)
 	}
-	d.throttle(cred)
+	if err := d.throttle(cred); err != nil {
+		return err
+	}
 	now := vclock.TS(d.clk)
 
 	// Revive if currently deleted.

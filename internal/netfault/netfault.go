@@ -1,0 +1,223 @@
+// Package netfault wraps a net.Listener to inject deterministic network
+// faults into accepted connections: added latency, mid-stream resets
+// (severing a connection partway through a frame), and silent drops
+// (the connection stays up but carries nothing). It exists to prove the
+// RPC layer's exactly-once retry machinery: a server listening through
+// a fault-injecting listener presents clients with every failure shape
+// a hostile or flaky network can, on demand and reproducibly.
+//
+// Determinism: all randomness derives from Config.Seed plus the
+// accept-order index of the connection, so a failing run replays
+// exactly from its seed. No fault decision consults the wall clock.
+package netfault
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCut is returned from Read/Write on a connection the harness
+// severed mid-stream. The peer observes an abrupt close (possibly
+// inside a frame).
+var ErrCut = errors.New("netfault: connection cut")
+
+// Config selects which faults to inject. Zero values disable each
+// fault class, so Config{} is a transparent pass-through.
+type Config struct {
+	// Seed makes the fault schedule reproducible. Same seed + same
+	// accept order = same faults.
+	Seed int64
+
+	// DelayEvery injects a latency spike on roughly 1-in-N I/O
+	// operations (0 disables). MaxDelay bounds each spike.
+	DelayEvery int
+	MaxDelay   time.Duration
+
+	// CutMin/CutMax give each connection a byte budget drawn uniformly
+	// from [CutMin, CutMax]; once the budget is spent (reads + writes
+	// combined) the connection is severed, leaving the peer with a
+	// truncated frame. CutMax == 0 disables cutting.
+	CutMin, CutMax int
+
+	// DropProb is the probability (0..1) that an accepted connection is
+	// a blackhole: writes succeed but go nowhere, reads starve until
+	// deadline or peer close. Models a dead NAT entry / silent
+	// middlebox drop.
+	DropProb float64
+}
+
+// Stats counts injected faults (atomically updated, safe to read
+// concurrently via Listener.Stats).
+type Stats struct {
+	Conns  uint64 // connections accepted
+	Cuts   uint64 // connections severed by byte budget
+	Drops  uint64 // connections accepted as blackholes
+	Delays uint64 // latency spikes injected
+}
+
+// Listener wraps an inner listener, returning fault-injecting
+// connections from Accept.
+type Listener struct {
+	net.Listener
+	cfg   Config
+	seq   atomic.Uint64
+	stats struct {
+		conns, cuts, drops, delays atomic.Uint64
+	}
+}
+
+// Wrap dresses ln in fault injection. Close and Addr pass through.
+func Wrap(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Stats snapshots the fault counters.
+func (l *Listener) Stats() Stats {
+	return Stats{
+		Conns:  l.stats.conns.Load(),
+		Cuts:   l.stats.cuts.Load(),
+		Drops:  l.stats.drops.Load(),
+		Delays: l.stats.delays.Load(),
+	}
+}
+
+// Accept returns the next connection, wrapped per the fault schedule.
+func (l *Listener) Accept() (net.Conn, error) {
+	inner, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	idx := l.seq.Add(1)
+	l.stats.conns.Add(1)
+	rng := rand.New(rand.NewSource(l.cfg.Seed + int64(idx)*0x9E3779B9))
+	fc := &faultConn{Conn: inner, l: l, rng: rng}
+	if l.cfg.DropProb > 0 && rng.Float64() < l.cfg.DropProb {
+		fc.dropped = true
+		l.stats.drops.Add(1)
+	}
+	if l.cfg.CutMax > 0 {
+		span := l.cfg.CutMax - l.cfg.CutMin
+		budget := l.cfg.CutMin
+		if span > 0 {
+			budget += rng.Intn(span + 1)
+		}
+		fc.budget.Store(int64(budget))
+		fc.cutting = true
+	}
+	return fc, nil
+}
+
+// faultConn injects the listener's fault schedule into one connection.
+type faultConn struct {
+	net.Conn
+	l       *Listener
+	dropped bool
+	cutting bool
+	budget  atomic.Int64 // remaining bytes before the cut
+	severed atomic.Bool
+
+	mu  sync.Mutex // guards rng (Read and Write may race)
+	rng *rand.Rand
+}
+
+// maybeDelay injects a latency spike on ~1/DelayEvery operations.
+func (c *faultConn) maybeDelay() {
+	cfg := c.l.cfg
+	if cfg.DelayEvery <= 0 || cfg.MaxDelay <= 0 {
+		return
+	}
+	c.mu.Lock()
+	hit := c.rng.Intn(cfg.DelayEvery) == 0
+	var d time.Duration
+	if hit {
+		d = time.Duration(c.rng.Int63n(int64(cfg.MaxDelay))) + time.Millisecond
+	}
+	c.mu.Unlock()
+	if hit {
+		c.l.stats.delays.Add(1)
+		time.Sleep(d)
+	}
+}
+
+// consume spends n bytes of the cut budget, returning how many are
+// allowed through and whether the connection must now be severed.
+func (c *faultConn) consume(n int) (allowed int, cut bool) {
+	if !c.cutting {
+		return n, false
+	}
+	rem := c.budget.Add(-int64(n))
+	if rem >= 0 {
+		return n, false
+	}
+	allowed = n + int(rem) // budget ran out mid-buffer
+	if allowed < 0 {
+		allowed = 0
+	}
+	return allowed, true
+}
+
+func (c *faultConn) sever() {
+	if c.severed.CompareAndSwap(false, true) {
+		c.l.stats.cuts.Add(1)
+		_ = c.Conn.Close()
+	}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.severed.Load() {
+		return 0, ErrCut
+	}
+	c.maybeDelay()
+	if c.dropped {
+		// Starve: consume the peer's bytes (so its writes appear to
+		// succeed) but deliver nothing. Reading the underlying conn —
+		// rather than blocking on a channel — keeps deadlines and
+		// peer-close propagating naturally.
+		var sink [4096]byte
+		for {
+			if _, err := c.Conn.Read(sink[:]); err != nil {
+				return 0, err
+			}
+		}
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		allowed, cut := c.consume(n)
+		if cut {
+			c.sever()
+			if allowed > 0 {
+				return allowed, nil // deliver the partial; next op errors
+			}
+			return 0, ErrCut
+		}
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.severed.Load() {
+		return 0, ErrCut
+	}
+	c.maybeDelay()
+	if c.dropped {
+		return len(p), nil // blackhole: ack everything, deliver nothing
+	}
+	allowed, cut := c.consume(len(p))
+	if !cut {
+		return c.Conn.Write(p)
+	}
+	var n int
+	var err error
+	if allowed > 0 {
+		n, err = c.Conn.Write(p[:allowed]) // truncated frame on the wire
+	}
+	c.sever()
+	if err != nil {
+		return n, err
+	}
+	return n, ErrCut
+}

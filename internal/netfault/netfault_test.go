@@ -1,0 +1,181 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// accept1 serves exactly one connection through a wrapped listener and
+// hands it to the test.
+func accept1(t *testing.T, cfg Config) (client net.Conn, server net.Conn, l *Listener) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l = Wrap(inner, cfg)
+	t.Cleanup(func() { l.Close() })
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	server = <-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { server.Close() })
+	return client, server, l
+}
+
+func TestPassThrough(t *testing.T) {
+	client, server, l := accept1(t, Config{})
+	msg := []byte("unmolested bytes")
+	go func() { server.Write(msg) }()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q", buf)
+	}
+	if s := l.Stats(); s.Conns != 1 || s.Cuts != 0 || s.Drops != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestCutSeversMidStream proves the byte budget: writes past it deliver
+// a truncated stream and then fail, and the peer sees an abrupt close.
+func TestCutSeversMidStream(t *testing.T) {
+	client, server, l := accept1(t, Config{Seed: 7, CutMin: 100, CutMax: 100})
+
+	payload := bytes.Repeat([]byte{0xAB}, 300)
+	werr := make(chan error, 1)
+	go func() {
+		_, err := server.Write(payload)
+		werr <- err
+	}()
+
+	got, _ := io.ReadAll(client) // read until the sever closes the conn
+	if len(got) >= len(payload) {
+		t.Fatalf("cut conn delivered all %d bytes", len(got))
+	}
+	if len(got) > 100 {
+		t.Fatalf("delivered %d bytes past the 100-byte budget", len(got))
+	}
+	if err := <-werr; !errors.Is(err, ErrCut) {
+		t.Fatalf("write error %v, want ErrCut", err)
+	}
+	if _, err := server.Write([]byte("x")); err == nil {
+		t.Fatal("write after sever succeeded")
+	}
+	if s := l.Stats(); s.Cuts != 1 {
+		t.Fatalf("stats %+v, want 1 cut", s)
+	}
+}
+
+// TestDropBlackholes proves a dropped connection acks writes without
+// delivering them and starves reads until a deadline fires.
+func TestDropBlackholes(t *testing.T) {
+	client, server, l := accept1(t, Config{Seed: 1, DropProb: 1.0})
+
+	if n, err := server.Write([]byte("into the void")); err != nil || n != 13 {
+		t.Fatalf("blackholed write: n=%d err=%v", n, err)
+	}
+
+	// The client must see nothing (the write was swallowed).
+	client.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := client.Read(buf); err == nil {
+		t.Fatalf("client read %d bytes through a blackhole", n)
+	}
+
+	// The server's read starves but still honors its deadline — the
+	// client's bytes are consumed, never delivered.
+	go client.Write([]byte("hello?"))
+	server.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if n, err := server.Read(buf); err == nil || n != 0 {
+		t.Fatalf("starved read returned n=%d err=%v", n, err)
+	} else if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("starved read error %v, want deadline", err)
+	}
+	if s := l.Stats(); s.Drops != 1 {
+		t.Fatalf("stats %+v, want 1 drop", s)
+	}
+}
+
+// TestDeterministicSchedule proves two listeners with the same seed
+// give connections identical fault budgets.
+func TestDeterministicSchedule(t *testing.T) {
+	budgets := func(seed int64) []int64 {
+		inner, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inner.Close()
+		l := Wrap(inner, Config{Seed: seed, CutMin: 10, CutMax: 1000})
+		var out []int64
+		for i := 0; i < 5; i++ {
+			done := make(chan net.Conn, 1)
+			go func() {
+				c, _ := l.Accept()
+				done <- c
+			}()
+			cl, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sv := <-done
+			if sv == nil {
+				t.Fatal("accept failed")
+			}
+			out = append(out, sv.(*faultConn).budget.Load())
+			sv.Close()
+			cl.Close()
+		}
+		return out
+	}
+	a, b := budgets(42), budgets(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different budgets: %v vs %v", a, b)
+		}
+	}
+	c := budgets(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestDelayInjection proves latency spikes occur and are counted.
+func TestDelayInjection(t *testing.T) {
+	client, server, l := accept1(t, Config{Seed: 3, DelayEvery: 1, MaxDelay: 5 * time.Millisecond})
+	go func() { server.Write([]byte("slow")) }()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Stats(); s.Delays == 0 {
+		t.Fatal("DelayEvery=1 injected no delays")
+	}
+}

@@ -1,11 +1,17 @@
 package s4rpc
 
 import (
+	"context"
 	"crypto/hmac"
+	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	mrand "math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"s4/internal/audit"
@@ -13,29 +19,147 @@ import (
 	"s4/internal/types"
 )
 
-// Client is an authenticated connection to an S4 drive. Methods mirror
-// Table 1; they are safe for concurrent use (requests serialize on the
-// connection, like the single command stream of a disk).
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+// Config tunes a resilient client connection. The zero value of every
+// tuning field selects a sensible default; Addr, Client/User and Key
+// identify the session as in Dial.
+type Config struct {
+	Addr   string
+	Client types.ClientID
+	User   types.UserID
+	Key    []byte
+	Admin  bool
+
+	// DialTimeout bounds one connect + handshake attempt.
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/reply exchange; a reply that does
+	// not arrive within it is treated as lost and the call is retried
+	// on a fresh connection (duplicate-safe: see proto.go).
+	CallTimeout time.Duration
+	// MaxAttempts bounds the attempts per Call, counting the first;
+	// 1 disables retries. Zero selects the default (10).
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the jittered exponential backoff
+	// between attempts. A server-supplied retry-after hint (ErrBusy,
+	// ErrThrottled) overrides a shorter backoff.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
 }
 
-// Dial connects and authenticates. For an administrative session pass
-// admin=true and the drive's administrator key.
+func (c *Config) fill() {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 30 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 10
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = time.Second
+	}
+}
+
+// Stats counts the client's resilience events.
+type Stats struct {
+	// Retries counts transport-level retries: the connection died or
+	// the reply was lost, and the same request ID was retransmitted.
+	Retries uint64
+	// Reconnects counts successful re-handshakes after a broken
+	// connection.
+	Reconnects uint64
+	// BusyWaits and ThrottleWaits count retryable server rejections
+	// honored with a wait (each re-issued as a new request).
+	BusyWaits     uint64
+	ThrottleWaits uint64
+}
+
+// Client is an authenticated connection to an S4 drive. Methods mirror
+// Table 1; they are safe for concurrent use (requests serialize on the
+// session, like the single command stream of a disk).
+//
+// The client is resilient: calls carry per-session monotonic request
+// IDs, and on a broken connection or lost reply it reconnects,
+// re-handshakes with the same session ID, and retransmits — the
+// server's duplicate-reply cache guarantees the retried command
+// executes at most once (see proto.go). Retryable rejections (ErrBusy,
+// ErrThrottled) are re-issued as new requests after the server's
+// suggested wait. Close promptly unblocks any pending call with
+// types.ErrClosed.
+type Client struct {
+	cfg     Config
+	session uint64
+
+	callMu sync.Mutex // serializes calls: one in-flight request per session
+	nextID uint64     // guarded by callMu
+	rng    *mrand.Rand
+
+	mu       sync.Mutex // guards conn and closed; never held across I/O
+	conn     net.Conn
+	closed   bool
+	closedCh chan struct{}
+
+	retries, reconnects, busyWaits, throttleWaits atomic.Uint64
+}
+
+// errNoConn marks an attempt made while disconnected; the retry loop
+// redials before the next attempt.
+var errNoConn = errors.New("s4rpc: not connected")
+
+// Dial connects and authenticates with default resilience settings.
+// For an administrative session pass admin=true and the drive's
+// administrator key.
 func Dial(addr string, client types.ClientID, user types.UserID, key []byte, admin bool) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig(Config{Addr: addr, Client: client, User: user, Key: key, Admin: admin})
+}
+
+// DialConfig connects and authenticates with explicit resilience
+// settings. Authentication failure is permanent and never retried.
+func DialConfig(cfg Config) (*Client, error) {
+	cfg.fill()
+	var sb [8]byte
+	if _, err := rand.Read(sb[:]); err != nil {
+		return nil, err
+	}
+	session := binary.LittleEndian.Uint64(sb[:]) | 1 // nonzero
+	c := &Client{
+		cfg: cfg, session: session, nextID: 1,
+		rng:      mrand.New(mrand.NewSource(int64(session))),
+		closedCh: make(chan struct{}),
+	}
+	conn, err := c.handshake()
 	if err != nil {
 		return nil, err
+	}
+	c.conn = conn
+	return c, nil
+}
+
+// handshake dials and authenticates one connection, presenting the
+// client's persistent session ID so the server resumes its
+// duplicate-reply cache.
+func (c *Client) handshake() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.DialTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
 	}
 	nonce, err := readFrame(conn)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	mac := hmac.New(sha256.New, key)
+	mac := hmac.New(sha256.New, c.cfg.Key)
 	mac.Write(nonce)
-	hello := &Hello{Client: client, User: user, MAC: mac.Sum(nil), Admin: admin}
+	hello := &Hello{
+		Client: c.cfg.Client, User: c.cfg.User, MAC: mac.Sum(nil),
+		Admin: c.cfg.Admin, Session: c.session,
+	}
 	if err := writeGobFrame(conn, hello); err != nil {
 		conn.Close()
 		return nil, err
@@ -47,26 +171,228 @@ func Dial(addr string, client types.ClientID, user types.UserID, key []byte, adm
 	}
 	if !rep.OK {
 		conn.Close()
-		return nil, fmt.Errorf("s4rpc: handshake rejected: %w", types.ErrAuthFailed)
+		reason := core.ErrnoToError(rep.Errno)
+		if reason == nil {
+			reason = types.ErrAuthFailed
+		}
+		return nil, fmt.Errorf("s4rpc: handshake rejected: %w", reason)
 	}
-	return &Client{conn: conn}, nil
+	_ = conn.SetDeadline(time.Time{})
+	return conn, nil
 }
 
-// Close drops the session.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// Call issues one raw request (exported so tools can compose batches).
-func (c *Client) Call(req *Request) (*Response, error) {
+// Close drops the session. A call blocked on the wire is promptly
+// unblocked and returns types.ErrClosed.
+func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeGobFrame(c.conn, req); err != nil {
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.closedCh)
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the client's resilience counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Retries:       c.retries.Load(),
+		Reconnects:    c.reconnects.Load(),
+		BusyWaits:     c.busyWaits.Load(),
+		ThrottleWaits: c.throttleWaits.Load(),
+	}
+}
+
+// Call issues one raw request (exported so tools can compose batches),
+// retrying across reconnects until it gets a definitive answer or runs
+// out of attempts.
+func (c *Client) Call(req *Request) (*Response, error) {
+	return c.CallContext(context.Background(), req)
+}
+
+// CallContext is Call with a caller-controlled deadline/cancellation.
+func (c *Client) CallContext(ctx context.Context, req *Request) (*Response, error) {
+	c.callMu.Lock()
+	defer c.callMu.Unlock()
+	// Shallow copy so retries can renumber without mutating the
+	// caller's struct.
+	r := *req
+	r.ID = c.nextID
+	c.nextID++
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := c.attempt(ctx, &r)
+		if err == nil {
+			if attempt >= c.cfg.MaxAttempts || c.cfg.MaxAttempts == 1 {
+				return resp, nil
+			}
+			var wait time.Duration
+			switch resp.Errno {
+			case wireErrno(types.ErrBusy):
+				c.busyWaits.Add(1)
+			case wireErrno(types.ErrThrottled):
+				c.throttleWaits.Add(1)
+			default:
+				return resp, nil
+			}
+			wait = c.backoff(attempt, resp.RetryAfter)
+			if c.sleep(ctx, wait) != nil {
+				return resp, nil
+			}
+			// A retryable rejection is a definitive answer to THIS
+			// request (it did not execute, or was refused with a
+			// penalty); the retry is a new request with a new ID.
+			r.ID = c.nextID
+			c.nextID++
+			continue
+		}
+		// Transport failure: connection broken or reply lost. The
+		// request keeps its ID — if it executed and only the reply was
+		// lost, the server answers the retransmission from its
+		// duplicate-reply cache instead of executing twice.
+		lastErr = err
+		if c.isClosed() {
+			return nil, types.ErrClosed
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt >= c.cfg.MaxAttempts {
+			return nil, lastErr
+		}
+		c.retries.Add(1)
+		if err := c.redial(ctx, attempt); err != nil {
+			if errors.Is(err, types.ErrClosed) || errors.Is(err, types.ErrAuthFailed) {
+				return nil, err
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err // keep attempting: next loop redials again
+		}
+	}
+}
+
+// attempt performs one request/reply exchange on the current
+// connection. Any failure poisons the connection (it is closed and
+// dropped) so the retry loop re-handshakes.
+func (c *Client) attempt(ctx context.Context, r *Request) (*Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, types.ErrClosed
+	}
+	conn := c.conn
+	c.mu.Unlock()
+	if conn == nil {
+		return nil, errNoConn
+	}
+	var deadline time.Time
+	if c.cfg.CallTimeout > 0 {
+		deadline = time.Now().Add(c.cfg.CallTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	_ = conn.SetDeadline(deadline)
+	fail := func(err error) (*Response, error) {
+		c.dropConn(conn)
 		return nil, err
+	}
+	if err := writeGobFrame(conn, r); err != nil {
+		return fail(err)
 	}
 	var resp Response
-	if err := readGobFrame(c.conn, &resp); err != nil {
-		return nil, err
+	if err := readGobFrame(conn, &resp); err != nil {
+		return fail(err)
 	}
+	if resp.ID != 0 && resp.ID != r.ID {
+		// Desynchronized reply stream — e.g. a stale reply surfacing
+		// after a partial failure. The connection cannot be trusted.
+		return fail(fmt.Errorf("s4rpc: reply for request %d on request %d: %w",
+			resp.ID, r.ID, types.ErrBadHandle))
+	}
+	_ = conn.SetDeadline(time.Time{})
 	return &resp, nil
+}
+
+// dropConn closes conn and clears it from the client if still current.
+func (c *Client) dropConn(conn net.Conn) {
+	_ = conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+}
+
+// redial waits out the backoff and establishes a fresh authenticated
+// connection for the same session.
+func (c *Client) redial(ctx context.Context, attempt int) error {
+	if err := c.sleep(ctx, c.backoff(attempt, 0)); err != nil {
+		return err
+	}
+	conn, err := c.handshake()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return types.ErrClosed
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn = conn
+	c.mu.Unlock()
+	c.reconnects.Add(1)
+	return nil
+}
+
+// backoff computes the jittered exponential wait before attempt+1,
+// honoring a server-supplied retry-after hint when it is longer.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	base := c.cfg.BackoffBase << uint(attempt-1)
+	if base > c.cfg.BackoffMax || base <= 0 {
+		base = c.cfg.BackoffMax
+	}
+	d := base/2 + time.Duration(c.rng.Int63n(int64(base)))
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// sleep waits for d, aborting on context cancellation or Close.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.closedCh:
+		return types.ErrClosed
+	}
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 func (c *Client) call1(req *Request) (*Response, error) {

@@ -1,0 +1,223 @@
+package s4rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"s4/internal/harness/leakcheck"
+	"s4/internal/types"
+)
+
+// hostileFrames are wire prefixes a hostile or corrupted peer might
+// deliver in place of a well-formed frame.
+func hostileFrames(t testing.TB) map[string][]byte {
+	// A valid frame to mutate.
+	var buf frameBuffer
+	if err := gob.NewEncoder(&buf).Encode(&Request{Op: types.OpStatus}); err != nil {
+		t.Fatal(err)
+	}
+	valid := make([]byte, 4+len(buf.b))
+	binary.BigEndian.PutUint32(valid, uint32(len(buf.b)))
+	copy(valid[4:], buf.b)
+
+	truncated := append([]byte(nil), valid[:len(valid)-3]...)
+
+	overflow := make([]byte, 8)
+	binary.BigEndian.PutUint32(overflow, 0xFFFFFFFF) // 4 GiB "frame"
+	maxPlus := make([]byte, 8)
+	binary.BigEndian.PutUint32(maxPlus, uint32(MaxFrame)+1)
+
+	garbage := make([]byte, 4+64)
+	binary.BigEndian.PutUint32(garbage, 64)
+	for i := range garbage[4:] {
+		garbage[4+i] = byte(i*37 + 11) // not a gob stream
+	}
+
+	short := []byte{0x00, 0x01} // half a header
+
+	return map[string][]byte{
+		"truncated-payload": truncated,
+		"length-4GiB":       overflow,
+		"length-maxframe+1": maxPlus,
+		"garbage-gob":       garbage,
+		"torn-header":       short,
+	}
+}
+
+// TestServerSurvivesHostileFrames feeds each hostile frame to an
+// authenticated connection and requires the server to drop that
+// connection cleanly — no panic, no hang, no worker consumed — while
+// continuing to serve a healthy client.
+func TestServerSurvivesHostileFrames(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	addr, _ := startServerTuned(t, func(s *Server) {
+		s.SetWorkers(1)
+		s.SetIOTimeout(300 * time.Millisecond)
+	})
+	healthy := dialUser(t, addr, 100)
+
+	for name, frame := range hostileFrames(t) {
+		t.Run(name, func(t *testing.T) {
+			conn := rawHandshake(t, addr, 0)
+			defer conn.Close()
+			if _, err := conn.Write(frame); err != nil {
+				t.Fatal(err)
+			}
+			// The server must close the connection (hostile frames are
+			// never answered) within the I/O deadline.
+			conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+			var resp Response
+			err := readGobFrame(conn, &resp)
+			if err == nil && name != "truncated-payload" && name != "torn-header" {
+				t.Fatalf("server answered a hostile frame: %+v", resp)
+			}
+			if errors.Is(err, io.ErrShortBuffer) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			// The healthy session rides on, proving the hostile peer
+			// neither crashed the server nor captured its one worker.
+			if _, err := healthy.Status(); err != nil {
+				t.Fatalf("healthy client broken after %s: %v", name, err)
+			}
+		})
+	}
+}
+
+// TestClientSurvivesHostileReplies runs a fake server that answers the
+// handshake and then serves each hostile frame as the "reply". The
+// client must fail the call with an error — never panic or hang — and
+// MaxAttempts: 1 keeps it from retrying into the same trap.
+func TestClientSurvivesHostileReplies(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	for name, frame := range hostileFrames(t) {
+		frame := frame
+		t.Run(name, func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			srvDone := make(chan struct{})
+			go func() {
+				defer close(srvDone)
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				nonce := make([]byte, nonceLen)
+				_ = writeFrame(conn, nonce)
+				var h Hello
+				_ = readGobFrame(conn, &h)
+				_ = writeGobFrame(conn, &HelloReply{OK: true})
+				if _, err := readRequest(conn, time.Second); err != nil {
+					return
+				}
+				_, _ = conn.Write(frame)
+			}()
+			c, err := DialConfig(Config{
+				Addr: ln.Addr().String(), Client: 1, User: 100, Key: clientKey,
+				CallTimeout: 500 * time.Millisecond, MaxAttempts: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Status(); err == nil {
+				t.Fatalf("hostile reply %s accepted", name)
+			}
+			ln.Close()
+			<-srvDone
+		})
+	}
+}
+
+// TestHandshakeGarbage aims hostile bytes at the pre-auth surface: the
+// server must shed them without letting the connection past the
+// handshake.
+func TestHandshakeGarbage(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	addr, _ := startServerTuned(t, func(s *Server) {
+		s.SetIOTimeout(200 * time.Millisecond)
+	})
+	for name, frame := range hostileFrames(t) {
+		t.Run(name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := readFrame(conn); err != nil { // nonce
+				t.Fatal(err)
+			}
+			if _, err := conn.Write(frame); err != nil {
+				t.Fatal(err)
+			}
+			// Whatever happens next, it must not be a granted session:
+			// either the connection closes or the handshake is refused.
+			conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+			var rep HelloReply
+			if err := readGobFrame(conn, &rep); err == nil && rep.OK {
+				t.Fatalf("garbage handshake %s authenticated", name)
+			}
+		})
+	}
+}
+
+// FuzzFrameRequest hammers the server-side request decoder with
+// arbitrary frame payloads: any outcome but a clean error or a valid
+// request is a crash.
+func FuzzFrameRequest(f *testing.F) {
+	var buf frameBuffer
+	_ = gob.NewEncoder(&buf).Encode(&Request{Op: types.OpWrite, Obj: 3, ID: 9, Data: []byte("seed")})
+	f.Add(buf.b)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > MaxFrame {
+			return // the framing layer rejects these before decode
+		}
+		var req Request
+		_ = gob.NewDecoder(&frameReader{b: payload}).Decode(&req)
+	})
+}
+
+// FuzzFrameResponse does the same for the client-side reply decoder.
+func FuzzFrameResponse(f *testing.F) {
+	var buf frameBuffer
+	_ = gob.NewEncoder(&buf).Encode(&Response{ID: 9, Data: []byte("seed")})
+	f.Add(buf.b)
+	f.Add([]byte{})
+	f.Add([]byte{0x03, 0x01, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > MaxFrame {
+			return
+		}
+		var resp Response
+		_ = gob.NewDecoder(&frameReader{b: payload}).Decode(&resp)
+	})
+}
+
+// FuzzFrameHeader fuzzes the full framed read path — header included —
+// against a one-shot in-memory stream, proving length-prefix handling
+// never over-allocates past MaxFrame or panics.
+func FuzzFrameHeader(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 42})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		payload, err := readFrame(bytes.NewReader(stream))
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxFrame {
+			t.Fatalf("readFrame returned %d bytes, above MaxFrame", len(payload))
+		}
+	})
+}

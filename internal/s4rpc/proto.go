@@ -13,6 +13,15 @@
 // Framing: 4-byte big-endian length + gob-encoded message. Gob is the
 // stdlib's self-describing binary encoding; the handshake and every
 // request/response are fixed Go structs below.
+//
+// Wire failure model (DESIGN.md §10): the transport is assumed lossy
+// and hostile. Sessions carry a client-chosen 64-bit session ID that
+// survives reconnects, and every request carries a per-session
+// monotonic ID. The server keeps the last executed (ID, reply) per
+// session, so a retransmitted request whose reply was lost on the wire
+// is answered from the cache instead of executing — and auditing —
+// twice. This turns the client's at-least-once retry loop into
+// exactly-once execution for every acknowledged mutation.
 package s4rpc
 
 import (
@@ -40,6 +49,11 @@ type Hello struct {
 	// (or the administrator key for admin sessions).
 	MAC   []byte
 	Admin bool
+	// Session is a client-chosen identifier that survives reconnects;
+	// presenting the same Session after a redial resumes the server's
+	// duplicate-reply cache for this (Client, Session) pair. Zero
+	// disables duplicate suppression (legacy sessions).
+	Session uint64
 }
 
 // HelloReply completes the handshake.
@@ -52,6 +66,12 @@ type HelloReply struct {
 type Request struct {
 	Op  types.Op
 	Obj types.ObjectID
+	// ID is the per-session monotonic request number. A transport-level
+	// retransmission (reply lost) reuses the ID so the server can detect
+	// the duplicate; a fresh attempt after a definitive answer (ErrBusy,
+	// ErrThrottled) allocates a new one. Zero = unnumbered, no duplicate
+	// suppression.
+	ID uint64
 	// At is the optional time parameter of Table 1's time-based
 	// operations; TimeNowest reads the current version.
 	At     types.Timestamp
@@ -75,8 +95,15 @@ type Request struct {
 
 // Response carries one command's result.
 type Response struct {
-	Errno    uint8
-	Data     []byte
+	// ID echoes the request's ID so a client can detect a desynchronized
+	// reply stream (zero for unnumbered requests).
+	ID uint64
+	// RetryAfter is the server's suggested wait before retrying, set
+	// only with a retryable Errno (ErrBusy: queue shed; ErrThrottled:
+	// abuse penalty, §3.3).
+	RetryAfter time.Duration
+	Errno      uint8
+	Data       []byte
 	Obj      types.ObjectID
 	Offset   uint64
 	Attr     core.AttrInfo
@@ -88,5 +115,13 @@ type Response struct {
 	Batch    []Response
 }
 
-// Err converts the wire errno back into a Go error (nil when 0).
-func (r *Response) Err() error { return core.ErrnoToError(r.Errno) }
+// Err converts the wire errno back into a Go error (nil when 0). A
+// retryable error with a server-supplied wait hint is reconstructed as
+// a types.RetryableError; errors.Is sees through to the base class.
+func (r *Response) Err() error {
+	err := core.ErrnoToError(r.Errno)
+	if err != nil && r.RetryAfter > 0 && types.Retryable(err) {
+		return &types.RetryableError{Err: err, After: r.RetryAfter}
+	}
+	return err
+}

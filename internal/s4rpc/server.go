@@ -9,9 +9,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"s4/internal/core"
 	"s4/internal/types"
@@ -52,26 +55,50 @@ func (k *Keyring) verify(h *Hello, nonce []byte) bool {
 	return hmac.Equal(mac.Sum(nil), h.MAC)
 }
 
+// busyRetryAfter is the wait hint attached to a shed (ErrBusy) reply.
+const busyRetryAfter = 20 * time.Millisecond
+
+// defaultMaxSessions bounds the duplicate-reply cache (one last-reply
+// entry per live session).
+const defaultMaxSessions = 4096
+
 // Server exposes a core.Drive over TCP. Requests from all connections
-// are dispatched on a bounded worker pool (SetWorkers), so a flood of
-// connections cannot spawn an unbounded number of drive operations;
-// with the drive's fine-grained locking, pool workers are what actually
-// run in parallel.
+// are dispatched on a bounded worker pool (SetWorkers) with a bounded
+// queue (SetQueueDepth): a flood of connections cannot spawn an
+// unbounded number of drive operations, and once the queue is full
+// further requests are shed with a retryable ErrBusy instead of parked.
+// Per-frame I/O deadlines (SetIOTimeout) evict stalled and slowloris
+// connections, and a per-session duplicate-reply cache gives retrying
+// clients exactly-once execution (see proto.go).
 type Server struct {
 	drv  *core.Drive
 	keys *Keyring
 
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	shutdown bool
-	workers  int
-	tasks    chan task
-	serving  bool
+	mu        sync.Mutex
+	ln        net.Listener
+	lnClosed  bool
+	conns     map[net.Conn]struct{}
+	shutdown  bool
+	workers   int
+	queue     int
+	connLimit int
+	ioTimeout time.Duration
+	tasks     chan task
+	serving   bool
+
+	draining atomic.Bool
+
+	sessMu      sync.Mutex
+	sessions    map[sessionKey]*session
+	maxSessions int
 
 	done     chan struct{} // closed by Close: unblocks queued submitters
 	stopped  chan struct{} // closed when Serve has fully torn down
 	workerWG sync.WaitGroup
+
+	// testDispatchDelay, when set (tests only), runs before each
+	// dispatched request so tests can hold worker slots deterministically.
+	testDispatchDelay func(op types.Op)
 }
 
 type task struct {
@@ -80,13 +107,35 @@ type task struct {
 	resp chan *Response
 }
 
+// sessionKey identifies one client session across reconnects. The
+// ClientID component comes from the authenticated handshake, so one
+// principal can never read or poison another principal's reply cache.
+type sessionKey struct {
+	client  types.ClientID
+	session uint64
+}
+
+// session is the duplicate-suppression state for one (Client, Session)
+// pair: the last executed request ID and its reply. Because the client
+// issues one request at a time per session, caching a single reply
+// suffices — request n's arrival proves the reply to n-1 was received,
+// which is the cache's eviction rule.
+type session struct {
+	mu       sync.Mutex
+	lastID   uint64
+	lastResp *Response
+	lastUsed atomic.Int64 // unix nanos, for registry eviction
+}
+
 // NewServer wraps drv with the given keyring.
 func NewServer(drv *core.Drive, keys *Keyring) *Server {
 	return &Server{
 		drv: drv, keys: keys,
-		conns:   make(map[net.Conn]struct{}),
-		done:    make(chan struct{}),
-		stopped: make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
+		sessions:    make(map[sessionKey]*session),
+		maxSessions: defaultMaxSessions,
+		done:        make(chan struct{}),
+		stopped:     make(chan struct{}),
 	}
 }
 
@@ -95,6 +144,35 @@ func NewServer(drv *core.Drive, keys *Keyring) *Server {
 func (s *Server) SetWorkers(n int) {
 	s.mu.Lock()
 	s.workers = n
+	s.mu.Unlock()
+}
+
+// SetQueueDepth bounds how many accepted requests may wait for a free
+// worker before further requests are shed with ErrBusy. Call before
+// Serve; n <= 0 (the default) selects 4x the worker count.
+func (s *Server) SetQueueDepth(n int) {
+	s.mu.Lock()
+	s.queue = n
+	s.mu.Unlock()
+}
+
+// SetConnLimit caps concurrent connections; over-limit connections are
+// closed before the handshake (clients see a retryable connect
+// failure). Zero (the default) means unlimited. Call before Serve.
+func (s *Server) SetConnLimit(n int) {
+	s.mu.Lock()
+	s.connLimit = n
+	s.mu.Unlock()
+}
+
+// SetIOTimeout sets the per-frame I/O deadline: the handshake must
+// complete within it, a started request frame must finish arriving
+// within it, and a reply write must complete within it. An idle
+// session between frames is not evicted. Zero (the default) disables
+// deadlines. Call before Serve.
+func (s *Server) SetIOTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.ioTimeout = d
 	s.mu.Unlock()
 }
 
@@ -109,7 +187,11 @@ func (s *Server) Serve(ln net.Listener) error {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	s.tasks = make(chan task)
+	q := s.queue
+	if q <= 0 {
+		q = 4 * n
+	}
+	s.tasks = make(chan task, q)
 	for i := 0; i < n; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -124,16 +206,21 @@ func (s *Server) Serve(ln net.Listener) error {
 			s.mu.Lock()
 			done := s.shutdown
 			s.mu.Unlock()
-			if !done {
+			if !done && !s.draining.Load() {
 				retErr = err
 			}
 			break
 		}
 		s.mu.Lock()
-		if s.shutdown {
+		if s.shutdown || s.draining.Load() {
 			s.mu.Unlock()
 			_ = conn.Close()
 			break
+		}
+		if s.connLimit > 0 && len(s.conns) >= s.connLimit {
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
@@ -153,24 +240,66 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for t := range s.tasks {
+		if s.testDispatchDelay != nil {
+			s.testDispatchDelay(t.req.Op)
+		}
 		t.resp <- s.dispatch(t.cred, t.req)
 	}
 }
 
-// submit runs one request on the pool, blocking until a worker picks it
-// up (backpressure) or the server shuts down.
-func (s *Server) submit(cred types.Cred, req *Request) *Response {
+// submit runs one request on the pool. When the worker queue is full
+// the request is shed with a retryable ErrBusy and a retry-after hint
+// — it did not execute, so the client may safely reissue it. The
+// second return value reports whether the request executed (only
+// executed requests enter the duplicate-reply cache).
+func (s *Server) submit(cred types.Cred, req *Request) (*Response, bool) {
 	t := task{cred: cred, req: req, resp: make(chan *Response, 1)}
 	select {
 	case s.tasks <- t:
-		return <-t.resp
+		return <-t.resp, true
 	case <-s.done:
-		return &Response{Errno: wireErrno(types.ErrDriveStopped)}
+		return &Response{Errno: wireErrno(types.ErrDriveStopped)}, false
+	default:
+		return &Response{Errno: wireErrno(types.ErrBusy), RetryAfter: busyRetryAfter}, false
 	}
 }
 
-// Close stops the listener, drops every connection, and — if Serve is
-// running — waits for its handlers and workers to finish.
+// lookupSession finds or creates the duplicate-suppression state for
+// one handshake. A full registry evicts the least recently used
+// session; the cost of a wrong eviction is bounded — at worst, one
+// retransmission from a session idle longer than every other live
+// session re-executes instead of hitting the cache.
+func (s *Server) lookupSession(c types.ClientID, id uint64) *session {
+	if id == 0 {
+		return nil
+	}
+	key := sessionKey{client: c, session: id}
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if sess, ok := s.sessions[key]; ok {
+		sess.lastUsed.Store(time.Now().UnixNano())
+		return sess
+	}
+	if len(s.sessions) >= s.maxSessions {
+		var oldestKey sessionKey
+		oldest := int64(math.MaxInt64)
+		for k, v := range s.sessions {
+			if u := v.lastUsed.Load(); u < oldest {
+				oldest, oldestKey = u, k
+			}
+		}
+		delete(s.sessions, oldestKey)
+	}
+	sess := &session{}
+	sess.lastUsed.Store(time.Now().UnixNano())
+	s.sessions[key] = sess
+	return sess
+}
+
+// Close stops the listener, drops every connection immediately, and —
+// if Serve is running — waits for its handlers and workers to finish.
+// In-flight requests complete against the drive but their replies are
+// lost with the connections; Shutdown drains them gracefully first.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	already := s.shutdown
@@ -179,19 +308,58 @@ func (s *Server) Close() error {
 		close(s.done)
 	}
 	ln := s.ln
+	lnClosed := s.lnClosed
+	s.lnClosed = true
 	for c := range s.conns {
 		_ = c.Close()
 	}
 	serving := s.serving
 	s.mu.Unlock()
 	var err error
-	if ln != nil {
+	if ln != nil && !lnClosed {
 		err = ln.Close()
 	}
 	if serving {
 		<-s.stopped
 	}
 	return err
+}
+
+// Shutdown drains the server gracefully: the listener stops accepting,
+// idle connections are evicted, and connections with a request in
+// flight finish executing it and receive their reply before their
+// handler exits. Connections still busy after timeout are
+// force-closed. Like Close, it does not return until Serve has fully
+// torn down.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	lnClosed := s.lnClosed
+	s.lnClosed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	serving := s.serving
+	s.mu.Unlock()
+	if ln != nil && !lnClosed {
+		_ = ln.Close()
+	}
+	// Boot idle readers: a connection parked between frames returns
+	// from its blocking read immediately and its handler exits; one
+	// mid-request finishes and notices the drain after its reply.
+	now := time.Now()
+	for _, c := range conns {
+		_ = c.SetReadDeadline(now)
+	}
+	if serving {
+		select {
+		case <-s.stopped:
+		case <-time.After(timeout):
+		}
+	}
+	return s.Close()
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -201,7 +369,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	// Challenge.
+	s.mu.Lock()
+	iot := s.ioTimeout
+	s.mu.Unlock()
+	// The whole handshake runs under one deadline: a stalled
+	// (slowloris) handshake is evicted, never parked.
+	if iot > 0 {
+		_ = conn.SetDeadline(time.Now().Add(iot))
+	}
 	nonce := make([]byte, nonceLen)
 	if _, err := rand.Read(nonce); err != nil {
 		return
@@ -217,17 +392,101 @@ func (s *Server) serveConn(conn net.Conn) {
 	if err := writeGobFrame(conn, &HelloReply{OK: ok, Errno: errnoOf(ok)}); err != nil || !ok {
 		return
 	}
+	if iot > 0 {
+		_ = conn.SetDeadline(time.Time{})
+	}
 	cred := types.Cred{User: hello.User, Client: hello.Client, Admin: hello.Admin}
+	sess := s.lookupSession(cred.Client, hello.Session)
 	for {
-		var req Request
-		if err := readGobFrame(conn, &req); err != nil {
+		if s.draining.Load() {
 			return
 		}
-		resp := s.submit(cred, &req)
+		req, err := readRequest(conn, iot)
+		if err != nil {
+			return
+		}
+		resp := s.process(sess, cred, req)
+		if iot > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(iot))
+		}
 		if err := writeGobFrame(conn, resp); err != nil {
 			return
 		}
+		if s.draining.Load() {
+			return
+		}
 	}
+}
+
+// readRequest reads one request frame. The wait for the first byte may
+// block indefinitely — idle sessions are legal — but once a frame has
+// begun, the rest must arrive within timeout: a mid-frame stall is a
+// broken or hostile peer and the connection is evicted rather than
+// holding drive resources hostage (§3.2).
+func readRequest(conn net.Conn, timeout time.Duration) (*Request, error) {
+	var hdr [4]byte
+	if timeout > 0 {
+		_ = conn.SetReadDeadline(time.Time{})
+	}
+	if _, err := io.ReadFull(conn, hdr[:1]); err != nil {
+		return nil, err
+	}
+	if timeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	}
+	if _, err := io.ReadFull(conn, hdr[1:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("s4rpc: frame of %d bytes: %w", n, types.ErrTooLarge)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	var req Request
+	if err := gob.NewDecoder(&frameReader{b: buf}).Decode(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// process executes one request with duplicate suppression. The session
+// mutex is held across execution: if a zombie handler (an older, dying
+// connection of the same session) is still executing this request, the
+// retransmission blocks here and then finds the cached reply instead
+// of executing — and auditing — the command twice.
+func (s *Server) process(sess *session, cred types.Cred, req *Request) *Response {
+	if sess == nil || req.ID == 0 {
+		resp, _ := s.submit(cred, req)
+		resp.ID = req.ID
+		return resp
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.lastUsed.Store(time.Now().UnixNano())
+	switch {
+	case req.ID == sess.lastID && sess.lastResp != nil:
+		// Retransmission of the last executed request — its reply was
+		// lost on the wire. Serve the cached reply; the command does not
+		// execute again and leaves no second audit record.
+		return sess.lastResp
+	case req.ID < sess.lastID:
+		// Older than the cache: the client violated the one-in-flight
+		// protocol, or someone is replaying captured traffic. Refuse.
+		return &Response{ID: req.ID, Errno: wireErrno(types.ErrInval)}
+	}
+	resp, executed := s.submit(cred, req)
+	resp.ID = req.ID
+	if executed {
+		// The arrival of ID n proves the reply to n-1 was received;
+		// that is the cache's eviction rule. Shed (ErrBusy) replies are
+		// not cached — the request never executed, so an identical
+		// reissue must be allowed to run.
+		sess.lastID, sess.lastResp = req.ID, resp
+	}
+	return resp
 }
 
 func errnoOf(ok bool) uint8 {
@@ -248,6 +507,9 @@ func (s *Server) dispatch(cred types.Cred, req *Request) *Response {
 	resp := &Response{}
 	fail := func(err error) *Response {
 		resp.Errno = wireErrno(err)
+		if after, ok := types.RetryAfterHint(err); ok {
+			resp.RetryAfter = after
+		}
 		return resp
 	}
 	switch req.Op {

@@ -161,6 +161,13 @@ const (
 
 // Errors returned across package boundaries. RPC maps these to stable
 // wire codes; errors.Is works through the mapping.
+//
+// Two error classes are retryable: ErrThrottled (the request was
+// rejected with an abuse penalty; retry after the penalty elapses) and
+// ErrBusy (the drive's worker queue shed the request before executing
+// it; retry after a short wait). Both may arrive wrapped in a
+// RetryableError carrying the server's suggested wait; every other
+// error class is a definitive answer and must not be retried blindly.
 var (
 	ErrNoObject     = errors.New("s4: no such object")
 	ErrExist        = errors.New("s4: object or name already exists")
@@ -180,4 +187,38 @@ var (
 	ErrTooLarge     = errors.New("s4: request exceeds size limit")
 	ErrUnimplProto  = errors.New("s4: unimplemented protocol operation")
 	ErrDriveStopped = errors.New("s4: drive is shut down")
+	ErrBusy         = errors.New("s4: server busy (request shed before execution)")
+
+	// ErrClosed is returned by the RPC client for calls issued — or in
+	// flight — after Close. It never crosses the wire.
+	ErrClosed = errors.New("s4: client closed")
 )
+
+// RetryableError wraps one of the retryable error classes (ErrThrottled,
+// ErrBusy) with the server's suggested wait before the next attempt.
+// errors.Is sees through it to the underlying class.
+type RetryableError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *RetryableError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.After)
+}
+
+func (e *RetryableError) Unwrap() error { return e.Err }
+
+// RetryAfterHint extracts the server's suggested wait from err, if any.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var re *RetryableError
+	if errors.As(err, &re) {
+		return re.After, true
+	}
+	return 0, false
+}
+
+// Retryable reports whether err belongs to one of the two retryable
+// classes (ErrThrottled, ErrBusy).
+func Retryable(err error) bool {
+	return errors.Is(err, ErrThrottled) || errors.Is(err, ErrBusy)
+}

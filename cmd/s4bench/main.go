@@ -12,6 +12,9 @@
 //	s4bench -scale 0.2               shrink workloads (quick look)
 //	s4bench -torture -seed 7         crash-consistency torture sweep
 //	s4bench -netfault -seed 7        exactly-once soak under network faults
+//	s4bench -writepath -json BENCH_writepath.json
+//	                                 wall-clock write/sync throughput at
+//	                                 1/4/8/16 clients (commit pipeline)
 package main
 
 import (
@@ -37,8 +40,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "with -torture/-netfault: schedule seed")
 	ops := flag.Int("ops", 0, "with -torture/-netfault: operations (0 = default)")
 	points := flag.Int("points", 0, "with -torture: cap verified crash points (0 = all)")
+	writepath := flag.Bool("writepath", false, "run the wall-clock write-path throughput bench instead of a figure")
+	wpOps := flag.Int("wp-ops", 0, "with -writepath: operations per client (0 = default 1500)")
+	jsonOut := flag.String("json", "", "with -writepath: write machine-readable results to this file")
+	baseline := flag.String("baseline", "", "with -writepath: fail if write throughput regresses >30% vs this baseline JSON")
 	flag.Parse()
 
+	if *writepath {
+		if err := runWritepath(*wpOps, *jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "writepath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *tort {
 		if err := runTorture(*seed, *ops, *points); err != nil {
 			fmt.Fprintf(os.Stderr, "torture: %v\n", err)

@@ -1,0 +1,249 @@
+// Write-path throughput bench: the commit-pipeline workload (s4bench
+// -writepath). Unlike the figure benchmarks this runs on the wall clock
+// over an untimed memory disk, so it measures the drive's own
+// synchronization and commit pipeline, not the disk model. Results go
+// to stdout and, with -json, to a machine-readable file that CI diffs
+// against a checked-in baseline (BENCH_writepath.json).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// wpResult is one (mode, clients) row of the write-path bench.
+type wpResult struct {
+	Mode             string  `json:"mode"`
+	Clients          int     `json:"clients"`
+	Ops              int     `json:"ops"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	P50Micros        float64 `json:"p50_us"`
+	P99Micros        float64 `json:"p99_us"`
+	DeviceSyncsPerOp float64 `json:"device_syncs_per_op"`
+	CommitBatches    int64   `json:"commit_batches"`
+	SyncsCoalesced   int64   `json:"syncs_coalesced"`
+	VecAppends       int64   `json:"vec_appends"`
+	FlushStalls      int64   `json:"flush_stalls"`
+	CacheHits        int64   `json:"cache_hits"`
+}
+
+// wpReport is the whole -json document.
+type wpReport struct {
+	Bench        string     `json:"bench"`
+	OpsPerClient int        `json:"ops_per_client"`
+	GoMaxProcs   int        `json:"gomaxprocs"`
+	Results      []wpResult `json:"results"`
+}
+
+// runWritepath measures write and write+sync throughput at 1/4/8/16
+// concurrent clients and optionally gates against a baseline report.
+func runWritepath(opsPerClient int, jsonPath, baselinePath string) error {
+	if opsPerClient <= 0 {
+		opsPerClient = 1500
+	}
+	rep := wpReport{Bench: "writepath", OpsPerClient: opsPerClient, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	fmt.Printf("Write-path throughput (%d ops/client, wall clock, memory disk)\n", opsPerClient)
+	fmt.Printf("%-10s %8s %10s %10s %10s %12s %10s %10s\n",
+		"mode", "clients", "ops/s", "p50(us)", "p99(us)", "dsyncs/op", "batches", "coalesced")
+	for _, mode := range []string{"write", "writesync"} {
+		for _, clients := range []int{1, 4, 8, 16} {
+			r, err := wpRun(mode, clients, opsPerClient)
+			if err != nil {
+				return fmt.Errorf("writepath %s/%d: %w", mode, clients, err)
+			}
+			rep.Results = append(rep.Results, r)
+			fmt.Printf("%-10s %8d %10.0f %10.1f %10.1f %12.4f %10d %10d\n",
+				r.Mode, r.Clients, r.OpsPerSec, r.P50Micros, r.P99Micros,
+				r.DeviceSyncsPerOp, r.CommitBatches, r.SyncsCoalesced)
+		}
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  [results written to %s]\n", jsonPath)
+	}
+	if baselinePath != "" {
+		return wpCompare(&rep, baselinePath)
+	}
+	return nil
+}
+
+// wpRun executes one (mode, clients) cell on a fresh drive.
+func wpRun(mode string, clients, opsPerClient int) (wpResult, error) {
+	dev := disk.New(disk.SmallDisk(512<<20), nil)
+	drv, err := core.Format(dev, core.Options{
+		Clock: vclock.Wall{},
+		// Writes deprecate their predecessors; a short window plus
+		// opportunistic cleaning keeps the run from filling the log.
+		Window: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return wpResult{}, err
+	}
+	defer drv.Close()
+
+	acl := []types.ACLEntry{{User: types.EveryoneID, Perm: types.PermAll}}
+	owner := types.Cred{User: 100, Client: 1}
+	ids := make([]types.ObjectID, clients)
+	seed := make([]byte, types.BlockSize)
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	for i := range ids {
+		id, err := drv.Create(owner, acl, nil)
+		if err != nil {
+			return wpResult{}, err
+		}
+		ids[i] = id
+		if err := drv.Write(owner, id, 0, seed); err != nil {
+			return wpResult{}, err
+		}
+	}
+	if err := drv.Sync(owner); err != nil {
+		return wpResult{}, err
+	}
+
+	prev := runtime.GOMAXPROCS(clients)
+	defer runtime.GOMAXPROCS(prev)
+	s0 := drv.GetStats()
+
+	var mu sync.Mutex
+	var firstErr error
+	lats := make([][]float64, clients) // per-op latency in microseconds
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cred := types.Cred{User: types.UserID(100 + c), Client: types.ClientID(1 + c)}
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			payload := seed[:512]
+			myObj := ids[c]
+			my := make([]float64, 0, opsPerClient)
+			<-start
+			for i := 0; i < opsPerClient; i++ {
+				t0 := time.Now()
+				err := drv.Write(cred, myObj, uint64(rng.Intn(2))*512, payload)
+				for retry := 0; err == types.ErrNoSpace && retry < 3; retry++ {
+					if _, cerr := drv.CleanOnce(); cerr != nil {
+						err = cerr
+						break
+					}
+					err = drv.Write(cred, myObj, 0, payload)
+				}
+				if err == nil && mode == "writesync" {
+					err = drv.Sync(cred)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				my = append(my, float64(time.Since(t0).Nanoseconds())/1e3)
+			}
+			mu.Lock()
+			lats[c] = my
+			mu.Unlock()
+		}(c)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if firstErr != nil {
+		return wpResult{}, firstErr
+	}
+	s1 := drv.GetStats()
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	ops := clients * opsPerClient
+	return wpResult{
+		Mode:             mode,
+		Clients:          clients,
+		Ops:              ops,
+		OpsPerSec:        float64(ops) / elapsed.Seconds(),
+		P50Micros:        pct(0.50),
+		P99Micros:        pct(0.99),
+		DeviceSyncsPerOp: float64(s1.DeviceForces-s0.DeviceForces) / float64(ops),
+		CommitBatches:    s1.CommitBatches - s0.CommitBatches,
+		SyncsCoalesced:   s1.SyncsCoalesced - s0.SyncsCoalesced,
+		VecAppends:       s1.VecAppends - s0.VecAppends,
+		FlushStalls:      s1.FlushStalls - s0.FlushStalls,
+		CacheHits:        s1.CacheHits - s0.CacheHits,
+	}, nil
+}
+
+// wpCompare gates the fresh report against a checked-in baseline:
+// write throughput must not regress more than 30% on any row. The
+// baseline was recorded on a slow single-core runner, so absolute
+// ops/s on a typical CI machine clears it with a wide margin; the gate
+// exists to catch pipeline regressions, not machine variance.
+func wpCompare(rep *wpReport, baselinePath string) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("writepath baseline: %w", err)
+	}
+	var base wpReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("writepath baseline: %w", err)
+	}
+	lookup := func(mode string, clients int) *wpResult {
+		for i := range base.Results {
+			if base.Results[i].Mode == mode && base.Results[i].Clients == clients {
+				return &base.Results[i]
+			}
+		}
+		return nil
+	}
+	failed := false
+	for _, r := range rep.Results {
+		b := lookup(r.Mode, r.Clients)
+		if b == nil || b.OpsPerSec <= 0 {
+			continue
+		}
+		floor := b.OpsPerSec * 0.70
+		verdict := "ok"
+		if r.OpsPerSec < floor {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  gate %-10s clients=%-3d %10.0f ops/s vs baseline %10.0f (floor %8.0f) %s\n",
+			r.Mode, r.Clients, r.OpsPerSec, b.OpsPerSec, floor, verdict)
+	}
+	if failed {
+		return fmt.Errorf("writepath: write throughput regressed >30%% vs %s", baselinePath)
+	}
+	return nil
+}

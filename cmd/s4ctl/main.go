@@ -112,6 +112,24 @@ func main() {
 		if len(st.Suspects) > 0 {
 			fmt.Printf("THROTTLED CLIENTS (possible history-pool abuse): %v\n", st.Suspects)
 		}
+	case "stats":
+		st, err := c.DriveStats()
+		check(err)
+		fmt.Printf("commit batches:  %d\n", st.CommitBatches)
+		fmt.Printf("syncs coalesced: %d\n", st.SyncsCoalesced)
+		fmt.Printf("device forces:   %d\n", st.DeviceForces)
+		if n := st.CommitBatches + st.SyncsCoalesced; n > 0 {
+			fmt.Printf("forces/sync:     %.3f\n", float64(st.DeviceForces)/float64(n))
+		}
+		fmt.Printf("vec appends:     %d\n", st.VecAppends)
+		fmt.Printf("log appends:     %d blocks\n", st.LogAppends)
+		fmt.Printf("flush stalls:    %d\n", st.FlushStalls)
+		fmt.Printf("dirty objects:   %d\n", st.DirtyObjects)
+		fmt.Printf("bytes written:   %d\n", st.BytesWritten)
+		fmt.Printf("bytes read:      %d\n", st.BytesRead)
+		fmt.Printf("cache hit rate:  %d / %d\n", st.CacheHits, st.CacheHits+st.CacheMisses)
+		fmt.Printf("cleaner runs:    %d (%d segments freed, %d blocks compacted)\n",
+			st.CleanerRuns, st.SegmentsFreed, st.BlocksCompacted)
 	case "versions":
 		obj := parseObj()
 		vs, err := c.ListVersions(obj, *max)
@@ -218,6 +236,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: s4ctl [flags] <command>
 commands:
   status                       drive occupancy, window, throttled clients
+  stats                        commit-pipeline and cache counters
   versions <obj> [-max n]      retained version history, newest first
   read <obj> [-at t]           object contents (optionally at a past time)
   ls <dirobj> [-at t]          time-enhanced directory listing (§3.6)

@@ -155,11 +155,12 @@ func (d *Drive) auditOp(cred types.Cred, op types.Op, obj types.ObjectID, off, l
 		OK:  err == nil, Errno: errno(err),
 	}
 	d.auditBuf = append(d.auditBuf, rec)
-	// Flush when a block's worth of records has accumulated.
-	if len(d.auditBuf) >= 8 {
-		if sz := d.auditBufSize(); sz >= audit.BlockCapacity {
-			_ = d.flushAuditLocked()
-		}
+	d.auditBufBytes += rec.EncodedSize()
+	// Flush when a block's worth of records has accumulated. The
+	// running byte counter keeps this O(1) per request; summing the
+	// buffer here made every audited op linear in the buffer depth.
+	if d.auditBufBytes >= audit.BlockCapacity {
+		_ = d.flushAuditLocked()
 	}
 	d.auditMu.Unlock()
 	d.statsMu.Lock()
@@ -181,6 +182,9 @@ func (d *Drive) auditBufSize() int {
 // Caller holds auditMu (the segment log and usage counters are
 // internally synchronized).
 func (d *Drive) flushAuditLocked() error {
+	// The running counter is re-derived on exit so an early error
+	// return (records still buffered) leaves it consistent.
+	defer func() { d.auditBufBytes = d.auditBufSize() }()
 	for len(d.auditBuf) > 0 {
 		// Fill one block.
 		room := audit.BlockCapacity

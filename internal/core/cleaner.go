@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 
 	"s4/internal/journal"
@@ -108,8 +109,11 @@ func (d *Drive) CleanOnce() (CleanStats, error) {
 		return cs, err
 	}
 
-	// Phase 3: compact up to a few fragmented segments.
-	if err := d.compactLocked(ageCut, &cs, 4); err != nil {
+	// Phase 3: compact up to a few fragmented segments. Compaction
+	// appends relocated blocks, so on a nearly full drive it can run
+	// out of room mid-pass; the aging and reclamation already done
+	// still stand, and the next pass retries with whatever they freed.
+	if err := d.compactLocked(ageCut, &cs, 4); err != nil && !errors.Is(err, types.ErrNoSpace) {
 		return cs, err
 	}
 	// Checkpoint barrier: emptied segments rejoin the allocator only
@@ -122,7 +126,11 @@ func (d *Drive) CleanOnce() (CleanStats, error) {
 	}
 	if len(d.pendingFree) >= drainAt || (len(d.pendingFree) > 0 && d.log.FreeSegments() < d.log.NumSegments()/10) {
 		if err := d.checkpointLocked(); err != nil {
-			return cs, err
+			if !errors.Is(err, types.ErrNoSpace) {
+				return cs, err
+			}
+			// Emptied segments stay deferred; a later pass drains them
+			// once aging or reclamation has restored some headroom.
 		}
 	}
 	d.statsMu.Lock()
@@ -240,15 +248,22 @@ func (d *Drive) ageObjectLocked(o *object, ageCut types.Timestamp, cs *CleanStat
 	if prunable >= pruneThreshold {
 		// Crash recovery must be anchored by a checkpoint covering the
 		// retired entries before any sector leaves the chain.
-		if err := d.checkpointObjectLocked(o); err != nil {
+		switch err := d.checkpointObjectLocked(o); {
+		case err == nil:
+			for i := len(chain) - 1; i >= len(chain)-prunable; i-- {
+				d.unrefJSector(chain[i].addr)
+				cs.SectorsFreed++
+				o.jtail = chain[i-1].addr
+				o.pruned = true
+				touched = true
+			}
+		case errors.Is(err, types.ErrNoSpace):
+			// No room for the anchoring checkpoint. Pruning is an
+			// optimization; aborting the whole cleaning pass here would
+			// wedge a full drive (the aging and reclamation that free
+			// space need no log writes). Skip it this pass.
+		default:
 			return false, err
-		}
-		for i := len(chain) - 1; i >= len(chain)-prunable; i-- {
-			d.unrefJSector(chain[i].addr)
-			cs.SectorsFreed++
-			o.jtail = chain[i-1].addr
-			o.pruned = true
-			touched = true
 		}
 	}
 	if touched {
@@ -313,6 +328,7 @@ func (d *Drive) reapObjectLocked(o *object, cs *CleanStats) error {
 	d.lruMu.Lock()
 	d.objLRU.Remove(o.lruEl)
 	d.lruMu.Unlock()
+	d.markClean(o)
 	delete(d.objects, o.id)
 	return nil
 }
@@ -496,6 +512,7 @@ func (d *Drive) relocateChainLocked(o *object, avoid seglog.BlockAddr, cs *Clean
 	}
 	o.jhead = newAddrs[len(newAddrs)-1]
 	o.jtail = newAddrs[0]
+	o.jheadEntries = nil // decoded head image is stale; reread on demand
 	return nil
 }
 
@@ -530,6 +547,17 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 		}
 	}
 	touchedObjs := make(map[types.ObjectID]*object)
+	// Live data blocks are gathered per object and relocated with one
+	// vectored append each, so the survivors of a segment land
+	// contiguously at the log head instead of paying the log mutex and
+	// flush checks once per block.
+	type reloc struct {
+		o    *object
+		vec  []seglog.VecEntry
+		olds []seglog.BlockAddr
+	}
+	var relocs []*reloc
+	byObj := make(map[types.ObjectID]*reloc)
 	for i := range sum.Entries {
 		se := &sum.Entries[i]
 		addr := d.log.EntryAt(seg, i)
@@ -549,24 +577,14 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 			if err != nil {
 				return err
 			}
-			newAddr, err := d.log.Append(seglog.KindData, se.Obj, se.Key, se.Time, data[:se.Len])
-			if err != nil {
-				return err
+			r := byObj[se.Obj]
+			if r == nil {
+				r = &reloc{o: o}
+				byObj[se.Obj] = r
+				relocs = append(relocs, r)
 			}
-			o.ino.setBlock(se.Key, newAddr)
-			d.usage.liveBorn(segOf(d.log, newAddr))
-			d.usage.freeLive(seg)
-			d.cache.drop(addr)
-			full := make([]byte, types.BlockSize)
-			copy(full, data[:se.Len])
-			d.cache.put(newAddr, full)
-			// The journal's redo pointers now name the old location;
-			// only a fresh checkpoint reconstructs this object, and the
-			// next barrier must write one.
-			o.pruned = true
-			o.cpVersion = 0
-			touchedObjs[se.Obj] = o
-			cs.BlocksCopied++
+			r.vec = append(r.vec, seglog.VecEntry{Key: se.Key, Time: se.Time, Data: data[:se.Len]})
+			r.olds = append(r.olds, addr)
 		case seglog.KindInode:
 			o := d.objects[se.Obj]
 			if o == nil {
@@ -622,6 +640,28 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 			d.cache.drop(addr)
 			cs.BlocksCopied++
 		}
+	}
+	for _, r := range relocs {
+		newAddrs, err := d.log.AppendVec(seglog.KindData, r.o.id, r.vec...)
+		if err != nil {
+			return err
+		}
+		for j, newAddr := range newAddrs {
+			r.o.ino.setBlock(r.vec[j].Key, newAddr)
+			d.usage.liveBorn(segOf(d.log, newAddr))
+			d.usage.freeLive(seg)
+			d.cache.drop(r.olds[j])
+			full := make([]byte, types.BlockSize)
+			copy(full, r.vec[j].Data)
+			d.cache.put(newAddr, full)
+			cs.BlocksCopied++
+		}
+		// The journal's redo pointers now name the old location; only a
+		// fresh checkpoint reconstructs this object, and the next
+		// barrier must write one.
+		r.o.pruned = true
+		r.o.cpVersion = 0
+		touchedObjs[r.o.id] = r.o
 	}
 	// Touched objects are refreshed by the checkpoint barrier that
 	// precedes any reuse of the emptied segment (deferFree); nothing

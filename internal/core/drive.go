@@ -46,6 +46,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -153,6 +154,12 @@ type object struct {
 	// oldest retained one (the cleaner advances it as entries age).
 	jhead, jtail journal.SectorAddr
 	pending      []*journal.Entry // entries not yet in a flushed sector
+	// Decoded image of the head sector, mirroring what is on disk at
+	// jhead, so the per-sync merge path need not re-read and re-decode
+	// it. nil jheadEntries means unknown (e.g. after recovery or chain
+	// relocation): the merge falls back to reading the sector.
+	jheadPrev    journal.SectorAddr
+	jheadEntries []journal.Entry
 	// floorVersion/floorTime: entries at or below have been aged out;
 	// reads older than floorTime are unreconstructible.
 	floorVersion uint64
@@ -185,6 +192,15 @@ type Stats struct {
 	SegmentsFreed   int64
 	BlocksCompacted int64
 	ThrottleDelays  time.Duration
+
+	// Commit-pipeline counters (DESIGN.md §11).
+	CommitBatches  int64 // group commits led (one device force each)
+	SyncsCoalesced int64 // Sync calls satisfied by another leader's force
+	VecAppends     int64 // multi-block vectored append batches
+	FlushStalls    int64 // appenders/syncers that waited out an in-flight flush
+	DeviceForces   int64 // segment-log device flushes (partial or seal)
+	LogAppends     int64 // payload blocks appended to the segment log
+	DirtyObjects   int64 // objects currently in the sync dirty set
 }
 
 // Drive is an open S4 drive. See the package comment for the lock
@@ -205,6 +221,11 @@ type Drive struct {
 	objects map[types.ObjectID]*object
 	nextOID types.ObjectID
 	window  time.Duration
+	// spaceReserve is the free-segment floor reserved for the
+	// cleaner: client mutations are refused (ErrNoSpace) once the
+	// allocator drops to it, so compaction and the checkpoint barrier
+	// always have room to reclaim space. Set at open, read-only after.
+	spaceReserve int64
 	usage   *segUsage   // atomic counters; no lock needed
 	cache   *blockCache // internally locked
 	closed  bool
@@ -228,10 +249,33 @@ type Drive struct {
 
 	// auditMu guards the audit pipeline. It is taken while holding
 	// Drive.mu (either mode) and object locks, never the reverse.
-	auditMu     sync.Mutex
-	auditBuf    []audit.Record
-	auditSeq    uint64
-	auditBlocks []auditBlockRef
+	auditMu       sync.Mutex
+	auditBuf      []audit.Record
+	auditBufBytes int // running encoded size of auditBuf
+	auditSeq      uint64
+	auditBlocks   []auditBlockRef
+
+	// Commit-ticket state for group commit (DESIGN.md §11). Every Sync
+	// takes the next ticket (commitSeq); one leader at a time flushes
+	// the dirty set and forces the log for every ticket taken before
+	// its batch closed, then advances commitDone. Followers whose
+	// ticket is covered return without touching the device. commitMu
+	// is a leaf: it is never held across object locks, logMu, or any
+	// log call — only across the ticket bookkeeping and the wait.
+	commitMu   sync.Mutex
+	commitCond *sync.Cond
+	commitSeq  int64 // last issued commit ticket
+	commitDone int64 // every ticket ≤ commitDone is durable
+	committing bool  // a leader's flush is in flight
+
+	// dirtyMu guards dirtyObjs, the set of objects with pending
+	// journal entries; Sync flushes exactly this set instead of
+	// walking the whole object map. Leaf lock, taken under o.mu.
+	// Invariant: an object with len(pending) > 0 is always in the set
+	// (the converse may briefly not hold; flushers re-check pending
+	// under o.mu).
+	dirtyMu   sync.Mutex
+	dirtyObjs map[types.ObjectID]*object
 
 	// statsMu guards stats. Cache hit/miss counters live inside the
 	// block cache and are merged in DriveStats.
@@ -287,7 +331,17 @@ func Open(dev disk.Device, opts Options) (*Drive, error) {
 		cache:       newBlockCache(opts.BlockCacheBytes),
 		jblockRef:   make(map[seglog.BlockAddr]int),
 		pendingFree: make(map[int64]bool),
+		dirtyObjs:   make(map[types.ObjectID]*object),
 		thr:         throttle.New(*opts.Throttle),
+	}
+	d.commitCond = sync.NewCond(&d.commitMu)
+	// ~1.5% of the log, clamped so toy-sized test logs keep one spare
+	// segment and huge devices don't strand space.
+	d.spaceReserve = log.NumSegments() / 64
+	if d.spaceReserve < 1 {
+		d.spaceReserve = 1
+	} else if d.spaceReserve > 64 {
+		d.spaceReserve = 64
 	}
 	d.stats.Ops = make(map[types.Op]int64)
 	if err := d.recover(); err != nil {
@@ -552,6 +606,7 @@ func (d *Drive) appendEntry(o *object, e *journal.Entry) {
 	}
 	o.ino.redo(e)
 	o.pending = append(o.pending, e)
+	d.markDirty(o)
 	if birth := e.Time + types.Timestamp(d.window); o.nextAge == 0 || birth < o.nextAge {
 		// This entry becomes ageable once it leaves the window; any
 		// cleaner visit before then would be wasted, and a fully-aged
@@ -569,6 +624,24 @@ func (d *Drive) appendEntry(o *object, e *journal.Entry) {
 	if len(o.pending) >= d.opts.PendingFlushEntries {
 		_ = d.flushJournalLocked(o)
 	}
+}
+
+// markDirty records that o has pending journal entries. Callers hold
+// o.mu exclusively (or the exclusive drive lock), which serializes an
+// object's dirty-set transitions.
+func (d *Drive) markDirty(o *object) {
+	d.dirtyMu.Lock()
+	d.dirtyObjs[o.id] = o
+	d.dirtyMu.Unlock()
+}
+
+// markClean removes o from the dirty set. Callers hold o.mu
+// exclusively (or the exclusive drive lock) and have verified that
+// o.pending is empty.
+func (d *Drive) markClean(o *object) {
+	d.dirtyMu.Lock()
+	delete(d.dirtyObjs, o.id)
+	d.dirtyMu.Unlock()
 }
 
 // readJSector fetches one 512-byte journal sector by sub-block address.
@@ -602,20 +675,23 @@ func (d *Drive) unrefJSector(sa journal.SectorAddr) {
 // different objects — share each block, which is what keeps
 // journal-based metadata compact (§4.2.2). Caller holds logMu.
 func (d *Drive) placeSectorLocked(sec []byte, newest types.Timestamp) (journal.SectorAddr, error) {
-	if d.jstageAddr != seglog.NilAddr && d.jstageUsed < journal.SectorsPerBlock && d.log.InOpenSegment(d.jstageAddr) {
-		buf := make([]byte, seglog.BlockSize)
-		if err := d.log.Read(d.jstageAddr, buf); err != nil {
-			return 0, err
-		}
+	if d.jstageAddr != seglog.NilAddr && d.jstageUsed < journal.SectorsPerBlock {
+		// RewriteRange re-checks openness under the log mutex: a
+		// concurrent appender may seal the staging block's segment at any
+		// time, in which case we fall through and start a fresh block.
+		pad := make([]byte, journal.SectorSize)
+		copy(pad, sec)
 		slot := d.jstageUsed
-		copy(buf[slot*journal.SectorSize:(slot+1)*journal.SectorSize], sec)
-		if err := d.log.Rewrite(d.jstageAddr, buf); err != nil {
+		ok, err := d.log.RewriteRange(d.jstageAddr, slot*journal.SectorSize, pad)
+		if err != nil {
 			return 0, err
 		}
-		d.jstageUsed++
-		d.jblockRef[d.jstageAddr]++
-		d.cache.drop(d.jstageAddr)
-		return journal.MakeSectorAddr(d.jstageAddr, slot), nil
+		if ok {
+			d.jstageUsed++
+			d.jblockRef[d.jstageAddr]++
+			d.cache.drop(d.jstageAddr)
+			return journal.MakeSectorAddr(d.jstageAddr, slot), nil
+		}
 	}
 	blk := make([]byte, seglog.BlockSize)
 	copy(blk, sec)
@@ -641,9 +717,15 @@ func (d *Drive) flushJournalLocked(o *object) error {
 	d.logMu.Lock()
 	defer d.logMu.Unlock()
 	if len(o.pending) > 0 && o.jhead != journal.NilSector && d.log.InOpenSegment(o.jhead.Block()) {
-		prev, existing, err := d.readJSector(o.jhead)
-		if err != nil {
-			return err
+		prev, existing := o.jheadPrev, o.jheadEntries
+		if existing == nil {
+			// Cold head (recovery, relocation): read it once; successful
+			// merges below keep the decoded image current from then on.
+			var err error
+			prev, existing, err = d.readJSector(o.jhead)
+			if err != nil {
+				return err
+			}
 		}
 		room := journal.SectorCapacity
 		for i := range existing {
@@ -668,20 +750,24 @@ func (d *Drive) flushJournalLocked(o *object) error {
 			if err != nil {
 				return err
 			}
-			buf := make([]byte, seglog.BlockSize)
-			if err := d.log.Read(o.jhead.Block(), buf); err != nil {
+			// RewriteRange re-checks openness atomically: data-block
+			// appends run outside logMu and may seal the head's segment
+			// between the check above and here. On ok=false the merge is
+			// abandoned and pending drains through fresh sectors below.
+			pad := make([]byte, journal.SectorSize)
+			copy(pad, sec)
+			ok, err := d.log.RewriteRange(o.jhead.Block(), o.jhead.Slot()*journal.SectorSize, pad)
+			if err != nil {
 				return err
 			}
-			slot := o.jhead.Slot()
-			for i := slot * journal.SectorSize; i < (slot+1)*journal.SectorSize; i++ {
-				buf[i] = 0
+			if ok {
+				d.cache.drop(o.jhead.Block())
+				for i := 0; i < n; i++ {
+					existing = append(existing, *o.pending[i])
+				}
+				o.jheadPrev, o.jheadEntries = prev, existing
+				o.pending = append(o.pending[:0], o.pending[n:]...)
 			}
-			copy(buf[slot*journal.SectorSize:], sec)
-			if err := d.log.Rewrite(o.jhead.Block(), buf); err != nil {
-				return err
-			}
-			d.cache.drop(o.jhead.Block())
-			o.pending = append(o.pending[:0], o.pending[n:]...)
 		}
 	}
 	for len(o.pending) > 0 {
@@ -707,12 +793,18 @@ func (d *Drive) flushJournalLocked(o *object) error {
 		if err != nil {
 			return err
 		}
+		ents := make([]journal.Entry, n)
+		for i := 0; i < n; i++ {
+			ents[i] = *o.pending[i]
+		}
+		o.jheadPrev, o.jheadEntries = o.jhead, ents
 		o.jhead = sa
 		if o.jtail == journal.NilSector {
 			o.jtail = sa
 		}
 		o.pending = append(o.pending[:0], o.pending[n:]...)
 	}
+	d.markClean(o)
 	return nil
 }
 
@@ -729,14 +821,16 @@ func (d *Drive) checkpointObjectLocked(o *object) error {
 	if err != nil {
 		return err
 	}
-	var overAddrs []seglog.BlockAddr
+	vec := make([]seglog.VecEntry, 0, len(cb.overflow))
 	for _, chunk := range cb.overflow {
-		a, err := d.log.Append(seglog.KindInode, o.id, o.ino.Version, o.ino.ModTime, chunk)
-		if err != nil {
-			return err
-		}
+		vec = append(vec, seglog.VecEntry{Key: o.ino.Version, Time: o.ino.ModTime, Data: chunk})
+	}
+	overAddrs, err := d.log.AppendVec(seglog.KindInode, o.id, vec...)
+	if err != nil {
+		return err
+	}
+	for _, a := range overAddrs {
 		d.usage.liveBorn(segOf(d.log, a))
-		overAddrs = append(overAddrs, a)
 	}
 	root := cb.finishRoot(overAddrs)
 	rootAddr, err := d.log.Append(seglog.KindInode, o.id, o.ino.Version, o.ino.ModTime, root)
@@ -1065,8 +1159,9 @@ func (d *Drive) writeBlocksLocked(cred types.Cred, o *object, off uint64, data [
 	b0 := off / types.BlockSize
 	b1 := (end - 1) / types.BlockSize
 
-	var newAddrs []seglog.BlockAddr
 	var histBytes int64
+	vec := make([]seglog.VecEntry, 0, b1-b0+1)
+	owned := make([]bool, 0, b1-b0+1) // Data is a private full-block buffer
 	for blk := b0; blk <= b1; blk++ {
 		blkStart := blk * types.BlockSize
 		lo := uint64(0)
@@ -1078,9 +1173,11 @@ func (d *Drive) writeBlocksLocked(cred types.Cred, o *object, off uint64, data [
 			hi = end - blkStart
 		}
 		var content []byte
+		isOwned := false
 		if lo == 0 && hi == types.BlockSize {
 			content = data[blkStart+lo-off : blkStart+hi-off]
 		} else {
+			isOwned = true
 			// Read-modify-write of a partial block. Bytes beyond the
 			// current size are zeros regardless of stale block tails.
 			merged := make([]byte, types.BlockSize)
@@ -1108,15 +1205,30 @@ func (d *Drive) writeBlocksLocked(cred types.Cred, o *object, off uint64, data [
 			}
 			content = merged[:keep]
 		}
-		addr, err := d.log.Append(seglog.KindData, o.id, blk, now, content)
-		if err != nil {
-			return err
-		}
+		vec = append(vec, seglog.VecEntry{Key: blk, Time: now, Data: content})
+		owned = append(owned, isOwned)
+	}
+	// One vectored append stages the whole write under a single log
+	// mutex hold, and the blocks land contiguously so the next flush
+	// covers them with one sequential device write.
+	newAddrs, err := d.log.AppendVec(seglog.KindData, o.id, vec...)
+	if err != nil {
+		return err
+	}
+	for i, addr := range newAddrs {
 		d.usage.liveBorn(segOf(d.log, addr))
-		full := make([]byte, types.BlockSize)
-		copy(full, content)
+		full := vec[i].Data
+		if owned[i] && cap(full) >= types.BlockSize {
+			// The read-modify-write merge buffer is already a private,
+			// zero-tailed full block; cache it directly instead of
+			// allocating and copying another 4KB per block.
+			full = full[:types.BlockSize]
+		} else {
+			buf := make([]byte, types.BlockSize)
+			copy(buf, full)
+			full = buf
+		}
 		d.cache.put(addr, full)
-		newAddrs = append(newAddrs, addr)
 	}
 
 	// Emit journal entries, splitting ranges that exceed the per-entry
@@ -1540,30 +1652,110 @@ func (d *Drive) Sync(cred types.Cred) error {
 	return err
 }
 
-// syncShared flushes every object's pending journal entries and forces
-// the log. Caller holds the shared drive lock; the object map is safe
-// to iterate because it is mutated only under the exclusive lock, and
-// each object is flushed under its own lock.
+// syncShared makes every modification staged before the call durable.
+// Caller holds the shared drive lock.
+//
+// Concurrent callers group-commit (DESIGN.md §11): each takes a
+// sequence-numbered ticket, and one leader at a time flushes the dirty
+// object set and forces the log on behalf of every ticket taken before
+// its batch closed. A ticket holder's writes were staged before its
+// ticket was issued, and the leader reads the batch boundary after
+// taking leadership, so the leader's force covers every covered
+// ticket's writes — followers return without touching the device once
+// commitDone passes their ticket. On a failed force commitDone is NOT
+// advanced: each waiting follower retries as leader and reports its own
+// error (the log's write-error latch makes those retries fail fast
+// rather than spin).
 func (d *Drive) syncShared() error {
 	if d.closed {
 		return types.ErrDriveStopped
 	}
-	for _, o := range d.objects {
+	d.commitMu.Lock()
+	d.commitSeq++
+	ticket := d.commitSeq
+	for {
+		if d.commitDone >= ticket {
+			d.commitMu.Unlock()
+			d.statsMu.Lock()
+			d.stats.SyncsCoalesced++
+			d.statsMu.Unlock()
+			return nil
+		}
+		if !d.committing {
+			break
+		}
+		d.commitCond.Wait()
+	}
+	d.committing = true
+	d.commitMu.Unlock()
+
+	// Let concurrently arriving syncers take tickets before the batch
+	// closes; on a single CPU nothing else runs until the leader
+	// yields, so without yielding every batch would be a batch of one.
+	// Keep yielding while tickets are still arriving (bounded, so a
+	// steady trickle cannot starve the leader).
+	d.commitMu.Lock()
+	batchEnd := d.commitSeq
+	d.commitMu.Unlock()
+	for i := 0; i < 4; i++ {
+		runtime.Gosched()
+		d.commitMu.Lock()
+		end := d.commitSeq
+		d.commitMu.Unlock()
+		if end == batchEnd {
+			break
+		}
+		batchEnd = end
+	}
+
+	err := d.flushDirtyObjects()
+	if err == nil {
+		// Audit records are drive-internal: they are flushed when a
+		// block's worth accumulates (auditOp) or at checkpoints, not per
+		// client sync — §5.1.4's "one disk write approximately every 750
+		// operations" in the worst case.
+		err = d.log.Sync()
+	}
+
+	d.commitMu.Lock()
+	if err == nil {
+		d.commitDone = batchEnd
+	}
+	d.committing = false
+	d.commitCond.Broadcast()
+	d.commitMu.Unlock()
+	if err == nil {
+		d.statsMu.Lock()
+		d.stats.CommitBatches++
+		d.statsMu.Unlock()
+	}
+	return err
+}
+
+// flushDirtyObjects packs the pending journal entries of every object
+// in the dirty set into sectors. Caller holds the shared drive lock.
+func (d *Drive) flushDirtyObjects() error {
+	d.dirtyMu.Lock()
+	objs := make([]*object, 0, len(d.dirtyObjs))
+	for _, o := range d.dirtyObjs {
+		objs = append(objs, o)
+	}
+	d.dirtyMu.Unlock()
+	for _, o := range objs {
 		o.mu.Lock()
 		var err error
 		if len(o.pending) > 0 {
 			err = d.flushJournalLocked(o)
+		} else {
+			// Raced with another flusher; membership is stale.
+			d.markClean(o)
 		}
 		o.mu.Unlock()
 		if err != nil {
 			return err
 		}
 	}
-	// Audit records are drive-internal: they are flushed when a block's
-	// worth accumulates (auditOp) or at checkpoints, not per client
-	// sync — §5.1.4's "one disk write approximately every 750
-	// operations" in the worst case.
-	return d.log.Sync()
+	return nil
 }
 
 // SetWindow adjusts the guaranteed detection window (administrative).
@@ -1656,8 +1848,17 @@ func (d *Drive) DriveStats() Stats {
 	s.LiveBlocks = d.usage.liveBlocks()
 	s.FreeSegments = d.log.FreeSegments()
 	s.TotalSegments = d.log.NumSegments()
+	s.LogAppends, s.DeviceForces = d.log.Stats()
+	s.VecAppends, s.FlushStalls = d.log.PipeStats()
+	d.dirtyMu.Lock()
+	s.DirtyObjects = int64(len(d.dirtyObjs))
+	d.dirtyMu.Unlock()
 	return s
 }
+
+// GetStats is the stable public name for the activity counters; the RPC
+// layer and s4ctl stats read drive health through it.
+func (d *Drive) GetStats() Stats { return d.DriveStats() }
 
 // ---- Throttle integration ----
 
@@ -1670,6 +1871,17 @@ func (d *Drive) DriveStats() Stats {
 // as a retryable error carrying the delay, and the operation does not
 // execute — the caller (the RPC server) pushes the wait to the client.
 func (d *Drive) throttle(cred types.Cred) error {
+	// Space gate first: client mutations may not consume the cleaner's
+	// segment reserve. Compaction, journal-chain relocation, and the
+	// checkpoint barrier all append to the log, so letting foreground
+	// writes race into the last free segments wedges the drive — full
+	// disk means the cleaner can no longer relocate anything to free
+	// space (the classic log-structured cleaner reserve). Refusing here
+	// keeps ErrNoSpace retryable: a cleaning pass always has room to
+	// make progress.
+	if d.log.FreeSegments() <= d.spaceReserve {
+		return types.ErrNoSpace
+	}
 	if cred.Admin {
 		return nil
 	}

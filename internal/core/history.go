@@ -662,6 +662,7 @@ func (d *Drive) rewriteChainLocked(o *object, entries []*journal.Entry) error {
 		addr = prev
 	}
 	o.jhead, o.jtail = journal.NilSector, journal.NilSector
+	o.jheadEntries = nil
 	// The rebuilt chain is complete only if it reaches creation.
 	o.pruned = len(entries) == 0 || entries[0].Type != journal.EntCreate
 	o.pending = entries

@@ -59,6 +59,14 @@ func (d *Drive) checkpointLocked() error {
 	if err := d.log.Sync(); err != nil {
 		return err
 	}
+	// Everything staged so far is durable, so every issued commit
+	// ticket is covered: a Sync racing in right after the exclusive
+	// lock drops can coalesce onto this force. No ticket holder can be
+	// waiting now (they hold the shared drive lock), so plain stores
+	// under commitMu suffice.
+	d.commitMu.Lock()
+	d.commitDone = d.commitSeq
+	d.commitMu.Unlock()
 	if err := d.log.WriteCheckpoint(d.encodeImapLocked()); err != nil {
 		return err
 	}

@@ -21,10 +21,15 @@ import (
 // The counters are atomic so per-object operations running in parallel
 // under the shared drive lock can account blocks without coordination;
 // the cleaner's read-decide-act sequences run under the exclusive
-// drive lock, which keeps its victim choices consistent.
+// drive lock, which keeps its victim choices consistent. histTotal and
+// liveTotal shadow the per-segment counters so whole-pool queries — the
+// throttle reads the history total on every mutation — are O(1) instead
+// of a sweep over every segment.
 type segUsage struct {
-	live []atomic.Int32
-	hist []atomic.Int32
+	live      []atomic.Int32
+	hist      []atomic.Int32
+	liveTotal atomic.Int64
+	histTotal atomic.Int64
 }
 
 func newSegUsage(nSeg int64) *segUsage {
@@ -34,6 +39,7 @@ func newSegUsage(nSeg int64) *segUsage {
 func (u *segUsage) liveBorn(seg int64) {
 	if seg >= 0 {
 		u.live[seg].Add(1)
+		u.liveTotal.Add(1)
 	}
 }
 
@@ -43,6 +49,8 @@ func (u *segUsage) deprecate(seg int64) {
 	if seg >= 0 {
 		u.live[seg].Add(-1)
 		u.hist[seg].Add(1)
+		u.liveTotal.Add(-1)
+		u.histTotal.Add(1)
 	}
 }
 
@@ -51,6 +59,7 @@ func (u *segUsage) deprecate(seg int64) {
 func (u *segUsage) ageOut(seg int64) {
 	if seg >= 0 {
 		u.hist[seg].Add(-1)
+		u.histTotal.Add(-1)
 	}
 }
 
@@ -60,6 +69,7 @@ func (u *segUsage) ageOut(seg int64) {
 func (u *segUsage) freeLive(seg int64) {
 	if seg >= 0 {
 		u.live[seg].Add(-1)
+		u.liveTotal.Add(-1)
 	}
 }
 
@@ -73,22 +83,14 @@ func (u *segUsage) occupancy(seg int64) (int32, int32) {
 	return u.live[seg].Load(), u.hist[seg].Load()
 }
 
-// historyBlocks sums history-pool occupancy in blocks.
+// historyBlocks returns history-pool occupancy in blocks.
 func (u *segUsage) historyBlocks() int64 {
-	var n int64
-	for i := range u.hist {
-		n += int64(u.hist[i].Load())
-	}
-	return n
+	return u.histTotal.Load()
 }
 
-// liveBlocks sums live occupancy in blocks.
+// liveBlocks returns live occupancy in blocks.
 func (u *segUsage) liveBlocks() int64 {
-	var n int64
-	for i := range u.live {
-		n += int64(u.live[i].Load())
-	}
-	return n
+	return u.liveTotal.Load()
 }
 
 func (u *segUsage) reset() {
@@ -96,6 +98,8 @@ func (u *segUsage) reset() {
 		u.live[i].Store(0)
 		u.hist[i].Store(0)
 	}
+	u.liveTotal.Store(0)
+	u.histTotal.Store(0)
 }
 
 // segOf is a convenience wrapper used by the drive's accounting paths.

@@ -577,6 +577,15 @@ func (c *Client) Status() (core.StatusInfo, error) {
 	return resp.Status, nil
 }
 
+// DriveStats reads the commit-pipeline and cache counters.
+func (c *Client) DriveStats() (core.Stats, error) {
+	resp, err := c.call1(&Request{Op: types.OpStats})
+	if err != nil {
+		return core.Stats{}, err
+	}
+	return resp.Stats, nil
+}
+
 // Batch executes several requests in one round trip (§4.1.2).
 func (c *Client) Batch(reqs []Request) ([]Response, error) {
 	resp, err := c.Call(&Request{Op: types.OpBatch, Batch: reqs})

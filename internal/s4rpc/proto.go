@@ -112,6 +112,7 @@ type Response struct {
 	Versions []core.VersionInfo
 	Records  []audit.Record
 	Status   core.StatusInfo
+	Stats    core.Stats
 	Batch    []Response
 }
 

@@ -84,6 +84,35 @@ func TestEndToEndReadWrite(t *testing.T) {
 	}
 }
 
+func TestDriveStatsOverWire(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialUser(t, addr, 100)
+	id, err := c.Create(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(id, 0, []byte("pipeline")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.DriveStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CommitBatches+st.SyncsCoalesced < 1 {
+		t.Fatalf("no commit accounted after Sync: %+v", st)
+	}
+	if st.DeviceForces < 1 || st.LogAppends < 1 {
+		t.Fatalf("pipeline counters empty over the wire: forces=%d appends=%d",
+			st.DeviceForces, st.LogAppends)
+	}
+	if st.BytesWritten < int64(len("pipeline")) {
+		t.Fatalf("BytesWritten=%d did not survive gob transport", st.BytesWritten)
+	}
+}
+
 func TestAuthRejectsBadKey(t *testing.T) {
 	addr, _ := startServer(t)
 	if _, err := Dial(addr, 1, 100, []byte("wrong key"), false); !errors.Is(err, types.ErrAuthFailed) {

@@ -610,6 +610,8 @@ func (s *Server) dispatch(cred types.Cred, req *Request) *Response {
 		resp.Records = recs
 	case types.OpStatus:
 		resp.Status = s.drv.Status()
+	case types.OpStats:
+		resp.Stats = s.drv.GetStats()
 	default:
 		return fail(types.ErrUnimplProto)
 	}

@@ -142,6 +142,20 @@ type Log struct {
 	cpSlot   int   // next checkpoint slot to write (0 or 1)
 	appends  int64 // stats: blocks appended
 	segWrite int64 // stats: segment (full or partial) writes
+
+	// Decoupled-flush state (DESIGN.md §11). While flushing is true one
+	// flush's device writes are in flight against flushBuf — a snapshot
+	// of the summary and dirty runs (partial flush) or the whole sealed
+	// segment (the buffers are swapped) — and appends keep staging into
+	// buf. Only one flush runs at a time; flushCond gates the next.
+	flushBuf    []byte
+	flushing    bool
+	flushCond   *sync.Cond
+	flushSeg    int64 // segment the in-flight flush belongs to
+	flushUsed   int   // payload blocks valid in flushBuf
+	ioErr       error // first device-write error; latches the log failed
+	vecAppends  int64 // stats: multi-block vectored append batches
+	flushStalls int64 // stats: callers that waited out an in-flight flush
 }
 
 // Format initializes dev with an empty log. Existing contents are
@@ -215,7 +229,10 @@ func Open(dev disk.Device) (*Log, error) {
 		free:      make([]bool, nSeg),
 		curSeg:    -1,
 		buf:       make([]byte, cfg.SegBlocks*BlockSize),
+		flushBuf:  make([]byte, cfg.SegBlocks*BlockSize),
+		flushSeg:  -1,
 	}
+	l.flushCond = sync.NewCond(&l.mu)
 	for i := range l.free {
 		l.free[i] = true
 	}
@@ -253,6 +270,15 @@ func (l *Log) Stats() (appends, segWrites int64) {
 	return l.appends, l.segWrite
 }
 
+// PipeStats reports commit-pipeline counters: multi-block vectored
+// append batches, and callers (appenders or syncers) that had to wait
+// out an in-flight flush's device writes.
+func (l *Log) PipeStats() (vecAppends, flushStalls int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.vecAppends, l.flushStalls
+}
+
 // SegOf returns the segment index containing addr, or -1 if addr is
 // outside the segment area.
 func (l *Log) SegOf(addr BlockAddr) int64 {
@@ -278,9 +304,82 @@ func (l *Log) Append(kind Kind, obj types.ObjectID, key uint64, t types.Timestam
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.curSeg >= 0 && l.used >= l.PayloadBlocks() {
+	if l.ioErr != nil {
+		return NilAddr, l.ioErr
+	}
+	addr, err := l.appendOneLocked(kind, obj, key, t, data)
+	if err != nil {
+		return NilAddr, err
+	}
+	if l.used >= l.PayloadBlocks() {
+		if err := l.flushLocked(true); err != nil {
+			return NilAddr, err
+		}
+	}
+	return addr, nil
+}
+
+// VecEntry is one block of a vectored append: the kind-specific key,
+// the version timestamp, and up to BlockSize bytes of payload.
+type VecEntry struct {
+	Key  uint64
+	Time types.Timestamp
+	Data []byte
+}
+
+// AppendVec stages every entry — all for the same object and kind —
+// under a single mutex acquisition and returns their final addresses in
+// order. The blocks fill the open segment contiguously, so a later
+// flush covers the whole batch with one sequential device write;
+// batches larger than the remaining room seal the segment and continue
+// into fresh ones. Callers that write several blocks per operation
+// (multi-block Drive.Write, checkpoint overflow chains, the cleaner's
+// relocation pass) use it to pay the lock and the flush machinery once
+// per batch instead of once per block.
+func (l *Log) AppendVec(kind Kind, obj types.ObjectID, entries ...VecEntry) ([]BlockAddr, error) {
+	for i := range entries {
+		if len(entries[i].Data) == 0 || len(entries[i].Data) > BlockSize {
+			return nil, fmt.Errorf("seglog: vectored append of %d bytes: %w", len(entries[i].Data), types.ErrInval)
+		}
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	addrs := make([]BlockAddr, 0, len(entries))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ioErr != nil {
+		return nil, l.ioErr
+	}
+	if len(entries) > 1 {
+		l.vecAppends++
+	}
+	for _, e := range entries {
+		addr, err := l.appendOneLocked(kind, obj, e.Key, e.Time, e.Data)
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, addr)
+	}
+	if l.used >= l.PayloadBlocks() {
+		if err := l.flushLocked(true); err != nil {
+			return nil, err
+		}
+	}
+	return addrs, nil
+}
+
+// appendOneLocked stages one payload block into the open segment,
+// sealing a full segment and opening a fresh one as needed. Caller
+// holds l.mu and has checked the error latch.
+func (l *Log) appendOneLocked(kind Kind, obj types.ObjectID, key uint64, t types.Timestamp, data []byte) (BlockAddr, error) {
+	for l.curSeg >= 0 && l.used >= l.PayloadBlocks() {
 		// A partial-flush pad can leave the segment full without an
 		// append having sealed it; seal now so this block starts fresh.
+		// Loop rather than if: flushLocked may wait out an in-flight
+		// flush with the mutex released, and by the time it returns a
+		// concurrent appender can have opened — and filled — a new
+		// segment.
 		if err := l.flushLocked(true); err != nil {
 			return NilAddr, err
 		}
@@ -302,11 +401,6 @@ func (l *Log) Append(kind Kind, obj types.ObjectID, key uint64, t types.Timestam
 	l.nDirty++
 	l.used++
 	l.appends++
-	if l.used >= l.PayloadBlocks() {
-		if err := l.flushLocked(true); err != nil {
-			return NilAddr, err
-		}
-	}
 	return addr, nil
 }
 
@@ -334,6 +428,9 @@ func (l *Log) Rewrite(addr BlockAddr, data []byte) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.ioErr != nil {
+		return l.ioErr
+	}
 	seg := l.SegOf(addr)
 	if seg < 0 || seg != l.curSeg {
 		return fmt.Errorf("seglog: rewrite outside open segment: %w", types.ErrInval)
@@ -354,6 +451,44 @@ func (l *Log) Rewrite(addr BlockAddr, data []byte) error {
 		l.nDirty++
 	}
 	return nil
+}
+
+// RewriteRange replaces bytes [off, off+len(data)) of a payload block
+// if — and only if — the block is still in the open segment, reporting
+// ok=false with no error when it is not (sealed, or never staged). The
+// drive's journal layer uses it to pack another 512-byte sector into a
+// shared journal block (§4.2.2): unlike a bare InOpenSegment check
+// followed by Rewrite, the openness test and the write happen under one
+// mutex hold, so a concurrent appender sealing the segment between the
+// two can never turn the merge into an overwrite of durable history —
+// the caller just places a fresh sector instead.
+func (l *Log) RewriteRange(addr BlockAddr, off int, data []byte) (bool, error) {
+	if off < 0 || len(data) == 0 || off+len(data) > BlockSize {
+		return false, fmt.Errorf("seglog: rewrite-range of %d bytes at %d: %w", len(data), off, types.ErrInval)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ioErr != nil {
+		return false, l.ioErr
+	}
+	seg := l.SegOf(addr)
+	if seg < 0 || seg != l.curSeg {
+		return false, nil
+	}
+	idx := int(int64(addr) - l.segBase(seg))
+	if idx < 1 || idx > l.used {
+		return false, nil
+	}
+	bo := idx*BlockSize + off
+	copy(l.buf[bo:bo+len(data)], data)
+	if end := uint32(off + len(data)); l.entries[idx-1].Len < end {
+		l.entries[idx-1].Len = end
+	}
+	if !l.dirty[idx-1] {
+		l.dirty[idx-1] = true
+		l.nDirty++
+	}
+	return true, nil
 }
 
 // Room returns how many payload blocks remain in the open segment; the
@@ -420,6 +555,16 @@ func (l *Log) openSegmentLocked() error {
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Wait for an in-flight flush even when nothing is dirty now: Sync
+	// promises that everything staged before the call is durable on
+	// return, and blocks covered by that flush are not until it lands.
+	for l.flushing {
+		l.flushStalls++
+		l.flushCond.Wait()
+	}
+	if l.ioErr != nil {
+		return l.ioErr
+	}
 	if l.curSeg < 0 || l.nDirty == 0 {
 		return nil
 	}
@@ -442,55 +587,111 @@ func (l *Log) Sync() error {
 // summary lands in block 0, where steady-state reads expect it. A
 // summary never declares blocks that are not already durable, so a
 // crash mid-seal falls back to the newest partial snapshot.
+//
+// The device writes happen with l.mu RELEASED: the summary and dirty
+// runs are snapshotted into flushBuf (a seal swaps the buffers whole,
+// a partial flush copies and reserves its snapshot slot with a pad
+// entry first), so appends keep staging into buf while the writes are
+// in flight. Only one flush runs at a time; a second caller waits on
+// flushCond and re-derives what is left to do. A device-write error
+// latches ioErr, failing every later append and sync — dirty state is
+// cleared optimistically before the writes, so the latch is what keeps
+// a failed flush from being silently dropped. Caller holds l.mu; it is
+// released and re-acquired internally.
 func (l *Log) flushLocked(closeSeg bool) error {
-	if !closeSeg && l.used >= l.PayloadBlocks() {
+	for l.flushing {
+		l.flushStalls++
+		l.flushCond.Wait()
+	}
+	if l.ioErr != nil {
+		return l.ioErr
+	}
+	// The wait released the mutex, so a concurrent flush may have
+	// sealed the segment or drained the dirty set; re-derive the work.
+	if l.curSeg < 0 {
+		return nil
+	}
+	if l.used >= l.PayloadBlocks() {
 		closeSeg = true // no slot left for a snapshot; seal instead
+	} else if closeSeg {
+		return nil // the full segment this call meant to seal is gone
+	}
+	if !closeSeg && l.nDirty == 0 {
+		return nil
 	}
 	l.seq++
 	l.encodeSummaryLocked(l.seq)
-	base := l.segBase(l.curSeg)
-	for i := 0; i < l.used; {
+	seg := l.curSeg
+	base := l.segBase(seg)
+	used := l.used
+	var runs [][2]int // dirty payload runs as [from, to) block indices
+	for i := 0; i < used; {
 		if !l.dirty[i] {
 			i++
 			continue
 		}
 		j := i
-		for j < l.used && l.dirty[j] {
+		for j < used && l.dirty[j] {
 			j++
 		}
-		from, to := 1+i, 1+j
-		if err := writeBlocks(l.dev, base+int64(from), l.buf[from*BlockSize:to*BlockSize]); err != nil {
-			return err
-		}
+		runs = append(runs, [2]int{1 + i, 1 + j})
 		for k := i; k < j; k++ {
 			l.dirty[k] = false
 		}
 		i = j
 	}
+	l.nDirty = 0
 	if closeSeg {
-		if err := writeBlocks(l.dev, base, l.buf[:BlockSize]); err != nil {
-			return err
-		}
+		// Seal: swap the staged buffer out whole and retire the
+		// segment; the next append opens a fresh one into the (zeroed
+		// by openSegmentLocked) other buffer while the writes run.
+		l.buf, l.flushBuf = l.flushBuf, l.buf
+		l.curSeg = -1
 	} else {
-		// Trailing summary snapshot; usually contiguous with the tail
-		// run just written, so the disk model charges no seek.
-		if err := writeBlocks(l.dev, base+int64(1+l.used), l.buf[:BlockSize]); err != nil {
-			return err
+		// Partial flush: the segment stays open for appends, so copy
+		// the summary snapshot and the dirty runs aside. The snapshot
+		// slot is reserved with a pad entry BEFORE the mutex is
+		// released, so no concurrent append can land on top of what
+		// will be the only durable summary.
+		copy(l.flushBuf[:BlockSize], l.buf[:BlockSize])
+		for _, r := range runs {
+			copy(l.flushBuf[r[0]*BlockSize:r[1]*BlockSize], l.buf[r[0]*BlockSize:r[1]*BlockSize])
 		}
-		// Retire the snapshot's slot. Appends continue after it, so the
-		// snapshot stays intact until the next flush writes a newer one
-		// further along — crash-consistency depends on never destroying
-		// the last durable summary. The pad is declared (dead) space in
-		// every later summary and is reclaimed with the segment.
 		l.entries = append(l.entries, SummaryEntry{Kind: KindPad})
 		l.used++
 	}
-	l.nDirty = 0
+	l.flushing = true
+	l.flushSeg = seg
+	l.flushUsed = used
 	l.segWrite++
-	if closeSeg {
-		l.curSeg = -1
+
+	l.mu.Unlock()
+	src := l.flushBuf // stable while flushing: no other flush can start
+	var werr error
+	for _, r := range runs {
+		if err := writeBlocks(l.dev, base+int64(r[0]), src[r[0]*BlockSize:r[1]*BlockSize]); err != nil {
+			werr = err
+			break
+		}
 	}
-	return nil
+	if werr == nil {
+		if closeSeg {
+			werr = writeBlocks(l.dev, base, src[:BlockSize])
+		} else {
+			// Trailing summary snapshot; usually contiguous with the
+			// tail run just written, so the disk model charges no seek.
+			werr = writeBlocks(l.dev, base+int64(1+used), src[:BlockSize])
+		}
+	}
+	l.mu.Lock()
+
+	l.flushing = false
+	l.flushSeg = -1
+	if werr != nil && l.ioErr == nil {
+		l.ioErr = werr
+	}
+	l.flushCond.Broadcast()
+	return werr
 }
 
 func (l *Log) encodeSummaryLocked(seq uint64) {
@@ -533,6 +734,13 @@ func (l *Log) Read(addr BlockAddr, buf []byte) error {
 		l.mu.Unlock()
 		return nil
 	}
+	if l.flushing && seg == l.flushSeg && seg != l.curSeg && idx <= l.flushUsed {
+		// The segment was just sealed and its device writes are still
+		// in flight; flushBuf holds the complete sealed image.
+		copy(buf, l.flushBuf[idx*BlockSize:idx*BlockSize+len(buf)])
+		l.mu.Unlock()
+		return nil
+	}
 	l.mu.Unlock()
 	if len(buf) == BlockSize {
 		return readBlocks(l.dev, int64(addr), buf)
@@ -558,6 +766,15 @@ func (l *Log) ReadSummary(seg int64) (Summary, bool, error) {
 		s := Summary{Seq: l.seq, Entries: append([]SummaryEntry(nil), l.entries...)}
 		l.mu.Unlock()
 		return s, true, nil
+	}
+	// A sealed segment's block-0 summary may still be in flight; wait
+	// it out so findSummary reads a settled image. (The drive's lock
+	// hierarchy already excludes this — summary readers hold the
+	// exclusive drive lock, which waits out every in-flight flush — so
+	// this guards direct users of the package.)
+	for l.flushing && seg == l.flushSeg {
+		l.flushStalls++
+		l.flushCond.Wait()
 	}
 	l.mu.Unlock()
 	return l.findSummary(seg)
@@ -637,6 +854,9 @@ func (l *Log) FreeSegment(seg int64) error {
 	defer l.mu.Unlock()
 	if seg == l.curSeg {
 		return fmt.Errorf("seglog: cannot free open segment %d: %w", seg, types.ErrInval)
+	}
+	if l.flushing && seg == l.flushSeg {
+		return fmt.Errorf("seglog: cannot free segment %d mid-flush: %w", seg, types.ErrInval)
 	}
 	if !l.free[seg] {
 		l.free[seg] = true

@@ -58,6 +58,10 @@ type Config struct {
 	// SegBlocks / CheckpointBlocks parameterize the segment log (16/16).
 	SegBlocks        int
 	CheckpointBlocks int
+	// MaxWriteBlocks caps a single overwrite's size in blocks (2).
+	// Raising it past SegBlocks-1 makes vectored appends routinely
+	// cross segment seals, exercising AppendVec's mid-batch seal path.
+	MaxWriteBlocks int
 	// Window is the detection window (1h — far longer than the virtual
 	// time the workload spans, so nothing ages out and every snapshot
 	// stays checkable).
@@ -114,6 +118,9 @@ func (c *Config) fill() {
 	}
 	if c.CleanEveryN == 0 {
 		c.CleanEveryN = 30
+	}
+	if c.MaxWriteBlocks == 0 {
+		c.MaxWriteBlocks = 2
 	}
 }
 

@@ -98,6 +98,47 @@ func TestBrokenReuseBarrierCaught(t *testing.T) {
 	t.Fatalf("deferred-reuse barrier disabled, yet no violation across seeds %v", seeds)
 }
 
+// TestTortureVectoredSeals sweeps a workload whose overwrites span up
+// to 6 blocks on 8-block segments (7 payload slots), so nearly every
+// vectored append crosses a segment seal mid-batch. This pins down the
+// group-commit pipeline's seal hand-off: a crash between the payload
+// flush and the summary write of either segment must still recover.
+func TestTortureVectoredSeals(t *testing.T) {
+	cfg := Config{
+		Ops:               250,
+		SegBlocks:         8,
+		MaxWriteBlocks:    6,
+		DiskBytes:         16 << 20,
+		Torn:              true,
+		PostRecoverySmoke: true,
+		MaxCrashPoints:    600,
+		Logf:              t.Logf,
+	}
+	seeds := []int64{1, 2}
+	if testing.Short() || os.Getenv("S4_STRESS_SHORT") != "" {
+		seeds = seeds[:1]
+		cfg.Ops = 120
+		cfg.MaxCrashPoints = 200
+	}
+	for _, seed := range seeds {
+		cfg := cfg
+		cfg.Seed = seed
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seed=%d: %d ops, %d device writes -> %d crash points (%d torn), %d violations",
+			seed, res.Ops, res.Writes, res.CrashPoints, res.TornPoints, len(res.Violations))
+		for i, v := range res.Violations {
+			if i == 10 {
+				t.Errorf("... and %d more", len(res.Violations)-10)
+				break
+			}
+			t.Errorf("%s", v)
+		}
+	}
+}
+
 func name(seed int64) string {
 	return "seed=" + string(rune('0'+seed%10))
 }

@@ -131,7 +131,7 @@ func runWorkload(cfg Config) (*run, error) {
 		case op < 50: // overwrite somewhere, possibly past EOF (a hole)
 			m := objs[rng.Intn(len(objs))]
 			off := rng.Intn(len(m.cur().data) + types.BlockSize)
-			n := 1 + rng.Intn(2*types.BlockSize)
+			n := 1 + rng.Intn(cfg.MaxWriteBlocks*types.BlockSize)
 			data := randBytes(rng, n)
 			if err := drv.Write(cred, m.id, uint64(off), data); err != nil {
 				return nil, fmt.Errorf("torture: op %d write: %w", i, err)

@@ -25,6 +25,12 @@ const (
 	OpPDelete
 	OpPList  // time-based
 	OpPMount // time-based
+	// OpSync makes all of the calling client's acknowledged writes
+	// durable. Audit note: the drive group-commits, so one physical
+	// device force may satisfy many concurrent Sync RPCs — but every
+	// RPC still emits its own OpSync audit record (exactly one per
+	// call). The audit log records intent per client; the shared force
+	// is an implementation detail invisible to intrusion diagnosis.
 	OpSync
 	OpFlush     // admin
 	OpFlushO    // admin
@@ -42,6 +48,11 @@ const (
 	OpHello
 	OpBatch
 
+	// OpStats reads the drive's commit-pipeline counters (appended
+	// after OpBatch: audit records persist Op codes on disk, so
+	// existing codes must never shift).
+	OpStats
+
 	opMax
 )
 
@@ -55,7 +66,7 @@ var opNames = [...]string{
 	OpFlush: "flush", OpFlushO: "flusho", OpSetWindow: "setwindow",
 	OpListVersions: "listversions", OpRevert: "revert",
 	OpAuditRead: "auditread", OpStatus: "status",
-	OpHello: "hello", OpBatch: "batch",
+	OpHello: "hello", OpBatch: "batch", OpStats: "stats",
 }
 
 func (o Op) String() string {

@@ -15,6 +15,9 @@
 //	s4bench -writepath -json BENCH_writepath.json
 //	                                 wall-clock write/sync throughput at
 //	                                 1/4/8/16 clients (commit pipeline)
+//	s4bench -readpath -json BENCH_readpath.json
+//	                                 wall-clock hot/cold/back-in-time read
+//	                                 throughput (landmark + recon cache)
 package main
 
 import (
@@ -42,13 +45,22 @@ func main() {
 	points := flag.Int("points", 0, "with -torture: cap verified crash points (0 = all)")
 	writepath := flag.Bool("writepath", false, "run the wall-clock write-path throughput bench instead of a figure")
 	wpOps := flag.Int("wp-ops", 0, "with -writepath: operations per client (0 = default 1500)")
-	jsonOut := flag.String("json", "", "with -writepath: write machine-readable results to this file")
-	baseline := flag.String("baseline", "", "with -writepath: fail if write throughput regresses >30% vs this baseline JSON")
+	readpath := flag.Bool("readpath", false, "run the wall-clock read-path throughput bench instead of a figure")
+	rpOps := flag.Int("rp-ops", 0, "with -readpath: base operations per client (0 = default 400)")
+	jsonOut := flag.String("json", "", "with -writepath/-readpath: write machine-readable results to this file")
+	baseline := flag.String("baseline", "", "with -writepath/-readpath: fail if throughput regresses >30% vs this baseline JSON")
 	flag.Parse()
 
 	if *writepath {
 		if err := runWritepath(*wpOps, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "writepath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *readpath {
+		if err := runReadpath(*rpOps, *jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "readpath: %v\n", err)
 			os.Exit(1)
 		}
 		return

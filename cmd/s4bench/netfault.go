@@ -22,8 +22,12 @@ func runNetfault(seed int64, ops int) error {
 	res, err := s4rpc.RunFaultSoak(s4rpc.SoakConfig{
 		Seed: seed, Ops: ops, Workers: 4, IOTimeout: time.Second,
 		Fault: netfault.Config{
+			// CutMax must exceed the first-exchange size (handshake plus
+			// the gob type descriptors riding on a connection's first
+			// request/response, ~2kB) or no connection can ever complete
+			// an op — see the identical budget in resilience_test.go.
 			DelayEvery: 40, MaxDelay: 2 * time.Millisecond,
-			CutMin: 200, CutMax: 2000,
+			CutMin: 200, CutMax: 2300,
 			DropProb: 0.05,
 		},
 		Logf: func(format string, args ...any) {

@@ -1,0 +1,354 @@
+// Read-path throughput bench (s4bench -readpath): hot reads, cold
+// multi-block reads, and back-in-time reads at increasing version
+// depth, at 1/4/8/16 concurrent clients. Like -writepath this runs on
+// the wall clock over an untimed memory disk, so it measures the
+// drive's own read path — the landmark checkpoint index, the
+// reconstruction cache, and vectored segment reads — not the disk
+// model. The histread1000-noaccel row re-runs the deepest cell with
+// both accelerations disabled; the ratio of its device-reads-per-op to
+// the accelerated row is the headline number (DESIGN.md §12).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// rpResult is one (mode, clients) row of the read-path bench.
+type rpResult struct {
+	Mode             string  `json:"mode"`
+	Clients          int     `json:"clients"`
+	Ops              int     `json:"ops"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	P50Micros        float64 `json:"p50_us"`
+	P99Micros        float64 `json:"p99_us"`
+	DeviceReadsPerOp float64 `json:"device_reads_per_op"`
+	WalkEntriesPerOp float64 `json:"walk_entries_per_op"`
+	VecReads         int64   `json:"vec_reads"`
+	LandmarkHits     int64   `json:"landmark_hits"`
+	ReconCacheHits   int64   `json:"recon_cache_hits"`
+	ReconCacheMisses int64   `json:"recon_cache_misses"`
+	CacheHits        int64   `json:"cache_hits"`
+}
+
+// rpReport is the whole -json document.
+type rpReport struct {
+	Bench      string     `json:"bench"`
+	BaseOps    int        `json:"base_ops"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Results    []rpResult `json:"results"`
+}
+
+// rpMode describes one benchmark workload shape.
+type rpMode struct {
+	name    string
+	depth   int  // versions stacked under each object (0 = live reads only)
+	noaccel bool // disable landmark index + reconstruction cache
+}
+
+var rpModes = []rpMode{
+	{name: "hotread"},
+	{name: "coldread"},
+	{name: "histread10", depth: 10},
+	{name: "histread100", depth: 100},
+	{name: "histread1000", depth: 1000},
+	{name: "histread1000-noaccel", depth: 1000, noaccel: true},
+}
+
+// rpOpsFor scales the per-client op count down with version depth so
+// the unaccelerated deep cells finish in reasonable wall time.
+func rpOpsFor(m rpMode, base int) int {
+	switch {
+	case m.depth >= 1000:
+		return max(base/10, 20)
+	case m.depth >= 100:
+		return max(base/4, 50)
+	default:
+		return base
+	}
+}
+
+// runReadpath measures read throughput across the mode grid and
+// optionally gates against a baseline report.
+func runReadpath(baseOps int, jsonPath, baselinePath string) error {
+	if baseOps <= 0 {
+		baseOps = 400
+	}
+	rep := rpReport{Bench: "readpath", BaseOps: baseOps, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	fmt.Printf("Read-path throughput (base %d ops/client, wall clock, memory disk)\n", baseOps)
+	fmt.Printf("%-22s %8s %10s %10s %10s %12s %12s %10s %10s\n",
+		"mode", "clients", "ops/s", "p50(us)", "p99(us)", "devreads/op", "walk/op", "landmarks", "reconhits")
+	for _, mode := range rpModes {
+		for _, clients := range []int{1, 4, 8, 16} {
+			r, err := rpRun(mode, clients, rpOpsFor(mode, baseOps))
+			if err != nil {
+				return fmt.Errorf("readpath %s/%d: %w", mode.name, clients, err)
+			}
+			rep.Results = append(rep.Results, r)
+			fmt.Printf("%-22s %8d %10.0f %10.1f %10.1f %12.3f %12.1f %10d %10d\n",
+				r.Mode, r.Clients, r.OpsPerSec, r.P50Micros, r.P99Micros,
+				r.DeviceReadsPerOp, r.WalkEntriesPerOp, r.LandmarkHits, r.ReconCacheHits)
+		}
+	}
+	rpSummarize(&rep)
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  [results written to %s]\n", jsonPath)
+	}
+	if baselinePath != "" {
+		return rpCompare(&rep, baselinePath)
+	}
+	return nil
+}
+
+// rpSummarize prints the acceleration headline: device reads per op at
+// 1000 versions deep, with and without the landmark/recon machinery.
+func rpSummarize(rep *rpReport) {
+	var accel, plain float64
+	var n int
+	for _, r := range rep.Results {
+		if r.Clients != 1 {
+			continue
+		}
+		switch r.Mode {
+		case "histread1000":
+			accel, n = r.DeviceReadsPerOp, n+1
+		case "histread1000-noaccel":
+			plain, n = r.DeviceReadsPerOp, n+1
+		}
+	}
+	if n == 2 && accel > 0 {
+		fmt.Printf("  [1000-deep history reads: %.2f device reads/op accelerated vs %.2f plain — %.1fx]\n",
+			accel, plain, plain/accel)
+	}
+}
+
+// rpRun executes one (mode, clients) cell on a fresh drive: per-client
+// objects are created and versioned up front, then reads are timed.
+func rpRun(mode rpMode, clients, opsPerClient int) (rpResult, error) {
+	opts := core.Options{
+		Clock: vclock.Wall{},
+		// History must survive the whole cell: no aging, no cleaning.
+		Window: time.Hour,
+	}
+	if mode.name != "hotread" {
+		// A tiny block cache forces reconstruction work to the device;
+		// otherwise every cell measures memory copies in both configs.
+		opts.BlockCacheBytes = 64 << 10
+	}
+	if mode.noaccel {
+		opts.CheckpointEvery = -1
+		opts.ReconCacheBytes = -1
+	}
+	dev := disk.New(disk.SmallDisk(512<<20), nil)
+	drv, err := core.Format(dev, opts)
+	if err != nil {
+		return rpResult{}, err
+	}
+	defer drv.Close()
+
+	acl := []types.ACLEntry{{User: types.EveryoneID, Perm: types.PermAll}}
+	owner := types.Cred{User: 100, Client: 1}
+
+	// Object geometry per mode: coldread reads 8-block extents of a
+	// large object; the history modes read a small 2-block object back
+	// in time.
+	objBlocks := 2
+	readBlocks := 2
+	if mode.name == "coldread" {
+		objBlocks, readBlocks = 256, 8
+	}
+	objBytes := objBlocks * types.BlockSize
+
+	ids := make([]types.ObjectID, clients)
+	ats := make([][]types.Timestamp, clients) // per-client version timestamps
+	buf := make([]byte, objBytes)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for c := range ids {
+		id, err := drv.Create(owner, acl, nil)
+		if err != nil {
+			return rpResult{}, err
+		}
+		ids[c] = id
+		if err := drv.Write(owner, id, 0, buf); err != nil {
+			return rpResult{}, err
+		}
+		for v := 0; v < mode.depth; v++ {
+			patch := make([]byte, 512)
+			rng.Read(patch)
+			if err := drv.Write(owner, id, uint64(rng.Intn(objBytes-512)), patch); err != nil {
+				return rpResult{}, err
+			}
+			ats[c] = append(ats[c], drv.Now())
+		}
+	}
+	if err := drv.Sync(owner); err != nil {
+		return rpResult{}, err
+	}
+	// Anchor any pending landmark checkpoints at a chain position.
+	if err := drv.Checkpoint(); err != nil {
+		return rpResult{}, err
+	}
+
+	prev := runtime.GOMAXPROCS(clients)
+	defer runtime.GOMAXPROCS(prev)
+	s0 := drv.GetStats()
+
+	var mu sync.Mutex
+	var firstErr error
+	lats := make([][]float64, clients)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cred := types.Cred{User: types.UserID(100 + c), Client: types.ClientID(1 + c)}
+			crng := rand.New(rand.NewSource(int64(c) + 1))
+			myObj := ids[c]
+			myAts := ats[c]
+			my := make([]float64, 0, opsPerClient)
+			<-start
+			for i := 0; i < opsPerClient; i++ {
+				at := types.TimeNowest
+				off := uint64(0)
+				if mode.depth > 0 {
+					// Deep history reads: aim at the oldest tenth of the
+					// version stack so the walk depth matches the mode
+					// label instead of averaging to depth/2.
+					at = myAts[crng.Intn(max(len(myAts)/10, 1))]
+				} else if mode.name == "coldread" {
+					off = uint64(crng.Intn(objBlocks-readBlocks)) * types.BlockSize
+				}
+				t0 := time.Now()
+				_, err := drv.Read(cred, myObj, off, uint64(readBlocks*types.BlockSize), at)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("read at %v: %w", at, err)
+					}
+					mu.Unlock()
+					return
+				}
+				my = append(my, float64(time.Since(t0).Nanoseconds())/1e3)
+			}
+			mu.Lock()
+			lats[c] = my
+			mu.Unlock()
+		}(c)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if firstErr != nil {
+		return rpResult{}, firstErr
+	}
+	s1 := drv.GetStats()
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[int(p*float64(len(all)-1))]
+	}
+	ops := clients * opsPerClient
+	return rpResult{
+		Mode:             mode.name,
+		Clients:          clients,
+		Ops:              ops,
+		OpsPerSec:        float64(ops) / elapsed.Seconds(),
+		P50Micros:        pct(0.50),
+		P99Micros:        pct(0.99),
+		DeviceReadsPerOp: float64(s1.DeviceReads-s0.DeviceReads) / float64(ops),
+		WalkEntriesPerOp: float64(s1.HistoryWalkEntries-s0.HistoryWalkEntries) / float64(ops),
+		VecReads:         s1.VecReads - s0.VecReads,
+		LandmarkHits:     s1.LandmarkHits - s0.LandmarkHits,
+		ReconCacheHits:   s1.ReconCacheHits - s0.ReconCacheHits,
+		ReconCacheMisses: s1.ReconCacheMisses - s0.ReconCacheMisses,
+		CacheHits:        s1.CacheHits - s0.CacheHits,
+	}, nil
+}
+
+// rpCompare gates the fresh report against a checked-in baseline. The
+// primary gate is device reads per op — the read path's deterministic
+// cost metric: it depends only on the seeded workload, the cache
+// geometry, and the acceleration machinery, not on how loaded the
+// runner is, so it can be tight (+30% and a small absolute slack for
+// near-zero rows). Wall-clock ops/s swings far more than 30% between
+// runs on a shared machine, so it gets only a catastrophic 70%-drop
+// backstop.
+func rpCompare(rep *rpReport, baselinePath string) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("readpath baseline: %w", err)
+	}
+	var base rpReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("readpath baseline: %w", err)
+	}
+	lookup := func(mode string, clients int) *rpResult {
+		for i := range base.Results {
+			if base.Results[i].Mode == mode && base.Results[i].Clients == clients {
+				return &base.Results[i]
+			}
+		}
+		return nil
+	}
+	failed := false
+	for _, r := range rep.Results {
+		b := lookup(r.Mode, r.Clients)
+		if b == nil {
+			continue
+		}
+		ceil := b.DeviceReadsPerOp*1.30 + 0.10
+		floor := b.OpsPerSec * 0.30
+		verdict := "ok"
+		if r.DeviceReadsPerOp > ceil {
+			verdict = "REGRESSED(devreads)"
+			failed = true
+		} else if b.OpsPerSec > 0 && r.OpsPerSec < floor {
+			verdict = "REGRESSED(ops/s)"
+			failed = true
+		}
+		fmt.Printf("  gate %-22s clients=%-3d %8.3f devreads/op vs %8.3f (ceil %7.3f) %9.0f ops/s (floor %8.0f) %s\n",
+			r.Mode, r.Clients, r.DeviceReadsPerOp, b.DeviceReadsPerOp, ceil, r.OpsPerSec, floor, verdict)
+	}
+	if failed {
+		return fmt.Errorf("readpath: read path regressed >30%% vs %s", baselinePath)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

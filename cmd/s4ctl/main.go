@@ -128,6 +128,13 @@ func main() {
 		fmt.Printf("bytes written:   %d\n", st.BytesWritten)
 		fmt.Printf("bytes read:      %d\n", st.BytesRead)
 		fmt.Printf("cache hit rate:  %d / %d\n", st.CacheHits, st.CacheHits+st.CacheMisses)
+		fmt.Printf("device reads:    %d (%d vectored)\n", st.DeviceReads, st.VecReads)
+		if st.ReadOps > 0 {
+			fmt.Printf("reads/op:        %.3f\n", float64(st.DeviceReads)/float64(st.ReadOps))
+		}
+		fmt.Printf("landmark hits:   %d\n", st.LandmarkHits)
+		fmt.Printf("walk entries:    %d\n", st.HistoryWalkEntries)
+		fmt.Printf("recon cache:     %d / %d\n", st.ReconCacheHits, st.ReconCacheHits+st.ReconCacheMisses)
 		fmt.Printf("cleaner runs:    %d (%d segments freed, %d blocks compacted)\n",
 			st.CleanerRuns, st.SegmentsFreed, st.BlocksCompacted)
 	case "versions":

@@ -38,8 +38,14 @@ func newBlockCache(capBytes int64) *blockCache {
 	}
 }
 
-// get returns the cached block, or nil. The returned slice must not be
-// modified.
+// get returns the cached block, or nil. The returned slice aliases the
+// cache's copy and MUST NOT be modified: every reader of the same
+// address shares it. Callers that hand data across a trust boundary
+// (e.g. readShared assembling an RPC reply) must copy out of it; the
+// drive-internal decoders (journal.DecodeSector, decodeInodeRoot,
+// audit.DecodeBlock) only ever parse the bytes. put takes ownership of
+// its argument for the same reason — the cache never copies.
+// TestBlockCachePoison enforces the stability half of this contract.
 func (c *blockCache) get(addr seglog.BlockAddr) []byte {
 	if c.capBytes <= 0 {
 		return nil
@@ -100,10 +106,19 @@ func (c *blockCache) dropLocked(addr seglog.BlockAddr) {
 }
 
 // dropRange removes every cached block with addr in [lo, hi) — used when
-// a whole segment is freed.
+// a whole segment is freed. When the range dwarfs the cache population
+// (huge segments, small cache) walking the map beats walking the range.
 func (c *blockCache) dropRange(lo, hi seglog.BlockAddr) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if hi > lo && uint64(hi-lo) > uint64(len(c.byAddr)) {
+		for addr := range c.byAddr {
+			if addr >= lo && addr < hi {
+				c.dropLocked(addr)
+			}
+		}
+		return
+	}
 	for addr := lo; addr < hi; addr++ {
 		c.dropLocked(addr)
 	}

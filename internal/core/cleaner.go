@@ -224,6 +224,13 @@ func (d *Drive) ageObjectLocked(o *object, ageCut types.Timestamp, cs *CleanStat
 			touched = true
 		}
 	}
+	// Landmark checkpoints age with the entries around them: their roots
+	// are freed index-first (idempotent — a root leaves the index the
+	// moment it is freed), and reconstructions now below the floor leave
+	// the inode-at-time cache. Any sector Phase B prunes below holds
+	// only sub-ageCut entries, so its landmarks are already gone.
+	d.dropLandmarksBelow(o, ageCut)
+	d.recon.dropBelow(o.id, o.floorTime)
 	// Phase B: unlink trailing fully-aged sectors from the chain.
 	allAged := func(s sec) bool {
 		for j := range s.entries {
@@ -286,6 +293,8 @@ func (d *Drive) ageObjectLocked(o *object, ageCut types.Timestamp, cs *CleanStat
 // window: final-version blocks, checkpoints, and the whole journal
 // chain are freed, and the object disappears from the map.
 func (d *Drive) reapObjectLocked(o *object, cs *CleanStats) error {
+	d.dropAllLandmarks(o)
+	d.recon.dropObject(o.id)
 	for _, a := range o.ino.blocks {
 		// These were deprecated at delete time.
 		d.usage.ageOut(segOf(d.log, a))
@@ -510,6 +519,24 @@ func (d *Drive) relocateChainLocked(o *object, avoid seglog.BlockAddr, cs *Clean
 	for i := range chain {
 		d.unrefJSector(chain[i].addr)
 	}
+	// Landmark index entries name chain positions; every sector just
+	// moved, so re-register each flushed landmark at its new address.
+	// The roots themselves are history blocks and did not move.
+	for i := range chain {
+		newSA := newAddrs[len(chain)-1-i]
+		for j := range chain[i].entries {
+			e := &chain[i].entries[j]
+			if e.Type != journal.EntCheckpoint {
+				continue
+			}
+			for k := range o.landmarks {
+				ln := &o.landmarks[k]
+				if ln.version == e.Version && ln.root == e.InodeAddr {
+					ln.sector = newSA
+				}
+			}
+		}
+	}
 	o.jhead = newAddrs[len(newAddrs)-1]
 	o.jtail = newAddrs[0]
 	o.jheadEntries = nil // decoded head image is stale; reread on demand
@@ -661,6 +688,13 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 		// barrier must write one.
 		r.o.pruned = true
 		r.o.cpVersion = 0
+		// Landmark roots and cached reconstructions snapshot block
+		// addresses too — the relocated blocks may be live in historical
+		// views — so both are invalidated wholesale. Recovery tolerates
+		// the resulting chain tombstones: it revalidates each checkpoint
+		// entry's root before trusting it.
+		d.dropAllLandmarks(r.o)
+		d.recon.dropObject(r.o.id)
 		touchedObjs[r.o.id] = r.o
 	}
 	// Touched objects are refreshed by the checkpoint barrier that

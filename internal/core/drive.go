@@ -25,9 +25,10 @@
 //	Drive.mu (RWMutex)  >  object.mu (RWMutex)  >  Drive.logMu
 //	                                            >  seglog.Log (internal)
 //
-// with auditMu, statsMu, lruMu, and the block cache's internal mutex as
-// leaves that never hold anything else except the seglog lock (audit
-// flushes append to the log while holding auditMu).
+// with auditMu, statsMu, lruMu, and the block and reconstruction
+// caches' internal mutexes as leaves that never hold anything else
+// except the seglog lock (audit flushes append to the log while holding
+// auditMu).
 //
 //   - Per-object operations (Read/Write/GetAttr/...) hold Drive.mu for
 //     reading for their entire duration and take object.mu for the one
@@ -47,6 +48,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,6 +98,16 @@ type Options struct {
 	// PendingFlushEntries bounds unflushed journal entries per object
 	// before a forced sector flush.
 	PendingFlushEntries int
+	// CheckpointEvery writes a landmark checkpoint entry into a hot
+	// object's journal chain after every N real entries, bounding the
+	// back-in-time reconstruction walk to ~N undos (DESIGN.md §12.1).
+	// Each landmark costs one history-pool block until its entries age
+	// out — the paper's history-pool-space vs. read-cost tradeoff made
+	// tunable. Zero takes the default (32); negative disables landmarks.
+	CheckpointEvery int
+	// ReconCacheBytes bounds the reconstructed-inode cache (DESIGN.md
+	// §12.2). Zero takes the default (4MB); negative disables it.
+	ReconCacheBytes int64
 	// UnsafeImmediateReuse disables the deferred-reuse barrier: the
 	// cleaner returns emptied segments to the allocator immediately
 	// instead of holding them until the next checkpoint commits. This
@@ -126,6 +138,12 @@ func (o *Options) fill(dev disk.Device) {
 	}
 	if o.PendingFlushEntries == 0 {
 		o.PendingFlushEntries = 64
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 32
+	}
+	if o.ReconCacheBytes == 0 {
+		o.ReconCacheBytes = 4 << 20
 	}
 	if o.Throttle == nil {
 		cfg := throttle.DefaultConfig(dev.Capacity() / 2)
@@ -172,7 +190,28 @@ type object struct {
 	// chain: the object can then no longer be rebuilt from the journal
 	// alone and must keep an inode checkpoint.
 	pruned bool
-	lruEl  *list.Element
+	// landmarks is the in-memory index of the checkpoint entries in the
+	// journal chain, ascending by time (DESIGN.md §12.1). Invariant: it
+	// holds exactly the checkpoint roots currently accounted as history
+	// blocks — registration (appendEntry), sector fill-in
+	// (flushJournalLocked), aging/reap/Flush removal (cleaner,
+	// flushObjectLocked), and relocation re-registration
+	// (relocateChainLocked) all preserve that. Not persisted; recovery
+	// rebuilds it during recountUsage's chain walk.
+	landmarks     []landmark
+	sinceLandmark int // real entries appended since the last landmark
+	lruEl         *list.Element
+}
+
+// landmark is one entry of an object's checkpoint index: a flushed
+// EntCheckpoint journal entry plus the checkpoint root block it points
+// at. sector is NilSector until the entry reaches a flushed sector; the
+// reconstruction walk only anchors at flushed landmarks.
+type landmark struct {
+	time    types.Timestamp
+	version uint64
+	root    seglog.BlockAddr
+	sector  journal.SectorAddr
 }
 
 // Stats reports drive activity counters.
@@ -201,6 +240,15 @@ type Stats struct {
 	DeviceForces   int64 // segment-log device flushes (partial or seal)
 	LogAppends     int64 // payload blocks appended to the segment log
 	DirtyObjects   int64 // objects currently in the sync dirty set
+
+	// History-read-path counters (DESIGN.md §12).
+	ReadOps           int64 // Read calls served (live or historical)
+	HistoryWalkEntries int64 // journal entries visited by reconstruction walks
+	LandmarkHits      int64 // reconstructions anchored at a landmark checkpoint
+	ReconCacheHits    int64 // reconstructions served from the inode-at-time cache
+	ReconCacheMisses  int64 // reconstructions that had to walk
+	DeviceReads       int64 // segment-log device read I/Os
+	VecReads          int64 // multi-block coalesced device reads
 }
 
 // Drive is an open S4 drive. See the package comment for the lock
@@ -228,7 +276,13 @@ type Drive struct {
 	spaceReserve int64
 	usage   *segUsage   // atomic counters; no lock needed
 	cache   *blockCache // internally locked
+	recon   *reconCache // internally locked (leaf), like cache
 	closed  bool
+
+	// Lock-free reconstruction-walk counters; the walks deliberately
+	// hold no lock statsMu could pair with.
+	landmarkHits atomic.Int64
+	walkEntries  atomic.Int64
 
 	// lruMu guards objLRU mutation. The list is traversed without lruMu
 	// only under the exclusive drive lock (evictColdLocked), which
@@ -329,6 +383,7 @@ func Open(dev disk.Device, opts Options) (*Drive, error) {
 		window:      opts.Window,
 		usage:       newSegUsage(log.NumSegments()),
 		cache:       newBlockCache(opts.BlockCacheBytes),
+		recon:       newReconCache(opts.ReconCacheBytes),
 		jblockRef:   make(map[seglog.BlockAddr]int),
 		pendingFree: make(map[int64]bool),
 		dirtyObjs:   make(map[types.ObjectID]*object),
@@ -621,9 +676,106 @@ func (d *Drive) appendEntry(o *object, e *journal.Entry) {
 		// metadata write fresh metadata per update (§4.2.2, Fig. 2).
 		_ = d.checkpointObjectLocked(o)
 	}
+	d.maybeEmitLandmarkLocked(o, e)
 	if len(o.pending) >= d.opts.PendingFlushEntries {
 		_ = d.flushJournalLocked(o)
 	}
+}
+
+// maybeEmitLandmarkLocked writes a landmark checkpoint entry after
+// every CheckpointEvery real entries on a hot chain (DESIGN.md §12.1):
+// a full inode image appended to the log plus an EntCheckpoint journal
+// entry pointing at it, so back-in-time reconstruction can anchor
+// mid-chain instead of undoing from the live head. The root block is
+// accounted as history from birth — it ages out of the pool together
+// with the entries around it. Landmarks are an optimization: any
+// failure to emit one (no space, oversized inode) is silently skipped.
+// Caller holds o.mu exclusively (plus the shared drive lock) or the
+// exclusive drive lock; e is the just-appended triggering entry.
+func (d *Drive) maybeEmitLandmarkLocked(o *object, e *journal.Entry) {
+	if d.opts.CheckpointEvery <= 0 || e.Type == journal.EntCheckpoint {
+		return
+	}
+	o.sinceLandmark++
+	if o.sinceLandmark < d.opts.CheckpointEvery {
+		return
+	}
+	o.sinceLandmark = 0
+	cb, err := o.ino.buildCheckpoint()
+	if err != nil || len(cb.overflow) > 0 {
+		// The index tracks exactly one root block per landmark; inodes
+		// whose block map needs overflow blocks are skipped (their data
+		// reads dominate the walk anyway).
+		return
+	}
+	root := cb.finishRoot(nil)
+	rootAddr, err := d.log.Append(seglog.KindInode, o.id, o.ino.Version, o.ino.ModTime, root)
+	if err != nil {
+		return
+	}
+	// Born live, deprecated immediately: the root belongs to the
+	// history pool from the start, keeping its segment off-limits to
+	// compaction and reclamation until the landmark ages out.
+	seg := segOf(d.log, rootAddr)
+	d.usage.liveBorn(seg)
+	d.usage.deprecate(seg)
+	// The entry shares the trigger's version and time, so it ages out of
+	// the window at the same instant. Appended directly to pending (not
+	// through appendEntry): a landmark is not a version transition.
+	o.pending = append(o.pending, &journal.Entry{
+		Type: journal.EntCheckpoint, Version: o.ino.Version, Time: e.Time,
+		User: e.User, Client: e.Client, InodeAddr: rootAddr,
+	})
+	o.landmarks = append(o.landmarks, landmark{
+		time: e.Time, version: o.ino.Version, root: rootAddr,
+	})
+}
+
+// registerLandmarkSectors records the chain position of checkpoint
+// entries that just reached a flushed sector; only flushed landmarks
+// can anchor reconstruction walks. Caller holds o.mu exclusively (or
+// the exclusive drive lock).
+func (o *object) registerLandmarkSectors(entries []*journal.Entry, sa journal.SectorAddr) {
+	for _, e := range entries {
+		if e.Type != journal.EntCheckpoint {
+			continue
+		}
+		for i := range o.landmarks {
+			ln := &o.landmarks[i]
+			if ln.sector == journal.NilSector && ln.version == e.Version && ln.root == e.InodeAddr {
+				ln.sector = sa
+			}
+		}
+	}
+}
+
+// dropLandmarksBelow frees the checkpoint roots of landmarks older than
+// cut and removes them from the index — the landmark analog of entry
+// aging. Index-driven freeing is idempotent by construction: a root
+// leaves the index the moment it is freed. Caller holds the exclusive
+// drive lock.
+func (d *Drive) dropLandmarksBelow(o *object, cut types.Timestamp) {
+	kept := o.landmarks[:0]
+	for _, ln := range o.landmarks {
+		if ln.time < cut {
+			d.usage.ageOut(segOf(d.log, ln.root))
+			d.cache.drop(ln.root)
+			continue
+		}
+		kept = append(kept, ln)
+	}
+	o.landmarks = kept
+}
+
+// dropAllLandmarks frees every checkpoint root in the index and clears
+// it — used when the whole chain is rewritten (Flush) or the object is
+// reaped. Caller holds the exclusive drive lock.
+func (d *Drive) dropAllLandmarks(o *object) {
+	for _, ln := range o.landmarks {
+		d.usage.ageOut(segOf(d.log, ln.root))
+		d.cache.drop(ln.root)
+	}
+	o.landmarks = nil
 }
 
 // markDirty records that o has pending journal entries. Callers hold
@@ -762,6 +914,7 @@ func (d *Drive) flushJournalLocked(o *object) error {
 			}
 			if ok {
 				d.cache.drop(o.jhead.Block())
+				o.registerLandmarkSectors(o.pending[:n], o.jhead)
 				for i := 0; i < n; i++ {
 					existing = append(existing, *o.pending[i])
 				}
@@ -793,6 +946,7 @@ func (d *Drive) flushJournalLocked(o *object) error {
 		if err != nil {
 			return err
 		}
+		o.registerLandmarkSectors(o.pending[:n], sa)
 		ents := make([]journal.Entry, n)
 		for i := 0; i < n; i++ {
 			ents[i] = *o.pending[i]
@@ -1026,9 +1180,9 @@ func (d *Drive) readShared(cred types.Cred, id types.ObjectID, off, n uint64, at
 		// permission verdict is captured before the snapshot walk but
 		// reported after it, preserving error precedence.
 		permErr := d.checkPerm(cred, o.ino, types.PermRead|types.PermRecover)
-		snap := snapshotObject(o)
+		snap := d.snapshotObject(o)
 		o.mu.RUnlock()
-		in, err = d.inodeAtSnap(snap, at)
+		in, err = d.inodeAtCached(snap, at)
 		if err != nil {
 			return nil, err
 		}
@@ -1045,6 +1199,18 @@ func (d *Drive) readShared(cred types.Cred, id types.ObjectID, off, n uint64, at
 	if off+n > in.Size {
 		n = in.Size - off
 	}
+	// Gather the extent's block addresses, fetch them in coalesced runs,
+	// then assemble the reply from the (cache-owned) block images.
+	var addrs []seglog.BlockAddr
+	for blk := off / types.BlockSize; blk <= (off+n-1)/types.BlockSize; blk++ {
+		if a := in.Block(blk); a != seglog.NilAddr {
+			addrs = append(addrs, a)
+		}
+	}
+	blocks, err := d.readBlocksVec(addrs)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]byte, n)
 	var filled uint64
 	for filled < n {
@@ -1054,19 +1220,59 @@ func (d *Drive) readShared(cred types.Cred, id types.ObjectID, off, n uint64, at
 		if want > n-filled {
 			want = n - filled
 		}
-		addr := in.Block(blk)
-		if addr != seglog.NilAddr {
-			data, err := d.readBlock(addr)
-			if err != nil {
-				return nil, err
-			}
-			copy(out[filled:filled+want], data[bo:bo+want])
+		if addr := in.Block(blk); addr != seglog.NilAddr {
+			copy(out[filled:filled+want], blocks[addr][bo:bo+want])
 		}
 		filled += want
 	}
 	d.statsMu.Lock()
 	d.stats.BytesRead += int64(n)
+	d.stats.ReadOps++
 	d.statsMu.Unlock()
+	return out, nil
+}
+
+// readBlocksVec fetches a set of log blocks, serving what it can from
+// the cache and coalescing misses at adjacent addresses into
+// multi-block ReadRun device I/Os (DESIGN.md §12.3) — the read-path
+// mirror of the write path's AppendVec. A sequentially written extent
+// lands contiguously in a segment, so a multi-block Read costs O(runs)
+// device reads instead of O(blocks). Returned slices are owned by the
+// block cache and must not be modified.
+func (d *Drive) readBlocksVec(addrs []seglog.BlockAddr) (map[seglog.BlockAddr][]byte, error) {
+	out := make(map[seglog.BlockAddr][]byte, len(addrs))
+	var misses []seglog.BlockAddr
+	for _, a := range addrs {
+		if _, seen := out[a]; seen {
+			continue
+		}
+		out[a] = d.cache.get(a) // nil marks a miss (and dedups)
+		if out[a] == nil {
+			misses = append(misses, a)
+		}
+	}
+	if len(misses) == 0 {
+		return out, nil
+	}
+	sort.Slice(misses, func(i, j int) bool { return misses[i] < misses[j] })
+	for i := 0; i < len(misses); {
+		j := i + 1
+		for j < len(misses) && misses[j] == misses[j-1]+1 &&
+			d.log.SegOf(misses[j]) == d.log.SegOf(misses[i]) {
+			j++
+		}
+		run := misses[i:j]
+		buf := make([]byte, len(run)*seglog.BlockSize)
+		if err := d.log.ReadRun(run[0], len(run), buf); err != nil {
+			return nil, err
+		}
+		for k, a := range run {
+			blk := buf[k*seglog.BlockSize : (k+1)*seglog.BlockSize : (k+1)*seglog.BlockSize]
+			out[a] = blk
+			d.cache.put(a, blk)
+		}
+		i = j
+	}
 	return out, nil
 }
 
@@ -1459,9 +1665,9 @@ func (d *Drive) getAttrShared(cred types.Cred, id types.ObjectID, at types.Times
 		in = o.ino
 	} else {
 		permErr := d.checkPerm(cred, o.ino, types.PermRead|types.PermRecover)
-		snap := snapshotObject(o)
+		snap := d.snapshotObject(o)
 		o.mu.RUnlock()
-		in, err = d.inodeAtSnap(snap, at)
+		in, err = d.inodeAtCached(snap, at)
 		if err != nil {
 			return AttrInfo{}, err
 		}
@@ -1574,9 +1780,9 @@ func (d *Drive) getACLShared(cred types.Cred, id types.ObjectID, at types.Timest
 		in = o.ino
 	} else {
 		permErr := d.checkPerm(cred, o.ino, types.PermRead|types.PermRecover)
-		snap := snapshotObject(o)
+		snap := d.snapshotObject(o)
 		o.mu.RUnlock()
-		in, err = d.inodeAtSnap(snap, at)
+		in, err = d.inodeAtCached(snap, at)
 		if err != nil {
 			return types.ACLEntry{}, err
 		}
@@ -1850,6 +2056,10 @@ func (d *Drive) DriveStats() Stats {
 	s.TotalSegments = d.log.NumSegments()
 	s.LogAppends, s.DeviceForces = d.log.Stats()
 	s.VecAppends, s.FlushStalls = d.log.PipeStats()
+	s.DeviceReads, s.VecReads = d.log.ReadStats()
+	s.ReconCacheHits, s.ReconCacheMisses = d.recon.counters()
+	s.LandmarkHits = d.landmarkHits.Load()
+	s.HistoryWalkEntries = d.walkEntries.Load()
 	d.dirtyMu.Lock()
 	s.DirtyObjects = int64(len(d.dirtyObjs))
 	d.dirtyMu.Unlock()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -37,19 +38,31 @@ type objSnapshot struct {
 	// sees them twice or out of order.
 	chainLim  uint64
 	floorTime types.Timestamp
+	// landmarks is a value copy of the object's landmark index (DESIGN.md
+	// §12): flushed checkpoint entries the reconstruction walk may anchor
+	// at instead of the live head.
+	landmarks []landmark
+	// snapNow is the drive clock when the snapshot was taken, read under
+	// the object lock. Every entry appended after the snapshot carries a
+	// timestamp ≥ snapNow (writers read the clock under the exclusive
+	// object lock), so snapNow is a sound exclusive upper bound for the
+	// validity interval of a reconstruction that undoes nothing.
+	snapNow types.Timestamp
 }
 
 // snapshotObject captures o. Caller holds o.mu (either mode, with the
 // inode loaded) or the exclusive drive lock. The pending copy must be a
 // fresh array: flushJournalLocked compacts o.pending in place, so a
 // shared backing array would mutate under the walker.
-func snapshotObject(o *object) *objSnapshot {
+func (d *Drive) snapshotObject(o *object) *objSnapshot {
 	p := make([]*journal.Entry, len(o.pending))
 	copy(p, o.pending)
 	s := &objSnapshot{
 		id: o.id, ino: o.ino.Clone(), pending: p,
 		jhead: o.jhead, jtail: o.jtail,
 		floorTime: o.floorTime,
+		landmarks: append([]landmark(nil), o.landmarks...),
+		snapNow:   vclock.TS(d.clk),
 	}
 	// Every flushed entry's version precedes every pending entry's
 	// (flushes drain the oldest prefix), so the newest chain version at
@@ -116,12 +129,65 @@ func (d *Drive) walkEntriesSnap(s *objSnapshot, fn func(e *journal.Entry) (bool,
 // private to the caller. Caller holds the shared or exclusive drive
 // lock; no object lock is needed.
 func (d *Drive) inodeAtSnap(s *objSnapshot, at types.Timestamp) (*Inode, error) {
+	in, _, _, err := d.inodeAtSnapInterval(s, at)
+	return in, err
+}
+
+// inodeAtCached is inodeAtSnap behind the reconstruction cache. The
+// returned inode may be shared with other readers and must be treated
+// as read-only. The floor precheck runs before the cache lookup, so a
+// cached state whose interval straddles the (monotonically rising)
+// history floor can never serve an at that aging or Flush has since
+// made unreconstructible.
+func (d *Drive) inodeAtCached(s *objSnapshot, at types.Timestamp) (*Inode, error) {
 	if at < s.floorTime {
 		return nil, fmt.Errorf("core: time %v predates retained history: %w", at, types.ErrNoVersion)
 	}
+	if in := d.recon.get(s.id, at); in != nil {
+		return in, nil
+	}
+	in, from, to, err := d.inodeAtSnapInterval(s, at)
+	if err != nil {
+		return nil, err
+	}
+	d.recon.put(s.id, from, to, in)
+	return in, nil
+}
+
+// inodeAtSnapInterval is inodeAtSnap plus the reconstruction's validity
+// interval: the result is the object's state for every instant in
+// [from, to), which is what makes it memoizable (DESIGN.md §12.2). from
+// is the stop entry's time; to is the oldest undone entry's time, or
+// snapNow when nothing newer than at existed at snapshot time.
+func (d *Drive) inodeAtSnapInterval(s *objSnapshot, at types.Timestamp) (in *Inode, from, to types.Timestamp, err error) {
+	if at < s.floorTime {
+		return nil, 0, 0, fmt.Errorf("core: time %v predates retained history: %w", at, types.ErrNoVersion)
+	}
+	// Landmark fast path (DESIGN.md §12.1): anchor at the earliest
+	// flushed checkpoint entry strictly after at. Every entry newer than
+	// the landmark has Time ≥ the landmark's > at, so the full walk
+	// would undo all of them — and the checkpoint root already encodes
+	// exactly the state they leave behind. The bound must be strict: an
+	// entry sharing the landmark's timestamp but preceding it in the
+	// chain could be the true stop entry for at == that timestamp.
+	if ln, ok := landmarkAfter(s.landmarks, at); ok {
+		in, from, to, err = d.inodeAtLandmark(s, ln, at)
+		if err == nil || !errors.Is(err, errLandmarkMiss) {
+			if err == nil {
+				d.landmarkHits.Add(1)
+			}
+			return in, from, to, err
+		}
+		// Miss: anchor decoding raced something unexpected; the full
+		// walk below is always correct.
+	}
 	clone := s.ino
-	err := d.walkEntriesSnap(s, func(e *journal.Entry) (bool, error) {
+	to = s.snapNow
+	from = s.floorTime // walk may run off the retained tail
+	walkErr := d.walkEntriesSnap(s, func(e *journal.Entry) (bool, error) {
+		d.walkEntries.Add(1)
 		if e.Time <= at {
+			from = e.Time // stop entry established this state
 			return true, nil
 		}
 		if e.Type == journal.EntCreate {
@@ -129,15 +195,103 @@ func (d *Drive) inodeAtSnap(s *objSnapshot, at types.Timestamp) (*Inode, error) 
 			return true, types.ErrNoVersion
 		}
 		clone.undo(e)
+		to = e.Time
 		return false, nil
 	})
-	if err != nil {
-		return nil, err
+	if walkErr != nil {
+		return nil, 0, 0, walkErr
 	}
 	if at < clone.CreateTime {
-		return nil, types.ErrNoVersion
+		return nil, 0, 0, types.ErrNoVersion
 	}
-	return clone, nil
+	if from < clone.CreateTime {
+		// The interval must not extend to instants before the object
+		// existed: those must keep answering ErrNoVersion.
+		from = clone.CreateTime
+	}
+	return clone, from, to, nil
+}
+
+// errLandmarkMiss reports that a landmark anchor could not serve the
+// reconstruction and the caller should fall back to the full walk.
+var errLandmarkMiss = errors.New("core: landmark anchor unusable")
+
+// landmarkAfter returns the earliest landmark with time strictly after
+// at whose checkpoint entry has already been placed in a flushed sector
+// (sector registration is the flush's job; an unflushed landmark has no
+// chain position to anchor at).
+func landmarkAfter(ls []landmark, at types.Timestamp) (landmark, bool) {
+	i := sort.Search(len(ls), func(i int) bool { return ls[i].time > at })
+	for ; i < len(ls); i++ {
+		if ls[i].sector != journal.NilSector {
+			return ls[i], true
+		}
+	}
+	return landmark{}, false
+}
+
+// inodeAtLandmark reconstructs the state at `at` starting from a
+// checkpoint root instead of the live inode. The walk begins in the
+// sector holding the landmark's checkpoint entry, skips the (newer)
+// entries stacked above it, and undoes from there exactly as the full
+// walk would.
+func (d *Drive) inodeAtLandmark(s *objSnapshot, ln landmark, at types.Timestamp) (in *Inode, from, to types.Timestamp, err error) {
+	root, err := d.readBlock(ln.root)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	clone, _, err := decodeInodeRoot(d.log, root)
+	if err != nil || clone.ID != s.id || clone.Version != ln.version {
+		return nil, 0, 0, errLandmarkMiss
+	}
+	to = ln.time
+	from = s.floorTime
+	seen := false // the landmark's own entry has been passed
+	stopped := false
+	for addr := ln.sector; addr != journal.NilSector; {
+		obj, prev, entries, err := journal.ReadSector(d.log, addr)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if obj != s.id {
+			return nil, 0, 0, fmt.Errorf("core: journal chain of %v crossed into %v: %w", s.id, obj, types.ErrCorrupt)
+		}
+		for i := len(entries) - 1; i >= 0; i-- {
+			e := &entries[i]
+			if !seen {
+				if e.Type == journal.EntCheckpoint && e.Version == ln.version &&
+					e.Time == ln.time && e.InodeAddr == ln.root {
+					seen = true
+				}
+				continue
+			}
+			d.walkEntries.Add(1)
+			if e.Time <= at {
+				from, stopped = e.Time, true
+				break
+			}
+			if e.Type == journal.EntCreate {
+				return nil, 0, 0, types.ErrNoVersion
+			}
+			clone.undo(e)
+			to = e.Time
+		}
+		if !seen {
+			// The landmark entry was not where the index said; stale copy.
+			return nil, 0, 0, errLandmarkMiss
+		}
+		if stopped || addr == s.jtail {
+			break
+		}
+		addr = prev
+	}
+	if at < clone.CreateTime {
+		return nil, 0, 0, types.ErrNoVersion
+	}
+	if from < clone.CreateTime {
+		from = clone.CreateTime
+	}
+	return clone, from, to, nil
 }
 
 // inodeAtLocked returns the object's inode as of time at. current
@@ -152,7 +306,7 @@ func (d *Drive) inodeAtLocked(o *object, at types.Timestamp) (in *Inode, current
 	if at >= o.ino.ModTime {
 		return o.ino, true, nil
 	}
-	in, err = d.inodeAtSnap(snapshotObject(o), at)
+	in, err = d.inodeAtCached(d.snapshotObject(o), at)
 	return in, false, err
 }
 
@@ -197,7 +351,7 @@ func (d *Drive) listVersionsShared(cred types.Cred, id types.ObjectID) ([]Versio
 		o.mu.RUnlock()
 		return nil, err
 	}
-	snap := snapshotObject(o)
+	snap := d.snapshotObject(o)
 	o.mu.RUnlock()
 	var out []VersionInfo
 	size := snap.ino.Size
@@ -304,7 +458,29 @@ func (d *Drive) revertShared(cred types.Cred, id types.ObjectID, at types.Timest
 			chunk = nil
 			return err
 		}
+		// Old-version blocks are fetched a window at a time through the
+		// vectored read path, so adjacent log blocks coalesce into single
+		// device reads; the window bounds resident copy-forward memory.
+		const fetchWindow = 256
+		var blocks map[seglog.BlockAddr][]byte
+		var winEnd uint64
 		for blk := uint64(0); blk <= last; blk++ {
+			if blk >= winEnd {
+				winEnd = blk + fetchWindow
+				if winEnd > last+1 {
+					winEnd = last + 1
+				}
+				var fetch []seglog.BlockAddr
+				for b := blk; b < winEnd; b++ {
+					if a := old.Block(b); a != seglog.NilAddr && a != o.ino.Block(b) {
+						fetch = append(fetch, a)
+					}
+				}
+				var err error
+				if blocks, err = d.readBlocksVec(fetch); err != nil {
+					return err
+				}
+			}
 			oldAddr := old.Block(blk)
 			if oldAddr == o.ino.Block(blk) {
 				// Same physical block: content already current.
@@ -317,11 +493,7 @@ func (d *Drive) revertShared(cred types.Cred, id types.ObjectID, at types.Timest
 			if oldAddr == seglog.NilAddr {
 				content = make([]byte, types.BlockSize)
 			} else {
-				b, err := d.readBlock(oldAddr)
-				if err != nil {
-					return err
-				}
-				content = b
+				content = blocks[oldAddr]
 			}
 			n := uint64(types.BlockSize)
 			if blk == last {
@@ -438,7 +610,7 @@ func (d *Drive) flushObjectLocked(o *object, from, to types.Timestamp) error {
 	}
 	// Collect all retained entries, oldest first.
 	var all []*journal.Entry
-	if err := d.walkEntriesSnap(snapshotObject(o), func(e *journal.Entry) (bool, error) {
+	if err := d.walkEntriesSnap(d.snapshotObject(o), func(e *journal.Entry) (bool, error) {
 		cp := *e
 		all = append(all, &cp)
 		return false, nil
@@ -562,6 +734,12 @@ func (d *Drive) flushObjectLocked(o *object, from, to types.Timestamp) error {
 			protected[a] = true // guard against double free
 		}
 	}
+	// The chain is rewritten without its checkpoint markers, so the
+	// landmark index empties with it (roots freed), and every cached
+	// reconstruction of this object is now a lie.
+	d.dropAllLandmarks(o)
+	d.recon.dropObject(o.id)
+	o.sinceLandmark = 0
 	// Rewrite the journal chain with the kept entries.
 	return d.rewriteChainLocked(o, kept)
 }

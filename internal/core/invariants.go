@@ -108,7 +108,119 @@ func (d *Drive) CheckInvariants() error {
 		}
 	}
 
+	if err := d.checkLandmarksLocked(false); err != nil {
+		return err
+	}
+
 	// Loading every inode may have blown past the object cache budget;
 	// trim back down so a live caller's cache stays bounded.
 	return d.evictColdLocked()
+}
+
+// CheckLandmarks verifies the landmark index (DESIGN.md §12.1) against
+// the journal chains: every indexed landmark must correspond to an
+// EntCheckpoint entry in its object's chain or pending tail, at the
+// recorded sector, with a root block that still decodes to the indexed
+// object and version inside an allocated segment, and the index must be
+// sorted ascending by time. With requireComplete (the torture harness
+// uses this right after recovery) the converse is enforced too: every
+// chain checkpoint entry inside the detection window whose root still
+// validates must be indexed. A live drive cannot require completeness —
+// data-block relocation legitimately drops landmarks while their chain
+// entries remain behind as tombstones until recovery revalidates them.
+func (d *Drive) CheckLandmarks(requireComplete bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return types.ErrDriveStopped
+	}
+	return d.checkLandmarksLocked(requireComplete)
+}
+
+func (d *Drive) checkLandmarksLocked(requireComplete bool) error {
+	ageCut := vclock.TS(d.clk) - types.Timestamp(d.window)
+	buf := make([]byte, seglog.BlockSize)
+	validRoot := func(id types.ObjectID, version uint64, root seglog.BlockAddr) bool {
+		if root == seglog.NilAddr {
+			return false
+		}
+		if seg := d.log.SegOf(root); seg < 0 || d.log.IsFree(seg) {
+			return false
+		}
+		if err := d.log.Read(root, buf); err != nil {
+			return false
+		}
+		in, _, err := decodeInodeRoot(d.log, buf)
+		return err == nil && in.ID == id && in.Version == version
+	}
+
+	ids := make([]types.ObjectID, 0, len(d.objects))
+	for id := range d.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	type lmKey struct {
+		version uint64
+		root    seglog.BlockAddr
+	}
+	for _, id := range ids {
+		o := d.objects[id]
+		found := make(map[lmKey]journal.SectorAddr)
+		for _, e := range o.pending {
+			if e.Type == journal.EntCheckpoint {
+				found[lmKey{e.Version, e.InodeAddr}] = journal.NilSector
+			}
+		}
+		for addr := o.jhead; addr != journal.NilSector; {
+			obj, prev, entries, err := journal.ReadSector(d.log, addr)
+			if err != nil {
+				return fmt.Errorf("core: %v journal sector %d undecodable: %v: %w", id, addr, err, types.ErrCorrupt)
+			}
+			if obj != id {
+				return fmt.Errorf("core: %v journal sector %d owned by %v: %w", id, addr, obj, types.ErrCorrupt)
+			}
+			for i := range entries {
+				e := &entries[i]
+				if e.Type != journal.EntCheckpoint {
+					continue
+				}
+				found[lmKey{e.Version, e.InodeAddr}] = addr
+				if requireComplete && e.Time >= ageCut && validRoot(id, e.Version, e.InodeAddr) {
+					indexed := false
+					for _, ln := range o.landmarks {
+						if ln.version == e.Version && ln.root == e.InodeAddr {
+							indexed = true
+							break
+						}
+					}
+					if !indexed {
+						return fmt.Errorf("core: %v checkpoint v%d at sector %d missing from landmark index: %w", id, e.Version, addr, types.ErrCorrupt)
+					}
+				}
+			}
+			if addr == o.jtail {
+				break
+			}
+			addr = prev
+		}
+		var prevTime types.Timestamp
+		for _, ln := range o.landmarks {
+			if ln.time < prevTime {
+				return fmt.Errorf("core: %v landmark index out of time order at v%d: %w", id, ln.version, types.ErrCorrupt)
+			}
+			prevTime = ln.time
+			sa, ok := found[lmKey{ln.version, ln.root}]
+			if !ok {
+				return fmt.Errorf("core: %v landmark v%d has no chain or pending checkpoint entry: %w", id, ln.version, types.ErrCorrupt)
+			}
+			if ln.sector != sa {
+				return fmt.Errorf("core: %v landmark v%d records sector %d, chain has it at %d: %w", id, ln.version, ln.sector, sa, types.ErrCorrupt)
+			}
+			if !validRoot(id, ln.version, ln.root) {
+				return fmt.Errorf("core: %v landmark v%d root block %d does not validate: %w", id, ln.version, ln.root, types.ErrCorrupt)
+			}
+		}
+	}
+	return nil
 }

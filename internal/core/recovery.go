@@ -386,6 +386,7 @@ func (d *Drive) recountUsage() error {
 
 	live := make(map[seglog.BlockAddr]bool)
 	depTime := make(map[seglog.BlockAddr]types.Timestamp)
+	ageCut := types.TS(d.clk.Now().Add(-d.window))
 
 	for _, r := range d.auditBlocks {
 		live[r.addr] = true
@@ -405,7 +406,8 @@ func (d *Drive) recountUsage() error {
 			live[a] = true
 		}
 		// Walk the chain: in-chain sectors keep their shared journal
-		// blocks live; entry Old pointers carry deprecation times.
+		// blocks live; entry Old pointers carry deprecation times, and
+		// checkpoint entries rebuild the landmark index.
 		for addr := o.jhead; addr != journal.NilSector; {
 			live[addr.Block()] = true
 			d.jblockRef[addr.Block()]++
@@ -415,6 +417,10 @@ func (d *Drive) recountUsage() error {
 			}
 			for i := range entries {
 				e := &entries[i]
+				if e.Type == journal.EntCheckpoint {
+					d.recoverLandmark(o, e, addr, depTime, ageCut)
+					continue
+				}
 				for _, old := range e.Old {
 					if old != seglog.NilAddr {
 						depTime[old] = e.Time
@@ -426,9 +432,16 @@ func (d *Drive) recountUsage() error {
 			}
 			addr = prev
 		}
+		// The walk visits sectors newest-first (entries within each
+		// oldest-first); restore the index's ascending-by-time order.
+		sort.Slice(o.landmarks, func(i, j int) bool {
+			if o.landmarks[i].time != o.landmarks[j].time {
+				return o.landmarks[i].time < o.landmarks[j].time
+			}
+			return o.landmarks[i].version < o.landmarks[j].version
+		})
 	}
 
-	ageCut := types.TS(d.clk.Now().Add(-d.window))
 	nSeg := d.log.NumSegments()
 	for seg := int64(0); seg < nSeg; seg++ {
 		sum, ok, err := d.log.ReadSummary(seg)
@@ -463,4 +476,32 @@ func (d *Drive) recountUsage() error {
 		}
 	}
 	return nil
+}
+
+// recoverLandmark accounts one chain EntCheckpoint and rebuilds its
+// landmark index entry. The root is validated before either: data-block
+// relocation frees checkpoint roots but leaves the chain entry behind
+// as a tombstone, so a recorded address may now hold reused-segment
+// bytes (decode fails or names another object/version — skip) or the
+// original root intact (resurrect it; it is self-consistent and ages
+// out with its entry like any other).
+func (d *Drive) recoverLandmark(o *object, e *journal.Entry, sector journal.SectorAddr, depTime map[seglog.BlockAddr]types.Timestamp, ageCut types.Timestamp) {
+	if e.Time < ageCut || e.InodeAddr == seglog.NilAddr {
+		return // aged out: the root, if any survives, is dead weight
+	}
+	root := make([]byte, seglog.BlockSize)
+	if err := d.log.Read(e.InodeAddr, root); err != nil {
+		return
+	}
+	in, _, err := decodeInodeRoot(d.log, root)
+	if err != nil || in.ID != o.id || in.Version != e.Version {
+		return
+	}
+	depTime[e.InodeAddr] = e.Time
+	o.landmarks = append(o.landmarks, landmark{
+		time:    e.Time,
+		version: e.Version,
+		root:    e.InodeAddr,
+		sector:  sector,
+	})
 }

@@ -26,6 +26,7 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"s4/internal/disk"
 	"s4/internal/types"
@@ -156,6 +157,11 @@ type Log struct {
 	ioErr       error // first device-write error; latches the log failed
 	vecAppends  int64 // stats: multi-block vectored append batches
 	flushStalls int64 // stats: callers that waited out an in-flight flush
+
+	// Read-path counters. Atomics, not mu-guarded: Read/ReadRun hit the
+	// device after dropping mu and must not re-acquire it just to count.
+	devReads int64 // stats: device read I/Os issued (any size)
+	vecReads int64 // stats: multi-block coalesced device reads
 }
 
 // Format initializes dev with an empty log. Existing contents are
@@ -277,6 +283,13 @@ func (l *Log) PipeStats() (vecAppends, flushStalls int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.vecAppends, l.flushStalls
+}
+
+// ReadStats reports read-path counters: device read I/Os issued (staged
+// blocks served from memory are not counted) and how many of those were
+// multi-block coalesced reads.
+func (l *Log) ReadStats() (devReads, vecReads int64) {
+	return atomic.LoadInt64(&l.devReads), atomic.LoadInt64(&l.vecReads)
 }
 
 // SegOf returns the segment index containing addr, or -1 if addr is
@@ -742,6 +755,7 @@ func (l *Log) Read(addr BlockAddr, buf []byte) error {
 		return nil
 	}
 	l.mu.Unlock()
+	atomic.AddInt64(&l.devReads, 1)
 	if len(buf) == BlockSize {
 		return readBlocks(l.dev, int64(addr), buf)
 	}
@@ -751,6 +765,59 @@ func (l *Log) Read(addr BlockAddr, buf []byte) error {
 	}
 	copy(buf, full)
 	return nil
+}
+
+// ReadRun fills buf with n consecutive blocks starting at addr — the
+// read-path mirror of AppendVec. The run must lie inside one segment's
+// payload area and len(buf) must be at least n*BlockSize. When the run
+// is settled on disk it is fetched with a single device I/O; runs that
+// are wholly staged in the open (or in-flight) segment are served from
+// memory, and runs only partially staged fall back to per-block Read.
+func (l *Log) ReadRun(addr BlockAddr, n int, buf []byte) error {
+	if n <= 0 {
+		return fmt.Errorf("seglog: read run of %d blocks: %w", n, types.ErrInval)
+	}
+	if len(buf) < n*BlockSize {
+		return fmt.Errorf("seglog: read run buffer %d < %d: %w", len(buf), n*BlockSize, types.ErrInval)
+	}
+	seg := l.SegOf(addr)
+	if seg < 0 || l.SegOf(addr+BlockAddr(n-1)) != seg {
+		return fmt.Errorf("seglog: read run %d+%d spans segments: %w", addr, n, types.ErrInval)
+	}
+	idx := int(int64(addr) - l.segBase(seg))
+	if idx == 0 {
+		return fmt.Errorf("seglog: address %d is a summary block: %w", addr, types.ErrInval)
+	}
+	last := idx + n - 1
+	l.mu.Lock()
+	if seg == l.curSeg && last <= l.used {
+		copy(buf, l.buf[idx*BlockSize:(last+1)*BlockSize])
+		l.mu.Unlock()
+		return nil
+	}
+	if l.flushing && seg == l.flushSeg && seg != l.curSeg && last <= l.flushUsed {
+		copy(buf, l.flushBuf[idx*BlockSize:(last+1)*BlockSize])
+		l.mu.Unlock()
+		return nil
+	}
+	if (seg == l.curSeg && idx <= l.used) ||
+		(l.flushing && seg == l.flushSeg && seg != l.curSeg && idx <= l.flushUsed) {
+		// Part of the run is still staged in memory; Read picks the
+		// right source per block.
+		l.mu.Unlock()
+		for i := 0; i < n; i++ {
+			if err := l.Read(addr+BlockAddr(i), buf[i*BlockSize:(i+1)*BlockSize]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	l.mu.Unlock()
+	atomic.AddInt64(&l.devReads, 1)
+	if n > 1 {
+		atomic.AddInt64(&l.vecReads, 1)
+	}
+	return readBlocks(l.dev, int64(addr), buf[:n*BlockSize])
 }
 
 // ReadSummary decodes the summary of a sealed (or partially synced)

@@ -544,3 +544,73 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+// TestReadRun covers the vectored read path in every staging state:
+// run wholly in the open segment's buffer, run settled on the device
+// (one I/O, counted), and the argument errors — empty run, short
+// buffer, summary address, and a run spanning segments.
+func TestReadRun(t *testing.T) {
+	l, d := newLog(t, 8<<20)
+	const n = 5
+	blocks := make([][]byte, n)
+	addrs := make([]BlockAddr, n)
+	for i := range blocks {
+		blocks[i] = bytes.Repeat([]byte{byte(0x10 + i)}, BlockSize)
+		a, err := l.Append(KindData, 1, uint64(i+1), 100, blocks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+	}
+	for i := 1; i < n; i++ {
+		if addrs[i] != addrs[0]+BlockAddr(i) {
+			t.Fatalf("appends not contiguous: %v", addrs)
+		}
+	}
+	check := func(lg *Log, label string) {
+		t.Helper()
+		buf := make([]byte, n*BlockSize)
+		if err := lg.ReadRun(addrs[0], n, buf); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for i := range blocks {
+			if !bytes.Equal(buf[i*BlockSize:(i+1)*BlockSize], blocks[i]) {
+				t.Fatalf("%s: block %d content mismatch", label, i)
+			}
+		}
+	}
+	check(l, "staged")
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	check(l, "synced")
+
+	// A freshly opened log has no staging state: the run must come off
+	// the device in exactly one (vectored) I/O.
+	l2, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev0, vec0 := l2.ReadStats()
+	check(l2, "durable")
+	dev1, vec1 := l2.ReadStats()
+	if dev1-dev0 != 1 || vec1-vec0 != 1 {
+		t.Fatalf("durable run cost %d device reads (%d vectored), want 1 (1)",
+			dev1-dev0, vec1-vec0)
+	}
+
+	buf := make([]byte, n*BlockSize)
+	if err := l2.ReadRun(addrs[0], 0, buf); err == nil {
+		t.Fatal("empty run accepted")
+	}
+	if err := l2.ReadRun(addrs[0], 2, buf[:BlockSize]); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if err := l2.ReadRun(addrs[0]-1, 1, buf); err == nil {
+		t.Fatal("summary-block address accepted")
+	}
+	span := l2.Config().SegBlocks
+	if err := l2.ReadRun(addrs[0], span, make([]byte, span*BlockSize)); err == nil {
+		t.Fatal("cross-segment run accepted")
+	}
+}

@@ -62,6 +62,13 @@ type Config struct {
 	// Raising it past SegBlocks-1 makes vectored appends routinely
 	// cross segment seals, exercising AppendVec's mid-batch seal path.
 	MaxWriteBlocks int
+	// CheckpointEvery forwards to core.Options.CheckpointEvery, the
+	// landmark-checkpoint cadence in journal entries (0 = core default,
+	// negative disables). Small values make every object emit landmarks
+	// constantly, so crash images land between a checkpoint entry and
+	// its journal flush, mid-aging, and mid-compaction — the index
+	// rebuild paths recovery must get right.
+	CheckpointEvery int
 	// Window is the detection window (1h — far longer than the virtual
 	// time the workload spans, so nothing ages out and every snapshot
 	// stays checkable).
@@ -247,6 +254,14 @@ func (w *run) verifyImage(dev disk.Device, k int, torn bool) (vs []Violation) {
 	// Invariant 5: no durable structure reaches into a freed segment.
 	if err := drv.CheckInvariants(); err != nil {
 		viol("reuse", "%v", err)
+	}
+
+	// Invariant 6: the recovered landmark index matches a from-scratch
+	// chain walk — every indexed landmark decodes at the sector the
+	// chain records it at, and every window-covered checkpoint entry
+	// whose root still validates is indexed.
+	if err := drv.CheckLandmarks(true); err != nil {
+		viol("landmarks", "%v", err)
 	}
 
 	// Invariants 2 and 3: everything synced before the crash — the

@@ -139,6 +139,48 @@ func TestTortureVectoredSeals(t *testing.T) {
 	}
 }
 
+// TestTortureCheckpointHeavy sweeps a workload that emits a landmark
+// checkpoint every ~3 journal entries, with frequent cleaning so the
+// index is also pruned, relocated, and dropped mid-run. Every crash
+// image must recover a landmark index that matches a from-scratch chain
+// walk (verifyImage's CheckLandmarks(true) invariant) while all the
+// usual durability and history invariants hold.
+func TestTortureCheckpointHeavy(t *testing.T) {
+	cfg := Config{
+		Ops:               250,
+		CheckpointEvery:   3,
+		CleanEveryN:       10,
+		DiskBytes:         16 << 20,
+		Torn:              true,
+		PostRecoverySmoke: true,
+		MaxCrashPoints:    600,
+		Logf:              t.Logf,
+	}
+	seeds := []int64{1, 2}
+	if testing.Short() || os.Getenv("S4_STRESS_SHORT") != "" {
+		seeds = seeds[:1]
+		cfg.Ops = 120
+		cfg.MaxCrashPoints = 200
+	}
+	for _, seed := range seeds {
+		cfg := cfg
+		cfg.Seed = seed
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seed=%d: %d ops, %d device writes -> %d crash points (%d torn), %d violations",
+			seed, res.Ops, res.Writes, res.CrashPoints, res.TornPoints, len(res.Violations))
+		for i, v := range res.Violations {
+			if i == 10 {
+				t.Errorf("... and %d more", len(res.Violations)-10)
+				break
+			}
+			t.Errorf("%s", v)
+		}
+	}
+}
+
 func name(seed int64) string {
 	return "seed=" + string(rune('0'+seed%10))
 }

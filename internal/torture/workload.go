@@ -82,6 +82,7 @@ func runWorkload(cfg Config) (*run, error) {
 		Window:               cfg.Window,
 		BlockCacheBytes:      1 << 20,
 		ObjectCacheCount:     2*cfg.MaxObjects + 16,
+		CheckpointEvery:      cfg.CheckpointEvery,
 		UnsafeImmediateReuse: cfg.UnsafeImmediateReuse,
 	}
 	drv, err := core.Format(rec, opts)

@@ -18,6 +18,9 @@
 //	s4bench -readpath -json BENCH_readpath.json
 //	                                 wall-clock hot/cold/back-in-time read
 //	                                 throughput (landmark + recon cache)
+//	s4bench -shards -json BENCH_shard.json
+//	                                 consistent-hash router scaling at
+//	                                 1/4/8 shards on rate-limited devices
 package main
 
 import (
@@ -47,6 +50,8 @@ func main() {
 	wpOps := flag.Int("wp-ops", 0, "with -writepath: operations per client (0 = default 1500)")
 	readpath := flag.Bool("readpath", false, "run the wall-clock read-path throughput bench instead of a figure")
 	rpOps := flag.Int("rp-ops", 0, "with -readpath: base operations per client (0 = default 400)")
+	shardpath := flag.Bool("shards", false, "run the sharded-router scaling bench (1/4/8 shards) instead of a figure")
+	spOps := flag.Int("sp-ops", 0, "with -shards: operations per client (0 = default 150)")
 	jsonOut := flag.String("json", "", "with -writepath/-readpath: write machine-readable results to this file")
 	baseline := flag.String("baseline", "", "with -writepath/-readpath: fail if throughput regresses >30% vs this baseline JSON")
 	flag.Parse()
@@ -61,6 +66,13 @@ func main() {
 	if *readpath {
 		if err := runReadpath(*rpOps, *jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "readpath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardpath {
+		if err := runShardpath(*spOps, *jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "shardpath: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,433 @@
+// Sharded-throughput bench (s4bench -shardpath): the same wall-clock
+// write/sync and read workloads as -writepath/-readpath, run through an
+// in-process shard.Router over 1, 4, and 8 drives. Each drive sits on
+// a rate-limited device — a fixed per-request cost plus a per-sector
+// transfer cost, serialized per device like a spindle — so aggregate
+// device bandwidth, not CPU, is the bottleneck the router must scale:
+// N shards means N devices working in parallel. Results go to stdout
+// and, with -json, to a file CI diffs against BENCH_shard.json.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/s4rpc"
+	"s4/internal/shard"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// slowDev rate-limits a memory device: one request at a time per
+// device (spindle serialization), each charged a fixed seek-ish cost
+// plus a per-sector transfer cost in real wall time. The absolute
+// numbers are arbitrary; what matters is that device time dominates
+// CPU time, so the bench measures how well the router multiplies
+// device bandwidth rather than how fast one core runs Go. Metering
+// starts disabled so formatting and workload setup run at memory
+// speed; spRun arms it for the measured region only.
+type slowDev struct {
+	dev       disk.Device
+	mu        sync.Mutex
+	metered   atomic.Bool
+	perReq    time.Duration
+	perSector time.Duration
+}
+
+func newSlowDev(capacity int64) *slowDev {
+	return &slowDev{
+		dev: disk.New(disk.SmallDisk(capacity), nil),
+		// The per-sector cost dominates on purpose: group commit
+		// amortizes per-request costs across a whole batch (that is
+		// its job), so a fixed-cost-dominated device would let one
+		// shard match eight. Transfer time cannot be amortized — it
+		// is the bandwidth the router is supposed to multiply.
+		perReq:    30 * time.Microsecond,
+		perSector: 120 * time.Microsecond,
+	}
+}
+
+func (s *slowDev) charge(buf []byte) {
+	if s.metered.Load() {
+		time.Sleep(s.perReq + time.Duration(len(buf)/disk.SectorSize)*s.perSector)
+	}
+}
+
+func (s *slowDev) ReadSectors(sector int64, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.charge(buf)
+	return s.dev.ReadSectors(sector, buf)
+}
+
+func (s *slowDev) WriteSectors(sector int64, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.charge(buf)
+	return s.dev.WriteSectors(sector, buf)
+}
+
+func (s *slowDev) Capacity() int64 { return s.dev.Capacity() }
+
+// spResult is one (mode, shards) row of the shard bench.
+type spResult struct {
+	Mode             string  `json:"mode"`
+	Shards           int     `json:"shards"`
+	Clients          int     `json:"clients"`
+	Ops              int     `json:"ops"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	P50Micros        float64 `json:"p50_us"`
+	P99Micros        float64 `json:"p99_us"`
+	DeviceSyncsPerOp float64 `json:"device_syncs_per_op"`
+	// ShardWrites is the per-shard successful write+sync op count in
+	// ring order — the observed load spread.
+	ShardWrites []int64 `json:"shard_writes,omitempty"`
+}
+
+// spReport is the whole -json document.
+type spReport struct {
+	Bench        string     `json:"bench"`
+	OpsPerClient int        `json:"ops_per_client"`
+	GoMaxProcs   int        `json:"gomaxprocs"`
+	Results      []spResult `json:"results"`
+}
+
+const spClients = 16
+
+// runShardpath measures routed write+sync and read throughput at 1, 4,
+// and 8 shards with 16 clients, prints the scaling factors, and
+// optionally gates against a baseline report.
+func runShardpath(opsPerClient int, jsonPath, baselinePath string) error {
+	if opsPerClient <= 0 {
+		opsPerClient = 150
+	}
+	rep := spReport{Bench: "shardpath", OpsPerClient: opsPerClient, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	fmt.Printf("Sharded throughput (%d clients, %d ops/client, wall clock, rate-limited devices)\n",
+		spClients, opsPerClient)
+	fmt.Printf("%-10s %7s %8s %10s %10s %10s %12s\n",
+		"mode", "shards", "clients", "ops/s", "p50(us)", "p99(us)", "dsyncs/op")
+	for _, mode := range []string{"writesync", "read"} {
+		for _, shards := range []int{1, 4, 8} {
+			r, err := spRun(mode, shards, opsPerClient)
+			if err != nil {
+				return fmt.Errorf("shardpath %s/%d: %w", mode, shards, err)
+			}
+			rep.Results = append(rep.Results, r)
+			fmt.Printf("%-10s %7d %8d %10.0f %10.1f %10.1f %12.4f\n",
+				r.Mode, r.Shards, r.Clients, r.OpsPerSec, r.P50Micros, r.P99Micros, r.DeviceSyncsPerOp)
+		}
+	}
+	for _, mode := range []string{"writesync", "read"} {
+		if s := spSpeedup(&rep, mode, 8, 1); s > 0 {
+			fmt.Printf("  %s scaling: 8 shards = %.2fx of 1 shard\n", mode, s)
+		}
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  [results written to %s]\n", jsonPath)
+	}
+	if baselinePath != "" {
+		return spCompare(&rep, baselinePath)
+	}
+	return nil
+}
+
+// spSpeedup returns mode's ops/s ratio between two shard counts.
+func spSpeedup(rep *spReport, mode string, hi, lo int) float64 {
+	var h, l float64
+	for _, r := range rep.Results {
+		if r.Mode != mode {
+			continue
+		}
+		if r.Shards == hi {
+			h = r.OpsPerSec
+		}
+		if r.Shards == lo {
+			l = r.OpsPerSec
+		}
+	}
+	if l <= 0 {
+		return 0
+	}
+	return h / l
+}
+
+// spRun executes one (mode, shards) cell on a fresh cluster.
+func spRun(mode string, shards, opsPerClient int) (spResult, error) {
+	drives := make([]*core.Drive, shards)
+	devs := make([]*slowDev, shards)
+	backends := make([]s4rpc.Backend, shards)
+	for i := range drives {
+		devs[i] = newSlowDev(256 << 20)
+		drv, err := core.Format(devs[i], core.Options{
+			Clock: vclock.Wall{},
+			// Writes deprecate their predecessors; a short window keeps
+			// the run from filling the log (see writepath.go). A small
+			// block cache keeps the read mode on the device, where the
+			// shard scaling lives, instead of in shared memory.
+			Window:          100 * time.Millisecond,
+			BlockCacheBytes: 64 << 10,
+		})
+		if err != nil {
+			return spResult{}, err
+		}
+		drives[i] = drv
+		backends[i] = drv
+	}
+	defer func() {
+		for _, d := range drives {
+			_ = d.Close()
+		}
+	}()
+	router, err := shard.New(backends, shard.Options{})
+	if err != nil {
+		return spResult{}, err
+	}
+
+	acl := []types.ACLEntry{{User: types.EveryoneID, Perm: types.PermAll}}
+	owner := types.Cred{User: 100, Client: 1}
+	const objBytes = 128 << 10
+	// Write ops carry 16KB so the payload's transfer time dwarfs the
+	// per-force bookkeeping writes: the force cost amortizes across a
+	// commit batch (deep at 1 shard, shallow at 8), and letting it
+	// matter would understate the scaling the router actually buys.
+	payload := make([]byte, 4*types.BlockSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	// Each client hammers one object, so the cell's load spread is the
+	// hash spread of just 16 IDs — a sample small enough for consistent
+	// hashing to land 6 objects on one shard and 0 on another (large-
+	// sample uniformity is ring_test.go's chi-square property, not a
+	// 16-ID guarantee). Allocate until every shard owns an equal share
+	// and delete the surplus, so the cell measures router scaling
+	// rather than small-sample hash luck.
+	perShard := spClients / shards
+	fill := make([]int, shards)
+	ids := make([]types.ObjectID, 0, spClients)
+	for attempts := 0; len(ids) < spClients; attempts++ {
+		if attempts > 4096 {
+			return spResult{}, fmt.Errorf("could not balance %d objects across %d shards", spClients, shards)
+		}
+		id, err := router.Create(owner, acl, nil)
+		if err != nil {
+			return spResult{}, err
+		}
+		if s := router.ShardOf(id); fill[s] >= perShard {
+			if err := router.Delete(owner, id); err != nil {
+				return spResult{}, err
+			}
+			continue
+		} else {
+			fill[s]++
+		}
+		ids = append(ids, id)
+		if mode == "read" {
+			// Materialize the object the reads will hit.
+			for off := uint64(0); off < objBytes; off += uint64(len(payload)) {
+				if err := router.Write(owner, id, off, payload); err != nil {
+					return spResult{}, err
+				}
+			}
+		} else if err := router.Write(owner, id, 0, payload); err != nil {
+			return spResult{}, err
+		}
+	}
+	if err := router.Sync(types.AdminCred()); err != nil {
+		return spResult{}, err
+	}
+
+	prev := runtime.GOMAXPROCS(spClients)
+	defer runtime.GOMAXPROCS(prev)
+	for _, d := range devs {
+		d.metered.Store(true)
+	}
+	defer func() {
+		for _, d := range devs {
+			d.metered.Store(false)
+		}
+	}()
+	agg0, _, err := router.ShardStats()
+	if err != nil {
+		return spResult{}, err
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	lats := make([][]float64, spClients)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < spClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cred := types.Cred{User: types.UserID(100 + c), Client: types.ClientID(1 + c)}
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			myObj := ids[c]
+			my := make([]float64, 0, opsPerClient)
+			<-start
+			for i := 0; i < opsPerClient; i++ {
+				t0 := time.Now()
+				var err error
+				if mode == "read" {
+					off := uint64(rng.Intn(objBytes/types.BlockSize)) * types.BlockSize
+					_, err = router.Read(cred, myObj, off, types.BlockSize, types.TimeNowest)
+				} else {
+					err = router.Write(cred, myObj, uint64(rng.Intn(2))*types.BlockSize, payload)
+					for retry := 0; err == types.ErrNoSpace && retry < 3; retry++ {
+						if _, cerr := drives[router.ShardOf(myObj)].CleanOnce(); cerr != nil {
+							err = cerr
+							break
+						}
+						err = router.Write(cred, myObj, 0, payload)
+					}
+					if err == nil {
+						// Per-object sync: one shard forces, the other
+						// shards never hear about it.
+						err = router.SyncObj(cred, myObj)
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				my = append(my, float64(time.Since(t0).Nanoseconds())/1e3)
+			}
+			mu.Lock()
+			lats[c] = my
+			mu.Unlock()
+		}(c)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if firstErr != nil {
+		return spResult{}, firstErr
+	}
+	agg1, per1, err := router.ShardStats()
+	if err != nil {
+		return spResult{}, err
+	}
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[int(p*float64(len(all)-1))]
+	}
+	ops := spClients * opsPerClient
+	if os.Getenv("SP_DEBUG") != "" {
+		fmt.Printf("    [debug %s/%d] batches=%d coalesced=%d forces=%d vecapp=%d logapp=%d bw=%dMB br=%dMB stalls=%d\n",
+			mode, shards,
+			agg1.CommitBatches-agg0.CommitBatches, agg1.SyncsCoalesced-agg0.SyncsCoalesced,
+			agg1.DeviceForces-agg0.DeviceForces, agg1.VecAppends-agg0.VecAppends,
+			agg1.LogAppends-agg0.LogAppends, (agg1.BytesWritten-agg0.BytesWritten)>>20, (agg1.BytesRead-agg0.BytesRead)>>20,
+			agg1.FlushStalls-agg0.FlushStalls)
+	}
+	res := spResult{
+		Mode:             mode,
+		Shards:           shards,
+		Clients:          spClients,
+		Ops:              ops,
+		OpsPerSec:        float64(ops) / elapsed.Seconds(),
+		P50Micros:        pct(0.50),
+		P99Micros:        pct(0.99),
+		DeviceSyncsPerOp: float64(agg1.DeviceForces-agg0.DeviceForces) / float64(ops),
+	}
+	if mode == "writesync" {
+		for _, s := range per1 {
+			res.ShardWrites = append(res.ShardWrites, s.Ops[types.OpWrite])
+		}
+	}
+	return res, nil
+}
+
+// spCompare gates a fresh report against the checked-in baseline. The
+// machine-independent contract is the scaling ratio: 8-shard/1-shard
+// writesync and read throughput must hold at >= 2.5x (the reason this
+// subsystem exists; measured ~4-6x, so 2.5 leaves margin for machine
+// variance without letting scaling quietly rot). Absolute ops/s on a
+// loaded CI box swings far more than any real regression would, so
+// per-row floors are advisory-loose (50%) and apply only when the run
+// used the baseline's ops count; the forces-per-op ratio (a pure count,
+// noise-free) stays strict.
+func spCompare(rep *spReport, baselinePath string) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("shardpath baseline: %w", err)
+	}
+	var base spReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("shardpath baseline: %w", err)
+	}
+	lookup := func(mode string, shards int) *spResult {
+		for i := range base.Results {
+			if base.Results[i].Mode == mode && base.Results[i].Shards == shards {
+				return &base.Results[i]
+			}
+		}
+		return nil
+	}
+	failed := false
+	sameOps := rep.OpsPerClient == base.OpsPerClient
+	for _, r := range rep.Results {
+		b := lookup(r.Mode, r.Shards)
+		if b == nil || b.OpsPerSec <= 0 {
+			continue
+		}
+		verdict := "ok"
+		floor := 0.0
+		if sameOps {
+			floor = b.OpsPerSec * 0.50
+			if r.OpsPerSec < floor {
+				verdict = "REGRESSED"
+				failed = true
+			}
+		}
+		if r.Mode == "writesync" && b.DeviceSyncsPerOp > 0 &&
+			r.DeviceSyncsPerOp > b.DeviceSyncsPerOp*1.3 {
+			verdict = "FORCES REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  gate %-10s shards=%-2d %10.0f ops/s vs baseline %10.0f (floor %8.0f), %6.4f dsyncs/op vs %6.4f: %s\n",
+			r.Mode, r.Shards, r.OpsPerSec, b.OpsPerSec, floor, r.DeviceSyncsPerOp, b.DeviceSyncsPerOp, verdict)
+	}
+	for _, mode := range []string{"writesync", "read"} {
+		if s := spSpeedup(rep, mode, 8, 1); s < 2.5 {
+			fmt.Printf("  gate %s scaling: 8 shards = %.2fx of 1 shard (need >= 2.5): REGRESSED\n", mode, s)
+			failed = true
+		} else {
+			fmt.Printf("  gate %s scaling: 8 shards = %.2fx of 1 shard (need >= 2.5): ok\n", mode, s)
+		}
+	}
+	if failed {
+		return fmt.Errorf("shardpath: throughput or scaling regressed vs %s", baselinePath)
+	}
+	return nil
+}

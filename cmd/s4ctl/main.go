@@ -113,7 +113,7 @@ func main() {
 			fmt.Printf("THROTTLED CLIENTS (possible history-pool abuse): %v\n", st.Suspects)
 		}
 	case "stats":
-		st, err := c.DriveStats()
+		st, per, err := c.ShardStats()
 		check(err)
 		fmt.Printf("commit batches:  %d\n", st.CommitBatches)
 		fmt.Printf("syncs coalesced: %d\n", st.SyncsCoalesced)
@@ -137,6 +137,17 @@ func main() {
 		fmt.Printf("recon cache:     %d / %d\n", st.ReconCacheHits, st.ReconCacheHits+st.ReconCacheMisses)
 		fmt.Printf("cleaner runs:    %d (%d segments freed, %d blocks compacted)\n",
 			st.CleanerRuns, st.SegmentsFreed, st.BlocksCompacted)
+		// Behind a gate the aggregate above sums the whole cluster;
+		// the per-shard breakdown (ring order) shows how the router
+		// spread the load.
+		if len(per) > 1 {
+			fmt.Printf("\n%-6s %-10s %-10s %-10s %-14s %s\n",
+				"shard", "batches", "forces", "syncs", "bytes written", "bytes read")
+			for i, s := range per {
+				fmt.Printf("%-6d %-10d %-10d %-10d %-14d %d\n",
+					i, s.CommitBatches, s.DeviceForces, s.SyncsCoalesced, s.BytesWritten, s.BytesRead)
+			}
+		}
 	case "versions":
 		obj := parseObj()
 		vs, err := c.ListVersions(obj, *max)
@@ -170,10 +181,13 @@ func main() {
 		_ = sub.Parse(rest)
 		recs, err := c.AuditRead(*fromSeq, *max)
 		check(err)
-		fmt.Printf("%-8s %-28s %-8s %-8s %-12s %-10s %s\n", "seq", "time", "client", "user", "op", "object", "ok")
+		// Behind a gate the stream is the merged cluster timeline and
+		// (shard, seq) is the record identity; on a single drive the
+		// shard column is all zeros.
+		fmt.Printf("%-6s %-8s %-28s %-8s %-8s %-12s %-10s %s\n", "shard", "seq", "time", "client", "user", "op", "object", "ok")
 		for _, r := range recs {
-			fmt.Printf("%-8d %-28s %-8d %-8d %-12s %-10s %v\n",
-				r.Seq, r.Time, r.Client, r.User, r.Op, r.Obj, r.OK)
+			fmt.Printf("%-6d %-8d %-28s %-8d %-8d %-12s %-10s %v\n",
+				r.Shard, r.Seq, r.Time, r.Client, r.User, r.Op, r.Obj, r.OK)
 		}
 	case "setwindow":
 		if len(rest) == 0 {

@@ -6,6 +6,12 @@
 //	    -adminkey admin-secret -clientkey 1=client1-secret \
 //	    -window 168h
 //
+// With -shards N it runs N independent shard drives in one process:
+// shard k backs image <image>.k and listens on port+k, each with its
+// own segment log, cleaner, audit log, and exactly-once session state.
+// A consistent-hash router (s4gate, or an embedded shard.Router) fans
+// client traffic across them (DESIGN.md §13).
+//
 // The drive keeps every version of every object for the detection
 // window, audits every request, and cleans aged history in the
 // background. Stop with SIGINT/SIGTERM; state is checkpointed on exit.
@@ -20,6 +26,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -29,18 +36,29 @@ import (
 	"s4/internal/types"
 )
 
+// instance is one shard: a drive on its own image, served on its own
+// address.
+type instance struct {
+	image string
+	dev   *disk.FileDisk
+	drv   *core.Drive
+	srv   *s4rpc.Server
+	ln    net.Listener
+}
+
 func main() {
-	image := flag.String("image", "s4drive.img", "backing image file")
+	image := flag.String("image", "s4drive.img", "backing image file (shard k appends .k when -shards > 1)")
 	sizeMB := flag.Int64("size", 1024, "image size in MB (new images)")
-	listen := flag.String("listen", "127.0.0.1:4455", "TCP listen address")
+	listen := flag.String("listen", "127.0.0.1:4455", "TCP listen address (shard k listens on port+k)")
+	shards := flag.Int("shards", 1, "independent shard drives to run in this process")
 	adminKey := flag.String("adminkey", "", "administrator key (required)")
 	clientKeys := flag.String("clientkey", "", "comma-separated id=key client credentials")
 	window := flag.Duration("window", 7*24*time.Hour, "detection window")
 	format := flag.Bool("format", false, "format the image even if it has data")
 	cleanEvery := flag.Duration("clean", 30*time.Second, "cleaner interval (0 disables)")
-	workers := flag.Int("workers", 0, "request-dispatch pool size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "request-dispatch pool size per shard (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "request queue depth before shedding ErrBusy (0 = 4x workers)")
-	connLimit := flag.Int("conn-limit", 0, "max concurrent connections (0 = unlimited)")
+	connLimit := flag.Int("conn-limit", 0, "max concurrent connections per shard (0 = unlimited)")
 	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-frame I/O deadline, evicts stalled peers (0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful drain on shutdown: in-flight requests get their replies (0 = drop immediately)")
 	throttleHint := flag.Bool("throttle-hint", true, "surface abuse throttling as fast-fail retry-after hints instead of in-band delays")
@@ -50,19 +68,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "s4d: -adminkey is required (the security perimeter needs one)")
 		os.Exit(2)
 	}
-	dev, err := disk.OpenFile(*image, *sizeMB<<20)
-	if err != nil {
-		log.Fatalf("s4d: open image: %v", err)
-	}
-	opts := core.Options{Window: *window, SurfaceThrottle: *throttleHint}
-	var drv *core.Drive
-	if *format || isBlank(dev) {
-		drv, err = core.Format(dev, opts)
-	} else {
-		drv, err = core.Open(dev, opts)
-	}
-	if err != nil {
-		log.Fatalf("s4d: attach drive: %v", err)
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "s4d: -shards must be at least 1")
+		os.Exit(2)
 	}
 
 	keys := s4rpc.NewKeyring([]byte(*adminKey))
@@ -81,16 +89,52 @@ func main() {
 		keys.AddClient(types.ClientID(n), []byte(key))
 	}
 
-	srv := s4rpc.NewServer(drv, keys)
-	srv.SetWorkers(*workers)
-	srv.SetQueueDepth(*queue)
-	srv.SetConnLimit(*connLimit)
-	srv.SetIOTimeout(*ioTimeout)
-	ln, err := net.Listen("tcp", *listen)
+	host, portStr, err := net.SplitHostPort(*listen)
 	if err != nil {
-		log.Fatalf("s4d: listen: %v", err)
+		log.Fatalf("s4d: bad -listen %q: %v", *listen, err)
 	}
-	log.Printf("s4d: serving %s on %s (window %v)", *image, ln.Addr(), *window)
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		log.Fatalf("s4d: -listen needs a numeric port with -shards: %v", err)
+	}
+
+	opts := core.Options{Window: *window, SurfaceThrottle: *throttleHint}
+	insts := make([]*instance, *shards)
+	for k := range insts {
+		in := &instance{image: *image}
+		if *shards > 1 {
+			in.image = fmt.Sprintf("%s.%d", *image, k)
+		}
+		dev, err := disk.OpenFile(in.image, *sizeMB<<20)
+		if err != nil {
+			log.Fatalf("s4d: open image %s: %v", in.image, err)
+		}
+		in.dev = dev
+		if *format || isBlank(dev) {
+			in.drv, err = core.Format(dev, opts)
+		} else {
+			in.drv, err = core.Open(dev, opts)
+		}
+		if err != nil {
+			log.Fatalf("s4d: attach drive %s: %v", in.image, err)
+		}
+		in.srv = s4rpc.NewServer(in.drv, keys)
+		in.srv.SetWorkers(*workers)
+		in.srv.SetQueueDepth(*queue)
+		in.srv.SetConnLimit(*connLimit)
+		in.srv.SetIOTimeout(*ioTimeout)
+		addr := net.JoinHostPort(host, strconv.Itoa(basePort+k))
+		in.ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatalf("s4d: listen %s: %v", addr, err)
+		}
+		insts[k] = in
+		if *shards > 1 {
+			log.Printf("s4d: shard %d serving %s on %s (window %v)", k, in.image, in.ln.Addr(), *window)
+		} else {
+			log.Printf("s4d: serving %s on %s (window %v)", in.image, in.ln.Addr(), *window)
+		}
+	}
 
 	stopClean := make(chan struct{})
 	if *cleanEvery > 0 {
@@ -102,10 +146,12 @@ func main() {
 				case <-stopClean:
 					return
 				case <-ticker.C:
-					if cs, err := drv.CleanOnce(); err == nil &&
-						(cs.SegmentsFreed > 0 || cs.ObjectsReaped > 0) {
-						log.Printf("s4d: cleaner freed %d segments, reaped %d objects",
-							cs.SegmentsFreed, cs.ObjectsReaped)
+					for k, in := range insts {
+						if cs, err := in.drv.CleanOnce(); err == nil &&
+							(cs.SegmentsFreed > 0 || cs.ObjectsReaped > 0) {
+							log.Printf("s4d: shard %d cleaner freed %d segments, reaped %d objects",
+								k, cs.SegmentsFreed, cs.ObjectsReaped)
+						}
 					}
 				}
 			}
@@ -117,22 +163,46 @@ func main() {
 	go func() {
 		<-sig
 		close(stopClean)
+		var wg sync.WaitGroup
+		for _, in := range insts {
+			in := in
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if *drain > 0 {
+					_ = in.srv.Shutdown(*drain)
+				} else {
+					_ = in.srv.Close()
+				}
+			}()
+		}
 		if *drain > 0 {
 			log.Printf("s4d: draining (up to %v)", *drain)
-			_ = srv.Shutdown(*drain)
 		} else {
 			log.Printf("s4d: shutting down")
-			_ = srv.Close()
 		}
+		wg.Wait()
 	}()
-	if err := srv.Serve(ln); err != nil {
-		log.Printf("s4d: serve: %v", err)
+
+	var serveWG sync.WaitGroup
+	for _, in := range insts {
+		in := in
+		serveWG.Add(1)
+		go func() {
+			defer serveWG.Done()
+			if err := in.srv.Serve(in.ln); err != nil {
+				log.Printf("s4d: serve %s: %v", in.ln.Addr(), err)
+			}
+		}()
 	}
-	if err := drv.Close(); err != nil {
-		log.Fatalf("s4d: checkpoint on shutdown: %v", err)
-	}
-	if err := dev.Close(); err != nil {
-		log.Fatalf("s4d: close image: %v", err)
+	serveWG.Wait()
+	for _, in := range insts {
+		if err := in.drv.Close(); err != nil {
+			log.Fatalf("s4d: checkpoint %s on shutdown: %v", in.image, err)
+		}
+		if err := in.dev.Close(); err != nil {
+			log.Fatalf("s4d: close image %s: %v", in.image, err)
+		}
 	}
 }
 

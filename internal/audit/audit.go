@@ -43,6 +43,14 @@ type Record struct {
 	OK bool
 	// Errno is the stable error code for failed requests (0 when OK).
 	Errno uint8
+	// Shard is the index of the drive that produced this record,
+	// tagged by the shard router when it merges per-shard audit
+	// streams so diagnosis still answers "which device saw this
+	// write". It is deliberately NOT part of the on-disk encoding:
+	// a single drive does not know its position in a ring, and
+	// adding a field to Encode/Decode would shift every record
+	// boundary in existing audit blocks. Zero on a single drive.
+	Shard int
 }
 
 // Encode appends the record's wire form to dst.

@@ -1052,6 +1052,50 @@ func (d *Drive) Create(cred types.Cred, acl []types.ACLEntry, attr []byte) (type
 	return id, err
 }
 
+// CreateWithID makes a new object under a caller-chosen ID. It exists
+// for the shard router, which owns ID allocation so that the
+// consistent-hash ring can place an object before any shard has seen
+// it; a single drive allocating its own IDs would collide with its
+// siblings. IDs below types.FirstUserObject are reserved (ErrInval),
+// and an ID already in the object map — live or deleted — is refused
+// (ErrExist) rather than silently reused: reuse would splice two
+// objects' histories together and blind intrusion diagnosis. nextOID
+// advances past the given ID so a later plain Create cannot collide.
+func (d *Drive) CreateWithID(cred types.Cred, id types.ObjectID, acl []types.ACLEntry, attr []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return types.ErrDriveStopped
+	}
+	var err error
+	switch {
+	case id < types.FirstUserObject:
+		err = types.ErrInval
+	case len(acl) > types.MaxACLEntries || len(attr) > types.MaxAttrLen:
+		err = types.ErrTooLarge
+	default:
+		if _, exists := d.objects[id]; exists {
+			err = types.ErrExist
+		}
+	}
+	if err == nil {
+		err = d.throttle(cred)
+	}
+	if err != nil {
+		d.auditOp(cred, types.OpCreate, id, 0, 0, "", err)
+		return err
+	}
+	if len(acl) == 0 {
+		acl = []types.ACLEntry{{User: cred.User, Perm: types.PermAll}}
+	}
+	if id >= d.nextOID {
+		d.nextOID = id + 1
+	}
+	d.createObjectLocked(id, cred, acl, attr)
+	d.auditOp(cred, types.OpCreate, id, 0, 0, "", nil)
+	return d.evictColdLocked()
+}
+
 // createObjectLocked registers a new object and journals its birth,
 // initial ACL, and initial attributes, so that crash recovery can
 // rebuild the object entirely from the log. Caller holds the exclusive
@@ -1858,6 +1902,27 @@ func (d *Drive) Sync(cred types.Cred) error {
 	return err
 }
 
+// SyncObj makes the calling client's acknowledged writes to one object
+// durable. The drive group-commits, so the force that satisfies this
+// call covers everything staged before it — the per-object form exists
+// so a shard router can route the sync to the one shard holding the
+// object instead of broadcasting a whole-drive Sync to every shard, and
+// so the audit log records which object the client cared about. The
+// object must exist: a sync against a vanished object is a client bug
+// worth an audit record, not a silent no-op.
+func (d *Drive) SyncObj(cred types.Cred, id types.ObjectID) error {
+	d.mu.RLock()
+	var err error
+	if _, gerr := d.getObjectShared(id); gerr != nil {
+		err = gerr
+	} else {
+		err = d.syncShared()
+	}
+	d.auditOp(cred, types.OpSync, id, 0, 0, "", err)
+	d.mu.RUnlock()
+	return err
+}
+
 // syncShared makes every modification staged before the call durable.
 // Caller holds the shared drive lock.
 //
@@ -2001,7 +2066,12 @@ type StatusInfo struct {
 	AuditBlocks   int
 	JournalBlocks int
 	CPBlocks      int
-	Suspects      []types.ClientID
+	// NextOID is the next object ID this drive would self-allocate. A
+	// shard router seeds its cross-shard ID allocator from the maximum
+	// across its shards so router-assigned IDs never collide with
+	// recovered state.
+	NextOID  types.ObjectID
+	Suspects []types.ClientID
 }
 
 // Status reports drive occupancy and health.
@@ -2034,6 +2104,7 @@ func (d *Drive) Status() StatusInfo {
 		AuditBlocks:   auditBlocks,
 		JournalBlocks: journalBlocks,
 		CPBlocks:      cp,
+		NextOID:       d.nextOID,
 		Suspects:      d.thr.Suspects(),
 	}
 }

@@ -68,11 +68,53 @@ type Listener struct {
 	stats struct {
 		conns, cuts, drops, delays atomic.Uint64
 	}
+
+	// forceDrop, when set, blackholes every connection — current and
+	// future — regardless of DropProb. It models a whole shard falling
+	// off the network (dead switch port) and is flipped at run time by
+	// kill-one-shard tests; SetDrop(false) restores the configured
+	// schedule for connections accepted afterwards.
+	forceDrop atomic.Bool
+
+	openMu sync.Mutex
+	open   map[*faultConn]struct{}
 }
 
 // Wrap dresses ln in fault injection. Close and Addr pass through.
 func Wrap(ln net.Listener, cfg Config) *Listener {
-	return &Listener{Listener: ln, cfg: cfg}
+	return &Listener{Listener: ln, cfg: cfg, open: make(map[*faultConn]struct{})}
+}
+
+// SetDrop toggles the whole-listener blackhole: while on, every open
+// and newly accepted connection delivers nothing in either direction.
+// Pair with CutAll to sever what is already established — together
+// they are the "kill one shard" switch.
+func (l *Listener) SetDrop(on bool) { l.forceDrop.Store(on) }
+
+// CutAll severs every currently open connection mid-stream, as a
+// crashing shard would.
+func (l *Listener) CutAll() {
+	l.openMu.Lock()
+	conns := make([]*faultConn, 0, len(l.open))
+	for c := range l.open {
+		conns = append(conns, c)
+	}
+	l.openMu.Unlock()
+	for _, c := range conns {
+		c.sever()
+	}
+}
+
+func (l *Listener) track(c *faultConn) {
+	l.openMu.Lock()
+	l.open[c] = struct{}{}
+	l.openMu.Unlock()
+}
+
+func (l *Listener) forget(c *faultConn) {
+	l.openMu.Lock()
+	delete(l.open, c)
+	l.openMu.Unlock()
 }
 
 // Stats snapshots the fault counters.
@@ -108,6 +150,7 @@ func (l *Listener) Accept() (net.Conn, error) {
 		fc.budget.Store(int64(budget))
 		fc.cutting = true
 	}
+	l.track(fc)
 	return fc, nil
 }
 
@@ -163,16 +206,27 @@ func (c *faultConn) consume(n int) (allowed int, cut bool) {
 func (c *faultConn) sever() {
 	if c.severed.CompareAndSwap(false, true) {
 		c.l.stats.cuts.Add(1)
+		c.l.forget(c)
 		_ = c.Conn.Close()
 	}
 }
+
+func (c *faultConn) Close() error {
+	c.l.forget(c)
+	return c.Conn.Close()
+}
+
+// dropping reports whether the connection is a blackhole right now —
+// either by its accept-time draw or because the listener-wide kill
+// switch is on.
+func (c *faultConn) dropping() bool { return c.dropped || c.l.forceDrop.Load() }
 
 func (c *faultConn) Read(p []byte) (int, error) {
 	if c.severed.Load() {
 		return 0, ErrCut
 	}
 	c.maybeDelay()
-	if c.dropped {
+	if c.dropping() {
 		// Starve: consume the peer's bytes (so its writes appear to
 		// succeed) but deliver nothing. Reading the underlying conn —
 		// rather than blocking on a channel — keeps deadlines and
@@ -203,7 +257,7 @@ func (c *faultConn) Write(p []byte) (int, error) {
 		return 0, ErrCut
 	}
 	c.maybeDelay()
-	if c.dropped {
+	if c.dropping() {
 		return len(p), nil // blackhole: ack everything, deliver nothing
 	}
 	allowed, cut := c.consume(len(p))

@@ -1,0 +1,66 @@
+package s4rpc
+
+import (
+	"time"
+
+	"s4/internal/audit"
+	"s4/internal/core"
+	"s4/internal/types"
+)
+
+// Backend is the op surface the RPC server dispatches against: exactly
+// the method set of core.Drive that Table 1 (plus the recovery and
+// status extensions) reaches. A *core.Drive satisfies it directly; the
+// shard router (internal/shard) satisfies it by routing per-object
+// operations through its consistent-hash ring and scatter-gathering
+// whole-drive operations across its shards. Keeping the interface here
+// — rather than in internal/shard — lets the server depend on one name
+// while the router depends on s4rpc for its wire backends without an
+// import cycle.
+type Backend interface {
+	Create(cred types.Cred, acl []types.ACLEntry, attr []byte) (types.ObjectID, error)
+	CreateWithID(cred types.Cred, id types.ObjectID, acl []types.ACLEntry, attr []byte) error
+	Delete(cred types.Cred, id types.ObjectID) error
+	Read(cred types.Cred, id types.ObjectID, off, n uint64, at types.Timestamp) ([]byte, error)
+	Write(cred types.Cred, id types.ObjectID, off uint64, data []byte) error
+	Append(cred types.Cred, id types.ObjectID, data []byte) (uint64, error)
+	Truncate(cred types.Cred, id types.ObjectID, size uint64) error
+	GetAttr(cred types.Cred, id types.ObjectID, at types.Timestamp) (core.AttrInfo, error)
+	SetAttr(cred types.Cred, id types.ObjectID, attr []byte) error
+	GetACLByUser(cred types.Cred, id types.ObjectID, user types.UserID, at types.Timestamp) (types.ACLEntry, error)
+	GetACLByIndex(cred types.Cred, id types.ObjectID, idx int, at types.Timestamp) (types.ACLEntry, error)
+	SetACL(cred types.Cred, id types.ObjectID, idx int, e types.ACLEntry) error
+	PCreate(cred types.Cred, name string, id types.ObjectID) error
+	PDelete(cred types.Cred, name string) error
+	PList(cred types.Cred, at types.Timestamp) ([]core.PartEntry, error)
+	PMount(cred types.Cred, name string, at types.Timestamp) (types.ObjectID, error)
+	Sync(cred types.Cred) error
+	SyncObj(cred types.Cred, id types.ObjectID) error
+	Flush(cred types.Cred, from, to types.Timestamp) error
+	FlushO(cred types.Cred, id types.ObjectID, from, to types.Timestamp) error
+	SetWindow(cred types.Cred, w time.Duration) error
+	ListVersions(cred types.Cred, id types.ObjectID) ([]core.VersionInfo, error)
+	Revert(cred types.Cred, id types.ObjectID, at types.Timestamp) error
+	AuditRead(cred types.Cred, fromSeq uint64, max int) ([]audit.Record, error)
+	Status() core.StatusInfo
+	GetStats() core.Stats
+}
+
+// ShardStatser is the optional interface a multi-shard Backend
+// implements so OpStats can carry both the summed counters and the
+// per-shard breakdown, and so a down shard surfaces as an error
+// instead of silently zeroed counters.
+type ShardStatser interface {
+	// ShardStats returns the aggregate counters, the per-shard
+	// breakdown in ring order, and any fan-out error (a down shard
+	// yields a typed per-shard error; reachable shards still report).
+	ShardStats() (core.Stats, []core.Stats, error)
+}
+
+// StatusErrer is the optional interface a Backend implements when its
+// Status can fail (a remote or fanned-out backend). The server prefers
+// it over the infallible Status so a down shard yields a wire error
+// rather than a silently truncated summary.
+type StatusErrer interface {
+	StatusErr() (core.StatusInfo, error)
+}

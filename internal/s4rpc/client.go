@@ -415,6 +415,14 @@ func (c *Client) Create(acl []types.ACLEntry, attr []byte) (types.ObjectID, erro
 	return resp.Obj, nil
 }
 
+// CreateWithID makes an object under a caller-chosen ID (the shard
+// router's create path: the ring owns allocation). The drive refuses
+// reserved IDs and IDs it has ever seen.
+func (c *Client) CreateWithID(id types.ObjectID, acl []types.ACLEntry, attr []byte) error {
+	_, err := c.call1(&Request{Op: types.OpCreate, Obj: id, ACL: acl, Attr: attr})
+	return err
+}
+
 // Delete removes an object; its versions stay in the history pool.
 func (c *Client) Delete(obj types.ObjectID) error {
 	_, err := c.call1(&Request{Op: types.OpDelete, Obj: obj})
@@ -526,6 +534,14 @@ func (c *Client) Sync() error {
 	return err
 }
 
+// SyncObj forces the caller's acknowledged writes to one object
+// durable. Through a shard router this touches only the shard holding
+// obj, unlike Sync which broadcasts to every shard.
+func (c *Client) SyncObj(obj types.ObjectID) error {
+	_, err := c.call1(&Request{Op: types.OpSync, Obj: obj})
+	return err
+}
+
 // SetWindow adjusts the detection window (admin session).
 func (c *Client) SetWindow(w time.Duration) error {
 	_, err := c.call1(&Request{Op: types.OpSetWindow, Window: w})
@@ -584,6 +600,17 @@ func (c *Client) DriveStats() (core.Stats, error) {
 		return core.Stats{}, err
 	}
 	return resp.Stats, nil
+}
+
+// ShardStats reads the activity counters plus, when the peer is a
+// shard router or gate, the per-shard breakdown (empty for a single
+// drive).
+func (c *Client) ShardStats() (core.Stats, []core.Stats, error) {
+	resp, err := c.call1(&Request{Op: types.OpStats})
+	if err != nil {
+		return core.Stats{}, nil, err
+	}
+	return resp.Stats, resp.ShardStats, nil
 }
 
 // Batch executes several requests in one round trip (§4.1.2).

@@ -113,7 +113,10 @@ type Response struct {
 	Records  []audit.Record
 	Status   core.StatusInfo
 	Stats    core.Stats
-	Batch    []Response
+	// ShardStats is the per-shard breakdown behind an aggregated Stats
+	// reply, in ring order; empty when the backend is a single drive.
+	ShardStats []core.Stats
+	Batch      []Response
 }
 
 // Err converts the wire errno back into a Go error (nil when 0). A

@@ -71,7 +71,7 @@ const defaultMaxSessions = 4096
 // connections, and a per-session duplicate-reply cache gives retrying
 // clients exactly-once execution (see proto.go).
 type Server struct {
-	drv  *core.Drive
+	drv  Backend
 	keys *Keyring
 
 	mu        sync.Mutex
@@ -127,8 +127,9 @@ type session struct {
 	lastUsed atomic.Int64 // unix nanos, for registry eviction
 }
 
-// NewServer wraps drv with the given keyring.
-func NewServer(drv *core.Drive, keys *Keyring) *Server {
+// NewServer wraps drv — a single drive or a shard router — with the
+// given keyring.
+func NewServer(drv Backend, keys *Keyring) *Server {
 	return &Server{
 		drv: drv, keys: keys,
 		conns:       make(map[net.Conn]struct{}),
@@ -519,7 +520,17 @@ func (s *Server) dispatch(cred types.Cred, req *Request) *Response {
 			resp.Batch = append(resp.Batch, *sub)
 		}
 	case types.OpCreate:
-		id, err := s.drv.Create(cred, req.ACL, req.Attr)
+		// Obj != 0 selects explicit-ID creation (no separate op code:
+		// audit blocks persist op codes, and a plain Create never
+		// carries an object). The shard router and gate use it so the
+		// ring — not the shard — owns ID allocation.
+		var id types.ObjectID
+		var err error
+		if req.Obj != 0 {
+			id, err = req.Obj, s.drv.CreateWithID(cred, req.Obj, req.ACL, req.Attr)
+		} else {
+			id, err = s.drv.Create(cred, req.ACL, req.Attr)
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -584,6 +595,11 @@ func (s *Server) dispatch(cred types.Cred, req *Request) *Response {
 		}
 		resp.Obj = id
 	case types.OpSync:
+		// Obj != 0 narrows the sync to one object so a shard router can
+		// route it to a single shard instead of broadcasting.
+		if req.Obj != 0 {
+			return fail(s.drv.SyncObj(cred, req.Obj))
+		}
 		return fail(s.drv.Sync(cred))
 	case types.OpFlush:
 		return fail(s.drv.Flush(cred, req.From, req.To))
@@ -609,9 +625,25 @@ func (s *Server) dispatch(cred types.Cred, req *Request) *Response {
 		}
 		resp.Records = recs
 	case types.OpStatus:
-		resp.Status = s.drv.Status()
+		if b, ok := s.drv.(StatusErrer); ok {
+			st, err := b.StatusErr()
+			if err != nil {
+				return fail(err)
+			}
+			resp.Status = st
+		} else {
+			resp.Status = s.drv.Status()
+		}
 	case types.OpStats:
-		resp.Stats = s.drv.GetStats()
+		if b, ok := s.drv.(ShardStatser); ok {
+			agg, per, err := b.ShardStats()
+			if err != nil {
+				return fail(err)
+			}
+			resp.Stats, resp.ShardStats = agg, per
+		} else {
+			resp.Stats = s.drv.GetStats()
+		}
 	default:
 		return fail(types.ErrUnimplProto)
 	}

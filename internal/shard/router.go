@@ -1,0 +1,355 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s4/internal/audit"
+	"s4/internal/core"
+	"s4/internal/s4rpc"
+	"s4/internal/types"
+)
+
+// Options tunes a Router. The zero value of every field selects a
+// sensible default.
+type Options struct {
+	// Vnodes is the virtual-node count per shard (layout contract —
+	// see Ring). Zero selects DefaultVnodes.
+	Vnodes int
+	// MaxFan bounds how many shards a scatter-gather operation calls
+	// concurrently. Zero selects 4.
+	MaxFan int
+	// FanTimeout is the per-shard deadline inside a scatter-gather: a
+	// shard that has not answered by then is abandoned and reported as
+	// a ShardError wrapping ErrShardTimeout. Zero selects 5s.
+	FanTimeout time.Duration
+}
+
+func (o *Options) fill() {
+	if o.MaxFan <= 0 {
+		o.MaxFan = 4
+	}
+	if o.FanTimeout <= 0 {
+		o.FanTimeout = 5 * time.Second
+	}
+}
+
+// Router fronts N shard backends behind the single-drive op surface
+// (s4rpc.Backend). Routing invariants (DESIGN.md §13):
+//
+//   - per-object operations go to exactly one shard, chosen by the
+//     consistent-hash ring over the object ID;
+//   - object IDs are allocated by the router (CreateWithID on the
+//     owning shard), never by a shard itself, so IDs cannot collide
+//     across shards and the ring can place an object before any shard
+//     has seen it;
+//   - partition-table operations and reserved objects live on shard 0;
+//   - whole-drive operations (Sync, Flush, SetWindow, AuditRead,
+//     Status, GetStats) scatter-gather across every shard with bounded
+//     fan-out and per-shard deadlines; a down shard yields a typed
+//     *ShardError inside a *PartialError beside whatever partial
+//     result the reachable shards produced — never a hang, never a
+//     silently truncated result.
+//
+// A Router is safe for concurrent use whenever its backends are.
+type Router struct {
+	ring     *Ring
+	backends []s4rpc.Backend
+	opts     Options
+	nextOID  atomic.Uint64
+}
+
+// New builds a router over backends (shard i = backends[i]). It seeds
+// the router's object-ID allocator from the maximum NextOID across the
+// shards, so a router rebuilt over recovered drives never re-issues a
+// live ID; every shard must therefore be reachable at construction.
+func New(backends []s4rpc.Backend, opts Options) (*Router, error) {
+	opts.fill()
+	ring, err := NewRing(len(backends), opts.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{ring: ring, backends: backends, opts: opts}
+	next := uint64(types.FirstUserObject)
+	for i, b := range backends {
+		st, err := statusOf(b)
+		if err != nil {
+			return nil, &ShardError{Shard: i, Err: err}
+		}
+		if uint64(st.NextOID) > next {
+			next = uint64(st.NextOID)
+		}
+	}
+	r.nextOID.Store(next)
+	return r, nil
+}
+
+// statusOf prefers the fallible status when the backend offers one.
+func statusOf(b s4rpc.Backend) (core.StatusInfo, error) {
+	if se, ok := b.(s4rpc.StatusErrer); ok {
+		return se.StatusErr()
+	}
+	return b.Status(), nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.backends) }
+
+// ShardOf exposes the ring mapping (tests, tooling, s4ctl).
+func (r *Router) ShardOf(id types.ObjectID) int { return r.ring.Shard(id) }
+
+// Backend returns shard i's backend (tests and tooling reach through
+// the router for per-shard verification).
+func (r *Router) Backend(i int) s4rpc.Backend { return r.backends[i] }
+
+func (r *Router) owner(id types.ObjectID) s4rpc.Backend {
+	return r.backends[r.ring.Shard(id)]
+}
+
+// fanOut runs fn against every shard with at most MaxFan concurrent
+// calls, each under FanTimeout, returning per-shard results and errors
+// indexed by shard. A shard missing the deadline is abandoned — its
+// goroutine may finish later but writes only to a channel nothing
+// reads anymore, its fan-out slot frees immediately (one hung shard
+// cannot wedge the operation), and its slot reports ErrShardTimeout.
+func fanOut[T any](r *Router, fn func(shard int, b s4rpc.Backend) (T, error)) ([]T, []error) {
+	type outcome struct {
+		v   T
+		err error
+	}
+	results := make([]T, len(r.backends))
+	errs := make([]error, len(r.backends))
+	sem := make(chan struct{}, r.opts.MaxFan)
+	var wg sync.WaitGroup
+	for i := range r.backends {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			done := make(chan outcome, 1)
+			go func() {
+				v, err := fn(i, r.backends[i])
+				done <- outcome{v, err}
+			}()
+			timer := time.NewTimer(r.opts.FanTimeout)
+			defer timer.Stop()
+			select {
+			case o := <-done:
+				results[i], errs[i] = o.v, o.err
+			case <-timer.C:
+				errs[i] = ErrShardTimeout
+			}
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// broadcast is fanOut for operations with no result value.
+func (r *Router) broadcast(fn func(shard int, b s4rpc.Backend) error) error {
+	_, errs := fanOut(r, func(i int, b s4rpc.Backend) (struct{}, error) {
+		return struct{}{}, fn(i, b)
+	})
+	return partialFrom(errs)
+}
+
+// ---- Per-object operations: one shard each ----
+
+// Create allocates the next object ID from the router's cross-shard
+// counter, maps it through the ring, and creates it on the owning
+// shard. A collision (another allocator raced us to the ID) retries
+// with a fresh ID rather than failing the client.
+func (r *Router) Create(cred types.Cred, acl []types.ACLEntry, attr []byte) (types.ObjectID, error) {
+	var lastErr error
+	for tries := 0; tries < 256; tries++ {
+		id := types.ObjectID(r.nextOID.Add(1) - 1)
+		err := r.owner(id).CreateWithID(cred, id, acl, attr)
+		if err == nil {
+			return id, nil
+		}
+		if !errors.Is(err, types.ErrExist) {
+			return 0, err
+		}
+		lastErr = err
+	}
+	return 0, lastErr
+}
+
+// CreateWithID creates an explicitly numbered object on its ring
+// shard, advancing the router's allocator past it.
+func (r *Router) CreateWithID(cred types.Cred, id types.ObjectID, acl []types.ACLEntry, attr []byte) error {
+	for {
+		cur := r.nextOID.Load()
+		if uint64(id) < cur || r.nextOID.CompareAndSwap(cur, uint64(id)+1) {
+			break
+		}
+	}
+	return r.owner(id).CreateWithID(cred, id, acl, attr)
+}
+
+func (r *Router) Delete(cred types.Cred, id types.ObjectID) error {
+	return r.owner(id).Delete(cred, id)
+}
+
+func (r *Router) Read(cred types.Cred, id types.ObjectID, off, n uint64, at types.Timestamp) ([]byte, error) {
+	return r.owner(id).Read(cred, id, off, n, at)
+}
+
+func (r *Router) Write(cred types.Cred, id types.ObjectID, off uint64, data []byte) error {
+	return r.owner(id).Write(cred, id, off, data)
+}
+
+func (r *Router) Append(cred types.Cred, id types.ObjectID, data []byte) (uint64, error) {
+	return r.owner(id).Append(cred, id, data)
+}
+
+func (r *Router) Truncate(cred types.Cred, id types.ObjectID, size uint64) error {
+	return r.owner(id).Truncate(cred, id, size)
+}
+
+func (r *Router) GetAttr(cred types.Cred, id types.ObjectID, at types.Timestamp) (core.AttrInfo, error) {
+	return r.owner(id).GetAttr(cred, id, at)
+}
+
+func (r *Router) SetAttr(cred types.Cred, id types.ObjectID, attr []byte) error {
+	return r.owner(id).SetAttr(cred, id, attr)
+}
+
+func (r *Router) GetACLByUser(cred types.Cred, id types.ObjectID, user types.UserID, at types.Timestamp) (types.ACLEntry, error) {
+	return r.owner(id).GetACLByUser(cred, id, user, at)
+}
+
+func (r *Router) GetACLByIndex(cred types.Cred, id types.ObjectID, idx int, at types.Timestamp) (types.ACLEntry, error) {
+	return r.owner(id).GetACLByIndex(cred, id, idx, at)
+}
+
+func (r *Router) SetACL(cred types.Cred, id types.ObjectID, idx int, e types.ACLEntry) error {
+	return r.owner(id).SetACL(cred, id, idx, e)
+}
+
+// SyncObj routes the per-object durability force to the one shard
+// holding the object — the reason the per-object form exists: a
+// whole-drive Sync through a router costs one force per shard.
+func (r *Router) SyncObj(cred types.Cred, id types.ObjectID) error {
+	return r.owner(id).SyncObj(cred, id)
+}
+
+func (r *Router) ListVersions(cred types.Cred, id types.ObjectID) ([]core.VersionInfo, error) {
+	return r.owner(id).ListVersions(cred, id)
+}
+
+func (r *Router) Revert(cred types.Cred, id types.ObjectID, at types.Timestamp) error {
+	return r.owner(id).Revert(cred, id, at)
+}
+
+func (r *Router) FlushO(cred types.Cred, id types.ObjectID, from, to types.Timestamp) error {
+	return r.owner(id).FlushO(cred, id, from, to)
+}
+
+// ---- Partition table: single-homed on shard 0 ----
+
+func (r *Router) PCreate(cred types.Cred, name string, id types.ObjectID) error {
+	return r.backends[0].PCreate(cred, name, id)
+}
+
+func (r *Router) PDelete(cred types.Cred, name string) error {
+	return r.backends[0].PDelete(cred, name)
+}
+
+func (r *Router) PList(cred types.Cred, at types.Timestamp) ([]core.PartEntry, error) {
+	return r.backends[0].PList(cred, at)
+}
+
+func (r *Router) PMount(cred types.Cred, name string, at types.Timestamp) (types.ObjectID, error) {
+	return r.backends[0].PMount(cred, name, at)
+}
+
+// ---- Whole-drive operations: scatter-gather ----
+
+// Sync broadcasts the durability force to every shard.
+func (r *Router) Sync(cred types.Cred) error {
+	return r.broadcast(func(_ int, b s4rpc.Backend) error { return b.Sync(cred) })
+}
+
+// Flush erases history in range on every shard.
+func (r *Router) Flush(cred types.Cred, from, to types.Timestamp) error {
+	return r.broadcast(func(_ int, b s4rpc.Backend) error { return b.Flush(cred, from, to) })
+}
+
+// SetWindow adjusts the detection window on every shard.
+func (r *Router) SetWindow(cred types.Cred, w time.Duration) error {
+	return r.broadcast(func(_ int, b s4rpc.Backend) error { return b.SetWindow(cred, w) })
+}
+
+// AuditRead merges every shard's audit stream into one shard-tagged
+// diagnosis timeline (see gatherAudit). fromSeq and max apply
+// per-shard on the way in; max bounds the merged result on the way
+// out. Reachable shards' records are returned even when the error is
+// non-nil.
+func (r *Router) AuditRead(cred types.Cred, fromSeq uint64, max int) ([]audit.Record, error) {
+	recs, errs := fanOut(r, func(_ int, b s4rpc.Backend) ([]audit.Record, error) {
+		return b.AuditRead(cred, fromSeq, max)
+	})
+	replies := make([]auditReply, len(recs))
+	for i := range replies {
+		replies[i] = auditReply{recs: recs[i], err: errs[i]}
+	}
+	return gatherAudit(replies, max)
+}
+
+// StatusErr aggregates shard statuses; a down shard is a typed error
+// beside the reachable shards' merged summary.
+func (r *Router) StatusErr() (core.StatusInfo, error) {
+	sts, errs := fanOut(r, func(_ int, b s4rpc.Backend) (core.StatusInfo, error) {
+		return statusOf(b)
+	})
+	replies := make([]statusReply, len(sts))
+	for i := range replies {
+		replies[i] = statusReply{status: sts[i], err: errs[i]}
+	}
+	return gatherStatus(replies)
+}
+
+// Status satisfies the single-drive surface; fan-out failures surface
+// through StatusErr (which the RPC server prefers).
+func (r *Router) Status() core.StatusInfo {
+	st, _ := r.StatusErr()
+	return st
+}
+
+// ShardStats aggregates the counters and returns the per-shard
+// breakdown in ring order. Only reachable shards contribute; failures
+// arrive as the typed partial error.
+func (r *Router) ShardStats() (core.Stats, []core.Stats, error) {
+	sts, errs := fanOut(r, func(_ int, b s4rpc.Backend) (core.Stats, error) {
+		if se, ok := b.(statsErrer); ok {
+			return se.GetStatsErr()
+		}
+		return b.GetStats(), nil
+	})
+	replies := make([]statsReply, len(sts))
+	for i := range replies {
+		replies[i] = statsReply{stats: sts[i], err: errs[i]}
+	}
+	return gatherStats(replies)
+}
+
+// statsErrer lets a remote backend report stats fetch failures instead
+// of swallowing them into zero counters.
+type statsErrer interface {
+	GetStatsErr() (core.Stats, error)
+}
+
+// GetStats satisfies the single-drive surface with the aggregate.
+func (r *Router) GetStats() core.Stats {
+	agg, _, _ := r.ShardStats()
+	return agg
+}
+
+var (
+	_ s4rpc.Backend      = (*Router)(nil)
+	_ s4rpc.ShardStatser = (*Router)(nil)
+	_ s4rpc.StatusErrer  = (*Router)(nil)
+)

@@ -52,9 +52,18 @@ func main() {
 	rpOps := flag.Int("rp-ops", 0, "with -readpath: base operations per client (0 = default 400)")
 	shardpath := flag.Bool("shards", false, "run the sharded-router scaling bench (1/4/8 shards) instead of a figure")
 	spOps := flag.Int("sp-ops", 0, "with -shards: operations per client (0 = default 150)")
+	restart := flag.Bool("restart", false, "run the restart bench (open time vs history depth, index on/off, both backends)")
 	jsonOut := flag.String("json", "", "with -writepath/-readpath: write machine-readable results to this file")
 	baseline := flag.String("baseline", "", "with -writepath/-readpath: fail if throughput regresses >30% vs this baseline JSON")
 	flag.Parse()
+
+	if *restart {
+		if err := runRestart(*jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "restart: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *writepath {
 		if err := runWritepath(*wpOps, *jsonOut, *baseline); err != nil {

@@ -1,0 +1,235 @@
+// Restart bench (s4bench -restart): wall-clock Open time and
+// recovery-replay work versus history depth, with the persisted
+// segment index on and off, on both the memory and the real-file
+// seglog backend. The drive is checkpointed and then crashed with a
+// short dirty tail — the instant-restart scenario — so the indexed
+// open replays only the tail while the full scan re-walks every chain.
+// The headline is the replay-entry reduction at the deepest cell
+// (DESIGN.md §14); the -baseline gate fails if it drops below 10x.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// rsResult is one (backend, depth, indexed) cell.
+type rsResult struct {
+	Backend       string  `json:"backend"`
+	Depth         int     `json:"depth"` // versions written before the crash
+	Indexed       bool    `json:"indexed"`
+	OpenMillis    float64 `json:"open_ms"`
+	ReplayEntries int64   `json:"replay_entries"`
+	IndexLoads    int64   `json:"index_loads"`
+	IndexFallback int64   `json:"index_fallbacks"`
+}
+
+// rsReport is the whole -json document.
+type rsReport struct {
+	Bench      string     `json:"bench"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Results    []rsResult `json:"results"`
+	// Reduction is replay_entries(full) / replay_entries(indexed) at
+	// the deepest depth, per backend. The acceptance floor is 10x.
+	Reduction map[string]float64 `json:"replay_reduction"`
+}
+
+var rsDepths = []int{100, 1000, 5000}
+
+// minReplayReduction is the acceptance floor for the deepest cell:
+// the persisted index must cut replay work by at least this factor.
+const minReplayReduction = 10.0
+
+// rsImage builds a crashed drive image at the given history depth:
+// checkpointed workload plus a 16-write dirty tail that is synced but
+// never folded into a checkpoint. The drive is abandoned (not closed)
+// so the image is exactly what a crash leaves.
+func rsImage(dev disk.Device, opts core.Options, depth int) error {
+	drv, err := core.Format(dev, opts)
+	if err != nil {
+		return err
+	}
+	acl := []types.ACLEntry{{User: types.EveryoneID, Perm: types.PermAll}}
+	owner := types.Cred{User: 100, Client: 1}
+	const objects = 8
+	ids := make([]types.ObjectID, objects)
+	base := make([]byte, 2*types.BlockSize)
+	for i := range base {
+		base[i] = byte(i * 13)
+	}
+	for c := range ids {
+		if ids[c], err = drv.Create(owner, acl, nil); err != nil {
+			return err
+		}
+		if err := drv.Write(owner, ids[c], 0, base); err != nil {
+			return err
+		}
+	}
+	rng := rand.New(rand.NewSource(int64(depth)))
+	patch := make([]byte, 512)
+	for v := 0; v < depth; v++ {
+		rng.Read(patch)
+		id := ids[v%objects]
+		if err := drv.Write(owner, id, uint64(rng.Intn(len(base)-512)), patch); err != nil {
+			return err
+		}
+		if (v+1)%256 == 0 {
+			if err := drv.Checkpoint(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := drv.Checkpoint(); err != nil {
+		return err
+	}
+	for v := 0; v < 16; v++ {
+		rng.Read(patch)
+		if err := drv.Write(owner, ids[v%objects], uint64(rng.Intn(len(base)-512)), patch); err != nil {
+			return err
+		}
+	}
+	return drv.Sync(owner)
+}
+
+// rsOpen measures one recovery on the image: wall-clock Open plus the
+// drive's own restart counters. The recovered drive is abandoned, not
+// closed, so the image stays a crash image for the next measurement.
+func rsOpen(dev disk.Device, opts core.Options, indexed bool) (rsResult, error) {
+	o := opts
+	o.DisableSegIndex = !indexed
+	start := time.Now()
+	drv, err := core.Open(dev, o)
+	if err != nil {
+		return rsResult{}, err
+	}
+	wall := time.Since(start)
+	st := drv.DriveStats()
+	return rsResult{
+		Indexed:       indexed,
+		OpenMillis:    float64(wall.Microseconds()) / 1000,
+		ReplayEntries: st.RecoveryReplayEntries,
+		IndexLoads:    st.IndexLoads,
+		IndexFallback: st.IndexFallbacks,
+	}, nil
+}
+
+// rsDevice builds a fresh device for the named backend.
+func rsDevice(backend, dir string, depth int) (disk.Device, error) {
+	const capacity = 256 << 20
+	switch backend {
+	case "mem":
+		return disk.New(disk.SmallDisk(capacity), nil), nil
+	case "file":
+		return disk.OpenFile(filepath.Join(dir, fmt.Sprintf("restart-%d.img", depth)), capacity)
+	}
+	return nil, fmt.Errorf("unknown backend %q", backend)
+}
+
+// runRestart measures the grid and optionally gates against a
+// baseline report (the gate also runs standalone: the deepest cell
+// must show at least a 10x replay reduction).
+func runRestart(jsonPath, baselinePath string) error {
+	rep := rsReport{Bench: "restart", GoMaxProcs: runtime.GOMAXPROCS(0), Reduction: map[string]float64{}}
+	dir, err := os.MkdirTemp("", "s4bench-restart")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	opts := core.Options{
+		Clock:     vclock.Wall{},
+		Window:    time.Hour, // no aging mid-bench: depth stays what we wrote
+		SegBlocks: 64,
+	}
+	fmt.Println("Restart bench (open time vs history depth, wall clock)")
+	fmt.Printf("%-8s %8s %8s %12s %12s %10s\n",
+		"backend", "depth", "indexed", "open(ms)", "replay", "loads/fb")
+	for _, backend := range []string{"mem", "file"} {
+		for _, depth := range rsDepths {
+			dev, err := rsDevice(backend, dir, depth)
+			if err != nil {
+				return err
+			}
+			if err := rsImage(dev, opts, depth); err != nil {
+				return fmt.Errorf("restart %s/%d: build: %w", backend, depth, err)
+			}
+			var cells [2]rsResult
+			for i, indexed := range []bool{true, false} {
+				r, err := rsOpen(dev, opts, indexed)
+				if err != nil {
+					return fmt.Errorf("restart %s/%d indexed=%v: %w", backend, depth, indexed, err)
+				}
+				r.Backend, r.Depth = backend, depth
+				cells[i] = r
+				rep.Results = append(rep.Results, r)
+				fmt.Printf("%-8s %8d %8v %12.2f %12d %6d/%d\n",
+					r.Backend, r.Depth, r.Indexed, r.OpenMillis, r.ReplayEntries, r.IndexLoads, r.IndexFallback)
+			}
+			if depth == rsDepths[len(rsDepths)-1] && cells[0].ReplayEntries > 0 {
+				rep.Reduction[backend] = float64(cells[1].ReplayEntries) / float64(cells[0].ReplayEntries)
+			}
+			if c, ok := dev.(interface{ Close() error }); ok {
+				_ = c.Close()
+			}
+		}
+	}
+	for _, backend := range []string{"mem", "file"} {
+		fmt.Printf("  [%s: %.1fx replay-entry reduction at depth %d]\n",
+			backend, rep.Reduction[backend], rsDepths[len(rsDepths)-1])
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  [results written to %s]\n", jsonPath)
+	}
+	for backend, ratio := range rep.Reduction {
+		if ratio < minReplayReduction {
+			return fmt.Errorf("%s backend: replay reduction %.1fx below the %gx floor", backend, ratio, minReplayReduction)
+		}
+	}
+	if baselinePath != "" {
+		return rsCompare(&rep, baselinePath)
+	}
+	return nil
+}
+
+// rsCompare gates the current run against a checked-in baseline: the
+// reduction ratio must hold (within 30% slack) for every backend the
+// baseline recorded, and indexed opens must never have regressed to
+// replaying more entries than the baseline's full scans.
+func rsCompare(rep *rsReport, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base rsReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	for backend, want := range base.Reduction {
+		got, ok := rep.Reduction[backend]
+		if !ok {
+			return fmt.Errorf("baseline records backend %q this run lacks", backend)
+		}
+		if got < want*0.7 {
+			return fmt.Errorf("%s backend: replay reduction %.1fx regressed >30%% vs baseline %.1fx", backend, got, want)
+		}
+	}
+	fmt.Printf("  [baseline %s: reduction ratios held]\n", path)
+	return nil
+}

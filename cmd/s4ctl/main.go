@@ -137,6 +137,9 @@ func main() {
 		fmt.Printf("recon cache:     %d / %d\n", st.ReconCacheHits, st.ReconCacheHits+st.ReconCacheMisses)
 		fmt.Printf("cleaner runs:    %d (%d segments freed, %d blocks compacted)\n",
 			st.CleanerRuns, st.SegmentsFreed, st.BlocksCompacted)
+		fmt.Printf("restart:         %v open (%d entries replayed)\n",
+			st.OpenDuration.Round(time.Microsecond), st.RecoveryReplayEntries)
+		fmt.Printf("segment index:   %d loads, %d fallbacks\n", st.IndexLoads, st.IndexFallbacks)
 		// Behind a gate the aggregate above sums the whole cluster;
 		// the per-shard breakdown (ring order) shows how the router
 		// spread the load.

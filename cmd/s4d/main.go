@@ -40,7 +40,7 @@ import (
 // address.
 type instance struct {
 	image string
-	dev   *disk.FileDisk
+	dev   disk.Device
 	drv   *core.Drive
 	srv   *s4rpc.Server
 	ln    net.Listener
@@ -54,6 +54,7 @@ func main() {
 	adminKey := flag.String("adminkey", "", "administrator key (required)")
 	clientKeys := flag.String("clientkey", "", "comma-separated id=key client credentials")
 	window := flag.Duration("window", 7*24*time.Hour, "detection window")
+	backend := flag.String("backend", "file", "seglog backing store: file (preallocated image) or mem (volatile, for testing)")
 	format := flag.Bool("format", false, "format the image even if it has data")
 	cleanEvery := flag.Duration("clean", 30*time.Second, "cleaner interval (0 disables)")
 	workers := flag.Int("workers", 0, "request-dispatch pool size per shard (0 = GOMAXPROCS)")
@@ -105,9 +106,22 @@ func main() {
 		if *shards > 1 {
 			in.image = fmt.Sprintf("%s.%d", *image, k)
 		}
-		dev, err := disk.OpenFile(in.image, *sizeMB<<20)
-		if err != nil {
-			log.Fatalf("s4d: open image %s: %v", in.image, err)
+		var dev disk.Device
+		var err error
+		switch *backend {
+		case "file":
+			dev, err = disk.OpenFile(in.image, *sizeMB<<20)
+			if err != nil {
+				log.Fatalf("s4d: open image %s: %v", in.image, err)
+			}
+		case "mem":
+			// Volatile RAM store (no latency model): every restart is a
+			// fresh format, so the drive's history guarantees only hold
+			// for the life of the process. Testing and benchmarking only.
+			dev = disk.New(disk.SmallDisk(*sizeMB<<20), nil)
+			in.image = fmt.Sprintf("mem:%dMB", *sizeMB)
+		default:
+			log.Fatalf("s4d: unknown -backend %q (want file or mem)", *backend)
 		}
 		in.dev = dev
 		if *format || isBlank(dev) {
@@ -200,8 +214,10 @@ func main() {
 		if err := in.drv.Close(); err != nil {
 			log.Fatalf("s4d: checkpoint %s on shutdown: %v", in.image, err)
 		}
-		if err := in.dev.Close(); err != nil {
-			log.Fatalf("s4d: close image %s: %v", in.image, err)
+		if c, ok := in.dev.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil {
+				log.Fatalf("s4d: close image %s: %v", in.image, err)
+			}
 		}
 	}
 }

@@ -694,6 +694,11 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 		// the resulting chain tombstones: it revalidates each checkpoint
 		// entry's root before trusting it.
 		d.dropAllLandmarks(r.o)
+		// The chain may still hold checkpoint entries with intact roots
+		// that a full-scan recovery would re-index; flag the object so the
+		// segment index records the list as reset and indexed recovery
+		// re-walks the chain too (DESIGN.md §14).
+		r.o.lmReset = true
 		d.recon.dropObject(r.o.id)
 		touchedObjs[r.o.id] = r.o
 	}

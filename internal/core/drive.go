@@ -115,6 +115,12 @@ type Options struct {
 	// close (DESIGN.md §6) so the torture harness can prove it catches
 	// the resulting corruption. Never set outside tests.
 	UnsafeImmediateReuse bool
+	// DisableSegIndex ignores the persisted segment index at Open and
+	// forces full-scan recovery (DESIGN.md §14). It affects only the
+	// open path — checkpoints still write the index — so the
+	// recovery-equivalence battery can open the same crash image both
+	// ways and diff the results.
+	DisableSegIndex bool
 }
 
 func (o *Options) fill(dev disk.Device) {
@@ -196,11 +202,21 @@ type object struct {
 	// blocks — registration (appendEntry), sector fill-in
 	// (flushJournalLocked), aging/reap/Flush removal (cleaner,
 	// flushObjectLocked), and relocation re-registration
-	// (relocateChainLocked) all preserve that. Not persisted; recovery
-	// rebuilds it during recountUsage's chain walk.
+	// (relocateChainLocked) all preserve that. Persisted in the segment
+	// index at checkpoint; full-scan recovery rebuilds it during
+	// recountUsage's chain walk.
 	landmarks     []landmark
 	sinceLandmark int // real entries appended since the last landmark
-	lruEl         *list.Element
+	// lmReset records that compaction dropped this object's landmark
+	// index wholesale (dropAllLandmarks after a forced data-block
+	// relocation), so the in-memory list may be missing checkpoint
+	// entries that are still in the chain. Full-scan recovery would
+	// re-index those; persisting the flag in the segment index tells
+	// indexed recovery to re-walk the chain the same way. The runtime
+	// never reconverges the list on its own, so the flag stays set until
+	// a recovery (which does) clears it.
+	lmReset bool
+	lruEl   *list.Element
 }
 
 // landmark is one entry of an object's checkpoint index: a flushed
@@ -242,13 +258,20 @@ type Stats struct {
 	DirtyObjects   int64 // objects currently in the sync dirty set
 
 	// History-read-path counters (DESIGN.md §12).
-	ReadOps           int64 // Read calls served (live or historical)
+	ReadOps            int64 // Read calls served (live or historical)
 	HistoryWalkEntries int64 // journal entries visited by reconstruction walks
-	LandmarkHits      int64 // reconstructions anchored at a landmark checkpoint
-	ReconCacheHits    int64 // reconstructions served from the inode-at-time cache
-	ReconCacheMisses  int64 // reconstructions that had to walk
-	DeviceReads       int64 // segment-log device read I/Os
-	VecReads          int64 // multi-block coalesced device reads
+	LandmarkHits       int64 // reconstructions anchored at a landmark checkpoint
+	ReconCacheHits     int64 // reconstructions served from the inode-at-time cache
+	ReconCacheMisses   int64 // reconstructions that had to walk
+	DeviceReads        int64 // segment-log device read I/Os
+	VecReads           int64 // multi-block coalesced device reads
+
+	// Restart counters (DESIGN.md §14). Set once by Open; reads are
+	// reported through the same snapshot as everything else.
+	IndexLoads            int64         // opens that anchored at a persisted segment index
+	IndexFallbacks        int64         // opens that found a checkpoint but fell back to full scan
+	RecoveryReplayEntries int64         // journal entries examined while recovering
+	OpenDuration          time.Duration // wall-clock time spent in recovery at Open
 }
 
 // Drive is an open S4 drive. See the package comment for the lock
@@ -274,10 +297,10 @@ type Drive struct {
 	// allocator drops to it, so compaction and the checkpoint barrier
 	// always have room to reclaim space. Set at open, read-only after.
 	spaceReserve int64
-	usage   *segUsage   // atomic counters; no lock needed
-	cache   *blockCache // internally locked
-	recon   *reconCache // internally locked (leaf), like cache
-	closed  bool
+	usage        *segUsage   // atomic counters; no lock needed
+	cache        *blockCache // internally locked
+	recon        *reconCache // internally locked (leaf), like cache
+	closed       bool
 
 	// Lock-free reconstruction-walk counters; the walks deliberately
 	// hold no lock statsMu could pair with.
@@ -344,6 +367,23 @@ type Drive struct {
 	// crash can never find the checkpointed state referencing a reused
 	// segment. Touched only under the exclusive drive lock.
 	pendingFree map[int64]bool
+
+	// Transient indexed-recovery state (DESIGN.md §14); non-nil only
+	// while recover() runs with a usable segment index, cleared before
+	// Open returns. recPreJhead/recSnapVer snapshot each object's
+	// checkpoint-time chain head and newest applied version so the
+	// post-replay passes know where the replayed tail ends; recTouched
+	// marks objects whose chains the roll-forward scan advanced.
+	recPreJhead map[types.ObjectID]journal.SectorAddr
+	recSnapVer  map[types.ObjectID]uint64
+	recTouched  map[types.ObjectID]bool
+	// recSumCover caches each probed segment's durable-summary entry
+	// count. The full recount's sweep classifies only summary-listed
+	// blocks, so a tail block whose payload survived a crash but whose
+	// summary write did not is referenced by chains yet never counted;
+	// indexed recovery gates its usage deltas on the same coverage.
+	recSumCover map[int64]int
+	recReplay   int64 // journal entries examined during this recovery
 }
 
 type auditBlockRef struct {
@@ -399,9 +439,15 @@ func Open(dev disk.Device, opts Options) (*Drive, error) {
 		d.spaceReserve = 64
 	}
 	d.stats.Ops = make(map[types.Op]int64)
+	// Wall clock, not d.clk: OpenDuration measures real recovery work
+	// (the restart bench compares it across index on/off), and the
+	// virtual clock does not advance during recovery.
+	openStart := time.Now()
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
+	d.stats.OpenDuration = time.Since(openStart)
+	d.stats.RecoveryReplayEntries = d.recReplay
 	if _, ok := d.objects[types.PartitionTable]; !ok {
 		// Fresh drive: create the partition table object, admin-owned,
 		// world-readable (PList/PMount are mediated by the drive).
@@ -657,6 +703,13 @@ func (d *Drive) appendEntry(o *object, e *journal.Entry) {
 		// Deletion deprecates every block of the final version.
 		for _, a := range o.ino.blocks {
 			d.usage.deprecate(segOf(d.log, a))
+		}
+	}
+	if e.Type == journal.EntRevive {
+		// Revival is deletion undone: the final version's blocks return
+		// from the history pool to live service.
+		for _, a := range o.ino.blocks {
+			d.usage.undeprecate(segOf(d.log, a))
 		}
 	}
 	o.ino.redo(e)

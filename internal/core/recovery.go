@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	stdlog "log"
 	"sort"
 	"time"
 
@@ -16,14 +17,21 @@ import (
 // Checkpoint: the drive flushes every object's journal, writes full
 // inode checkpoints for objects modified since their last checkpoint,
 // and then serializes the object map (plus allocator and audit state)
-// into the segment log's alternating checkpoint slots.
+// and the segment index (segindex.go) into the segment log's
+// alternating checkpoint slots.
 //
 // Recovery: read the newest object-map checkpoint, roll forward over
 // segments written after it by redoing journal entries with versions
-// beyond each object's checkpointed version, then recount segment
-// usage from scratch by classifying every on-disk block against the
-// recovered object map — the LFS-style full-scan recovery that trades
-// restart time for zero steady-state bookkeeping risk.
+// beyond each object's checkpointed version, then rebuild segment
+// usage. Two ways to rebuild (DESIGN.md §14):
+//
+//   - Full scan: recount from scratch by classifying every on-disk
+//     block against the recovered object map — the LFS-style recovery
+//     that trades restart time for zero steady-state bookkeeping risk.
+//   - Indexed: preload the checkpoint-time counters from the persisted
+//     segment index and apply only the deltas the replayed tail
+//     implies. Any defect in the index degrades to the full scan; the
+//     torture battery proves both paths produce identical state.
 
 const imapMagic = 0x53344D50 // "S4MP"
 
@@ -67,7 +75,15 @@ func (d *Drive) checkpointLocked() error {
 	d.commitMu.Lock()
 	d.commitDone = d.commitSeq
 	d.commitMu.Unlock()
-	if err := d.log.WriteCheckpoint(d.encodeImapLocked()); err != nil {
+	imap := d.encodeImapLocked()
+	idx := d.encodeSegIndexLocked()
+	if len(imap)+len(idx) > d.log.CheckpointCapacity() {
+		// The index is advisory: rather than fail the checkpoint, drop
+		// it and let the next open pay for a full scan.
+		stdlog.Printf("core: segment index (%d bytes) does not fit the checkpoint slot; next open will full-scan", len(idx))
+		idx = nil
+	}
+	if err := d.log.WriteCheckpoint(imap, idx); err != nil {
 		return err
 	}
 	// The durable object map no longer references segments the cleaner
@@ -240,9 +256,10 @@ func (d *Drive) decodeImap(data []byte) error {
 }
 
 // recover restores drive state after Open: checkpoint load, journal
-// roll-forward, and a full usage recount.
+// roll-forward, and a usage rebuild (indexed when the persisted segment
+// index is usable, full recount otherwise).
 func (d *Drive) recover() error {
-	blob, cpSeq, ok, err := d.log.ReadCheckpoint()
+	blob, idxBlob, cpSeq, ok, err := d.log.ReadCheckpoint()
 	if err != nil {
 		return err
 	}
@@ -250,6 +267,11 @@ func (d *Drive) recover() error {
 		if err := d.decodeImap(blob); err != nil {
 			return err
 		}
+	}
+	idx := d.loadSegIndex(idxBlob, ok)
+	if idx != nil {
+		d.stats.IndexLoads++
+		d.preloadSegIndex(idx)
 	}
 	// Roll forward: visit segments written after the checkpoint in
 	// sequence order, relinking journal chains and redoing entries.
@@ -272,12 +294,84 @@ func (d *Drive) recover() error {
 	if err != nil {
 		return err
 	}
-	// Recount usage from scratch.
-	if err := d.recountUsage(); err != nil {
+	if idx != nil {
+		err = d.finishIndexedRecovery(idx)
+	} else {
+		// Recount usage from scratch.
+		err = d.recountUsage()
+	}
+	if err != nil {
 		return err
 	}
+	// Both paths end with aging unscheduled and the landmark index
+	// reconverged with what is actually in each chain.
+	for _, o := range d.objects {
+		o.nextAge = 0
+		o.lmReset = false
+	}
+	d.recPreJhead, d.recSnapVer, d.recTouched, d.recSumCover = nil, nil, nil, nil
 	// Evict down to the configured object-cache budget.
 	return d.evictColdLocked()
+}
+
+// loadSegIndex decides whether recovery may anchor at the persisted
+// segment index. Any reason it cannot — index absent, undecodable, or
+// naming a different object set than the object map it rode with —
+// counts as a fallback and degrades to the full scan. DisableSegIndex
+// is a deliberate request for the full scan, not a fallback.
+func (d *Drive) loadSegIndex(idxBlob []byte, haveCP bool) *segIndex {
+	if !haveCP || d.opts.DisableSegIndex {
+		return nil
+	}
+	reject := func(why string) *segIndex {
+		d.stats.IndexFallbacks++
+		stdlog.Printf("core: %s; falling back to full-scan recovery", why)
+		return nil
+	}
+	if idxBlob == nil {
+		return reject("checkpoint carries no segment index")
+	}
+	idx, err := decodeSegIndex(idxBlob, d.log.NumSegments())
+	if err != nil {
+		return reject(fmt.Sprintf("segment index rejected (%v)", err))
+	}
+	if len(idx.objects) != len(d.objects) {
+		return reject("segment index object set differs from object map")
+	}
+	for id := range d.objects {
+		if _, ok := idx.objects[id]; !ok {
+			return reject("segment index object set differs from object map")
+		}
+	}
+	return idx
+}
+
+// preloadSegIndex installs the checkpoint-time usage tables and per-
+// object recovery hints before the roll-forward scan runs.
+func (d *Drive) preloadSegIndex(idx *segIndex) {
+	nSeg := d.log.NumSegments()
+	for seg := int64(0); seg < nSeg; seg++ {
+		s := idx.segs[seg]
+		if s.free {
+			continue // seglog.Open starts every segment free
+		}
+		d.log.MarkAllocated(seg)
+		d.usage.set(seg, s.live, s.hist)
+	}
+	d.jblockRef = make(map[seglog.BlockAddr]int, len(idx.jrefs))
+	for a, n := range idx.jrefs {
+		d.jblockRef[a] = n
+	}
+	d.jstageAddr, d.jstageUsed = seglog.NilAddr, 0
+	d.recPreJhead = make(map[types.ObjectID]journal.SectorAddr, len(d.objects))
+	d.recSnapVer = make(map[types.ObjectID]uint64, len(d.objects))
+	d.recTouched = make(map[types.ObjectID]bool)
+	d.recSumCover = make(map[int64]int)
+	for id, o := range d.objects {
+		d.recPreJhead[id] = o.jhead
+		d.recSnapVer[id] = o.nextVersion - 1
+		o.landmarks = append([]landmark(nil), idx.objects[id].landmarks...)
+	}
 }
 
 // recoverJournalBlock relinks every sector of one flushed journal block
@@ -303,6 +397,7 @@ func (d *Drive) recoverJournalBlock(addr seglog.BlockAddr) error {
 }
 
 func (d *Drive) recoverJournalSector(addr journal.SectorAddr, id types.ObjectID, entries []journal.Entry) error {
+	d.recReplay += int64(len(entries))
 	o := d.objects[id]
 	if o == nil {
 		o = &object{id: id, nextVersion: 1}
@@ -333,6 +428,11 @@ func (d *Drive) recoverJournalSector(addr journal.SectorAddr, id types.ObjectID,
 		// A pre-checkpoint (or already-linked) sector re-synced inside
 		// a newer segment: its effects are already present.
 		return nil
+	}
+	if d.recTouched != nil {
+		// Indexed recovery: pass A walks this object's post-checkpoint
+		// tail once the scan has fully relinked it.
+		d.recTouched[id] = true
 	}
 	for i := range entries {
 		e := &entries[i]
@@ -368,6 +468,11 @@ func (d *Drive) recoverAuditBlock(addr seglog.BlockAddr, firstSeq uint64, lastTi
 		if r.addr == addr || r.firstSeq == firstSeq {
 			return
 		}
+	}
+	if d.recTouched != nil {
+		// Indexed recovery skips the recount that would classify this
+		// freshly scanned audit block live; account it here.
+		d.usage.liveBorn(segOf(d.log, addr))
 	}
 	d.auditBlocks = append(d.auditBlocks, auditBlockRef{addr: addr, firstSeq: firstSeq, lastTime: lastTime})
 	// Recover the sequence counter past anything on disk.
@@ -415,10 +520,20 @@ func (d *Drive) recountUsage() error {
 			if err != nil {
 				return err
 			}
+			d.recReplay += int64(len(entries))
 			for i := range entries {
 				e := &entries[i]
 				if e.Type == journal.EntCheckpoint {
 					d.recoverLandmark(o, e, addr, depTime, ageCut)
+					continue
+				}
+				// Entries at or below the aging floor released their Old
+				// blocks long ago; the blocks may since have been recycled
+				// into other objects' data, so a stale below-floor pointer
+				// must not clobber the current owner's deprecation time
+				// (which object's walk ran last is map order — without the
+				// floor check the recount itself would be nondeterministic).
+				if e.Version <= o.floorVersion {
 					continue
 				}
 				for _, old := range e.Old {
@@ -504,4 +619,399 @@ func (d *Drive) recoverLandmark(o *object, e *journal.Entry, sector journal.Sect
 		root:    e.InodeAddr,
 		sector:  sector,
 	})
+}
+
+// ---- Indexed recovery (DESIGN.md §14) ----
+//
+// The preloaded counters are exact for everything durable at the
+// checkpoint; the passes below apply only what changed since: the
+// replayed chain tails, aging that came due, and landmark-index
+// maintenance the runtime had performed in memory only. Every rule
+// mirrors a recountUsage classification — the recovery-equivalence
+// battery in internal/torture diffs the two paths' full state.
+
+// finishIndexedRecovery replaces recountUsage when recovery anchored at
+// a persisted segment index.
+func (d *Drive) finishIndexedRecovery(idx *segIndex) error {
+	now := d.clk.Now()
+	nowTS := types.TS(now)
+	ageCut := types.TS(now.Add(-d.window))
+
+	ids := make([]types.ObjectID, 0, len(d.objects))
+	for id := range d.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Pass A: account each object's post-checkpoint chain tail. Two
+	// kinds of object can carry one: objects whose chains the scan
+	// advanced, and objects whose checkpoint-time head sector sits in
+	// the segment that was open when the checkpoint was taken — the
+	// head-merge flush path rewrites that sector in place, so it can
+	// hold entries the checkpoint never saw without any summary update
+	// the scan would notice.
+	settled := make(map[types.ObjectID]bool, len(d.recTouched))
+	for _, id := range ids {
+		o := d.objects[id]
+		if !d.recTouched[id] {
+			pre, ok := d.recPreJhead[id]
+			if !ok || pre == journal.NilSector || idx.openSeg < 0 ||
+				segOf(d.log, pre.Block()) != idx.openSeg {
+				continue
+			}
+		}
+		if err := d.accountReplayTail(o, ageCut); err != nil {
+			return err
+		}
+		settled[id] = true
+	}
+
+	// Pass B: re-derive aging with today's cut. The persisted nextAge
+	// hint is the earliest instant anything retained could age; before
+	// it, the checkpoint-time classification still holds and the walk
+	// is skipped — this is what keeps an idle-drive open O(index).
+	for _, id := range ids {
+		o := d.objects[id]
+		oi := idx.objects[id]
+		if oi == nil {
+			continue // born after the checkpoint: pass A covered it
+		}
+		if oi.nextAge != 0 && nowTS < oi.nextAge {
+			continue
+		}
+		if err := d.agingCorrection(o, ageCut, settled[id]); err != nil {
+			return err
+		}
+	}
+
+	// Pass C: drop landmarks whose entries left the window. Their roots
+	// were validated when persisted and the deferred-reuse barrier kept
+	// them intact, so only the time bound matters here.
+	for _, id := range ids {
+		o := d.objects[id]
+		kept := o.landmarks[:0]
+		for _, ln := range o.landmarks {
+			if ln.time < ageCut {
+				d.usage.ageOut(segOf(d.log, ln.root))
+				continue
+			}
+			kept = append(kept, ln)
+		}
+		o.landmarks = kept
+	}
+
+	// Pass D: objects flagged lmReset lost their landmark index
+	// wholesale to a compaction since the persisted snapshot; re-walk
+	// their chains for intact checkpoint roots exactly as the full
+	// recount would re-index them.
+	for _, id := range ids {
+		oi := idx.objects[id]
+		if oi == nil || !oi.lmReset {
+			continue
+		}
+		o := d.objects[id]
+		snapVer := d.recSnapVer[id]
+		for addr := o.jhead; addr != journal.NilSector; {
+			_, prev, entries, err := journal.ReadSector(d.log, addr)
+			if err != nil {
+				return err
+			}
+			d.recReplay += int64(len(entries))
+			for i := range entries {
+				e := &entries[i]
+				if e.Type == journal.EntCheckpoint && e.Version <= snapVer {
+					d.accountReplayEntry(o, e, addr, ageCut)
+				}
+			}
+			if addr == o.jtail {
+				break
+			}
+			addr = prev
+		}
+	}
+
+	// The walks append newest-first; restore ascending-by-time order.
+	for _, id := range ids {
+		o := d.objects[id]
+		sort.Slice(o.landmarks, func(i, j int) bool {
+			if o.landmarks[i].time != o.landmarks[j].time {
+				return o.landmarks[i].time < o.landmarks[j].time
+			}
+			return o.landmarks[i].version < o.landmarks[j].version
+		})
+	}
+
+	// Segments the corrections emptied return to the allocator, as the
+	// recount's sweep would have left them.
+	nSeg := d.log.NumSegments()
+	for seg := int64(0); seg < nSeg; seg++ {
+		if d.log.IsFree(seg) || seg == d.log.CurrentSegment() {
+			continue
+		}
+		if d.usage.reclaimable(seg) {
+			if err := d.log.FreeSegment(seg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// accountReplayTail walks one object's post-checkpoint chain tail
+// (newest-first, stopping at the checkpoint-time head) and accounts the
+// new sectors and the blocks their entries turned over. The walk also
+// collects the tail entries so the delete/revive settlement can derive
+// the object's checkpoint-time state by undoing them from the final
+// inode: intermediate delete/revive pairs are net-zero (a deleted
+// object admits no other mutation), so only the boundary states matter.
+func (d *Drive) accountReplayTail(o *object, ageCut types.Timestamp) error {
+	preJhead := d.recPreJhead[o.id]
+	snapVer := d.recSnapVer[o.id]
+	hitPre := preJhead == journal.NilSector
+	var tail []journal.Entry // entries above snapVer, newest-first
+	for addr := o.jhead; addr != journal.NilSector; {
+		atPre := addr == preJhead
+		if !atPre {
+			// A sector the checkpoint had not seen: its shared journal
+			// block joins the chain-sector index (the head-merge rewrite
+			// of the old head sector stays at its old address and is
+			// already counted).
+			blk := addr.Block()
+			d.jblockRef[blk]++
+			if d.jblockRef[blk] == 1 && d.recCovered(blk) {
+				d.usage.liveBorn(segOf(d.log, blk))
+			}
+		}
+		_, prev, entries, err := journal.ReadSector(d.log, addr)
+		if err != nil {
+			return err
+		}
+		d.recReplay += int64(len(entries))
+		for i := len(entries) - 1; i >= 0; i-- {
+			e := &entries[i]
+			if e.Version > snapVer {
+				d.accountReplayEntry(o, e, addr, ageCut)
+				tail = append(tail, *e)
+			} else if e.Type == journal.EntCheckpoint {
+				// A pre-checkpoint landmark re-encountered on the walk:
+				// post-checkpoint chain relocation moved its sector;
+				// repoint the persisted index entry, as the relocation
+				// re-registration would have.
+				for j := range o.landmarks {
+					if o.landmarks[j].version == e.Version && o.landmarks[j].root == e.InodeAddr {
+						o.landmarks[j].sector = addr
+					}
+				}
+			}
+		}
+		if atPre {
+			hitPre = true
+			break
+		}
+		if addr == o.jtail {
+			break
+		}
+		addr = prev
+	}
+	if !hitPre {
+		// The walk never reached the old head: a post-checkpoint
+		// relocation replaced the whole pre-checkpoint chain with
+		// copies (already counted above as new sectors), so the
+		// original sectors the preload counted are orphans now.
+		for addr := preJhead; addr != journal.NilSector; {
+			blk := addr.Block()
+			if d.jblockRef[blk] > 0 {
+				d.jblockRef[blk]--
+				if d.jblockRef[blk] == 0 {
+					delete(d.jblockRef, blk)
+					d.usage.freeLive(segOf(d.log, blk))
+				}
+			}
+			_, prev, _, err := journal.ReadSector(d.log, addr)
+			if err != nil {
+				return err
+			}
+			if addr == o.jtail {
+				break
+			}
+			addr = prev
+		}
+	}
+	// Delete/revive settlement. Undoing the collected tail from the
+	// final inode yields the checkpoint-time state the persisted
+	// counters describe; only the boundary deleted-ness matters.
+	if o.ino == nil {
+		if err := d.loadInode(o); err != nil {
+			return err
+		}
+	}
+	atC := o.ino
+	if len(tail) > 0 {
+		atC = o.ino.Clone()
+		for i := range tail {
+			atC.undo(&tail[i])
+		}
+	}
+	if atC.Deleted {
+		// The checkpoint counters hold this object's blocks in history
+		// (its delete deprecated them); the tail's revive returned them
+		// to live service.
+		for _, a := range atC.blocks {
+			if d.recCovered(a) {
+				d.usage.undeprecate(segOf(d.log, a))
+			}
+		}
+	}
+	if o.ino.Deleted {
+		// The tail ends deleted: the final version's blocks leave live
+		// service — history while the delete is in-window, dead past it.
+		for _, a := range o.ino.blocks {
+			if !d.recCovered(a) {
+				continue
+			}
+			if o.ino.DeadTime >= ageCut {
+				d.usage.deprecate(segOf(d.log, a))
+			} else {
+				d.usage.freeLive(segOf(d.log, a))
+			}
+		}
+	}
+	return nil
+}
+
+// accountReplayEntry applies one replayed entry's usage deltas: block
+// turnover splits on the window cut the way the recount sweep splits
+// depTime, and in-window checkpoint entries with intact roots join the
+// landmark index.
+func (d *Drive) accountReplayEntry(o *object, e *journal.Entry, addr journal.SectorAddr, ageCut types.Timestamp) {
+	switch e.Type {
+	case journal.EntCheckpoint:
+		if e.Time < ageCut || e.InodeAddr == seglog.NilAddr {
+			return
+		}
+		for i := range o.landmarks {
+			if o.landmarks[i].version == e.Version && o.landmarks[i].root == e.InodeAddr {
+				return // already indexed
+			}
+		}
+		if !d.landmarkRootValid(o, e) {
+			return
+		}
+		if d.recCovered(e.InodeAddr) {
+			seg := segOf(d.log, e.InodeAddr)
+			d.usage.liveBorn(seg)
+			d.usage.deprecate(seg) // history from birth, like any landmark root
+		}
+		o.landmarks = append(o.landmarks, landmark{time: e.Time, version: e.Version, root: e.InodeAddr, sector: addr})
+	case journal.EntCreate, journal.EntDelete, journal.EntRevive:
+		// Create allocates nothing; delete/revive settle in closed form
+		// in accountReplayTail.
+	default:
+		for _, old := range e.Old {
+			if old == seglog.NilAddr || !d.recCovered(old) {
+				continue
+			}
+			if e.Time >= ageCut {
+				d.usage.deprecate(segOf(d.log, old))
+			} else {
+				d.usage.freeLive(segOf(d.log, old))
+			}
+		}
+		for _, nw := range e.New {
+			if nw != seglog.NilAddr && d.recCovered(nw) {
+				d.usage.liveBorn(segOf(d.log, nw))
+			}
+		}
+	}
+}
+
+// recCovered reports whether a block is listed in its segment's durable
+// summary. Usage counters follow the summary view: a crash can leave a
+// tail block's payload durable while the summary write covering it was
+// cut, and the full recount's sweep — which classifies exactly the
+// summary-listed blocks — never counts such a block even though chains
+// still reference it. Indexed recovery applies the same rule: chain
+// refcounts and landmark entries are recorded unconditionally, but
+// liveBorn/deprecate/freeLive deltas fire only for covered blocks.
+// Everything durable at the checkpoint is covered (WriteCheckpoint
+// follows a full Sync), so only post-checkpoint tail blocks can miss.
+func (d *Drive) recCovered(addr seglog.BlockAddr) bool {
+	seg := segOf(d.log, addr)
+	n, ok := d.recSumCover[seg]
+	if !ok {
+		sum, found, err := d.log.ReadSummary(seg)
+		if err != nil || !found {
+			n = 0
+		} else {
+			n = len(sum.Entries)
+		}
+		d.recSumCover[seg] = n
+	}
+	i := int64(addr) - int64(d.log.EntryAt(seg, 0))
+	return i >= 0 && i < int64(n)
+}
+
+// agingCorrection applies, for one object that is due, the aging the
+// cleaner would have performed by now: retained pre-checkpoint entries
+// whose times left the window release their Old blocks, and an aged-out
+// delete releases the final version's blocks from the history pool.
+// settled reports whether pass A already ran the delete/revive
+// settlement for this object (which covers the aged-delete case).
+func (d *Drive) agingCorrection(o *object, ageCut types.Timestamp, settled bool) error {
+	if o.ino == nil {
+		if err := d.loadInode(o); err != nil {
+			return err
+		}
+	}
+	if !settled && o.ino.Deleted && o.ino.DeadTime != 0 && o.ino.DeadTime < ageCut {
+		// Not settled in pass A (a settled deleted object had its blocks
+		// classified there): recount would classify the final blocks
+		// dead. The reap itself still waits for a live cleaner pass, as
+		// it does after a full-scan open.
+		for _, a := range o.ino.blocks {
+			d.usage.ageOut(segOf(d.log, a))
+		}
+	}
+	snapVer := d.recSnapVer[o.id]
+	for addr := o.jhead; addr != journal.NilSector; {
+		_, prev, entries, err := journal.ReadSector(d.log, addr)
+		if err != nil {
+			return err
+		}
+		d.recReplay += int64(len(entries))
+		for i := range entries {
+			e := &entries[i]
+			// Tail entries were split on the cut in pass A; entries at
+			// or below the checkpoint-time floor were aged before the
+			// snapshot was taken; checkpoint entries are pass C's.
+			if e.Version > snapVer || e.Version <= o.floorVersion || e.Type == journal.EntCheckpoint {
+				continue
+			}
+			if e.Time >= ageCut {
+				continue
+			}
+			for _, old := range e.Old {
+				if old != seglog.NilAddr {
+					d.usage.ageOut(segOf(d.log, old))
+				}
+			}
+		}
+		if addr == o.jtail {
+			break
+		}
+		addr = prev
+	}
+	return nil
+}
+
+// landmarkRootValid mirrors recoverLandmark's tombstone check: the
+// recorded address must still hold this object's checkpoint image at
+// exactly the entry's version.
+func (d *Drive) landmarkRootValid(o *object, e *journal.Entry) bool {
+	root := make([]byte, seglog.BlockSize)
+	if err := d.log.Read(e.InodeAddr, root); err != nil {
+		return false
+	}
+	in, _, err := decodeInodeRoot(d.log, root)
+	return err == nil && in.ID == o.id && in.Version == e.Version
 }

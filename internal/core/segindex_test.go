@@ -1,0 +1,441 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"s4/internal/disk"
+	"s4/internal/journal"
+	"s4/internal/seglog"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// segIndexWorkload runs enough mixed activity on e that the encoded
+// index is non-trivial: multiple objects with landmark chains, deleted
+// objects, cleaned segments (pendingFree), and shared journal blocks.
+func segIndexWorkload(e *testEnv) {
+	var ids []types.ObjectID
+	for i := 0; i < 6; i++ {
+		ids = append(ids, e.create(alice))
+	}
+	for round := 0; round < 8; round++ {
+		for i, id := range ids {
+			e.write(alice, id, uint64(i*100), []byte(fmt.Sprintf("round %d object %d payload", round, i)))
+		}
+		if round == 3 {
+			if err := e.d.Delete(alice, ids[5]); err != nil {
+				e.t.Fatal(err)
+			}
+			ids = ids[:5]
+			e.tick()
+		}
+		if round%2 == 1 {
+			if err := e.d.Checkpoint(); err != nil {
+				e.t.Fatal(err)
+			}
+			e.tick()
+		}
+		if _, err := e.d.CleanOnce(); err != nil {
+			e.t.Fatal(err)
+		}
+		e.tick()
+	}
+	if err := e.d.Sync(alice); err != nil {
+		e.t.Fatal(err)
+	}
+	e.tick()
+}
+
+// TestSegIndexRoundTrip encodes the live drive's recovery tables and
+// checks the decoded form reproduces them exactly: segment occupancy
+// and free bits (with pendingFree folded in), journal-block refcounts,
+// and every object's landmark index and aging hint.
+func TestSegIndexRoundTrip(t *testing.T) {
+	e := newTestDrive(t)
+	segIndexWorkload(e)
+
+	d := e.d
+	d.mu.Lock()
+	blob := d.encodeSegIndexLocked()
+	nSeg := d.log.NumSegments()
+	idx, err := decodeSegIndex(blob, nSeg)
+	if err != nil {
+		d.mu.Unlock()
+		t.Fatalf("decode of fresh encode: %v", err)
+	}
+	if idx.openSeg != d.log.CurrentSegment() {
+		t.Errorf("openSeg %d want %d", idx.openSeg, d.log.CurrentSegment())
+	}
+	for seg := int64(0); seg < nSeg; seg++ {
+		wantFree := d.log.IsFree(seg) || d.pendingFree[seg]
+		live, hist := d.usage.occupancy(seg)
+		if wantFree {
+			live, hist = 0, 0
+		}
+		got := idx.segs[seg]
+		if got.free != wantFree || got.live != live || got.hist != hist {
+			t.Errorf("seg %d: decoded free=%v live=%d hist=%d, drive free=%v live=%d hist=%d",
+				seg, got.free, got.live, got.hist, wantFree, live, hist)
+		}
+	}
+	if len(idx.jrefs) != len(d.jblockRef) {
+		t.Errorf("decoded %d jrefs, drive has %d", len(idx.jrefs), len(d.jblockRef))
+	}
+	for a, c := range d.jblockRef {
+		if idx.jrefs[a] != c {
+			t.Errorf("jref %v: decoded %d want %d", a, idx.jrefs[a], c)
+		}
+	}
+	if len(idx.objects) != len(d.objects) {
+		t.Errorf("decoded %d objects, drive has %d", len(idx.objects), len(d.objects))
+	}
+	for id, o := range d.objects {
+		oi := idx.objects[id]
+		if oi == nil {
+			t.Errorf("object %v missing from decoded index", id)
+			continue
+		}
+		if oi.lmReset != o.lmReset || oi.nextAge != o.nextAge {
+			t.Errorf("object %v: decoded lmReset=%v nextAge=%v, drive %v/%v",
+				id, oi.lmReset, oi.nextAge, o.lmReset, o.nextAge)
+		}
+		if len(oi.landmarks) != len(o.landmarks) {
+			t.Errorf("object %v: decoded %d landmarks, drive has %d", id, len(oi.landmarks), len(o.landmarks))
+			continue
+		}
+		for i, ln := range o.landmarks {
+			if oi.landmarks[i] != ln {
+				t.Errorf("object %v landmark %d: decoded %+v want %+v", id, i, oi.landmarks[i], ln)
+			}
+		}
+	}
+	d.mu.Unlock()
+}
+
+// segIndexImage formats a drive on a recording device, runs the round-
+// trip workload through a clean Close (whose checkpoint persists the
+// index), and returns the recorder plus the options and end time needed
+// to reopen crash images of it.
+func segIndexImage(t *testing.T) (*disk.FaultDisk, Options, types.Timestamp) {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	rec := disk.NewFault(32 << 20)
+	rec.StartRecording()
+	opts := Options{
+		Clock:            clk,
+		SegBlocks:        16,
+		CheckpointBlocks: 16,
+		Window:           time.Hour,
+		BlockCacheBytes:  1 << 20,
+		ObjectCacheCount: 64,
+	}
+	d, err := Format(rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &testEnv{t: t, d: d, clk: clk}
+	segIndexWorkload(e)
+	end := d.Now()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return rec, opts, end
+}
+
+// reopenImage materializes a pristine copy of the full recording and
+// opens it with the given index mode, returning the drive and its
+// restart stats.
+func reopenImage(t *testing.T, rec *disk.FaultDisk, opts Options, end types.Timestamp, disableIndex bool, mutate func(disk.Device)) (*Drive, Stats) {
+	t.Helper()
+	img, err := rec.ImageAt(rec.Writes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(img)
+	}
+	o := opts
+	o.Clock = vclock.NewVirtualAt(end.Time())
+	o.DisableSegIndex = disableIndex
+	d, err := Open(img, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, d.DriveStats()
+}
+
+// TestIndexedOpenMatchesFullScan is the clean-shutdown equivalence
+// check: an Open anchored at the persisted segment index must land on
+// byte-identical state to a full-scan recount of the same image, while
+// replaying strictly fewer journal entries, and must say so through the
+// restart counters.
+func TestIndexedOpenMatchesFullScan(t *testing.T) {
+	rec, opts, end := segIndexImage(t)
+
+	di, si := reopenImage(t, rec, opts, end, false, nil)
+	if si.IndexLoads != 1 || si.IndexFallbacks != 0 {
+		t.Errorf("indexed open: IndexLoads=%d IndexFallbacks=%d, want 1/0", si.IndexLoads, si.IndexFallbacks)
+	}
+	if si.OpenDuration <= 0 {
+		t.Errorf("indexed open: OpenDuration=%v, want > 0", si.OpenDuration)
+	}
+	digestIdx := di.StateDigest()
+	if err := di.CheckInvariants(); err != nil {
+		t.Errorf("indexed open invariants: %v", err)
+	}
+	if err := di.CheckLandmarks(true); err != nil {
+		t.Errorf("indexed open landmarks: %v", err)
+	}
+
+	df, sf := reopenImage(t, rec, opts, end, true, nil)
+	if sf.IndexLoads != 0 {
+		t.Errorf("full-scan open: IndexLoads=%d, want 0", sf.IndexLoads)
+	}
+	digestFull := df.StateDigest()
+	if err := df.CheckInvariants(); err != nil {
+		t.Errorf("full-scan open invariants: %v", err)
+	}
+
+	if digestIdx != digestFull {
+		t.Errorf("indexed and full-scan recovery diverged:\nindexed:\n%s\nfull:\n%s", digestIdx, digestFull)
+	}
+	if si.RecoveryReplayEntries >= sf.RecoveryReplayEntries {
+		t.Errorf("indexed open replayed %d entries, full scan %d: index not shortening recovery",
+			si.RecoveryReplayEntries, sf.RecoveryReplayEntries)
+	}
+}
+
+// corruptNewestSlotIndex flips one byte inside the index region of the
+// newest checkpoint slot, leaving the object-map blob and its CRC
+// intact — the durable image a tear through the tail of the slot write
+// leaves behind.
+func corruptNewestSlotIndex(t *testing.T, dev disk.Device, cpBlocks int) {
+	t.Helper()
+	const spb = types.BlockSize / disk.SectorSize
+	hdr := make([]byte, types.BlockSize)
+	bestSlot, bestSeq := -1, uint64(0)
+	var bestOff int
+	for slot := 0; slot < 2; slot++ {
+		base := int64((1 + slot*cpBlocks) * spb)
+		if err := dev.ReadSectors(base, hdr); err != nil {
+			t.Fatal(err)
+		}
+		seq := binary.LittleEndian.Uint64(hdr[4:])
+		lenA := int(binary.LittleEndian.Uint32(hdr[12:]))
+		lenB := int(binary.LittleEndian.Uint32(hdr[20:]))
+		if lenB == 0 {
+			continue
+		}
+		if bestSlot < 0 || seq > bestSeq {
+			bestSlot, bestSeq = slot, seq
+			bestOff = 28 + lenA // cpHeaderSize + state blob = first index byte
+		}
+	}
+	if bestSlot < 0 {
+		t.Fatal("no checkpoint slot carries an index")
+	}
+	base := int64((1 + bestSlot*cpBlocks) * spb)
+	sector := base + int64(bestOff/disk.SectorSize)
+	buf := make([]byte, disk.SectorSize)
+	if err := dev.ReadSectors(sector, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[bestOff%disk.SectorSize] ^= 0xFF
+	if err := dev.WriteSectors(sector, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptSegIndexFallsBack flips a byte in the persisted index
+// (object map untouched) and proves the degraded path: Open succeeds,
+// counts exactly one IndexFallbacks, replays the full journal, and
+// recovers state byte-identical to an Open that never looked at the
+// index.
+func TestCorruptSegIndexFallsBack(t *testing.T) {
+	rec, opts, end := segIndexImage(t)
+	corrupt := func(dev disk.Device) { corruptNewestSlotIndex(t, dev, opts.CheckpointBlocks) }
+
+	di, si := reopenImage(t, rec, opts, end, false, corrupt)
+	if si.IndexFallbacks != 1 || si.IndexLoads != 0 {
+		t.Errorf("corrupt index open: IndexLoads=%d IndexFallbacks=%d, want 0/1", si.IndexLoads, si.IndexFallbacks)
+	}
+	digestIdx := di.StateDigest()
+	if err := di.CheckInvariants(); err != nil {
+		t.Errorf("fallback open invariants: %v", err)
+	}
+
+	df, sf := reopenImage(t, rec, opts, end, true, corrupt)
+	if digestIdx != df.StateDigest() {
+		t.Errorf("fallback recovery diverged from full scan:\nfallback:\n%s\nfull:\n%s", digestIdx, df.StateDigest())
+	}
+	if si.RecoveryReplayEntries != sf.RecoveryReplayEntries {
+		t.Errorf("fallback replayed %d entries, full scan %d: fallback is not a full replay",
+			si.RecoveryReplayEntries, sf.RecoveryReplayEntries)
+	}
+}
+
+// TestSegIndexDecodeRejectsCorruption walks targeted mutations of a
+// valid index blob and checks each fails with a typed ErrCorrupt, never
+// a panic or a silently-wrong accept.
+func TestSegIndexDecodeRejectsCorruption(t *testing.T) {
+	e := newTestDrive(t)
+	segIndexWorkload(e)
+	e.d.mu.Lock()
+	blob := e.d.encodeSegIndexLocked()
+	nSeg := e.d.log.NumSegments()
+	e.d.mu.Unlock()
+
+	if _, err := decodeSegIndex(blob, nSeg); err != nil {
+		t.Fatalf("pristine blob rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"short", func(b []byte) []byte { return b[:4] }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 1; return b }},
+		{"bad version", func(b []byte) []byte { b[4] = 99; return b }},
+		{"truncated tail", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xAB) }},
+		{"flipped body byte", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }},
+	}
+	for _, tc := range cases {
+		b := append([]byte(nil), blob...)
+		b = tc.mut(b)
+		idx, err := decodeSegIndex(b, nSeg)
+		if err == nil {
+			// A single flipped byte can land in slack a varint ignores
+			// only if it still decodes to identical structure; anything
+			// accepted must at least be structurally consistent.
+			if verr := checkSegIndexShape(idx, nSeg); verr != nil {
+				t.Errorf("%s: accepted inconsistent index: %v", tc.name, verr)
+			}
+			continue
+		}
+		if !errors.Is(err, types.ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", tc.name, err)
+		}
+	}
+	if _, err := decodeSegIndex(blob, nSeg+1); !errors.Is(err, types.ErrCorrupt) {
+		t.Errorf("geometry mismatch: err %v does not wrap ErrCorrupt", err)
+	}
+}
+
+// checkSegIndexShape verifies the structural guarantees decodeSegIndex
+// promises for any blob it accepts.
+func checkSegIndexShape(idx *segIndex, nSeg int64) error {
+	if idx.openSeg < -1 || idx.openSeg >= nSeg {
+		return fmt.Errorf("openSeg %d out of range", idx.openSeg)
+	}
+	if int64(len(idx.segs)) != nSeg {
+		return fmt.Errorf("%d segs, want %d", len(idx.segs), nSeg)
+	}
+	if idx.openSeg >= 0 && idx.segs[idx.openSeg].free {
+		return fmt.Errorf("open segment %d marked free", idx.openSeg)
+	}
+	for seg, s := range idx.segs {
+		if s.live < 0 || s.hist < 0 {
+			return fmt.Errorf("seg %d: negative counters %d/%d", seg, s.live, s.hist)
+		}
+		if s.free && (s.live != 0 || s.hist != 0) {
+			return fmt.Errorf("seg %d: free but occupied %d/%d", seg, s.live, s.hist)
+		}
+	}
+	for a, c := range idx.jrefs {
+		if c < 1 || c > journal.SectorsPerBlock {
+			return fmt.Errorf("jref %v: count %d out of range", a, c)
+		}
+	}
+	for id, o := range idx.objects {
+		for i, ln := range o.landmarks {
+			if ln.root == seglog.NilAddr {
+				return fmt.Errorf("object %v landmark %d: nil root", id, i)
+			}
+			if i > 0 {
+				prev := o.landmarks[i-1]
+				if ln.time < prev.time || ln.time == prev.time && ln.version <= prev.version {
+					return fmt.Errorf("object %v landmarks out of order at %d", id, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FuzzSegIndexDecode throws hostile bytes at the index decoder. The
+// contract under fuzzing: never panic, never allocate absurdly, and
+// anything accepted must satisfy the structural guarantees indexed
+// recovery relies on (checkSegIndexShape).
+func FuzzSegIndexDecode(f *testing.F) {
+	clk := vclock.NewVirtual()
+	dev := disk.New(disk.SmallDisk(64<<20), clk)
+	opts := Options{
+		Clock:            clk,
+		SegBlocks:        16,
+		CheckpointBlocks: 64,
+		Window:           time.Hour,
+		BlockCacheBytes:  1 << 20,
+		ObjectCacheCount: 64,
+	}
+	d, err := Format(dev, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cred := types.Cred{User: 100, Client: 1}
+	var ids []types.ObjectID
+	for i := 0; i < 4; i++ {
+		id, err := d.Create(cred, nil, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		ids = append(ids, id)
+		clk.Advance(time.Millisecond)
+	}
+	for round := 0; round < 5; round++ {
+		for _, id := range ids {
+			if err := d.Write(cred, id, 0, []byte("fuzz seed payload")); err != nil {
+				f.Fatal(err)
+			}
+			clk.Advance(time.Millisecond)
+		}
+		if err := d.Checkpoint(); err != nil {
+			f.Fatal(err)
+		}
+	}
+	d.mu.Lock()
+	seed := d.encodeSegIndexLocked()
+	nSeg := d.log.NumSegments()
+	d.mu.Unlock()
+	if err := d.Close(); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:9])
+	f.Add([]byte{})
+	for _, i := range []int{8, 10, len(seed) / 3, len(seed) - 2} {
+		b := append([]byte(nil), seed...)
+		b[i] ^= 0xFF
+		f.Add(b)
+	}
+	f.Add(append(append([]byte(nil), seed...), 0x01))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := decodeSegIndex(data, nSeg)
+		if err != nil {
+			if !errors.Is(err, types.ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		if verr := checkSegIndexShape(idx, nSeg); verr != nil {
+			t.Fatalf("accepted structurally inconsistent index: %v", verr)
+		}
+	})
+}

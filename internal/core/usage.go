@@ -63,6 +63,19 @@ func (u *segUsage) ageOut(seg int64) {
 	}
 }
 
+// undeprecate is the inverse of deprecate: a block the history pool was
+// holding returns to live service. The only source is EntRevive — the
+// final version's data blocks were moved to history by the matching
+// delete and come back intact (§4.2.2 revive-in-window).
+func (u *segUsage) undeprecate(seg int64) {
+	if seg >= 0 {
+		u.hist[seg].Add(-1)
+		u.live[seg].Add(1)
+		u.histTotal.Add(-1)
+		u.liveTotal.Add(1)
+	}
+}
+
 // freeLive releases a live block that has no history significance
 // (a superseded inode checkpoint: the journal can always rebuild
 // metadata, so stale checkpoints are disposable, §4.2.2).
@@ -91,6 +104,20 @@ func (u *segUsage) historyBlocks() int64 {
 // liveBlocks returns live occupancy in blocks.
 func (u *segUsage) liveBlocks() int64 {
 	return u.liveTotal.Load()
+}
+
+// set installs absolute occupancy counters for seg, adjusting the pool
+// totals by the delta. Indexed recovery uses it to preload the usage
+// table from the persisted segment index before tail replay; it runs
+// single-threaded during Open.
+func (u *segUsage) set(seg int64, live, hist int32) {
+	if seg < 0 {
+		return
+	}
+	u.liveTotal.Add(int64(live - u.live[seg].Load()))
+	u.histTotal.Add(int64(hist - u.hist[seg].Load()))
+	u.live[seg].Store(live)
+	u.hist[seg].Store(hist)
 }
 
 func (u *segUsage) reset() {

@@ -91,6 +91,15 @@ type Device interface {
 	Capacity() int64
 }
 
+// Syncer is implemented by devices whose writes may linger in an OS or
+// hardware cache (the file backend). Callers that need a durability
+// barrier — the seglog's Sync and checkpoint paths — type-assert for it
+// and call Sync; write-through devices (the simulated Disk, FaultDisk)
+// simply don't implement it.
+type Syncer interface {
+	Sync() error
+}
+
 // Disk is the simulated device. It is safe for concurrent use; requests
 // serialize on the device, as they would on a real spindle.
 type Disk struct {

@@ -31,7 +31,12 @@ func OpenFile(path string, capacity int64) (*FileDisk, error) {
 		return nil, err
 	}
 	if st.Size() == 0 {
-		if err := f.Truncate(capacity); err != nil {
+		// Preallocate with real zero blocks rather than a sparse
+		// Truncate: O_DIRECT-style backends want the extents materialized
+		// up front so steady-state appends never stall on allocation, and
+		// a full-length image keeps read-modify-write latencies uniform
+		// for the bench numbers.
+		if err := prealloc(f, capacity); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -43,6 +48,24 @@ func OpenFile(path string, capacity int64) (*FileDisk, error) {
 		}
 	}
 	return &FileDisk{f: f, size: capacity}, nil
+}
+
+// prealloc writes real zeros over [0, capacity) in 1MB chunks and
+// forces them out, so the image file's extents exist before the first
+// log write.
+func prealloc(f *os.File, capacity int64) error {
+	const chunk = 1 << 20
+	zero := make([]byte, chunk)
+	for off := int64(0); off < capacity; off += chunk {
+		n := int64(chunk)
+		if off+n > capacity {
+			n = capacity - off
+		}
+		if _, err := f.WriteAt(zero[:n], off); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
 }
 
 // Capacity returns the device size in bytes.

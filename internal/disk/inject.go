@@ -1,0 +1,172 @@
+// Fault-injecting wrapper for arbitrary devices.
+//
+// FaultDisk owns its own in-memory copy-on-write store, which is what
+// the torture harness's crash-image machinery needs — but that means it
+// cannot exercise a real backend. Injector wraps any Device (in
+// practice the file-backed FileDisk) with the same injectable fault
+// classes: hard I/O errors, dropped writes, torn writes, and read-side
+// bit-rot. It records nothing; crash-image sweeps stay on FaultDisk.
+package disk
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Injector is a fault-injecting Device wrapper. It is safe for
+// concurrent use and passes Syncer through to the underlying device.
+type Injector struct {
+	dev Device
+
+	mu       sync.Mutex
+	failAt   int64 // fail the Nth next I/O (<0 disabled)
+	failErr  error
+	dropAt   int64 // silently drop the Nth next write (<0 disabled)
+	tearAt   int64 // tear the Nth next write (<0 disabled)
+	tearKeep int
+	rot      map[int64]byte // sector -> XOR mask applied on read
+}
+
+// NewInjector wraps dev with disarmed fault injection.
+func NewInjector(dev Device) *Injector {
+	return &Injector{dev: dev, failAt: -1, dropAt: -1, tearAt: -1}
+}
+
+// Capacity implements Device.
+func (j *Injector) Capacity() int64 { return j.dev.Capacity() }
+
+// Sync implements Syncer when — and only when — the wrapped device
+// does; write-through devices stay write-through behind the wrapper.
+func (j *Injector) Sync() error {
+	if s, ok := j.dev.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+func (j *Injector) injectFault() error {
+	if j.failAt < 0 {
+		return nil
+	}
+	if j.failAt == 0 {
+		j.failAt = -1
+		err := j.failErr
+		if err == nil {
+			err = fmt.Errorf("disk: injected fault")
+		}
+		return err
+	}
+	j.failAt--
+	return nil
+}
+
+// ReadSectors implements Device.
+func (j *Injector) ReadSectors(sector int64, buf []byte) error {
+	j.mu.Lock()
+	if err := j.injectFault(); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	rot := j.rot
+	j.mu.Unlock()
+	if err := j.dev.ReadSectors(sector, buf); err != nil {
+		return err
+	}
+	if len(rot) > 0 {
+		j.mu.Lock()
+		for s, mask := range j.rot {
+			if s >= sector && s < sector+int64(len(buf)/SectorSize) {
+				off := (s - sector) * SectorSize
+				for i := int64(0); i < SectorSize; i++ {
+					buf[off+i] ^= mask
+				}
+			}
+		}
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// WriteSectors implements Device. Dropped and torn writes still return
+// success — the caller believed them durable.
+func (j *Injector) WriteSectors(sector int64, buf []byte) error {
+	j.mu.Lock()
+	if err := j.injectFault(); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	persist := buf
+	switch {
+	case j.dropAt == 0:
+		j.dropAt = -1
+		persist = nil
+	case j.dropAt > 0:
+		j.dropAt--
+	}
+	if persist != nil {
+		switch {
+		case j.tearAt == 0:
+			j.tearAt = -1
+			keep := j.tearKeep * SectorSize
+			if keep > len(persist) {
+				keep = len(persist)
+			}
+			persist = persist[:keep]
+		case j.tearAt > 0:
+			j.tearAt--
+		}
+	}
+	j.mu.Unlock()
+	if len(persist) == 0 {
+		return nil
+	}
+	return j.dev.WriteSectors(sector, persist)
+}
+
+// FailAfter arms fault injection: the n-th subsequent I/O (0 = the very
+// next) fails without transferring data; negative n disarms.
+func (j *Injector) FailAfter(n int64, err error) {
+	j.mu.Lock()
+	j.failAt, j.failErr = n, err
+	j.mu.Unlock()
+}
+
+// DropAfter arms a dropped write: the n-th subsequent WriteSectors is
+// acknowledged but nothing reaches the device.
+func (j *Injector) DropAfter(n int64) {
+	j.mu.Lock()
+	j.dropAt = n
+	j.mu.Unlock()
+}
+
+// TearAfter arms a torn write: the n-th subsequent WriteSectors
+// persists only its first keepSectors sectors but is acknowledged in
+// full.
+func (j *Injector) TearAfter(n int64, keepSectors int) {
+	j.mu.Lock()
+	j.tearAt, j.tearKeep = n, keepSectors
+	j.mu.Unlock()
+}
+
+// RotSector arms bit-rot: subsequent reads covering the sector see its
+// bytes XORed with mask; a zero mask clears it.
+func (j *Injector) RotSector(sector int64, mask byte) {
+	j.mu.Lock()
+	if j.rot == nil {
+		j.rot = make(map[int64]byte)
+	}
+	if mask == 0 {
+		delete(j.rot, sector)
+	} else {
+		j.rot[sector] = mask
+	}
+	j.mu.Unlock()
+}
+
+// ClearFaults disarms every pending fault.
+func (j *Injector) ClearFaults() {
+	j.mu.Lock()
+	j.failAt, j.dropAt, j.tearAt = -1, -1, -1
+	j.rot = nil
+	j.mu.Unlock()
+}

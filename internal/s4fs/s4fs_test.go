@@ -3,6 +3,7 @@ package s4fs
 import (
 	"bytes"
 	"errors"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -189,4 +190,34 @@ func TestNameTooLong(t *testing.T) {
 	if _, _, err := fs.Create(fs.Root(), long, 0644); !errors.Is(err, types.ErrNameTooLong) {
 		t.Fatalf("long name: %v", err)
 	}
+}
+
+// TestConformanceFileBackend runs the same conformance battery with
+// the drive on a real preallocated file in a tempdir, so the
+// filesystem layer's contract holds on the backend production runs on
+// (DESIGN.md §14.3), not just the simulated device.
+func TestConformanceFileBackend(t *testing.T) {
+	fsys.RunConformance(t, func(t *testing.T) fsys.FileSys {
+		dev, err := disk.OpenFile(filepath.Join(t.TempDir(), "s4fs.img"), 128<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = dev.Close() })
+		drv, err := core.Format(dev, core.Options{
+			Clock: vclock.NewVirtual(), SegBlocks: 32, CheckpointBlocks: 64,
+			Window: time.Hour, BlockCacheBytes: 8 << 20, ObjectCacheCount: 512,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = drv.Close() })
+		fs, err := Mkfs(drv, Options{
+			Cred:       types.Cred{User: 1000, Client: 1},
+			SyncEachOp: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
 }

@@ -104,15 +104,15 @@ type Response struct {
 	RetryAfter time.Duration
 	Errno      uint8
 	Data       []byte
-	Obj      types.ObjectID
-	Offset   uint64
-	Attr     core.AttrInfo
-	ACL      types.ACLEntry
-	Parts    []core.PartEntry
-	Versions []core.VersionInfo
-	Records  []audit.Record
-	Status   core.StatusInfo
-	Stats    core.Stats
+	Obj        types.ObjectID
+	Offset     uint64
+	Attr       core.AttrInfo
+	ACL        types.ACLEntry
+	Parts      []core.PartEntry
+	Versions   []core.VersionInfo
+	Records    []audit.Record
+	Status     core.StatusInfo
+	Stats      core.Stats
 	// ShardStats is the per-shard breakdown behind an aggregated Stats
 	// reply, in ring order; empty when the backend is a single drive.
 	ShardStats []core.Stats

@@ -282,3 +282,67 @@ func TestTable1Coverage(t *testing.T) {
 		}
 	}
 }
+
+// TestRestartStatsOverWire reopens a checkpointed drive and confirms
+// the restart observability counters — segment-index loads, replay
+// entries, open duration — survive the gob transport intact. A client
+// watching s4ctl stats is how an operator verifies instant restart
+// actually engaged, so the wire must not flatten these fields.
+func TestRestartStatsOverWire(t *testing.T) {
+	dev := disk.New(disk.SmallDisk(64<<20), nil)
+	opts := core.Options{Clock: vclock.Wall{}, SegBlocks: 16, CheckpointBlocks: 16, Window: time.Hour}
+	drv, err := core.Format(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := types.Cred{User: 100, Client: 1}
+	acl := []types.ACLEntry{{User: types.EveryoneID, Perm: types.PermAll}}
+	id, err := drv.Create(cred, acl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := drv.Write(cred, id, uint64(i)*512, []byte("restart stats payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := drv.Close(); err != nil { // checkpoints: persists the segment index
+		t.Fatal(err)
+	}
+
+	drv, err = core.Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := NewKeyring(adminKey)
+	keys.AddClient(1, clientKey)
+	srv := NewServer(drv, keys)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = drv.Close()
+	})
+
+	c := dialUser(t, ln.Addr().String(), 100)
+	st, err := c.DriveStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IndexLoads != 1 {
+		t.Fatalf("clean reopen did not anchor at the segment index: loads=%d fallbacks=%d",
+			st.IndexLoads, st.IndexFallbacks)
+	}
+	if st.IndexFallbacks != 0 {
+		t.Fatalf("clean reopen fell back to full scan %d times", st.IndexFallbacks)
+	}
+	if st.OpenDuration <= 0 {
+		t.Fatalf("OpenDuration=%v did not survive gob transport", st.OpenDuration)
+	}
+	if st.RecoveryReplayEntries < 0 {
+		t.Fatalf("RecoveryReplayEntries=%d negative over the wire", st.RecoveryReplayEntries)
+	}
+}

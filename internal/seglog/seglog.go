@@ -196,6 +196,9 @@ func Format(dev disk.Device, cfg Config) error {
 			return err
 		}
 	}
+	if s, ok := dev.(disk.Syncer); ok {
+		return s.Sync()
+	}
 	return nil
 }
 
@@ -567,7 +570,6 @@ func (l *Log) openSegmentLocked() error {
 // for further appends, mirroring LFS partial-segment writes.
 func (l *Log) Sync() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	// Wait for an in-flight flush even when nothing is dirty now: Sync
 	// promises that everything staged before the call is durable on
 	// return, and blocks covered by that flush are not until it lands.
@@ -576,12 +578,42 @@ func (l *Log) Sync() error {
 		l.flushCond.Wait()
 	}
 	if l.ioErr != nil {
+		l.mu.Unlock()
 		return l.ioErr
 	}
-	if l.curSeg < 0 || l.nDirty == 0 {
+	var err error
+	if l.curSeg >= 0 && l.nDirty > 0 {
+		err = l.flushLocked(false)
+	}
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Force OS-buffered writes to stable media even when this call found
+	// nothing dirty: a seal triggered by a filling append writes blocks
+	// without a barrier, and Sync's durability promise covers those too.
+	return l.forceDev()
+}
+
+// forceDev pushes buffered device writes to stable media on backends
+// that buffer them (the real-file backend exposes disk.Syncer). The
+// virtual-clock simulated disk writes through, so this is a no-op
+// there. A barrier failure latches the log failed like any device
+// write error.
+func (l *Log) forceDev() error {
+	s, ok := l.dev.(disk.Syncer)
+	if !ok {
 		return nil
 	}
-	return l.flushLocked(false)
+	if err := s.Sync(); err != nil {
+		l.mu.Lock()
+		if l.ioErr == nil {
+			l.ioErr = err
+		}
+		l.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // flushLocked makes the staged segment durable.
@@ -988,13 +1020,24 @@ func (l *Log) ScanFrom(afterSeq uint64, fn func(seg int64, sum Summary) error) e
 	return nil
 }
 
+// CheckpointCapacity returns the payload bytes one checkpoint slot can
+// hold (state blob plus index blob together).
+func (l *Log) CheckpointCapacity() int {
+	return l.cfg.CheckpointBlocks*BlockSize - cpHeaderSize
+}
+
 // WriteCheckpoint durably stores an opaque state blob (the drive's
-// object map and allocator state) in the next alternating checkpoint
-// slot. The blob must fit the slot.
-func (l *Log) WriteCheckpoint(data []byte) error {
-	maxLen := l.cfg.CheckpointBlocks*BlockSize - cpHeaderSize
-	if len(data) > maxLen {
-		return fmt.Errorf("seglog: checkpoint %d bytes exceeds slot %d: %w", len(data), maxLen, types.ErrTooLarge)
+// object map and allocator state) plus an optional recovery-index blob
+// in the next alternating checkpoint slot. The two blobs share the slot
+// and the single device write, but carry independent checksums: a slot
+// is valid whenever the state blob's CRC holds, while a missing or
+// corrupt index blob merely degrades ReadCheckpoint's index to nil —
+// the caller falls back to full replay, never to a different anchor.
+// Both blobs together must fit CheckpointCapacity; index may be nil.
+func (l *Log) WriteCheckpoint(data, index []byte) error {
+	maxLen := l.CheckpointCapacity()
+	if len(data)+len(index) > maxLen {
+		return fmt.Errorf("seglog: checkpoint %d+%d bytes exceeds slot %d: %w", len(data), len(index), maxLen, types.ErrTooLarge)
 	}
 	l.mu.Lock()
 	slot := l.cpSlot
@@ -1003,62 +1046,85 @@ func (l *Log) WriteCheckpoint(data []byte) error {
 	seq := l.seq
 	l.mu.Unlock()
 
-	blob := make([]byte, cpHeaderSize+len(data))
+	blob := make([]byte, cpHeaderSize+len(data)+len(index))
 	binary.LittleEndian.PutUint32(blob[0:], cpMagic)
 	binary.LittleEndian.PutUint64(blob[4:], seq)
 	binary.LittleEndian.PutUint32(blob[12:], uint32(len(data)))
 	binary.LittleEndian.PutUint32(blob[16:], crc32.ChecksumIEEE(data))
+	binary.LittleEndian.PutUint32(blob[20:], uint32(len(index)))
+	binary.LittleEndian.PutUint32(blob[24:], crc32.ChecksumIEEE(index))
 	copy(blob[cpHeaderSize:], data)
+	copy(blob[cpHeaderSize+len(data):], index)
 	// Pad to block multiple.
 	if r := len(blob) % BlockSize; r != 0 {
 		blob = append(blob, make([]byte, BlockSize-r)...)
 	}
 	base := int64(1 + slot*l.cfg.CheckpointBlocks)
-	return writeBlocks(l.dev, base, blob)
+	if err := writeBlocks(l.dev, base, blob); err != nil {
+		return err
+	}
+	// Barrier: the checkpoint authorizes segment reuse (the drive drains
+	// its deferred-free queue right after), so it must be on stable media
+	// before this call returns.
+	return l.forceDev()
 }
 
-const cpHeaderSize = 4 + 8 + 4 + 4
+const cpHeaderSize = 4 + 8 + 4 + 4 + 4 + 4 // magic, seq, lenA, crcA, lenB, crcB
 
-// ReadCheckpoint returns the newest valid checkpoint blob and the log
-// sequence at which it was taken. ok is false when no valid checkpoint
-// exists (freshly formatted device). A slot whose payload fails its CRC
-// — a checkpoint write torn by a crash — is skipped, so the alternate
-// slot still anchors recovery; that is the whole point of alternating
-// slots.
-func (l *Log) ReadCheckpoint() (data []byte, seq uint64, ok bool, err error) {
+// ReadCheckpoint returns the newest valid checkpoint blob, its optional
+// recovery index, and the log sequence at which it was taken. ok is
+// false when no valid checkpoint exists (freshly formatted device). A
+// slot whose state blob fails its CRC — a checkpoint write torn by a
+// crash — is skipped, so the alternate slot still anchors recovery;
+// that is the whole point of alternating slots. The index blob is best
+// effort: out-of-bounds length or CRC mismatch (a tear inside the index
+// region of an otherwise intact slot) returns index nil without
+// invalidating the slot.
+func (l *Log) ReadCheckpoint() (data, index []byte, seq uint64, ok bool, err error) {
 	hdr := make([]byte, BlockSize)
 	var bestSlot = -1
 	var bestSeq uint64
-	var bestData []byte
+	var bestData, bestIndex []byte
 	for slot := 0; slot < 2; slot++ {
 		base := int64(1 + slot*l.cfg.CheckpointBlocks)
 		if err := readBlocks(l.dev, base, hdr); err != nil {
-			return nil, 0, false, err
+			return nil, nil, 0, false, err
 		}
 		if binary.LittleEndian.Uint32(hdr[0:]) != cpMagic {
 			continue
 		}
 		s := binary.LittleEndian.Uint64(hdr[4:])
-		n := binary.LittleEndian.Uint32(hdr[12:])
-		if int(n) > l.cfg.CheckpointBlocks*BlockSize-cpHeaderSize {
+		nA := int(binary.LittleEndian.Uint32(hdr[12:]))
+		nB := int(binary.LittleEndian.Uint32(hdr[20:]))
+		if nA > l.CheckpointCapacity() {
 			continue
 		}
-		total := cpHeaderSize + int(n)
+		if nB < 0 || nA+nB > l.CheckpointCapacity() {
+			nB = 0 // hostile index length: drop the index, keep the slot
+		}
+		total := cpHeaderSize + nA + nB
 		nBlocks := (total + BlockSize - 1) / BlockSize
 		blob := make([]byte, nBlocks*BlockSize)
 		if err := readBlocks(l.dev, base, blob); err != nil {
-			return nil, 0, false, err
+			return nil, nil, 0, false, err
 		}
-		payload := blob[cpHeaderSize : cpHeaderSize+int(n)]
+		payload := blob[cpHeaderSize : cpHeaderSize+nA]
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[16:]) {
 			continue
 		}
+		var idx []byte
+		if nB > 0 {
+			cand := blob[cpHeaderSize+nA : cpHeaderSize+nA+nB]
+			if crc32.ChecksumIEEE(cand) == binary.LittleEndian.Uint32(hdr[24:]) {
+				idx = cand
+			}
+		}
 		if bestSlot < 0 || s > bestSeq {
-			bestSlot, bestSeq, bestData = slot, s, payload
+			bestSlot, bestSeq, bestData, bestIndex = slot, s, payload, idx
 		}
 	}
 	if bestSlot < 0 {
-		return nil, 0, false, nil
+		return nil, nil, 0, false, nil
 	}
 	l.mu.Lock()
 	l.cpSlot = 1 - bestSlot
@@ -1066,7 +1132,7 @@ func (l *Log) ReadCheckpoint() (data []byte, seq uint64, ok bool, err error) {
 		l.seq = bestSeq
 	}
 	l.mu.Unlock()
-	return bestData, bestSeq, true, nil
+	return bestData, bestIndex, bestSeq, true, nil
 }
 
 // CurrentSegment returns the open segment index, or -1.

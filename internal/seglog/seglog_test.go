@@ -239,27 +239,86 @@ func TestDeviceFullAfterAllSegmentsUsed(t *testing.T) {
 
 func TestCheckpointRoundTrip(t *testing.T) {
 	l, _ := newLog(t, 8<<20)
-	if _, _, ok, err := l.ReadCheckpoint(); err != nil || ok {
+	if _, _, _, ok, err := l.ReadCheckpoint(); err != nil || ok {
 		t.Fatalf("fresh device must have no checkpoint: ok=%v err=%v", ok, err)
 	}
 	blob1 := bytes.Repeat([]byte("alpha"), 100)
-	if err := l.WriteCheckpoint(blob1); err != nil {
+	if err := l.WriteCheckpoint(blob1, nil); err != nil {
 		t.Fatal(err)
 	}
 	blob2 := bytes.Repeat([]byte("beta"), 2000) // multi-block
-	if err := l.WriteCheckpoint(blob2); err != nil {
+	if err := l.WriteCheckpoint(blob2, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, _, ok, err := l.ReadCheckpoint()
+	got, idx, _, ok, err := l.ReadCheckpoint()
 	if err != nil || !ok {
 		t.Fatal(ok, err)
 	}
 	if !bytes.Equal(got, blob2) {
 		t.Fatal("checkpoint must return the newest blob")
 	}
+	if idx != nil {
+		t.Fatal("no index was written; read must return nil")
+	}
 	// Oversized checkpoint rejected.
-	if err := l.WriteCheckpoint(make([]byte, l.Config().CheckpointBlocks*BlockSize)); !errors.Is(err, types.ErrTooLarge) {
+	if err := l.WriteCheckpoint(make([]byte, l.Config().CheckpointBlocks*BlockSize), nil); !errors.Is(err, types.ErrTooLarge) {
 		t.Fatalf("oversized checkpoint: %v", err)
+	}
+	if err := l.WriteCheckpoint(make([]byte, l.CheckpointCapacity()), []byte{1}); !errors.Is(err, types.ErrTooLarge) {
+		t.Fatalf("oversized checkpoint+index: %v", err)
+	}
+}
+
+func TestCheckpointIndexRoundTrip(t *testing.T) {
+	l, _ := newLog(t, 8<<20)
+	state := bytes.Repeat([]byte("state"), 300)
+	index := bytes.Repeat([]byte("index"), 700) // crosses a block boundary
+	if err := l.WriteCheckpoint(state, index); err != nil {
+		t.Fatal(err)
+	}
+	gotState, gotIndex, _, ok, err := l.ReadCheckpoint()
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if !bytes.Equal(gotState, state) || !bytes.Equal(gotIndex, index) {
+		t.Fatal("state/index round trip mismatch")
+	}
+}
+
+// TestCheckpointIndexTornDegradesToNil tears a checkpoint write inside
+// the index region: the state blob (which lands first in the slot)
+// survives its CRC, so the slot must stay valid with index == nil — the
+// degrade-to-full-replay contract, never a rejected anchor.
+func TestCheckpointIndexTornDegradesToNil(t *testing.T) {
+	d := disk.NewFault(8 << 20)
+	if err := Format(d, Config{SegBlocks: 16, CheckpointBlocks: 4}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := bytes.Repeat([]byte{0xAA}, 200)
+	index := bytes.Repeat([]byte{0xBB}, 3000)
+	// The slot write is one WriteSectors call; keep only the first block
+	// (8 sectors) so the header+state land but the index tail is lost.
+	d.TearAfter(0, (cpHeaderSize+len(state))/disk.SectorSize+1)
+	if err := l.WriteCheckpoint(state, index); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotState, gotIndex, _, ok, err := l2.ReadCheckpoint()
+	if err != nil || !ok {
+		t.Fatalf("torn index must not invalidate the slot: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(gotState, state) {
+		t.Fatal("state blob corrupted")
+	}
+	if gotIndex != nil {
+		t.Fatal("torn index must read back as nil")
 	}
 }
 
@@ -357,19 +416,19 @@ func TestCheckpointTornSlotFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	old := bytes.Repeat([]byte("old"), 500)
-	if err := l.WriteCheckpoint(old); err != nil {
+	if err := l.WriteCheckpoint(old, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Tear the very next write (the second checkpoint) after one sector.
 	d.TearAfter(0, 1)
-	if err := l.WriteCheckpoint(bytes.Repeat([]byte("new"), 500)); err != nil {
+	if err := l.WriteCheckpoint(bytes.Repeat([]byte("new"), 500), nil); err != nil {
 		t.Fatal(err)
 	}
 	l2, err := Open(d)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, ok, err := l2.ReadCheckpoint()
+	got, _, _, ok, err := l2.ReadCheckpoint()
 	if err != nil || !ok {
 		t.Fatalf("recovery after torn checkpoint: ok=%v err=%v", ok, err)
 	}
@@ -378,14 +437,14 @@ func TestCheckpointTornSlotFallsBack(t *testing.T) {
 	}
 	// Both slots torn: no checkpoint, but still no error.
 	d.TearAfter(0, 1)
-	if err := l2.WriteCheckpoint(bytes.Repeat([]byte("x"), 500)); err != nil {
+	if err := l2.WriteCheckpoint(bytes.Repeat([]byte("x"), 500), nil); err != nil {
 		t.Fatal(err)
 	}
 	d.TearAfter(0, 1)
-	if err := l2.WriteCheckpoint(bytes.Repeat([]byte("y"), 500)); err != nil {
+	if err := l2.WriteCheckpoint(bytes.Repeat([]byte("y"), 500), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok, err := l2.ReadCheckpoint(); err != nil || ok {
+	if _, _, _, ok, err := l2.ReadCheckpoint(); err != nil || ok {
 		t.Fatalf("doubly-torn checkpoint: ok=%v err=%v", ok, err)
 	}
 }
@@ -405,7 +464,7 @@ func TestRecoveryScanFrom(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := l.WriteCheckpoint([]byte("state")); err != nil {
+	if err := l.WriteCheckpoint([]byte("state"), nil); err != nil {
 		t.Fatal(err)
 	}
 	cpSeq := l.Seq()
@@ -420,7 +479,7 @@ func TestRecoveryScanFrom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blob, seq, ok, err := l2.ReadCheckpoint()
+	blob, _, seq, ok, err := l2.ReadCheckpoint()
 	if err != nil || !ok || string(blob) != "state" || seq != cpSeq {
 		t.Fatalf("checkpoint after reopen: %q seq=%d ok=%v err=%v", blob, seq, ok, err)
 	}

@@ -23,6 +23,11 @@
 //  5. reuse — no durable structure references a segment the cleaner
 //     returned to the allocator (Drive.CheckInvariants, the
 //     deferred-reuse barrier of DESIGN.md §6);
+//  6. landmarks — the recovered landmark index matches a from-scratch
+//     chain walk;
+//  7. equivalence — opening the same image with the persisted segment
+//     index ignored (full-scan recount, DESIGN.md §14) recovers
+//     byte-identical state and serves identical golden reads;
 //
 // plus a post-recovery smoke op proving the reopened drive still
 // serves writes. Everything is driven by Config.Seed: a failing crash
@@ -33,6 +38,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"s4/internal/audit"
@@ -69,6 +75,14 @@ type Config struct {
 	// its journal flush, mid-aging, and mid-compaction — the index
 	// rebuild paths recovery must get right.
 	CheckpointEvery int
+	// IndexFlushEvery, when positive, takes a drive checkpoint after
+	// exactly every N ops — a deterministic segment-index write cadence
+	// on top of the random CheckpointEveryN ones, so the crash-point
+	// sweep lands densely on and inside the checkpoint-slot writes that
+	// carry the index (and, with Torn, on their torn halves: a tear past
+	// the object-map blob but inside the index region is precisely the
+	// partial-index-record case that must degrade to full replay).
+	IndexFlushEvery int
 	// Window is the detection window (1h — far longer than the virtual
 	// time the workload spans, so nothing ages out and every snapshot
 	// stays checkable).
@@ -81,6 +95,14 @@ type Config struct {
 	// Torn adds, for every multi-sector write, a second crash image in
 	// which only the first half of that write's sectors persisted.
 	Torn bool
+	// TornCheckpointSweep (with Torn) tears every checkpoint-slot write
+	// at every sector boundary, not just the halfway point. The segment
+	// index rides at the tail of the slot blob behind the object map, so
+	// only a narrow band of tear positions validates the object-map CRC
+	// while cutting the index — the exact partial-index-record images
+	// that must fall back to full replay. The half-point tear almost
+	// never lands there; the per-sector sweep guarantees coverage.
+	TornCheckpointSweep bool
 	// MaxCrashPoints caps how many plain write boundaries are verified
 	// (0 = all of them); sampling keeps the first and last.
 	MaxCrashPoints int
@@ -91,6 +113,14 @@ type Config struct {
 	// cleaner's deferred-reuse barrier so regression tests can prove
 	// the harness catches the resulting corruption.
 	UnsafeImmediateReuse bool
+	// NoDifferential skips the recovery-equivalence check. By default
+	// every crash image is opened twice — once anchored at the persisted
+	// segment index, once with DisableSegIndex forcing the full-scan
+	// recount — and the two recovered states must be byte-identical
+	// (StateDigest), hold all invariants, and serve identical golden
+	// reads at several history depths. Opt out only where the doubled
+	// open cost matters more than the equivalence proof.
+	NoDifferential bool
 	// Logf, when set, receives progress lines (pass t.Logf).
 	Logf func(format string, args ...any)
 }
@@ -155,7 +185,15 @@ type Result struct {
 	Objects     int // objects the workload created
 	CrashPoints int // crash images verified (plain + torn)
 	TornPoints  int // of which torn
-	Violations  []Violation
+	// Restart-path accounting across the verification opens (the
+	// equivalence battery's observability: every image reports how it
+	// was recovered, so a sweep that silently stopped exercising the
+	// index would show up here, not pass vacuously).
+	IndexLoads     int64 // opens anchored at a persisted segment index
+	IndexFallbacks int64 // opens that found a checkpoint but fell back to full scan
+	ReplayIndexed  int64 // journal entries replayed by the indexed opens
+	ReplayFull     int64 // journal entries replayed by the full-scan opens
+	Violations     []Violation
 }
 
 // Run executes the workload and verifies every crash point.
@@ -189,17 +227,43 @@ func Run(cfg Config) (Result, error) {
 		if err != nil {
 			return res, err
 		}
+		// The equivalence check needs a second pristine materialization:
+		// verification itself mutates the opened image (audit records,
+		// post-recovery smoke writes), so the full-scan open cannot share
+		// the device the indexed open already touched.
+		var img2 disk.Device
+		if !cfg.NoDifferential {
+			if img2, err = w.rec.ImageAt(k); err != nil {
+				return res, err
+			}
+		}
 		res.CrashPoints++
-		res.Violations = append(res.Violations, w.verifyImage(img, k, false)...)
+		res.Violations = append(res.Violations, w.verifyImage(&res, img, img2, k, false)...)
 		if cfg.Torn && k < res.Writes {
-			if sec := w.rec.Record(k).Sectors(); sec >= 2 {
-				timg, err := w.rec.TornImageAt(k, sec/2)
-				if err != nil {
-					return res, err
+			if rec := w.rec.Record(k); rec.Sectors() >= 2 {
+				sec := rec.Sectors()
+				keeps := []int{sec / 2}
+				if cfg.TornCheckpointSweep && w.isCheckpointSlotWrite(rec) {
+					keeps = keeps[:0]
+					for s := 1; s < sec; s++ {
+						keeps = append(keeps, s)
+					}
 				}
-				res.CrashPoints++
-				res.TornPoints++
-				res.Violations = append(res.Violations, w.verifyImage(timg, k, true)...)
+				for _, keep := range keeps {
+					timg, err := w.rec.TornImageAt(k, keep)
+					if err != nil {
+						return res, err
+					}
+					var timg2 disk.Device
+					if !cfg.NoDifferential {
+						if timg2, err = w.rec.TornImageAt(k, keep); err != nil {
+							return res, err
+						}
+					}
+					res.CrashPoints++
+					res.TornPoints++
+					res.Violations = append(res.Violations, w.verifyImage(&res, timg, timg2, k, true)...)
+				}
 			}
 		}
 		if cfg.Logf != nil && (i+1)%200 == 0 {
@@ -212,8 +276,10 @@ func Run(cfg Config) (Result, error) {
 
 // verifyImage reopens one crash image and checks every invariant.
 // Panics anywhere in recovery or verification count as recovery
-// violations ("never wedges"), not test crashes.
-func (w *run) verifyImage(dev disk.Device, k int, torn bool) (vs []Violation) {
+// violations ("never wedges"), not test crashes. dev2, when non-nil, is
+// a second pristine materialization of the same image for the
+// recovery-equivalence check (invariant 7).
+func (w *run) verifyImage(res *Result, dev, dev2 disk.Device, k int, torn bool) (vs []Violation) {
 	viol := func(inv, format string, args ...any) {
 		vs = append(vs, Violation{CrashPoint: k, Torn: torn, Invariant: inv, Detail: fmt.Sprintf(format, args...)})
 	}
@@ -231,6 +297,17 @@ func (w *run) verifyImage(dev disk.Device, k int, torn bool) (vs []Violation) {
 		viol("recovery", "reopen failed: %v", err)
 		return vs
 	}
+	// The digest must be taken before any verification traffic: reads
+	// below append audit state to the reopened drive, which would
+	// diverge it from the freshly opened full-scan twin.
+	var idxDigest string
+	if dev2 != nil {
+		idxDigest = drv.StateDigest()
+	}
+	st := drv.DriveStats()
+	res.IndexLoads += st.IndexLoads
+	res.IndexFallbacks += st.IndexFallbacks
+	res.ReplayIndexed += st.RecoveryReplayEntries
 	admin := types.AdminCred()
 
 	now := drv.Now()
@@ -330,7 +407,116 @@ func (w *run) verifyImage(dev disk.Device, k int, torn bool) (vs []Violation) {
 			viol("recovery", "post-crash readback: %q, %v", got, err)
 		}
 	}
+
+	// Invariant 7: recovery equivalence — the same crash image opened
+	// with the segment index ignored must recover byte-identical state.
+	if dev2 != nil {
+		vs = append(vs, w.verifyEquivalence(res, dev2, idxDigest, k, torn)...)
+	}
 	return vs
+}
+
+// verifyEquivalence opens a pristine copy of a crash image with
+// DisableSegIndex (full-scan recount), requires its recovered state to
+// digest-identically match the indexed open, holds the structural
+// invariants on it too, and golden-reads every object at several
+// history depths — newest durable, oldest in-window, and one in
+// between — so "identical state" is proven at the read surface, not
+// just the digest.
+func (w *run) verifyEquivalence(res *Result, dev disk.Device, idxDigest string, k int, torn bool) (vs []Violation) {
+	viol := func(format string, args ...any) {
+		vs = append(vs, Violation{CrashPoint: k, Torn: torn, Invariant: "equivalence", Detail: fmt.Sprintf(format, args...)})
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			viol("full-scan panic: %v", r)
+		}
+	}()
+	opts := w.opts
+	opts.Clock = vclock.NewVirtualAt(w.endTime.Time())
+	opts.DisableSegIndex = true
+	drv, err := core.Open(dev, opts)
+	if err != nil {
+		viol("full-scan reopen failed: %v", err)
+		return vs
+	}
+	fullDigest := drv.StateDigest()
+	res.ReplayFull += drv.DriveStats().RecoveryReplayEntries
+	if fullDigest != idxDigest {
+		viol("indexed and full-scan recovery diverged: %s", digestDiff(idxDigest, fullDigest))
+	}
+	if err := drv.CheckInvariants(); err != nil {
+		viol("full-scan invariants: %v", err)
+	}
+	if err := drv.CheckLandmarks(true); err != nil {
+		viol("full-scan landmarks: %v", err)
+	}
+
+	mark := w.lastMark(k)
+	if mark == nil {
+		return vs
+	}
+	admin := types.AdminCred()
+	winCut := drv.Now() - types.Timestamp(w.cfg.Window)
+	for _, m := range w.objects {
+		newest := -1
+		for si := range m.snaps {
+			if m.snaps[si].at <= mark.at {
+				newest = si
+			}
+		}
+		if newest < 0 {
+			continue
+		}
+		oldest := -1
+		for si := 0; si <= newest; si++ {
+			if m.snaps[si].at > winCut {
+				oldest = si
+				break
+			}
+		}
+		if oldest < 0 {
+			continue
+		}
+		depths := []int{newest}
+		if oldest != newest {
+			depths = append(depths, oldest)
+		}
+		if mid := (oldest + newest) / 2; mid != newest && mid != oldest {
+			depths = append(depths, mid)
+		}
+		for _, si := range depths {
+			if msg := checkSnap(drv, admin, m.id, &m.snaps[si]); msg != "" {
+				viol("full-scan golden read, object %v snap %d: %s", m.id, si, msg)
+			}
+		}
+	}
+	return vs
+}
+
+// digestDiff summarizes the first few differing lines of two state
+// digests, so an equivalence violation names the diverged structure
+// instead of dumping two full digests.
+func digestDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	var diffs []string
+	for i := 0; i < len(la) || i < len(lb); i++ {
+		var x, y string
+		if i < len(la) {
+			x = la[i]
+		}
+		if i < len(lb) {
+			y = lb[i]
+		}
+		if x != y {
+			diffs = append(diffs, fmt.Sprintf("line %d: indexed %q vs full %q", i, x, y))
+			if len(diffs) == 5 {
+				diffs = append(diffs, "...")
+				break
+			}
+		}
+	}
+	return strings.Join(diffs, "; ")
 }
 
 // checkAudit matches the recovered audit records against the oracle's

@@ -16,6 +16,10 @@ func sweepSeeds(t *testing.T) ([]int64, Config) {
 	}
 	if os.Getenv("S4_TORTURE_LONG") != "" {
 		cfg.Ops = 1000
+		// Deterministic index-write cadence on top of the random
+		// checkpoints: the nightly sweep crosses many more checkpoint-
+		// slot (and therefore segment-index) write boundaries.
+		cfg.IndexFlushEvery = 11
 		return []int64{1, 2, 3, 4, 5, 6, 7, 8}, cfg
 	}
 	if testing.Short() {
@@ -41,6 +45,8 @@ func TestTortureSweep(t *testing.T) {
 			}
 			t.Logf("seed=%d: %d ops, %d objects, %d syncs, %d device writes -> %d crash points (%d torn), %d violations",
 				seed, res.Ops, res.Objects, res.Syncs, res.Writes, res.CrashPoints, res.TornPoints, len(res.Violations))
+			t.Logf("seed=%d: restart paths: %d indexed opens (%d entries replayed), %d fallbacks, full-scan replayed %d",
+				seed, res.IndexLoads, res.ReplayIndexed, res.IndexFallbacks, res.ReplayFull)
 			for i, v := range res.Violations {
 				if i == 10 {
 					t.Errorf("... and %d more", len(res.Violations)-10)
@@ -50,6 +56,15 @@ func TestTortureSweep(t *testing.T) {
 			}
 			if res.CrashPoints < 500 {
 				t.Fatalf("only %d crash points enumerated; want >= 500", res.CrashPoints)
+			}
+			// The equivalence battery must actually exercise both paths:
+			// a sweep where no image anchored at the index proves nothing.
+			if res.IndexLoads == 0 {
+				t.Fatalf("no crash image recovered via the segment index")
+			}
+			if res.ReplayFull <= res.ReplayIndexed {
+				t.Errorf("full-scan replay (%d entries) not above indexed replay (%d): index not shortening recovery",
+					res.ReplayFull, res.ReplayIndexed)
 			}
 		})
 	}
@@ -178,6 +193,59 @@ func TestTortureCheckpointHeavy(t *testing.T) {
 			}
 			t.Errorf("%s", v)
 		}
+	}
+}
+
+// TestTortureIndexBoundaries checkpoints after exactly every 5 ops, so
+// the crash-point sweep (with torn halves) lands densely on and inside
+// the checkpoint-slot writes that persist the segment index. Every
+// image must hold all invariants — including recovery equivalence —
+// and a tear that validates the object-map blob but cuts the index
+// region behind it must degrade to full replay (IndexFallbacks), never
+// wedge or silently diverge.
+func TestTortureIndexBoundaries(t *testing.T) {
+	cfg := Config{
+		Ops:                 200,
+		IndexFlushEvery:     5,
+		CleanEveryN:         12,
+		DiskBytes:           16 << 20,
+		Torn:                true,
+		TornCheckpointSweep: true,
+		PostRecoverySmoke:   true,
+		MaxCrashPoints:      600,
+		Logf:                t.Logf,
+	}
+	seeds := []int64{1, 2}
+	if testing.Short() || os.Getenv("S4_STRESS_SHORT") != "" {
+		seeds = seeds[:1]
+		cfg.Ops = 100
+		cfg.MaxCrashPoints = 200
+	}
+	var loads, fallbacks int64
+	for _, seed := range seeds {
+		cfg := cfg
+		cfg.Seed = seed
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seed=%d: %d crash points (%d torn): %d indexed opens, %d fallbacks, replay %d indexed / %d full",
+			seed, res.CrashPoints, res.TornPoints, res.IndexLoads, res.IndexFallbacks, res.ReplayIndexed, res.ReplayFull)
+		for i, v := range res.Violations {
+			if i == 10 {
+				t.Errorf("... and %d more", len(res.Violations)-10)
+				break
+			}
+			t.Errorf("%s", v)
+		}
+		loads += res.IndexLoads
+		fallbacks += res.IndexFallbacks
+	}
+	if loads == 0 {
+		t.Fatalf("no crash image recovered via the segment index")
+	}
+	if fallbacks == 0 {
+		t.Errorf("no crash image fell back to full replay: the sweep never crossed a partial-index boundary")
 	}
 }
 

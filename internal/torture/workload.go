@@ -242,7 +242,8 @@ func runWorkload(cfg Config) (*run, error) {
 			w.syncs = append(w.syncs, syncMark{nWrites: rec.Writes(), at: drv.Now()})
 			tick()
 		}
-		if rng.Intn(cfg.CheckpointEveryN) == 0 {
+		if rng.Intn(cfg.CheckpointEveryN) == 0 ||
+			(cfg.IndexFlushEvery > 0 && (i+1)%cfg.IndexFlushEvery == 0) {
 			if err := drv.Checkpoint(); err != nil {
 				return nil, fmt.Errorf("torture: op %d checkpoint: %w", i, err)
 			}
@@ -274,6 +275,16 @@ func randBytes(rng *rand.Rand, n int) []byte {
 	b := make([]byte, n)
 	rng.Read(b)
 	return b
+}
+
+// isCheckpointSlotWrite reports whether rec is the single vectored
+// write that persists one checkpoint slot (object map + segment index
+// blob). The two slots sit at blocks 1 and 1+CheckpointBlocks, and the
+// blob write always starts at the slot base.
+func (w *run) isCheckpointSlotWrite(rec disk.WriteRecord) bool {
+	spb := int64(types.BlockSize / disk.SectorSize)
+	cp := int64(w.cfg.CheckpointBlocks)
+	return rec.Sector == 1*spb || rec.Sector == (1+cp)*spb
 }
 
 // lastMark returns the newest durability point whose writes all fit in

@@ -21,6 +21,9 @@
 //	s4bench -shards -json BENCH_shard.json
 //	                                 consistent-hash router scaling at
 //	                                 1/4/8 shards on rate-limited devices
+//	s4bench -scrub -json BENCH_scrub.json
+//	                                 foreground ops/s with the integrity
+//	                                 scrubber off/default/aggressive
 package main
 
 import (
@@ -53,6 +56,7 @@ func main() {
 	shardpath := flag.Bool("shards", false, "run the sharded-router scaling bench (1/4/8 shards) instead of a figure")
 	spOps := flag.Int("sp-ops", 0, "with -shards: operations per client (0 = default 150)")
 	restart := flag.Bool("restart", false, "run the restart bench (open time vs history depth, index on/off, both backends)")
+	scrub := flag.Bool("scrub", false, "run the scrub bench (foreground ops/s with the scrubber off/default/aggressive)")
 	jsonOut := flag.String("json", "", "with -writepath/-readpath: write machine-readable results to this file")
 	baseline := flag.String("baseline", "", "with -writepath/-readpath: fail if throughput regresses >30% vs this baseline JSON")
 	flag.Parse()
@@ -60,6 +64,13 @@ func main() {
 	if *restart {
 		if err := runRestart(*jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "restart: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scrub {
+		if err := runScrub(*jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "scrub: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -27,7 +27,7 @@ func runNetfault(seed int64, ops int) error {
 			// request/response, ~2kB) or no connection can ever complete
 			// an op — see the identical budget in resilience_test.go.
 			DelayEvery: 40, MaxDelay: 2 * time.Millisecond,
-			CutMin: 200, CutMax: 2300,
+			CutMin: 200, CutMax: 2700,
 			DropProb: 0.05,
 		},
 		Logf: func(format string, args ...any) {

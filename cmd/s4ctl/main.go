@@ -140,6 +140,9 @@ func main() {
 		fmt.Printf("restart:         %v open (%d entries replayed)\n",
 			st.OpenDuration.Round(time.Microsecond), st.RecoveryReplayEntries)
 		fmt.Printf("segment index:   %d loads, %d fallbacks\n", st.IndexLoads, st.IndexFallbacks)
+		fmt.Printf("scrub:           %d passes, %d blocks verified\n", st.ScrubPasses, st.ScrubBlocks)
+		fmt.Printf("integrity:       %d corrupt detected, %d repaired, %d segments quarantined\n",
+			st.CorruptDetected, st.CorruptRepaired, st.QuarantinedSegments)
 		// Behind a gate the aggregate above sums the whole cluster;
 		// the per-shard breakdown (ring order) shows how the router
 		// spread the load.
@@ -192,6 +195,13 @@ func main() {
 			fmt.Printf("%-6d %-8d %-28s %-8d %-8d %-12s %-10s %v\n",
 				r.Shard, r.Seq, r.Time, r.Client, r.User, r.Op, r.Obj, r.OK)
 		}
+	case "scrub":
+		sr, err := c.Scrub()
+		check(err)
+		fmt.Printf("scrubbed %d segments (%d blocks)\n", sr.Segments, sr.Blocks)
+		fmt.Printf("corrupt:     %d unrepaired\n", sr.Corrupt)
+		fmt.Printf("repaired:    %d\n", sr.Repaired)
+		fmt.Printf("quarantined: %d segments\n", sr.Quarantined)
 	case "setwindow":
 		if len(rest) == 0 {
 			fatal("setwindow: duration required")
@@ -266,6 +276,7 @@ commands:
   ls <dirobj> [-at t]          time-enhanced directory listing (§3.6)
   revert <obj> -at t           copy the old version forward (restore)
   audit [-seq n] [-max n]      audit log (admin)
+  scrub                        on-demand integrity sweep of all segments (admin)
   setwindow <dur>              adjust the detection window (admin)
   flush -from t -to t          erase all history in range (admin)
   flusho <obj> -from t -to t   erase one object's history in range (admin)

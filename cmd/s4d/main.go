@@ -57,6 +57,7 @@ func main() {
 	backend := flag.String("backend", "file", "seglog backing store: file (preallocated image) or mem (volatile, for testing)")
 	format := flag.Bool("format", false, "format the image even if it has data")
 	cleanEvery := flag.Duration("clean", 30*time.Second, "cleaner interval (0 disables)")
+	scrubRate := flag.Float64("scrub", core.DefaultScrubRate, "background integrity-scrub pace in blocks/sec (0 = default, negative disables)")
 	workers := flag.Int("workers", 0, "request-dispatch pool size per shard (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "request queue depth before shedding ErrBusy (0 = 4x workers)")
 	connLimit := flag.Int("conn-limit", 0, "max concurrent connections per shard (0 = unlimited)")
@@ -147,6 +148,14 @@ func main() {
 			log.Printf("s4d: shard %d serving %s on %s (window %v)", k, in.image, in.ln.Addr(), *window)
 		} else {
 			log.Printf("s4d: serving %s on %s (window %v)", in.image, in.ln.Addr(), *window)
+		}
+	}
+
+	// The drive never starts the scrubber itself; the serving binary owns
+	// the goroutine's lifetime (Close stops it).
+	if *scrubRate >= 0 {
+		for _, in := range insts {
+			in.drv.StartScrubber(*scrubRate)
 		}
 	}
 

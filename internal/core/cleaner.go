@@ -547,6 +547,13 @@ func (d *Drive) relocateChainLocked(o *object, avoid seglog.BlockAddr, cs *Clean
 // frees it. Segments holding mid-chain journal sectors are skipped (they
 // age out instead; rewriting chains here would cascade).
 func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) error {
+	// A quarantined segment holds at least one block that failed its
+	// checksum; compacting it would copy rot forward (or wedge the
+	// cleaner on the same read error every pass). Leave it in place —
+	// its healthy blocks stay readable and aging still reclaims them.
+	if d.log.IsQuarantined(seg) {
+		return nil
+	}
 	sum, ok, err := d.log.ReadSummary(seg)
 	if err != nil || !ok {
 		return err
@@ -601,6 +608,13 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 				continue // dead or historical; aging handles it
 			}
 			data, err := d.readBlock(addr)
+			if errors.Is(err, types.ErrCorrupt) {
+				// The read verified and failed; the log has quarantined
+				// the segment. Skip the block rather than relocate
+				// garbage — it stays at its old address, still reported
+				// as corrupt to any reader.
+				continue
+			}
 			if err != nil {
 				return err
 			}
@@ -651,6 +665,13 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 				continue
 			}
 			data, err := d.readBlock(addr)
+			if errors.Is(err, types.ErrCorrupt) {
+				// Same containment as data blocks: never copy a failed
+				// audit block forward, keep the original address so the
+				// corruption stays visible to AuditRead.
+				d.auditMu.Unlock()
+				continue
+			}
 			if err != nil {
 				d.auditMu.Unlock()
 				return err

@@ -271,7 +271,17 @@ type Stats struct {
 	IndexLoads            int64         // opens that anchored at a persisted segment index
 	IndexFallbacks        int64         // opens that found a checkpoint but fell back to full scan
 	RecoveryReplayEntries int64         // journal entries examined while recovering
+	RecoveryTruncations   int64         // journal tails cut for naming un-durable blocks
 	OpenDuration          time.Duration // wall-clock time spent in recovery at Open
+
+	// Integrity counters (DESIGN.md §15). Detection/repair/quarantine
+	// are merged from the segment log, which verifies every media read;
+	// the scrub counters track the background sweeper.
+	ScrubPasses         int64 // full-log scrub sweeps completed
+	ScrubBlocks         int64 // blocks verified by scrub sweeps
+	CorruptDetected     int64 // media blocks that failed their checksum
+	CorruptRepaired     int64 // corrupt blocks healed from a redundant copy
+	QuarantinedSegments int64 // segments withheld from reuse after corruption
 }
 
 // Drive is an open S4 drive. See the package comment for the lock
@@ -306,6 +316,15 @@ type Drive struct {
 	// hold no lock statsMu could pair with.
 	landmarkHits atomic.Int64
 	walkEntries  atomic.Int64
+
+	// Background-scrubber state (scrub.go). scrubStop is non-nil while
+	// the scrubber goroutine runs; Close signals it and waits.
+	scrubPasses atomic.Int64
+	scrubBlocks atomic.Int64
+	scrubMu     sync.Mutex // guards scrubStop/scrubDone/scrubCursor
+	scrubStop   chan struct{}
+	scrubDone   chan struct{}
+	scrubCursor int64 // next segment to verify; advisory, never durable
 
 	// lruMu guards objLRU mutation. The list is traversed without lruMu
 	// only under the exclusive drive lock (evictColdLocked), which
@@ -383,7 +402,13 @@ type Drive struct {
 	// summary write did not is referenced by chains yet never counted;
 	// indexed recovery gates its usage deltas on the same coverage.
 	recSumCover map[int64]int
-	recReplay   int64 // journal entries examined during this recovery
+	// recDrop is the per-object poison floor: the lowest version whose
+	// journal entry named un-durable blocks during replay. That entry
+	// and everything at or above its version are an unacknowledged
+	// tail, truncated out of the chain so the recovered state is an
+	// exact prefix of the op sequence. Zero (absent) means unpoisoned.
+	recDrop   map[types.ObjectID]uint64
+	recReplay int64 // journal entries examined during this recovery
 }
 
 type auditBlockRef struct {
@@ -461,6 +486,7 @@ func Open(dev disk.Device, opts Options) (*Drive, error) {
 
 // Close flushes all state and detaches.
 func (d *Drive) Close() error {
+	d.StopScrubber()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -2187,6 +2213,9 @@ func (d *Drive) DriveStats() Stats {
 	d.dirtyMu.Lock()
 	s.DirtyObjects = int64(len(d.dirtyObjs))
 	d.dirtyMu.Unlock()
+	s.CorruptDetected, s.CorruptRepaired, s.QuarantinedSegments = d.log.IntegrityStats()
+	s.ScrubPasses = d.scrubPasses.Load()
+	s.ScrubBlocks = d.scrubBlocks.Load()
 	return s
 }
 

@@ -237,6 +237,13 @@ func landmarkAfter(ls []landmark, at types.Timestamp) (landmark, bool) {
 // walk would.
 func (d *Drive) inodeAtLandmark(s *objSnapshot, ln landmark, at types.Timestamp) (in *Inode, from, to types.Timestamp, err error) {
 	root, err := d.readBlock(ln.root)
+	if errors.Is(err, types.ErrCorrupt) {
+		// The checkpoint root rotted on media. The landmark is only an
+		// accelerator — the full undo walk reconstructs the same state
+		// from the live inode, so a miss here degrades to the slow path
+		// instead of failing the read.
+		return nil, 0, 0, errLandmarkMiss
+	}
 	if err != nil {
 		return nil, 0, 0, err
 	}

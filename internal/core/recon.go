@@ -28,7 +28,7 @@ type reconCache struct {
 	mu       sync.Mutex
 	capBytes int64
 	curBytes int64
-	lru      *list.List // front = most recent; values are *reconEnt
+	lru      *list.List                         // front = most recent; values are *reconEnt
 	byObj    map[types.ObjectID][]*list.Element // per object, ascending by from
 
 	hits, misses int64

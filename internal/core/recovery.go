@@ -273,9 +273,17 @@ func (d *Drive) recover() error {
 		d.stats.IndexLoads++
 		d.preloadSegIndex(idx)
 	}
+	if d.recSumCover == nil {
+		// The full-scan path needs the coverage cache too: the replay
+		// durability check consults it for every entry.
+		d.recSumCover = make(map[int64]int)
+	}
+	d.recDrop = make(map[types.ObjectID]uint64)
 	// Roll forward: visit segments written after the checkpoint in
 	// sequence order, relinking journal chains and redoing entries.
+	visited := make(map[int64]bool)
 	err = d.log.ScanFrom(cpSeq, func(seg int64, sum seglog.Summary) error {
+		visited[seg] = true
 		d.log.MarkAllocated(seg)
 		d.log.SetSeq(sum.Seq)
 		for i, e := range sum.Entries {
@@ -294,6 +302,9 @@ func (d *Drive) recover() error {
 	if err != nil {
 		return err
 	}
+	if err := d.vetSkippedHeads(visited); err != nil {
+		return err
+	}
 	if idx != nil {
 		err = d.finishIndexedRecovery(idx)
 	} else {
@@ -309,7 +320,7 @@ func (d *Drive) recover() error {
 		o.nextAge = 0
 		o.lmReset = false
 	}
-	d.recPreJhead, d.recSnapVer, d.recTouched, d.recSumCover = nil, nil, nil, nil
+	d.recPreJhead, d.recSnapVer, d.recTouched, d.recSumCover, d.recDrop = nil, nil, nil, nil, nil
 	// Evict down to the configured object-cache budget.
 	return d.evictColdLocked()
 }
@@ -384,19 +395,19 @@ func (d *Drive) recoverJournalBlock(addr seglog.BlockAddr) error {
 	}
 	for slot := 0; slot < journal.SectorsPerBlock; slot++ {
 		data := buf[slot*journal.SectorSize : (slot+1)*journal.SectorSize]
-		id, _, entries, ok, err := journal.DecodeSector(data)
+		id, prev, entries, ok, err := journal.DecodeSector(data)
 		if err != nil || !ok {
 			continue // empty or torn slot: nothing durable to replay
 		}
 		sa := journal.MakeSectorAddr(addr, slot)
-		if err := d.recoverJournalSector(sa, id, entries); err != nil {
+		if err := d.recoverJournalSector(sa, prev, id, entries); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (d *Drive) recoverJournalSector(addr journal.SectorAddr, id types.ObjectID, entries []journal.Entry) error {
+func (d *Drive) recoverJournalSector(addr journal.SectorAddr, prev journal.SectorAddr, id types.ObjectID, entries []journal.Entry) error {
 	d.recReplay += int64(len(entries))
 	o := d.objects[id]
 	if o == nil {
@@ -405,6 +416,45 @@ func (d *Drive) recoverJournalSector(addr journal.SectorAddr, id types.ObjectID,
 		d.objects[id] = o
 		if id >= d.nextOID {
 			d.nextOID = id + 1
+		}
+	}
+	// Vet the sector before anything reads the chain: the shared
+	// journal sector is rewritten in place, so a crash can leave an
+	// entry durable while the data blocks it points at — staged after
+	// the last summary snapshot — are not. Nothing from the first such
+	// entry on was acknowledged (Sync writes the covering snapshot
+	// before returning), so treat it as the LFS tail it is: erase the
+	// suffix from the sector, and poison every later version of the
+	// object, so the recovered state stays an exact prefix of the op
+	// sequence, post-crash writes cannot collide with the rejected
+	// versions, and full chain replays (loadInode below walks the
+	// media, which may include this very sector when it is the
+	// rewritten checkpoint-time head) cannot resurrect fabricated
+	// state. Everything synced before the checkpoint is covered, so a
+	// re-synced old sector always vets clean; the poison floor is a
+	// version for the same reason — spared prefixes stay spared.
+	poison := d.recDrop[id]
+	vet := -1
+	for i := range entries {
+		e := &entries[i]
+		if (poison != 0 && e.Version >= poison) || !d.entryDurable(e) {
+			vet = i
+			break
+		}
+	}
+	if vet >= 0 {
+		if v := entries[vet].Version; poison == 0 || v < poison {
+			d.recDrop[id] = v
+		}
+		d.stats.RecoveryTruncations++
+		if err := d.truncateJournalSector(addr, prev, id, entries, vet); err != nil {
+			return err
+		}
+		entries = entries[:vet]
+		if len(entries) == 0 {
+			// The whole sector was un-durable tail: it is an empty slot
+			// now and never joins the chain.
+			return nil
 		}
 	}
 	// Materialize the inode: from its checkpoint, from the chain the
@@ -454,6 +504,100 @@ func (d *Drive) recoverJournalSector(addr journal.SectorAddr, id types.ObjectID,
 	o.jhead = addr
 	if o.jtail == journal.NilSector {
 		o.jtail = addr
+	}
+	return nil
+}
+
+// entryDurable reports whether every block a journal entry introduces
+// is covered by its segment's durable summary. An uncovered pointer
+// means the crash cut the flush between the in-place journal rewrite
+// and the data (or snapshot) write it described: the entry's payload
+// may be zeros, stale bytes, or absent entirely, and replaying it would
+// fabricate state no client was ever acknowledged.
+func (d *Drive) entryDurable(e *journal.Entry) bool {
+	for _, nw := range e.New {
+		if nw != seglog.NilAddr && !d.recCovered(nw) {
+			return false
+		}
+	}
+	if e.Type == journal.EntCheckpoint && e.InodeAddr != seglog.NilAddr && !d.recCovered(e.InodeAddr) {
+		return false
+	}
+	return true
+}
+
+// truncateJournalSector rewrites the journal sector at addr keeping
+// only entries[:keep], erasing an un-durable replay tail from the
+// chain structurally: loadInode replays complete chains and new writes
+// reuse the freed versions, so skipping the entries in memory is not
+// enough — they must leave the media. A sector whose entries are all
+// rejected becomes an empty slot and never joins the chain. The write
+// is crash-safe in the advisory sense: re-running recovery after a
+// crash mid-truncation just rejects the same suffix again.
+func (d *Drive) truncateJournalSector(addr journal.SectorAddr, prev journal.SectorAddr, id types.ObjectID, entries []journal.Entry, keep int) error {
+	sector := make([]byte, journal.SectorSize)
+	if keep > 0 {
+		ptrs := make([]*journal.Entry, keep)
+		for i := range ptrs {
+			ptrs[i] = &entries[i]
+		}
+		enc, err := journal.EncodeSector(id, prev, ptrs)
+		if err != nil {
+			return err
+		}
+		copy(sector, enc)
+	}
+	return d.log.PatchSettled(addr.Block(), addr.Slot()*journal.SectorSize, sector)
+}
+
+// vetSkippedHeads closes the scan's blind spot. ScanFrom only visits
+// segments whose durable summary seq is newer than the checkpoint's,
+// but the open-at-crash segment can carry a head-sector rewrite the
+// scan never sees: a crash that cut the first post-checkpoint flush
+// after its journal-block write left the segment's newest durable
+// snapshot *older* than cpSeq, yet the rewritten sector — now holding
+// entries no snapshot ever covered — is exactly where the checkpoint's
+// object map points. Nothing replays those entries during recovery,
+// but loadInode's full chain walk would, so they must be vetted and
+// truncated here, before the usage passes walk any chain. Entries at
+// or below the checkpointed version stay (a completed Sync would have
+// advanced the snapshot seq past cpSeq, so everything above it is
+// unacknowledged tail); the durability check also runs so an
+// EntCheckpoint naming a never-written inode root cannot slip through
+// on a version tie.
+func (d *Drive) vetSkippedHeads(visited map[int64]bool) error {
+	for id, o := range d.objects {
+		if o.jhead == journal.NilSector {
+			continue
+		}
+		seg := segOf(d.log, o.jhead.Block())
+		if seg < 0 || visited[seg] {
+			continue // the roll-forward scan vetted every sector there
+		}
+		gotID, prev, entries, err := journal.ReadSector(d.log, o.jhead)
+		if err != nil || gotID != id {
+			// Torn, rotted, or reused: the chain walks that need this
+			// sector will report it; vetting has nothing to cut.
+			continue
+		}
+		limit := o.nextVersion - 1
+		vet := -1
+		for i := range entries {
+			if entries[i].Version > limit || !d.entryDurable(&entries[i]) {
+				vet = i
+				break
+			}
+		}
+		if vet < 0 {
+			continue
+		}
+		if v := entries[vet].Version; d.recDrop[id] == 0 || v < d.recDrop[id] {
+			d.recDrop[id] = v
+		}
+		d.stats.RecoveryTruncations++
+		if err := d.truncateJournalSector(o.jhead, prev, id, entries, vet); err != nil {
+			return err
+		}
 	}
 	return nil
 }

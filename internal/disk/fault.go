@@ -122,7 +122,7 @@ type FaultDisk struct {
 	dropAt   int64 // silently drop the Nth next write (<0 disabled)
 	tearAt   int64 // tear the Nth next write (<0 disabled)
 	tearKeep int   // sectors of the torn write that persist
-	rot      map[int64]byte // sector -> XOR mask applied on read
+	rotMap         // bit-rot in both modes; see rot.go
 }
 
 // NewFault creates a FaultDisk with the given capacity in bytes.
@@ -177,16 +177,7 @@ func (f *FaultDisk) ReadSectors(sector int64, buf []byte) error {
 		return err
 	}
 	f.store.read(sector, buf)
-	if len(f.rot) > 0 {
-		for s, mask := range f.rot {
-			if s >= sector && s < sector+int64(len(buf)/SectorSize) {
-				off := (s - sector) * SectorSize
-				for i := int64(0); i < SectorSize; i++ {
-					buf[off+i] ^= mask
-				}
-			}
-		}
-	}
+	f.rotMap.apply(sector, buf)
 	return nil
 }
 
@@ -224,6 +215,7 @@ func (f *FaultDisk) WriteSectors(sector int64, buf []byte) error {
 	}
 	if len(persist) > 0 {
 		f.store.write(sector, persist)
+		f.rotMap.overwrite(sector, int64(len(persist)/SectorSize))
 	}
 	if f.recording {
 		var cp []byte
@@ -263,26 +255,29 @@ func (f *FaultDisk) TearAfter(n int64, keepSectors int) {
 	f.mu.Unlock()
 }
 
-// RotSector arms bit-rot: subsequent reads covering the sector see its
-// bytes XORed with mask. A zero mask clears the rot for that sector.
+// RotSector arms persistent bit-rot: every subsequent read covering the
+// sector sees its bytes XORed with mask until the sector is overwritten
+// or the rot is cleared with a zero mask. See rotMap in rot.go for the
+// full contract shared with Injector.
 func (f *FaultDisk) RotSector(sector int64, mask byte) {
 	f.mu.Lock()
-	if f.rot == nil {
-		f.rot = make(map[int64]byte)
-	}
-	if mask == 0 {
-		delete(f.rot, sector)
-	} else {
-		f.rot[sector] = mask
-	}
+	f.rotMap.arm(sector, mask, false)
 	f.mu.Unlock()
 }
 
-// ClearFaults disarms every pending fault.
+// RotSectorOnce arms one-shot bit-rot: only the next read covering the
+// sector sees the corruption, then it self-clears. A zero mask disarms.
+func (f *FaultDisk) RotSectorOnce(sector int64, mask byte) {
+	f.mu.Lock()
+	f.rotMap.arm(sector, mask, true)
+	f.mu.Unlock()
+}
+
+// ClearFaults disarms every pending fault, including rot in both modes.
 func (f *FaultDisk) ClearFaults() {
 	f.mu.Lock()
 	f.failAt, f.dropAt, f.tearAt = -1, -1, -1
-	f.rot = nil
+	f.rotMap.clear()
 	f.mu.Unlock()
 }
 

@@ -24,7 +24,7 @@ type Injector struct {
 	dropAt   int64 // silently drop the Nth next write (<0 disabled)
 	tearAt   int64 // tear the Nth next write (<0 disabled)
 	tearKeep int
-	rot      map[int64]byte // sector -> XOR mask applied on read
+	rotMap   // bit-rot in both modes; see rot.go
 }
 
 // NewInjector wraps dev with disarmed fault injection.
@@ -67,21 +67,14 @@ func (j *Injector) ReadSectors(sector int64, buf []byte) error {
 		j.mu.Unlock()
 		return err
 	}
-	rot := j.rot
+	armed := len(j.rot) > 0 || len(j.rotOnce) > 0
 	j.mu.Unlock()
 	if err := j.dev.ReadSectors(sector, buf); err != nil {
 		return err
 	}
-	if len(rot) > 0 {
+	if armed {
 		j.mu.Lock()
-		for s, mask := range j.rot {
-			if s >= sector && s < sector+int64(len(buf)/SectorSize) {
-				off := (s - sector) * SectorSize
-				for i := int64(0); i < SectorSize; i++ {
-					buf[off+i] ^= mask
-				}
-			}
-		}
+		j.rotMap.apply(sector, buf)
 		j.mu.Unlock()
 	}
 	return nil
@@ -116,6 +109,7 @@ func (j *Injector) WriteSectors(sector int64, buf []byte) error {
 			j.tearAt--
 		}
 	}
+	j.rotMap.overwrite(sector, int64(len(persist)/SectorSize))
 	j.mu.Unlock()
 	if len(persist) == 0 {
 		return nil
@@ -148,25 +142,28 @@ func (j *Injector) TearAfter(n int64, keepSectors int) {
 	j.mu.Unlock()
 }
 
-// RotSector arms bit-rot: subsequent reads covering the sector see its
-// bytes XORed with mask; a zero mask clears it.
+// RotSector arms persistent bit-rot: every subsequent read covering the
+// sector sees its bytes XORed with mask until the sector is overwritten
+// or the rot is cleared with a zero mask. See rotMap in rot.go for the
+// full contract shared with FaultDisk.
 func (j *Injector) RotSector(sector int64, mask byte) {
 	j.mu.Lock()
-	if j.rot == nil {
-		j.rot = make(map[int64]byte)
-	}
-	if mask == 0 {
-		delete(j.rot, sector)
-	} else {
-		j.rot[sector] = mask
-	}
+	j.rotMap.arm(sector, mask, false)
 	j.mu.Unlock()
 }
 
-// ClearFaults disarms every pending fault.
+// RotSectorOnce arms one-shot bit-rot: only the next read covering the
+// sector sees the corruption, then it self-clears. A zero mask disarms.
+func (j *Injector) RotSectorOnce(sector int64, mask byte) {
+	j.mu.Lock()
+	j.rotMap.arm(sector, mask, true)
+	j.mu.Unlock()
+}
+
+// ClearFaults disarms every pending fault, including rot in both modes.
 func (j *Injector) ClearFaults() {
 	j.mu.Lock()
 	j.failAt, j.dropAt, j.tearAt = -1, -1, -1
-	j.rot = nil
+	j.rotMap.clear()
 	j.mu.Unlock()
 }

@@ -1,0 +1,76 @@
+// Shared bit-rot model for the fault-injecting wrappers.
+package disk
+
+// rotMap models media corruption for the two fault wrappers (FaultDisk
+// for the simulated store, Injector for any wrapped Device). Both embed
+// it, so the two rot modes behave identically on both:
+//
+//   - Persistent rot (RotSector): every read covering the sector sees
+//     its bytes XORed with the mask — latent media damage. It clears
+//     when the sector is overwritten (writing fresh bytes repairs
+//     latent rot, the way a real drive's remap/ECC does, which is what
+//     lets the log's in-place block repair actually stick) or when the
+//     rot is disarmed with mask zero / ClearFaults.
+//   - One-shot rot (RotSectorOnce): only the next read covering the
+//     sector sees the corruption, then it self-clears — a transient
+//     transfer error rather than damaged media. Overwrites clear it
+//     too.
+//
+// The embedding wrapper's mutex guards all methods.
+type rotMap struct {
+	rot     map[int64]byte // persistent: sector -> XOR mask
+	rotOnce map[int64]byte // one-shot: consumed by the first read
+}
+
+// arm installs (or, with mask zero, removes) rot for one sector.
+func (r *rotMap) arm(sector int64, mask byte, once bool) {
+	m := &r.rot
+	if once {
+		m = &r.rotOnce
+	}
+	if mask == 0 {
+		delete(*m, sector)
+		return
+	}
+	if *m == nil {
+		*m = make(map[int64]byte)
+	}
+	(*m)[sector] = mask
+}
+
+// apply corrupts the armed sectors of a read that returned buf for
+// [sector, sector+len(buf)/SectorSize), consuming one-shot entries.
+func (r *rotMap) apply(sector int64, buf []byte) {
+	n := int64(len(buf) / SectorSize)
+	xor := func(s int64, mask byte) {
+		off := (s - sector) * SectorSize
+		for i := int64(0); i < SectorSize; i++ {
+			buf[off+i] ^= mask
+		}
+	}
+	for s, mask := range r.rot {
+		if s >= sector && s < sector+n {
+			xor(s, mask)
+		}
+	}
+	for s, mask := range r.rotOnce {
+		if s >= sector && s < sector+n {
+			xor(s, mask)
+			delete(r.rotOnce, s)
+		}
+	}
+}
+
+// overwrite clears rot (both modes) for sectors a write actually
+// persisted: the fresh bytes replace whatever was rotting underneath.
+func (r *rotMap) overwrite(sector, nSectors int64) {
+	for s := sector; s < sector+nSectors; s++ {
+		delete(r.rot, s)
+		delete(r.rotOnce, s)
+	}
+}
+
+// clear disarms all rot in both modes.
+func (r *rotMap) clear() {
+	r.rot, r.rotOnce = nil, nil
+}

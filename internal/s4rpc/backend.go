@@ -64,3 +64,12 @@ type ShardStatser interface {
 type StatusErrer interface {
 	StatusErr() (core.StatusInfo, error)
 }
+
+// Scrubber is the optional interface behind OpScrub: an on-demand
+// integrity sweep over every sealed segment (core.Drive, the shard
+// router, and remote shard stubs all implement it; a Backend without it
+// answers OpScrub with ErrUnimplProto). Admin-only — the implementation
+// must reject non-admin credentials.
+type Scrubber interface {
+	Scrub(cred types.Cred) (core.ScrubResult, error)
+}

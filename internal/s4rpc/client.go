@@ -613,6 +613,16 @@ func (c *Client) ShardStats() (core.Stats, []core.Stats, error) {
 	return resp.Stats, resp.ShardStats, nil
 }
 
+// Scrub triggers an on-demand integrity sweep (admin): every sealed
+// segment is read back and verified against its summary checksums.
+func (c *Client) Scrub() (core.ScrubResult, error) {
+	resp, err := c.call1(&Request{Op: types.OpScrub})
+	if err != nil {
+		return core.ScrubResult{}, err
+	}
+	return resp.Scrub, nil
+}
+
 // Batch executes several requests in one round trip (§4.1.2).
 func (c *Client) Batch(reqs []Request) ([]Response, error) {
 	resp, err := c.Call(&Request{Op: types.OpBatch, Batch: reqs})

@@ -116,7 +116,9 @@ type Response struct {
 	// ShardStats is the per-shard breakdown behind an aggregated Stats
 	// reply, in ring order; empty when the backend is a single drive.
 	ShardStats []core.Stats
-	Batch      []Response
+	// Scrub summarizes an on-demand integrity sweep (OpScrub).
+	Scrub core.ScrubResult
+	Batch []Response
 }
 
 // Err converts the wire errno back into a Go error (nil when 0). A

@@ -45,7 +45,7 @@ func TestFaultSoakExactlyOnce(t *testing.T) {
 		Seed: 1, Ops: ops, Workers: 4, IOTimeout: time.Second,
 		Fault: netfault.Config{
 			DelayEvery: 40, MaxDelay: 2 * time.Millisecond,
-			CutMin: 200, CutMax: 2300,
+			CutMin: 200, CutMax: 2700,
 			DropProb: 0.05,
 		},
 		Logf: t.Logf,
@@ -81,7 +81,7 @@ func TestFaultSoakSeeds(t *testing.T) {
 				Seed: seed, Ops: 150, Workers: 2, IOTimeout: time.Second,
 				Fault: netfault.Config{
 					DelayEvery: 50, MaxDelay: time.Millisecond,
-					CutMin: 150, CutMax: 2300, DropProb: 0.08,
+					CutMin: 150, CutMax: 2700, DropProb: 0.08,
 				},
 			})
 			if err != nil {

@@ -644,6 +644,16 @@ func (s *Server) dispatch(cred types.Cred, req *Request) *Response {
 		} else {
 			resp.Stats = s.drv.GetStats()
 		}
+	case types.OpScrub:
+		b, ok := s.drv.(Scrubber)
+		if !ok {
+			return fail(types.ErrUnimplProto)
+		}
+		sr, err := b.Scrub(cred)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Scrub = sr
 	default:
 		return fail(types.ErrUnimplProto)
 	}

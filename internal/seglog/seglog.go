@@ -15,13 +15,27 @@
 //	blocks 1+2*cp ..        segments: [summary block][payload blocks...]
 //
 // Each segment's summary block identifies every payload block (kind,
-// owning object, key, timestamp, length) and carries a monotonically
+// owning object, key, timestamp, length, and — format v2 — a CRC32 of
+// the block's full on-disk contents) and carries a monotonically
 // increasing write sequence number; crash recovery replays summaries
 // with sequence numbers newer than the last checkpoint.
+//
+// # Verified reads (DESIGN.md §15)
+//
+// Every device read of a payload block is checked against the checksum
+// its segment summary recorded at flush time. A mismatch is first
+// retried against the retained flush double-buffer (which holds the
+// last sealed segment's complete image); an unrepairable block fails
+// the read with a *types.CorruptError and quarantines its segment so
+// the allocator never reuses it. Blocks still staged in memory are
+// served from the staging buffers and need no verification. Images
+// formatted before v2 carry no checksums and open (and read) exactly
+// as before — verification simply has nothing to check.
 package seglog
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sort"
@@ -91,14 +105,29 @@ type SummaryEntry struct {
 	Time types.Timestamp
 	// Len is the number of meaningful bytes in the block (≤ BlockSize).
 	Len uint32
+	// Sum is the CRC32 (IEEE) of the block's full BlockSize on-disk
+	// contents, computed at flush time (format v2 summaries only). Zero
+	// means "no checksum": pad slots (whose on-disk bytes are a retired
+	// summary snapshot, not the staged zeros), journal blocks in partial
+	// snapshots (rewritten in place until the seal; their own per-sector
+	// CRCs cover them — see encodeSummaryLocked), entries decoded from
+	// v1 summaries, and the 1-in-2^32 block whose real CRC is zero all
+	// skip verification.
+	Sum uint32
 }
 
-const summaryEntrySize = 1 + 8 + 8 + 8 + 4
+const (
+	summaryEntrySizeV1 = 1 + 8 + 8 + 8 + 4     // kind, obj, key, time, len
+	summaryEntrySize   = 1 + 8 + 8 + 8 + 4 + 4 // v2: + per-block CRC32
+)
 
 // Summary is a decoded segment summary.
 type Summary struct {
 	Seq     uint64
 	Entries []SummaryEntry
+	// Sums reports whether the entries carry block checksums (format v2
+	// summary). Without it every Sum is zero and reads go unverified.
+	Sums bool
 }
 
 // Config holds format-time parameters.
@@ -116,10 +145,16 @@ func DefaultConfig() Config {
 }
 
 const (
-	superMagic   = 0x53344C47 // "S4LG"
-	summaryMagic = 0x53344753 // "S4GS"
-	cpMagic      = 0x53344350 // "S4CP"
-	formatVer    = 1
+	superMagic    = 0x53344C47 // "S4LG"
+	summaryMagic  = 0x53344753 // "S4GS" — v1 summary, no block checksums
+	summaryMagic2 = 0x53344732 // "S4G2" — v2 summary with per-block CRCs
+	cpMagic       = 0x53344350 // "S4CP"
+	// formatVer is what Format stamps on new images. Open also accepts
+	// version 1 (pre-checksum) images: the two summary layouts are
+	// self-describing by magic, so a v1 image reopened by current code
+	// keeps its old summaries and gains checksummed ones as segments are
+	// rewritten.
+	formatVer = 2
 )
 
 // Log is an open segment log. Methods are safe for concurrent use.
@@ -158,10 +193,35 @@ type Log struct {
 	vecAppends  int64 // stats: multi-block vectored append batches
 	flushStalls int64 // stats: callers that waited out an in-flight flush
 
+	// flushBufSeg names the sealed segment whose complete image flushBuf
+	// still holds (-1 if none): a seal swaps the staging buffers, so the
+	// image survives until the next seal swaps them back or a partial
+	// flush overwrites parts of it. It is the read path's redundant copy
+	// for repairing checksum-failed device blocks in place.
+	flushBufSeg int64
+
+	// Integrity state (DESIGN.md §15). sums lazily caches each settled
+	// segment's checksum table (payload index -> expected CRC); a present
+	// nil entry means "known: no checksums" so v1 segments don't rescan.
+	// sumGen invalidates in-flight loads that raced a segment reuse.
+	// quar marks segments with an unrepairable block: the allocator never
+	// hands them out again, even after the cleaner frees them.
+	sums   map[int64][]uint32
+	sumGen uint64
+	quar   map[int64]bool
+
 	// Read-path counters. Atomics, not mu-guarded: Read/ReadRun hit the
 	// device after dropping mu and must not re-acquire it just to count.
 	devReads int64 // stats: device read I/Os issued (any size)
 	vecReads int64 // stats: multi-block coalesced device reads
+	// Integrity counters, same discipline.
+	corruptDetected int64 // checksum failures surfaced as CorruptError
+	corruptRepaired int64 // checksum failures healed from a redundant copy
+
+	// legacyV1 is set when a v1 image's SegBlocks exceeds what the wider
+	// v2 entries fit in one summary block; such logs keep writing v1
+	// (checksum-free) summaries so the layout stays self-consistent.
+	legacyV1 bool
 }
 
 // Format initializes dev with an empty log. Existing contents are
@@ -222,7 +282,7 @@ func Open(dev disk.Device) (*Log, error) {
 	if binary.LittleEndian.Uint32(sb[28:]) != crc32.ChecksumIEEE(sb[:28]) {
 		return nil, fmt.Errorf("seglog: superblock checksum mismatch: %w", types.ErrCorrupt)
 	}
-	if v := binary.LittleEndian.Uint32(sb[4:]); v != formatVer {
+	if v := binary.LittleEndian.Uint32(sb[4:]); v != 1 && v != formatVer {
 		return nil, fmt.Errorf("seglog: format version %d unsupported: %w", v, types.ErrCorrupt)
 	}
 	cfg := Config{
@@ -240,6 +300,13 @@ func Open(dev disk.Device) (*Log, error) {
 		buf:       make([]byte, cfg.SegBlocks*BlockSize),
 		flushBuf:  make([]byte, cfg.SegBlocks*BlockSize),
 		flushSeg:  -1,
+		// A v1 image may have been formatted with more blocks per
+		// segment than the wider v2 summary entries can describe; keep
+		// writing the layout its segments already use.
+		legacyV1:    cfg.SegBlocks > maxSegBlocks(),
+		flushBufSeg: -1,
+		sums:        make(map[int64][]uint32),
+		quar:        make(map[int64]bool),
 	}
 	l.flushCond = sync.NewCond(&l.mu)
 	for i := range l.free {
@@ -507,6 +574,47 @@ func (l *Log) RewriteRange(addr BlockAddr, off int, data []byte) (bool, error) {
 	return true, nil
 }
 
+// PatchSettled overwrites bytes [off, off+len(data)) of the settled
+// payload block at addr directly on the device, bypassing staging. It
+// exists for exactly one caller: crash recovery truncating an
+// un-durable journal tail out of a replayed sector (an in-place head
+// rewrite can land before the data blocks its appended entries
+// reference, and the rejected suffix must be erased so post-recovery
+// writes cannot collide with its versions). The patch must be
+// sector-aligned and stay inside one block, and the block's durable
+// summary must not pin a checksum over it — journal blocks under a
+// partial snapshot carry the zero skip-sentinel, which is what makes
+// the patch legal; a pinned sum is refused rather than silently turned
+// into manufactured corruption.
+func (l *Log) PatchSettled(addr BlockAddr, off int, data []byte) error {
+	if off < 0 || len(data) == 0 || off%disk.SectorSize != 0 ||
+		len(data)%disk.SectorSize != 0 || off+len(data) > BlockSize {
+		return fmt.Errorf("seglog: patch of %d bytes at %d: %w", len(data), off, types.ErrInval)
+	}
+	seg := l.SegOf(addr)
+	if seg < 0 {
+		return fmt.Errorf("seglog: patch outside segment area: %w", types.ErrInval)
+	}
+	idx := int(int64(addr) - l.segBase(seg))
+	if idx < 1 || idx >= l.cfg.SegBlocks {
+		return fmt.Errorf("seglog: patch of non-payload block %d: %w", addr, types.ErrInval)
+	}
+	l.mu.Lock()
+	cur, ioErr := l.curSeg, l.ioErr
+	l.mu.Unlock()
+	if ioErr != nil {
+		return ioErr
+	}
+	if seg == cur {
+		return fmt.Errorf("seglog: patch of open segment %d: %w", seg, types.ErrInval)
+	}
+	if sum, found, err := l.findSummary(seg); err == nil && found && sum.Sums &&
+		idx-1 < len(sum.Entries) && sum.Entries[idx-1].Sum != 0 {
+		return fmt.Errorf("seglog: patch of checksummed block %v: %w", addr, types.ErrInval)
+	}
+	return l.dev.WriteSectors(int64(addr)*sectorsPerBlock+int64(off/disk.SectorSize), data)
+}
+
 // Room returns how many payload blocks remain in the open segment; the
 // drive uses it to co-locate an object's journal sector with its data.
 func (l *Log) Room() int {
@@ -530,11 +638,15 @@ func (l *Log) openSegmentLocked() error {
 	}
 	for i := int64(0); i < l.nSegments; i++ {
 		seg := (start + i) % l.nSegments
-		if l.free[seg] {
+		if l.free[seg] && !l.quar[seg] {
 			l.free[seg] = false
 			l.nFree--
 			l.curSeg = seg
 			l.used = 0
+			// The segment's previous life is over; its cached checksum
+			// table (and any load racing this reuse) must not survive.
+			delete(l.sums, seg)
+			l.sumGen++
 			if l.dirty == nil {
 				l.dirty = make([]bool, l.cfg.SegBlocks)
 			}
@@ -665,7 +777,7 @@ func (l *Log) flushLocked(closeSeg bool) error {
 		return nil
 	}
 	l.seq++
-	l.encodeSummaryLocked(l.seq)
+	l.encodeSummaryLocked(l.seq, closeSeg)
 	seg := l.curSeg
 	base := l.segBase(seg)
 	used := l.used
@@ -692,12 +804,17 @@ func (l *Log) flushLocked(closeSeg bool) error {
 		// by openSegmentLocked) other buffer while the writes run.
 		l.buf, l.flushBuf = l.flushBuf, l.buf
 		l.curSeg = -1
+		// flushBuf now holds this segment's complete image; keep it as
+		// the repair copy until the buffer is reused.
+		l.flushBufSeg = seg
 	} else {
 		// Partial flush: the segment stays open for appends, so copy
 		// the summary snapshot and the dirty runs aside. The snapshot
 		// slot is reserved with a pad entry BEFORE the mutex is
 		// released, so no concurrent append can land on top of what
-		// will be the only durable summary.
+		// will be the only durable summary. The copy clobbers whatever
+		// sealed image the buffer retained, so the repair copy is gone.
+		l.flushBufSeg = -1
 		copy(l.flushBuf[:BlockSize], l.buf[:BlockSize])
 		for _, r := range runs {
 			copy(l.flushBuf[r[0]*BlockSize:r[1]*BlockSize], l.buf[r[0]*BlockSize:r[1]*BlockSize])
@@ -739,22 +856,53 @@ func (l *Log) flushLocked(closeSeg bool) error {
 	return werr
 }
 
-func (l *Log) encodeSummaryLocked(seq uint64) {
+// encodeSummaryLocked serializes the staged entries into the summary
+// slot of buf. Block checksums are computed here — at flush time, over
+// each block's full staged contents — rather than at append time, so
+// Rewrite/RewriteRange mutations of open-segment blocks are covered by
+// whatever summary next reaches the device alongside them. Pad slots
+// get Sum zero: their on-disk bytes are a retired snapshot, not the
+// staged zeros.
+//
+// Journal blocks are checksummed only in the SEAL summary (sealed
+// true). While the segment is open they are rewritten in place on
+// every sync to pack more 512-byte entries, and the rewrite and the
+// snapshot carrying its checksum are separate device writes: a crash
+// between the two would leave the newest durable snapshot describing
+// the block's previous contents, and recovery's verified chain walk
+// would refuse a perfectly good image. Partial snapshots therefore
+// leave journal sums zero — the journal's own per-sector CRCs police
+// torn and stale content there, exactly as before checksums — and the
+// seal, after which no rewrite can ever touch the segment, pins the
+// final bytes. Caller holds l.mu.
+func (l *Log) encodeSummaryLocked(seq uint64, sealed bool) {
 	sb := l.buf[:BlockSize]
 	for i := range sb {
 		sb[i] = 0
 	}
-	binary.LittleEndian.PutUint32(sb[0:], summaryMagic)
+	magic, esz := uint32(summaryMagic2), summaryEntrySize
+	if l.legacyV1 {
+		magic, esz = summaryMagic, summaryEntrySizeV1
+	}
+	binary.LittleEndian.PutUint32(sb[0:], magic)
 	binary.LittleEndian.PutUint64(sb[4:], seq)
 	binary.LittleEndian.PutUint32(sb[12:], uint32(len(l.entries)))
 	off := summaryHeaderSize
-	for _, e := range l.entries {
+	for i, e := range l.entries {
 		sb[off] = byte(e.Kind)
 		binary.LittleEndian.PutUint64(sb[off+1:], uint64(e.Obj))
 		binary.LittleEndian.PutUint64(sb[off+9:], e.Key)
 		binary.LittleEndian.PutUint64(sb[off+17:], uint64(e.Time))
 		binary.LittleEndian.PutUint32(sb[off+25:], e.Len)
-		off += summaryEntrySize
+		if !l.legacyV1 {
+			var sum uint32
+			if e.Kind != KindPad && (sealed || e.Kind != KindJournal) {
+				bo := (1 + i) * BlockSize
+				sum = crc32.ChecksumIEEE(l.buf[bo : bo+BlockSize])
+			}
+			binary.LittleEndian.PutUint32(sb[off+29:], sum)
+		}
+		off += esz
 	}
 	binary.LittleEndian.PutUint32(sb[16:], crc32.ChecksumIEEE(sb[summaryHeaderSize:]))
 }
@@ -789,10 +937,16 @@ func (l *Log) Read(addr BlockAddr, buf []byte) error {
 	l.mu.Unlock()
 	atomic.AddInt64(&l.devReads, 1)
 	if len(buf) == BlockSize {
-		return readBlocks(l.dev, int64(addr), buf)
+		if err := readBlocks(l.dev, int64(addr), buf); err != nil {
+			return err
+		}
+		return l.verifyRead(seg, idx, 1, addr, buf)
 	}
 	full := make([]byte, BlockSize)
 	if err := readBlocks(l.dev, int64(addr), full); err != nil {
+		return err
+	}
+	if err := l.verifyRead(seg, idx, 1, addr, full); err != nil {
 		return err
 	}
 	copy(buf, full)
@@ -849,7 +1003,196 @@ func (l *Log) ReadRun(addr BlockAddr, n int, buf []byte) error {
 	if n > 1 {
 		atomic.AddInt64(&l.vecReads, 1)
 	}
-	return readBlocks(l.dev, int64(addr), buf[:n*BlockSize])
+	if err := readBlocks(l.dev, int64(addr), buf[:n*BlockSize]); err != nil {
+		return err
+	}
+	return l.verifyRead(seg, idx, n, addr, buf[:n*BlockSize])
+}
+
+// verifyRead checks n freshly device-read blocks (starting at payload
+// index idx of seg, data holding full blocks) against the segment's
+// checksum table. A mismatched block is first retried against the
+// retained flush buffer (repairBlock); an unrepairable one quarantines
+// the segment and fails the read with a typed CorruptError. Segments
+// without a table — v1 summaries, the open segment, unreadable or
+// missing summaries — pass unverified, exactly the pre-checksum
+// behavior.
+func (l *Log) verifyRead(seg int64, idx, n int, addr BlockAddr, data []byte) error {
+	sums := l.sumsFor(seg)
+	if sums == nil {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		e := idx - 1 + i
+		if e >= len(sums) {
+			// Beyond the durable summary's coverage (a tail whose summary
+			// write a crash lost). Recovery truncates journal entries
+			// that reference uncovered blocks, so chains never hand
+			// these out — the skip is for raw scans only.
+			continue
+		}
+		want := sums[e]
+		if want == 0 {
+			continue
+		}
+		blk := data[i*BlockSize : (i+1)*BlockSize]
+		got := crc32.ChecksumIEEE(blk)
+		if got == want {
+			continue
+		}
+		if l.repairBlock(seg, idx+i, want, blk) {
+			atomic.AddInt64(&l.corruptRepaired, 1)
+			continue
+		}
+		atomic.AddInt64(&l.corruptDetected, 1)
+		l.mu.Lock()
+		l.quarantineLocked(seg)
+		l.mu.Unlock()
+		return &types.CorruptError{Segment: seg, Block: uint64(addr) + uint64(i), Want: want, Got: got}
+	}
+	return nil
+}
+
+// sumsFor returns seg's checksum table (payload index -> expected CRC),
+// lazily loading it from the segment's durable summary. nil means no
+// verification is possible: the open segment, a v1 summary, or no
+// readable summary at all. Negative results are cached too, so v1
+// segments don't pay a summary scan per read.
+func (l *Log) sumsFor(seg int64) []uint32 {
+	l.mu.Lock()
+	if seg == l.curSeg {
+		l.mu.Unlock()
+		return nil
+	}
+	if s, ok := l.sums[seg]; ok {
+		l.mu.Unlock()
+		return s
+	}
+	gen := l.sumGen
+	l.mu.Unlock()
+	sum, ok, err := l.findSummary(seg)
+	if err != nil {
+		return nil // device trouble reading the summary: skip, don't cache
+	}
+	var table []uint32
+	if ok && sum.Sums {
+		table = make([]uint32, len(sum.Entries))
+		for i := range sum.Entries {
+			table[i] = sum.Entries[i].Sum
+		}
+	}
+	l.mu.Lock()
+	if l.sumGen == gen && seg != l.curSeg {
+		l.sums[seg] = table
+	}
+	l.mu.Unlock()
+	return table
+}
+
+// repairBlock retries a checksum-failed device block against the
+// retained flush double-buffer: after a seal, flushBuf keeps the sealed
+// segment's complete image until the buffer is next reused. On a match
+// the verified bytes replace blk and are rewritten to the device in
+// place — byte-identical to what the summary describes, so the
+// never-overwrite-history rule is untouched — which clears latent
+// media rot. The rewrite is best effort: if it fails, the read still
+// returns the verified copy and the scrubber will find the rot again.
+func (l *Log) repairBlock(seg int64, idx int, want uint32, blk []byte) bool {
+	l.mu.Lock()
+	if l.flushBufSeg != seg {
+		l.mu.Unlock()
+		return false
+	}
+	copy(blk, l.flushBuf[idx*BlockSize:(idx+1)*BlockSize])
+	l.mu.Unlock()
+	if crc32.ChecksumIEEE(blk) != want {
+		return false
+	}
+	_ = writeBlocks(l.dev, l.segBase(seg)+int64(idx), blk)
+	return true
+}
+
+// quarantineLocked marks seg unrecyclable: the allocator will never
+// open it again, even after the cleaner copies its live blocks out and
+// frees it. Quarantine is advisory, in-memory state — it restricts
+// only future allocation, so losing it at a crash costs nothing but a
+// rediscovery. Caller holds l.mu.
+func (l *Log) quarantineLocked(seg int64) {
+	if l.quar[seg] {
+		return
+	}
+	l.quar[seg] = true
+	if l.free[seg] {
+		l.nFree--
+	}
+}
+
+// Quarantine marks seg unrecyclable (see quarantineLocked). The drive's
+// cleaner calls it when copy-forward hits a corrupt block, so rot is
+// contained instead of relocated.
+func (l *Log) Quarantine(seg int64) {
+	if seg < 0 || seg >= l.nSegments {
+		return
+	}
+	l.mu.Lock()
+	l.quarantineLocked(seg)
+	l.mu.Unlock()
+}
+
+// IsQuarantined reports whether seg has been quarantined this run.
+func (l *Log) IsQuarantined(seg int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.quar[seg]
+}
+
+// IntegrityStats reports verified-read counters: checksum failures
+// surfaced to callers, failures healed in place from a redundant copy,
+// and segments currently quarantined.
+func (l *Log) IntegrityStats() (detected, repaired, quarantined int64) {
+	l.mu.Lock()
+	q := int64(len(l.quar))
+	l.mu.Unlock()
+	return atomic.LoadInt64(&l.corruptDetected), atomic.LoadInt64(&l.corruptRepaired), q
+}
+
+// VerifySegment re-reads every summary-described payload block of a
+// settled segment through the verified read path, counting (not
+// aborting on) corrupt blocks — the scrubber's unit of work. Free and
+// open segments report zero work; pad slots are skipped. checked is
+// the number of blocks scanned including corrupt ones; err reports
+// device failures only, never corruption.
+func (l *Log) VerifySegment(seg int64) (checked, corrupt int, err error) {
+	if seg < 0 || seg >= l.nSegments {
+		return 0, 0, fmt.Errorf("seglog: segment %d out of range: %w", seg, types.ErrInval)
+	}
+	l.mu.Lock()
+	skip := l.free[seg] || seg == l.curSeg || (l.flushing && seg == l.flushSeg)
+	l.mu.Unlock()
+	if skip {
+		return 0, 0, nil
+	}
+	sum, ok, err := l.ReadSummary(seg)
+	if err != nil || !ok {
+		return 0, 0, err
+	}
+	blk := make([]byte, BlockSize)
+	for i := range sum.Entries {
+		if sum.Entries[i].Kind == KindPad {
+			continue
+		}
+		rerr := l.Read(l.EntryAt(seg, i), blk)
+		checked++
+		var ce *types.CorruptError
+		if errors.As(rerr, &ce) {
+			corrupt++
+			continue
+		}
+		if rerr != nil {
+			return checked, corrupt, rerr
+		}
+	}
+	return checked, corrupt, nil
 }
 
 // ReadSummary decodes the summary of a sealed (or partially synced)
@@ -911,28 +1254,47 @@ func (l *Log) findSummary(seg int64) (Summary, bool, error) {
 	return best, found, nil
 }
 
+// decodeSummary parses a candidate summary block. The two on-disk
+// layouts are self-describing by magic: v1 entries carry no checksum,
+// v2 entries end with a per-block CRC32. Invalid candidates (wrong
+// magic, hostile count, CRC mismatch) report ok=false, never an error:
+// recovery probes arbitrary blocks looking for summaries.
 func decodeSummary(sb []byte) (Summary, bool, error) {
-	if binary.LittleEndian.Uint32(sb[0:]) != summaryMagic {
+	if len(sb) < summaryHeaderSize {
+		return Summary{}, false, nil
+	}
+	esz, sums := 0, false
+	switch binary.LittleEndian.Uint32(sb[0:]) {
+	case summaryMagic:
+		esz = summaryEntrySizeV1
+	case summaryMagic2:
+		esz, sums = summaryEntrySize, true
+	default:
 		return Summary{}, false, nil
 	}
 	count := int(binary.LittleEndian.Uint32(sb[12:]))
-	if count < 0 || summaryHeaderSize+count*summaryEntrySize > BlockSize {
+	if count < 0 || summaryHeaderSize+count*esz > BlockSize ||
+		summaryHeaderSize+count*esz > len(sb) {
 		return Summary{}, false, nil
 	}
 	if binary.LittleEndian.Uint32(sb[16:]) != crc32.ChecksumIEEE(sb[summaryHeaderSize:]) {
 		return Summary{}, false, nil
 	}
-	s := Summary{Seq: binary.LittleEndian.Uint64(sb[4:])}
+	s := Summary{Seq: binary.LittleEndian.Uint64(sb[4:]), Sums: sums}
 	off := summaryHeaderSize
 	for i := 0; i < count; i++ {
-		s.Entries = append(s.Entries, SummaryEntry{
+		e := SummaryEntry{
 			Kind: Kind(sb[off]),
 			Obj:  types.ObjectID(binary.LittleEndian.Uint64(sb[off+1:])),
 			Key:  binary.LittleEndian.Uint64(sb[off+9:]),
 			Time: types.Timestamp(binary.LittleEndian.Uint64(sb[off+17:])),
 			Len:  binary.LittleEndian.Uint32(sb[off+25:]),
-		})
-		off += summaryEntrySize
+		}
+		if sums {
+			e.Sum = binary.LittleEndian.Uint32(sb[off+29:])
+		}
+		s.Entries = append(s.Entries, e)
+		off += esz
 	}
 	return s, true, nil
 }
@@ -959,7 +1321,17 @@ func (l *Log) FreeSegment(seg int64) error {
 	}
 	if !l.free[seg] {
 		l.free[seg] = true
-		l.nFree++
+		// A quarantined segment is free for accounting (no durable
+		// structure may reference it) but never counted for — or handed
+		// out by — the allocator.
+		if !l.quar[seg] {
+			l.nFree++
+		}
+	}
+	delete(l.sums, seg)
+	l.sumGen++
+	if l.flushBufSeg == seg {
+		l.flushBufSeg = -1
 	}
 	return nil
 }
@@ -982,7 +1354,9 @@ func (l *Log) MarkAllocated(seg int64) {
 	defer l.mu.Unlock()
 	if l.free[seg] {
 		l.free[seg] = false
-		l.nFree--
+		if !l.quar[seg] {
+			l.nFree--
+		}
 	}
 }
 

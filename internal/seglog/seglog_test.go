@@ -144,9 +144,16 @@ func TestSummaryRoundTrip(t *testing.T) {
 	}
 	for i, e := range sum.Entries {
 		want := SummaryEntry{Kind: KindJournal, Obj: types.ObjectID(i + 10), Key: uint64(i * 3), Time: types.Timestamp(1000 + i), Len: 3}
+		if e.Sum == 0 {
+			t.Fatalf("entry %d carries no block checksum", i)
+		}
+		want.Sum = e.Sum
 		if e != want {
 			t.Fatalf("entry %d = %+v, want %+v", i, e, want)
 		}
+	}
+	if !sum.Sums {
+		t.Fatal("sealed v2 summary must report checksums present")
 	}
 }
 

@@ -295,8 +295,18 @@ func (r *Remote) GetStats() core.Stats {
 	return st
 }
 
+// Scrub forwards the on-demand integrity sweep to the shard.
+func (r *Remote) Scrub(cred types.Cred) (core.ScrubResult, error) {
+	resp, err := r.call(cred, &s4rpc.Request{Op: types.OpScrub})
+	if err != nil {
+		return core.ScrubResult{}, err
+	}
+	return resp.Scrub, nil
+}
+
 var (
 	_ s4rpc.Backend     = (*Remote)(nil)
 	_ s4rpc.StatusErrer = (*Remote)(nil)
 	_ statsErrer        = (*Remote)(nil)
+	_ s4rpc.Scrubber    = (*Remote)(nil)
 )

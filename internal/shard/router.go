@@ -348,8 +348,31 @@ func (r *Router) GetStats() core.Stats {
 	return agg
 }
 
+// Scrub fans the integrity sweep out to every shard and sums the
+// results; a down shard arrives as the typed partial error beside the
+// reachable shards' totals.
+func (r *Router) Scrub(cred types.Cred) (core.ScrubResult, error) {
+	rs, errs := fanOut(r, func(_ int, b s4rpc.Backend) (core.ScrubResult, error) {
+		sb, ok := b.(s4rpc.Scrubber)
+		if !ok {
+			return core.ScrubResult{}, types.ErrUnimplProto
+		}
+		return sb.Scrub(cred)
+	})
+	var agg core.ScrubResult
+	for _, sr := range rs {
+		agg.Segments += sr.Segments
+		agg.Blocks += sr.Blocks
+		agg.Corrupt += sr.Corrupt
+		agg.Repaired += sr.Repaired
+		agg.Quarantined += sr.Quarantined
+	}
+	return agg, partialFrom(errs)
+}
+
 var (
 	_ s4rpc.Backend      = (*Router)(nil)
 	_ s4rpc.ShardStatser = (*Router)(nil)
 	_ s4rpc.StatusErrer  = (*Router)(nil)
+	_ s4rpc.Scrubber     = (*Router)(nil)
 )

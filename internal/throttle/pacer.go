@@ -1,0 +1,55 @@
+package throttle
+
+import (
+	"sync"
+	"time"
+)
+
+// Pacer is a token-bucket rate limiter for background maintenance work
+// (the integrity scrubber, DESIGN.md §15). Tokens accrue at Rate per
+// second up to Burst; each unit of work spends one token, and when the
+// bucket runs dry the caller is told how long to sleep. The caller
+// supplies the clock reading, so virtual-clock tests pace
+// deterministically and never sleep for real.
+type Pacer struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// NewPacer returns a full bucket accruing rate tokens/second with the
+// given capacity. Rate and burst are clamped to at least 1.
+func NewPacer(rate, burst float64) *Pacer {
+	if rate < 1 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Pacer{rate: rate, burst: burst, tokens: burst}
+}
+
+// Take spends n tokens as of now and returns how long the caller must
+// wait before doing the work. The debt is booked immediately — callers
+// sleep the returned duration and then proceed without calling again.
+func (p *Pacer) Take(now time.Time, n float64) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.last.IsZero() {
+		p.last = now
+	}
+	if dt := now.Sub(p.last); dt > 0 {
+		p.tokens += dt.Seconds() * p.rate
+		if p.tokens > p.burst {
+			p.tokens = p.burst
+		}
+	}
+	p.last = now
+	p.tokens -= n
+	if p.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-p.tokens / p.rate * float64(time.Second))
+}

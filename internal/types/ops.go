@@ -53,6 +53,12 @@ const (
 	// existing codes must never shift).
 	OpStats
 
+	// OpScrub triggers an on-demand integrity sweep: every sealed
+	// segment's blocks are read back and verified against their summary
+	// checksums (admin; appended after OpStats — see the code-stability
+	// note above).
+	OpScrub // admin
+
 	opMax
 )
 
@@ -67,6 +73,7 @@ var opNames = [...]string{
 	OpListVersions: "listversions", OpRevert: "revert",
 	OpAuditRead: "auditread", OpStatus: "status",
 	OpHello: "hello", OpBatch: "batch", OpStats: "stats",
+	OpScrub: "scrub",
 }
 
 func (o Op) String() string {
@@ -102,7 +109,7 @@ func (o Op) Mutating() bool {
 // Admin reports whether o requires administrative credentials.
 func (o Op) Admin() bool {
 	switch o {
-	case OpFlush, OpFlushO, OpSetWindow, OpAuditRead:
+	case OpFlush, OpFlushO, OpSetWindow, OpAuditRead, OpScrub:
 		return true
 	}
 	return false

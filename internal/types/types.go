@@ -194,6 +194,25 @@ var (
 	ErrClosed = errors.New("s4: client closed")
 )
 
+// CorruptError reports a verified-read failure: a media block whose
+// contents no longer match the checksum its segment summary recorded
+// when the block was written. It wraps ErrCorrupt, so errors.Is sees
+// the stable class (and the RPC layer maps it to the ErrCorrupt wire
+// code); the fields pinpoint the damage for logs and quarantine.
+type CorruptError struct {
+	Segment int64  // segment index of the damaged block
+	Block   uint64 // absolute log block address
+	Want    uint32 // checksum recorded in the segment summary
+	Got     uint32 // checksum of the bytes the device returned
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("s4: block %d (segment %d) failed its checksum: want %08x, got %08x",
+		e.Block, e.Segment, e.Want, e.Got)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
 // RetryableError wraps one of the retryable error classes (ErrThrottled,
 // ErrBusy) with the server's suggested wait before the next attempt.
 // errors.Is sees through it to the underlying class.

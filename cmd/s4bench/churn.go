@@ -1,0 +1,352 @@
+// Churn bench (s4bench -churn): an overwrite-heavy macro workload run
+// twice — once with the history pool keeping full old blocks, once with
+// reverse-delta conversion enabled (DESIGN.md §16) — on the wall clock
+// over an untimed memory disk. The headline is history-pool bytes per
+// overwrite: with deltas on, the old blocks of each multi-block
+// overwrite pack into a shared delta block, so the pool should shrink
+// by at least 2x on this small-diff workload (the CI floor). A deep
+// back-in-time read pass then confirms that materializing versions
+// through delta chains stays within shouting distance of the plain
+// read path's device cost (BENCH_readpath.json backstop).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"s4/internal/capacity"
+	"s4/internal/core"
+	"s4/internal/disk"
+	"s4/internal/types"
+	"s4/internal/vclock"
+)
+
+// chResult is one config row (delta-off or delta-on) of the churn
+// bench.
+type chResult struct {
+	Config            string  `json:"config"`
+	Ops               int     `json:"ops"`
+	OpsPerSec         float64 `json:"ops_per_sec"`
+	HistoryBlocks     int64   `json:"history_blocks"`
+	HistBytesPerOp    float64 `json:"hist_bytes_per_op"`
+	DeltaBlocks       int64   `json:"delta_blocks_written"`
+	DeltaBytesSaved   int64   `json:"delta_bytes_saved"`
+	ChainKeyframes    int64   `json:"chain_keyframes"`
+	DeepReadOps       int     `json:"deep_read_ops"`
+	DeepDevReadsPerOp float64 `json:"deep_device_reads_per_op"`
+}
+
+// chReport is the whole -json document.
+type chReport struct {
+	Bench      string     `json:"bench"`
+	Depth      int        `json:"depth"`
+	Objects    int        `json:"objects"`
+	SpanBlocks int        `json:"span_blocks"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Results    []chResult `json:"results"`
+	// ReductionX is delta-off history bytes/op over delta-on — the
+	// headline compression ratio the CI gate holds at >= 2.0.
+	ReductionX float64 `json:"reduction_x"`
+}
+
+const (
+	chObjects    = 4
+	chSpanBlocks = 8 // per-overwrite span; multi-block so conversion fires
+	chDeepReads  = 200
+	// chReductionFloor is the hard CI floor on the history-pool
+	// compression ratio; the workload's small diffs should beat it
+	// comfortably, so dipping below means conversion stopped firing.
+	chReductionFloor = 2.0
+)
+
+// chPattern builds the span for (object, version): a fixed body with a
+// small version-dependent tail per block, so consecutive versions of a
+// block differ by a few dozen bytes and reverse deltas stay tiny.
+func chPattern(obj, v int) []byte {
+	b := make([]byte, chSpanBlocks*types.BlockSize)
+	for i := range b {
+		b[i] = byte(i*7 + obj)
+	}
+	for blk := 0; blk < chSpanBlocks; blk++ {
+		tag := fmt.Sprintf("obj-%04d blk-%02d version-%08d", obj, blk, v)
+		copy(b[(blk+1)*types.BlockSize-len(tag):], tag)
+	}
+	return b
+}
+
+// runChurn executes both configs, enforces the reduction floor, and
+// optionally gates against a baseline report.
+func runChurn(depth int, jsonPath, baselinePath string) error {
+	if depth <= 0 {
+		depth = 1000
+	}
+	rep := chReport{
+		Bench: "churn", Depth: depth, Objects: chObjects,
+		SpanBlocks: chSpanBlocks, GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("History-churn bench (%d objects x %d overwrites of %d-block spans, wall clock, memory disk)\n",
+		chObjects, depth, chSpanBlocks)
+	fmt.Printf("%-10s %10s %10s %14s %12s %12s %10s %14s\n",
+		"config", "ops", "ops/s", "histbytes/op", "deltablocks", "bytessaved", "keyframes", "deepreads/op")
+	for _, on := range []bool{false, true} {
+		r, err := chRun(on, depth)
+		if err != nil {
+			return fmt.Errorf("churn %s: %w", r.Config, err)
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-10s %10d %10.0f %14.0f %12d %12d %10d %14.3f\n",
+			r.Config, r.Ops, r.OpsPerSec, r.HistBytesPerOp,
+			r.DeltaBlocks, r.DeltaBytesSaved, r.ChainKeyframes, r.DeepDevReadsPerOp)
+	}
+	off, on := rep.Results[0], rep.Results[1]
+	if on.HistBytesPerOp > 0 {
+		rep.ReductionX = off.HistBytesPerOp / on.HistBytesPerOp
+	}
+	fmt.Printf("  [history pool: %.0f bytes/op full-block vs %.0f bytes/op delta — %.2fx reduction]\n",
+		off.HistBytesPerOp, on.HistBytesPerOp, rep.ReductionX)
+	// §5.2 tie-in: the same Fig. 7 arithmetic, fed the reduction this
+	// drive actually measured instead of the offline differencing
+	// factors — how much detection window the in-drive deltas buy.
+	if rep.ReductionX > 1 {
+		for _, p := range capacity.Project(10<<30, rep.ReductionX, rep.ReductionX, capacity.PaperWorkloads()) {
+			fmt.Printf("  [fig 7 at measured reduction: %-10s %4.0f -> %4.0f days of history per 10GB pool]\n",
+				p.Workload.Name, p.Baseline, p.Differenced)
+		}
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  [results written to %s]\n", jsonPath)
+	}
+	if rep.ReductionX < chReductionFloor {
+		return fmt.Errorf("churn: history reduction %.2fx below the %.1fx floor", rep.ReductionX, chReductionFloor)
+	}
+	if on.DeltaBlocks == 0 {
+		return fmt.Errorf("churn: delta-on run wrote no packed delta blocks")
+	}
+	if baselinePath != "" {
+		return chCompare(&rep, baselinePath)
+	}
+	return nil
+}
+
+// chRun executes one config: seed the objects, churn them version by
+// version, then read deep history back through whatever chains formed.
+func chRun(deltaOn bool, depth int) (chResult, error) {
+	name := "delta-off"
+	if deltaOn {
+		name = "delta-on"
+	}
+	opts := core.Options{
+		Clock: vclock.Wall{},
+		// History must survive the whole run: no aging.
+		Window: time.Hour,
+		// Tiny block cache so the deep-read pass pays device reads,
+		// matching the readpath bench's history cells.
+		BlockCacheBytes: 64 << 10,
+	}
+	dev := disk.New(disk.SmallDisk(1<<30), nil)
+	drv, err := core.Format(dev, opts)
+	if err != nil {
+		return chResult{Config: name}, err
+	}
+	defer drv.Close()
+
+	if deltaOn {
+		pol := types.Policy{Mode: types.ModeEveryVersion, DeltaEnabled: true}
+		if err := drv.SetPolicy(types.AdminCred(), 0, pol); err != nil {
+			return chResult{Config: name}, err
+		}
+	}
+
+	acl := []types.ACLEntry{{User: types.EveryoneID, Perm: types.PermAll}}
+	owner := types.Cred{User: 100, Client: 1}
+
+	ids := make([]types.ObjectID, chObjects)
+	ats := make([][]types.Timestamp, chObjects)
+	for o := range ids {
+		id, err := drv.Create(owner, acl, nil)
+		if err != nil {
+			return chResult{Config: name}, err
+		}
+		ids[o] = id
+		if err := drv.Write(owner, id, 0, chPattern(o, 0)); err != nil {
+			return chResult{Config: name}, err
+		}
+	}
+
+	t0 := time.Now()
+	for v := 1; v <= depth; v++ {
+		for o, id := range ids {
+			if err := drv.Write(owner, id, 0, chPattern(o, v)); err != nil {
+				return chResult{Config: name}, err
+			}
+			ats[o] = append(ats[o], drv.Now())
+		}
+	}
+	if err := drv.Sync(owner); err != nil {
+		return chResult{Config: name}, err
+	}
+	if err := drv.Checkpoint(); err != nil {
+		return chResult{Config: name}, err
+	}
+	elapsed := time.Since(t0)
+
+	ops := chObjects * depth
+	st := drv.GetStats()
+	res := chResult{
+		Config:          name,
+		Ops:             ops,
+		OpsPerSec:       float64(ops) / elapsed.Seconds(),
+		HistoryBlocks:   st.HistoryBlocks,
+		HistBytesPerOp:  float64(st.HistoryBlocks) * types.BlockSize / float64(ops),
+		DeltaBlocks:     st.DeltaBlocksWritten,
+		DeltaBytesSaved: st.DeltaBytesSaved,
+		ChainKeyframes:  st.ChainKeyframes,
+	}
+
+	// Deep-read pass: aim at the oldest tenth of each version stack, so
+	// with deltas on nearly every materialization crosses chains (and
+	// their keyframes) rather than hitting still-full recent blocks.
+	rng := rand.New(rand.NewSource(1))
+	s0 := drv.GetStats()
+	for i := 0; i < chDeepReads; i++ {
+		o := i % chObjects
+		at := ats[o][rng.Intn(max(len(ats[o])/10, 1))]
+		data, err := drv.Read(owner, ids[o], 0, chSpanBlocks*types.BlockSize, at)
+		if err != nil {
+			return res, fmt.Errorf("deep read at %v: %w", at, err)
+		}
+		if len(data) != chSpanBlocks*types.BlockSize {
+			return res, fmt.Errorf("deep read at %v: short read %d", at, len(data))
+		}
+	}
+	s1 := drv.GetStats()
+	res.DeepReadOps = chDeepReads
+	res.DeepDevReadsPerOp = float64(s1.DeviceReads-s0.DeviceReads) / float64(chDeepReads)
+	return res, nil
+}
+
+// chCompare gates a fresh report against the checked-in baseline. Both
+// gated metrics are deterministic functions of the seeded workload
+// (history-pool geometry and device read counts), so the bounds can be
+// tight; wall-clock ops/s gets only the catastrophic-drop backstop used
+// by the other benches. If a readpath baseline sits next to the churn
+// baseline, the delta-on deep reads are additionally held to that
+// report's accelerated 1000-deep row, normalized per block read —
+// chains must not make history reads structurally more expensive than
+// the plain full-block walk.
+func chCompare(rep *chReport, baselinePath string) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("churn baseline: %w", err)
+	}
+	var base chReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("churn baseline: %w", err)
+	}
+	lookup := func(rep *chReport, config string) *chResult {
+		for i := range rep.Results {
+			if rep.Results[i].Config == config {
+				return &rep.Results[i]
+			}
+		}
+		return nil
+	}
+	failed := false
+	for _, config := range []string{"delta-off", "delta-on"} {
+		r, b := lookup(rep, config), lookup(&base, config)
+		if r == nil || b == nil {
+			continue
+		}
+		histCeil := b.HistBytesPerOp*1.10 + float64(types.BlockSize)
+		deepCeil := b.DeepDevReadsPerOp*1.30 + 0.10
+		floor := b.OpsPerSec * 0.30
+		verdict := "ok"
+		switch {
+		case r.HistBytesPerOp > histCeil:
+			verdict, failed = "REGRESSED(histbytes)", true
+		case r.DeepDevReadsPerOp > deepCeil:
+			verdict, failed = "REGRESSED(deepreads)", true
+		case b.OpsPerSec > 0 && r.OpsPerSec < floor:
+			verdict, failed = "REGRESSED(ops/s)", true
+		}
+		fmt.Printf("  gate %-10s %10.0f histbytes/op vs %10.0f (ceil %10.0f) %8.3f deepreads/op (ceil %7.3f) %s\n",
+			config, r.HistBytesPerOp, b.HistBytesPerOp, histCeil, r.DeepDevReadsPerOp, deepCeil, verdict)
+	}
+	if base.ReductionX > 0 && rep.ReductionX < base.ReductionX*0.80 {
+		fmt.Printf("  gate reduction %.2fx vs baseline %.2fx (floor %.2fx) REGRESSED(reduction)\n",
+			rep.ReductionX, base.ReductionX, base.ReductionX*0.80)
+		failed = true
+	}
+	if err := chReadpathBackstop(rep, baselinePath); err != nil {
+		fmt.Printf("  gate readpath-backstop %v\n", err)
+		failed = true
+	}
+	if failed {
+		return fmt.Errorf("churn: history pool or deep-read path regressed vs %s", baselinePath)
+	}
+	return nil
+}
+
+// chReadpathBackstop holds delta-on deep reads to the readpath bench's
+// accelerated histread1000 row when BENCH_readpath.json is available
+// (same directory as the churn baseline). Both are 1000-deep history
+// reads on a 64KB block cache; normalizing by blocks-read-per-op makes
+// the device costs comparable across the two geometries.
+func chReadpathBackstop(rep *chReport, churnBaselinePath string) error {
+	dir := "."
+	if i := len(churnBaselinePath) - len("BENCH_churn.json"); i > 0 {
+		dir = churnBaselinePath[:i]
+	}
+	blob, err := os.ReadFile(dir + "BENCH_readpath.json")
+	if err != nil {
+		blob, err = os.ReadFile("BENCH_readpath.json")
+	}
+	if err != nil {
+		return nil // no readpath baseline around; the churn gates stand alone
+	}
+	var rp rpReport
+	if err := json.Unmarshal(blob, &rp); err != nil {
+		return fmt.Errorf("readpath baseline: %w", err)
+	}
+	var baseRow *rpResult
+	for i := range rp.Results {
+		if rp.Results[i].Mode == "histread1000" && rp.Results[i].Clients == 1 {
+			baseRow = &rp.Results[i]
+		}
+	}
+	if baseRow == nil {
+		return nil
+	}
+	var on *chResult
+	for i := range rep.Results {
+		if rep.Results[i].Config == "delta-on" {
+			on = &rep.Results[i]
+		}
+	}
+	if on == nil || on.DeepReadOps == 0 {
+		return nil
+	}
+	// readpath histread1000 reads 2 blocks/op; churn reads chSpanBlocks.
+	perBlock := on.DeepDevReadsPerOp / chSpanBlocks
+	baseline := baseRow.DeviceReadsPerOp / 2
+	ceil := baseline*1.30 + 0.10
+	fmt.Printf("  gate deepread/block %.3f vs readpath histread1000 %.3f (ceil %.3f)\n",
+		perBlock, baseline, ceil)
+	if perBlock > ceil {
+		return fmt.Errorf("delta-chain reads cost %.3f device reads/block vs readpath baseline %.3f (+30%% ceil %.3f)",
+			perBlock, baseline, ceil)
+	}
+	return nil
+}

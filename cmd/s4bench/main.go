@@ -24,6 +24,10 @@
 //	s4bench -scrub -json BENCH_scrub.json
 //	                                 foreground ops/s with the integrity
 //	                                 scrubber off/default/aggressive
+//	s4bench -churn -json BENCH_churn.json
+//	                                 overwrite-heavy history churn with
+//	                                 reverse-delta conversion off vs on
+//	                                 (history bytes/op + deep-read cost)
 package main
 
 import (
@@ -56,11 +60,20 @@ func main() {
 	shardpath := flag.Bool("shards", false, "run the sharded-router scaling bench (1/4/8 shards) instead of a figure")
 	spOps := flag.Int("sp-ops", 0, "with -shards: operations per client (0 = default 150)")
 	restart := flag.Bool("restart", false, "run the restart bench (open time vs history depth, index on/off, both backends)")
+	churn := flag.Bool("churn", false, "run the history-churn bench (delta conversion off vs on) instead of a figure")
+	chOps := flag.Int("ch-ops", 0, "with -churn: overwrite rounds per object (0 = default 1000)")
 	scrub := flag.Bool("scrub", false, "run the scrub bench (foreground ops/s with the scrubber off/default/aggressive)")
 	jsonOut := flag.String("json", "", "with -writepath/-readpath: write machine-readable results to this file")
 	baseline := flag.String("baseline", "", "with -writepath/-readpath: fail if throughput regresses >30% vs this baseline JSON")
 	flag.Parse()
 
+	if *churn {
+		if err := runChurn(*chOps, *jsonOut, *baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *restart {
 		if err := runRestart(*jsonOut, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "restart: %v\n", err)

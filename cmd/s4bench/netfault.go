@@ -24,10 +24,10 @@ func runNetfault(seed int64, ops int) error {
 		Fault: netfault.Config{
 			// CutMax must exceed the first-exchange size (handshake plus
 			// the gob type descriptors riding on a connection's first
-			// request/response, ~2kB) or no connection can ever complete
+			// request/response, ~2.6kB with the policy ops) or no connection can ever complete
 			// an op — see the identical budget in resilience_test.go.
 			DelayEvery: 40, MaxDelay: 2 * time.Millisecond,
-			CutMin: 200, CutMax: 2700,
+			CutMin: 200, CutMax: 3300,
 			DropProb: 0.05,
 		},
 		Logf: func(format string, args ...any) {

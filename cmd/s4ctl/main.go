@@ -137,6 +137,9 @@ func main() {
 		fmt.Printf("recon cache:     %d / %d\n", st.ReconCacheHits, st.ReconCacheHits+st.ReconCacheMisses)
 		fmt.Printf("cleaner runs:    %d (%d segments freed, %d blocks compacted)\n",
 			st.CleanerRuns, st.SegmentsFreed, st.BlocksCompacted)
+		fmt.Printf("delta history:   %d packed blocks, %d bytes saved, %d keyframes\n",
+			st.DeltaBlocksWritten, st.DeltaBytesSaved, st.ChainKeyframes)
+		fmt.Printf("policy skips:    %d versions dropped by retention\n", st.PolicySkippedVersions)
 		fmt.Printf("restart:         %v open (%d entries replayed)\n",
 			st.OpenDuration.Round(time.Microsecond), st.RecoveryReplayEntries)
 		fmt.Printf("segment index:   %d loads, %d fallbacks\n", st.IndexLoads, st.IndexFallbacks)
@@ -245,6 +248,53 @@ func main() {
 			}
 			fmt.Printf("%-10d %-8s %-10s %s\n", uint64(e.Handle), e.Type, size, e.Name)
 		}
+	case "policy":
+		// Per-object (or per-partition: names resolve through the
+		// partition table) retention policy (DESIGN.md §16). "default"
+		// or 0 addresses the drive-wide default policy.
+		if len(rest) < 2 {
+			fatal("policy: get|set and an object id, partition name, or \"default\" required")
+		}
+		verb, target := rest[0], rest[1]
+		pset := flag.NewFlagSet("policy "+verb, flag.ExitOnError)
+		modeStr := pset.String("mode", "every-version", "every-version | landmark-only | on-close")
+		pwin := pset.Duration("window", 0, "per-object window override (0 = drive window)")
+		delta := pset.Bool("delta", false, "store history as reverse deltas")
+		clear := pset.Bool("clear", false, "remove the entry (revert to the drive default)")
+		_ = pset.Parse(rest[2:])
+		var obj types.ObjectID
+		if target != "default" {
+			if n, err := strconv.ParseUint(target, 10, 64); err == nil {
+				obj = types.ObjectID(n)
+			} else {
+				id, err := c.PMount(target, types.TimeNowest)
+				check(err)
+				obj = id
+			}
+		}
+		switch verb {
+		case "get":
+			p, own, err := c.GetPolicy(obj)
+			check(err)
+			source := "drive default"
+			if own {
+				source = "own entry"
+			} else if obj == 0 {
+				source = "drive default"
+			}
+			fmt.Printf("policy: %s (%s)\n", p, source)
+		case "set":
+			var p types.Policy
+			if !*clear {
+				m, err := types.ParsePolicyMode(*modeStr)
+				check(err)
+				p = types.Policy{Window: *pwin, Mode: m, DeltaEnabled: *delta}
+			}
+			check(c.SetPolicy(obj, p))
+			fmt.Printf("policy for %s set to %s\n", target, p)
+		default:
+			fatal("policy: unknown verb %q (want get or set)", verb)
+		}
 	case "plist":
 		_ = sub.Parse(rest)
 		ps, err := c.PList(at())
@@ -280,6 +330,10 @@ commands:
   setwindow <dur>              adjust the detection window (admin)
   flush -from t -to t          erase all history in range (admin)
   flusho <obj> -from t -to t   erase one object's history in range (admin)
+  policy get <obj|part|default>
+  policy set <obj|part|default> [-mode m] [-window d] [-delta] [-clear]
+                               retention policy: every-version | landmark-only |
+                               on-close, optional delta compression (admin)
   plist [-at t]                list partitions
   pmount <name> [-at t]        resolve a partition name`)
 	os.Exit(2)

@@ -157,7 +157,14 @@ func (d *Drive) deferFree(seg int64) {
 // ageObjectLocked releases o's history older than ageCut. It returns
 // true if the object itself was reaped (its deletion aged out).
 func (d *Drive) ageObjectLocked(o *object, ageCut types.Timestamp, cs *CleanStats) (bool, error) {
-	if o.nextAge != 0 && ageCut < o.nextAge-types.Timestamp(d.window) {
+	// A retention policy with its own window overrides the drive-wide
+	// cut for this object (recovery's usage rebuild applies the same
+	// override, keeping the two classifications equivalent).
+	win := d.effectiveWindow(o.id)
+	if win != d.window {
+		ageCut = vclock.TS(d.clk) - types.Timestamp(win)
+	}
+	if o.nextAge != 0 && ageCut < o.nextAge-types.Timestamp(win) {
 		// Nothing can have aged since the last pass.
 		return false, nil
 	}
@@ -206,14 +213,9 @@ func (d *Drive) ageObjectLocked(o *object, ageCut types.Timestamp, cs *CleanStat
 				continue
 			}
 			// The pointers this entry deprecated only support versions
-			// older than the window; free them.
-			for _, old := range e.Old {
-				if old != seglog.NilAddr {
-					d.usage.ageOut(segOf(d.log, old))
-					d.cache.drop(old)
-					cs.BlocksAgedOut++
-				}
-			}
+			// older than the window; free them (masked slots through
+			// their shared packed delta block, once per block).
+			d.ageOutOldLocked(e, cs)
 			if e.Version > o.floorVersion {
 				o.floorVersion = e.Version
 			}
@@ -283,7 +285,7 @@ func (d *Drive) ageObjectLocked(o *object, ageCut types.Timestamp, cs *CleanStat
 	if minRetained == 1<<62 {
 		o.nextAge = 1 << 62
 	} else {
-		o.nextAge = minRetained + types.Timestamp(d.window)
+		o.nextAge = minRetained + types.Timestamp(win)
 	}
 	_ = newestSeen
 	return false, nil
@@ -315,13 +317,7 @@ func (d *Drive) reapObjectLocked(o *object, cs *CleanStats) error {
 		for i := range entries {
 			e := &entries[i]
 			if e.Version > o.floorVersion {
-				for _, old := range e.Old {
-					if old != seglog.NilAddr {
-						d.usage.ageOut(segOf(d.log, old))
-						d.cache.drop(old)
-						cs.BlocksAgedOut++
-					}
-				}
+				d.ageOutOldLocked(e, cs)
 			}
 		}
 		d.unrefJSector(addr)
@@ -687,6 +683,12 @@ func (d *Drive) compactSegmentLocked(seg int64, pressed bool, cs *CleanStats) er
 			d.usage.freeLive(seg)
 			d.cache.drop(addr)
 			cs.BlocksCopied++
+		case seglog.KindDelta:
+			// Packed delta blocks are history from birth: while any
+			// masked journal entry in the window references them, hist>0
+			// pins the segment out of compaction entirely; once aged out
+			// they are simply dead. Either way they are never relocated,
+			// so a delta chain's addresses stay stable for its lifetime.
 		}
 	}
 	for _, r := range relocs {

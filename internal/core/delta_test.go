@@ -1,0 +1,335 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"s4/internal/types"
+)
+
+// Delta-compressed history and retention policies (DESIGN.md §16).
+
+// deltaOn enables delta conversion drive-wide (key 0 = drive default).
+func deltaOn(e *testEnv) {
+	e.t.Helper()
+	if err := e.d.SetPolicy(admin, 0, types.Policy{Mode: types.ModeEveryVersion, DeltaEnabled: true}); err != nil {
+		e.t.Fatal(err)
+	}
+}
+
+// blockPattern builds one full block whose tail varies with v; most of
+// the block is shared across versions so reverse deltas stay small.
+func blockPattern(v int) []byte {
+	b := make([]byte, types.BlockSize)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	copy(b[types.BlockSize-32:], []byte(fmt.Sprintf("version-%08d", v)))
+	return b
+}
+
+// spanPattern is blockPattern across n blocks: conversion packs several
+// outgoing blocks of one entry into a shared delta block, so it only
+// fires for multi-block overwrites (packing one block saves nothing).
+func spanPattern(v, n int) []byte {
+	b := make([]byte, 0, n*types.BlockSize)
+	for i := 0; i < n; i++ {
+		b = append(b, blockPattern(v*100+i)...)
+	}
+	return b
+}
+
+func TestDeltaHistoryRoundTrip(t *testing.T) {
+	e := newTestDrive(t)
+	deltaOn(e)
+	id := e.create(alice)
+
+	const versions, span = 12, 4
+	times := make([]types.Timestamp, versions)
+	for v := 0; v < versions; v++ {
+		e.write(alice, id, 0, spanPattern(v, span))
+		times[v] = e.d.Now()
+		e.tick()
+	}
+	st := e.d.DriveStats()
+	if st.DeltaBlocksWritten == 0 {
+		t.Fatal("no packed delta blocks written despite DeltaEnabled")
+	}
+	if st.DeltaBytesSaved <= 0 {
+		t.Fatalf("DeltaBytesSaved = %d, want > 0", st.DeltaBytesSaved)
+	}
+	// Every historical version must materialize exactly, via however
+	// long a delta chain reconstruction needs.
+	for v := 0; v < versions; v++ {
+		got := e.read(alice, id, 0, span*types.BlockSize, times[v])
+		if !bytes.Equal(got, spanPattern(v, span)) {
+			t.Fatalf("version %d did not round-trip through delta history", v)
+		}
+	}
+}
+
+func TestDeltaChainKeyframe(t *testing.T) {
+	e := newTestDrive(t, func(o *Options) { o.MaxDeltaChain = 4 })
+	deltaOn(e)
+	id := e.create(alice)
+	const versions, span = 11, 4 // several keyframes at chain bound 4
+	times := make([]types.Timestamp, versions)
+	for v := 0; v < versions; v++ {
+		e.write(alice, id, 0, spanPattern(v, span))
+		times[v] = e.d.Now()
+		e.tick()
+	}
+	st := e.d.DriveStats()
+	if st.ChainKeyframes == 0 {
+		t.Fatal("no keyframes forced at the MaxDeltaChain bound")
+	}
+	for v := 0; v < versions; v++ {
+		got := e.read(alice, id, 0, span*types.BlockSize, times[v])
+		if !bytes.Equal(got, spanPattern(v, span)) {
+			t.Fatalf("version %d wrong after keyframe splits", v)
+		}
+	}
+}
+
+func TestDeltaCrashRecovery(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		t.Run(fmt.Sprintf("indexed=%v", indexed), func(t *testing.T) {
+			e := newTestDrive(t, func(o *Options) { o.DisableSegIndex = !indexed })
+			deltaOn(e)
+			id := e.create(alice)
+			const versions, span = 8, 4
+			times := make([]types.Timestamp, versions)
+			for v := 0; v < versions; v++ {
+				e.write(alice, id, 0, spanPattern(v, span))
+				times[v] = e.d.Now()
+				e.tick()
+			}
+			if indexed {
+				if err := e.d.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				// A post-checkpoint tail with conversions exercises the
+				// indexed settlement rules.
+				e.write(alice, id, 0, spanPattern(versions, span))
+				e.tick()
+			}
+			if err := e.d.Sync(alice); err != nil {
+				t.Fatal(err)
+			}
+			if st := e.d.DriveStats(); st.DeltaBlocksWritten == 0 {
+				t.Fatal("recovery scenario wrote no packed delta blocks")
+			}
+			e.reopen()
+			if err := e.d.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < versions; v++ {
+				got := e.read(alice, id, 0, span*types.BlockSize, times[v])
+				if !bytes.Equal(got, spanPattern(v, span)) {
+					t.Fatalf("version %d wrong after crash recovery", v)
+				}
+			}
+		})
+	}
+}
+
+func TestPolicyRetentionSkip(t *testing.T) {
+	for _, mode := range []types.PolicyMode{types.ModeLandmarkOnly, types.ModeOnClose} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// Landmarks far apart so retention decisions are the policy's.
+			e := newTestDrive(t, func(o *Options) { o.CheckpointEvery = 1 << 20 })
+			id := e.create(alice)
+			if err := e.d.SetPolicy(admin, id, types.Policy{Mode: mode}); err != nil {
+				t.Fatal(err)
+			}
+			e.write(alice, id, 0, blockPattern(1))
+			t1 := e.d.Now()
+			e.tick()
+			e.write(alice, id, 0, blockPattern(2))
+			t2 := e.d.Now()
+			e.tick()
+			if mode == types.ModeOnClose {
+				// The sync is the "close": version 2 becomes retained.
+				if err := e.d.Sync(alice); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e.write(alice, id, 0, blockPattern(3))
+			t3 := e.d.Now()
+			e.tick()
+
+			// Version 2's fate differs by mode; version 3 is current and
+			// always readable.
+			if got := e.read(alice, id, 0, types.BlockSize, t3); !bytes.Equal(got, blockPattern(3)) {
+				t.Fatal("current version wrong under retention policy")
+			}
+			_, err2 := e.d.Read(alice, id, 0, types.BlockSize, t2)
+			if mode == types.ModeOnClose {
+				if err2 != nil {
+					t.Fatalf("synced version dropped under on-close: %v", err2)
+				}
+			} else if !errors.Is(err2, types.ErrNoVersion) {
+				t.Fatalf("unretained version: got err %v, want ErrNoVersion", err2)
+			}
+			// Version 1 was overwritten before any close under on-close,
+			// and is below the last retained landmark under landmark-only:
+			// both modes drop it.
+			if _, err := e.d.Read(alice, id, 0, types.BlockSize, t1); !errors.Is(err, types.ErrNoVersion) {
+				t.Fatalf("unretained version 1: got err %v, want ErrNoVersion", err)
+			}
+			if st := e.d.DriveStats(); st.PolicySkippedVersions == 0 {
+				t.Fatal("PolicySkippedVersions did not count the drops")
+			}
+			if err := e.d.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPolicySkipSurvivesFlushAndCrash(t *testing.T) {
+	e := newTestDrive(t, func(o *Options) { o.CheckpointEvery = 1 << 20 })
+	id := e.create(alice)
+	if err := e.d.SetPolicy(admin, id, types.Policy{Mode: types.ModeLandmarkOnly, DeltaEnabled: true}); err != nil {
+		t.Fatal(err)
+	}
+	const versions, span = 6, 4
+	times := make([]types.Timestamp, versions)
+	for v := 0; v < versions; v++ {
+		e.write(alice, id, 0, spanPattern(v, span))
+		times[v] = e.d.Now()
+		e.tick()
+	}
+	if err := e.d.Sync(alice); err != nil {
+		t.Fatal(err)
+	}
+	e.reopen()
+	if err := e.d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Current version intact; every dropped version reads as a typed
+	// miss, never as fabricated bytes.
+	if got := e.read(alice, id, 0, span*types.BlockSize, types.TimeNowest); !bytes.Equal(got, spanPattern(versions-1, span)) {
+		t.Fatal("current version wrong after crash with retention skips")
+	}
+	for v := 0; v < versions-1; v++ {
+		got, err := e.d.Read(alice, id, 0, span*types.BlockSize, times[v])
+		if err == nil {
+			// Retention decisions are made at overwrite time; a version
+			// that survived (e.g. the first, anchored by create) must be
+			// exact.
+			if !bytes.Equal(got, spanPattern(v, span)) {
+				t.Fatalf("version %d returned wrong bytes after crash", v)
+			}
+			continue
+		}
+		if !errors.Is(err, types.ErrNoVersion) {
+			t.Fatalf("version %d: err %v, want ErrNoVersion or exact data", v, err)
+		}
+	}
+}
+
+func TestPolicyPersistsAcrossReopen(t *testing.T) {
+	e := newTestDrive(t)
+	id := e.create(alice)
+	want := types.Policy{Window: 10 * time.Minute, Mode: types.ModeLandmarkOnly, DeltaEnabled: true}
+	if err := e.d.SetPolicy(admin, id, want); err != nil {
+		t.Fatal(err)
+	}
+	def := types.Policy{Mode: types.ModeOnClose}
+	if err := e.d.SetPolicy(admin, 0, def); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e.reopen()
+	got, own, err := e.d.GetPolicy(admin, id)
+	if err != nil || !own || got != want {
+		t.Fatalf("object policy after reopen: %+v own=%v err=%v", got, own, err)
+	}
+	if got, _, err := e.d.GetPolicy(admin, 0); err != nil || got != def {
+		t.Fatalf("drive default after reopen: %+v err=%v", got, err)
+	}
+	// Another object inherits the drive default.
+	id2 := e.create(bob)
+	if got, own, err := e.d.GetPolicy(admin, id2); err != nil || own || got != def {
+		t.Fatalf("inherited policy: %+v own=%v err=%v", got, own, err)
+	}
+	// Clearing an entry falls back to the default.
+	if err := e.d.SetPolicy(admin, id, types.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, own, _ := e.d.GetPolicy(admin, id); own || got != def {
+		t.Fatalf("cleared policy: %+v own=%v", got, own)
+	}
+}
+
+func TestSetPolicyValidation(t *testing.T) {
+	e := newTestDrive(t)
+	id := e.create(alice)
+	if err := e.d.SetPolicy(alice, id, types.Policy{}); !errors.Is(err, types.ErrAdminOnly) {
+		t.Fatalf("non-admin SetPolicy: %v", err)
+	}
+	if err := e.d.SetPolicy(admin, id, types.Policy{Mode: 99}); !errors.Is(err, types.ErrInval) {
+		t.Fatalf("bad mode: %v", err)
+	}
+	if err := e.d.SetPolicy(admin, id, types.Policy{Window: -time.Second}); !errors.Is(err, types.ErrInval) {
+		t.Fatalf("negative window: %v", err)
+	}
+	if err := e.d.SetPolicy(admin, types.PolicyTable, types.Policy{Mode: types.ModeOnClose}); !errors.Is(err, types.ErrInval) {
+		t.Fatalf("reserved object policy: %v", err)
+	}
+}
+
+func TestPolicyWindowOverride(t *testing.T) {
+	// Two objects; one under a much shorter retention window. After the
+	// short window lapses, its history ages while the default object's
+	// survives — per-object cuts in both the cleaner and recovery.
+	e := newTestDrive(t)
+	short := e.create(alice)
+	long := e.create(alice)
+	if err := e.d.SetPolicy(admin, short, types.Policy{Window: time.Minute, Mode: types.ModeEveryVersion}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []types.ObjectID{short, long} {
+		e.write(alice, id, 0, blockPattern(1))
+	}
+	tOld := e.d.Now()
+	e.tick()
+	for _, id := range []types.ObjectID{short, long} {
+		e.write(alice, id, 0, blockPattern(2))
+	}
+	// Aging walks flushed chains, not pending tails.
+	if err := e.d.Sync(alice); err != nil {
+		t.Fatal(err)
+	}
+	// Pass the minute window but stay inside the hour drive window.
+	e.clk.Advance(5 * time.Minute)
+	if _, err := e.d.CleanOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.d.Read(alice, short, 0, types.BlockSize, tOld); !errors.Is(err, types.ErrNoVersion) {
+		t.Fatalf("short-window history survived its policy window: %v", err)
+	}
+	if got := e.read(alice, long, 0, types.BlockSize, tOld); !bytes.Equal(got, blockPattern(1)) {
+		t.Fatal("default-window history aged too early")
+	}
+	if err := e.d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery classifies with the same per-object cut.
+	if err := e.d.Sync(alice); err != nil {
+		t.Fatal(err)
+	}
+	e.reopen()
+	if err := e.d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.read(alice, long, 0, types.BlockSize, tOld); !bytes.Equal(got, blockPattern(1)) {
+		t.Fatal("default-window history lost across recovery")
+	}
+}

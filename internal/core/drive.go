@@ -108,6 +108,13 @@ type Options struct {
 	// ReconCacheBytes bounds the reconstructed-inode cache (DESIGN.md
 	// §12.2). Zero takes the default (4MB); negative disables it.
 	ReconCacheBytes int64
+	// MaxDeltaChain bounds how many consecutive overwrites of one block
+	// may be stored as reverse deltas before a full-block keyframe is
+	// forced (DESIGN.md §16). Longer chains save more history-pool
+	// space but make deep back-in-time reads decode more slots. Zero
+	// takes the default (8); negative disables delta encoding entirely
+	// even for delta-enabled policies.
+	MaxDeltaChain int
 	// UnsafeImmediateReuse disables the deferred-reuse barrier: the
 	// cleaner returns emptied segments to the allocator immediately
 	// instead of holding them until the next checkpoint commits. This
@@ -150,6 +157,9 @@ func (o *Options) fill(dev disk.Device) {
 	}
 	if o.ReconCacheBytes == 0 {
 		o.ReconCacheBytes = 4 << 20
+	}
+	if o.MaxDeltaChain == 0 {
+		o.MaxDeltaChain = 8
 	}
 	if o.Throttle == nil {
 		cfg := throttle.DefaultConfig(dev.Capacity() / 2)
@@ -217,6 +227,34 @@ type object struct {
 	// a recovery (which does) clears it.
 	lmReset bool
 	lruEl   *list.Element
+
+	// Delta-history bookkeeping (DESIGN.md §16), all volatile: after a
+	// restart every map is empty, which only disables conversions (the
+	// next overwrite of each block keyframes) — correctness never
+	// depends on them.
+	//
+	// birth records, per live data-block address, the version and time
+	// of the entry that appended it. The write path may only
+	// delta-convert an old block whose birth is known: the encoder needs
+	// to prove no landmark image at or above that version references the
+	// address it is about to free.
+	birth map[seglog.BlockAddr]blockBirth
+	// deltaRun counts, per file block index, how many consecutive
+	// overwrites were stored as deltas; at MaxDeltaChain the next
+	// overwrite keyframes and the run resets.
+	deltaRun map[uint64]int
+	// retainedVer is the newest version whose data the retention policy
+	// keeps (zero = everything). Under landmark-only or on-close modes,
+	// an outgoing version newer than retainedVer has its old blocks
+	// dropped (journal entry kept, data freed) at the next overwrite.
+	retainedVer uint64
+}
+
+// blockBirth is the provenance of one live data block: the journal
+// entry (version, time) that appended it.
+type blockBirth struct {
+	ver uint64
+	t   types.Timestamp
 }
 
 // landmark is one entry of an object's checkpoint index: a flushed
@@ -282,6 +320,12 @@ type Stats struct {
 	CorruptDetected     int64 // media blocks that failed their checksum
 	CorruptRepaired     int64 // corrupt blocks healed from a redundant copy
 	QuarantinedSegments int64 // segments withheld from reuse after corruption
+
+	// History-pool delta counters (DESIGN.md §16).
+	DeltaBlocksWritten    int64 // packed delta blocks appended to the log
+	DeltaBytesSaved       int64 // history bytes avoided by delta conversion
+	ChainKeyframes        int64 // conversions refused by the MaxDeltaChain bound
+	PolicySkippedVersions int64 // outgoing versions whose data retention dropped
 }
 
 // Drive is an open S4 drive. See the package comment for the lock
@@ -302,6 +346,12 @@ type Drive struct {
 	objects map[types.ObjectID]*object
 	nextOID types.ObjectID
 	window  time.Duration
+	// policies maps object IDs to their retention policies; key 0 holds
+	// the drive-wide default (DESIGN.md §16). Mutated only under the
+	// exclusive drive lock; read under the shared lock. The table is
+	// persisted through the PolicyTable reserved object, so both
+	// recovery paths rebuild it for free.
+	policies map[types.ObjectID]types.Policy
 	// spaceReserve is the free-segment floor reserved for the
 	// cleaner: client mutations are refused (ErrNoSpace) once the
 	// allocator drops to it, so compaction and the checkpoint barrier
@@ -443,6 +493,7 @@ func Open(dev disk.Device, opts Options) (*Drive, error) {
 		clk:         opts.Clock,
 		opts:        opts,
 		objects:     make(map[types.ObjectID]*object),
+		policies:    make(map[types.ObjectID]types.Policy),
 		objLRU:      list.New(),
 		nextOID:     types.FirstUserObject,
 		window:      opts.Window,
@@ -541,6 +592,9 @@ func checkReserved(cred types.Cred, id types.ObjectID) error {
 		return types.ErrReadOnly
 	}
 	if id == types.PartitionTable && !cred.Admin {
+		return types.ErrReadOnly
+	}
+	if id == types.PolicyTable && !cred.Admin {
 		return types.ErrReadOnly
 	}
 	return nil
@@ -720,9 +774,27 @@ func (d *Drive) maybeEvict() error {
 // exclusively (plus the shared drive lock) or the exclusive drive lock.
 func (d *Drive) appendEntry(o *object, e *journal.Entry) {
 	// Deprecate overwritten/removed blocks into the history pool.
-	for _, old := range e.Old {
-		if old != seglog.NilAddr {
-			d.usage.deprecate(segOf(d.log, old))
+	// DeltaMask'd slots hold packed-slot references, not addresses —
+	// their packed block was already born-and-deprecated by the
+	// conversion; Nil slots (retention skips) have nothing to keep.
+	for i, old := range e.Old {
+		if old == seglog.NilAddr || e.DeltaMask&(1<<uint(i)) != 0 {
+			continue
+		}
+		d.usage.deprecate(segOf(d.log, old))
+		delete(o.birth, old)
+	}
+	if e.Type == journal.EntWrite {
+		// Record each fresh block's provenance; the delta converter
+		// later needs to prove no landmark references an address it is
+		// about to free (DESIGN.md §16).
+		if o.birth == nil {
+			o.birth = make(map[seglog.BlockAddr]blockBirth)
+		}
+		for _, a := range e.New {
+			if a != seglog.NilAddr {
+				o.birth[a] = blockBirth{ver: e.Version, t: e.Time}
+			}
 		}
 	}
 	if e.Type == journal.EntDelete {
@@ -741,7 +813,7 @@ func (d *Drive) appendEntry(o *object, e *journal.Entry) {
 	o.ino.redo(e)
 	o.pending = append(o.pending, e)
 	d.markDirty(o)
-	if birth := e.Time + types.Timestamp(d.window); o.nextAge == 0 || birth < o.nextAge {
+	if birth := e.Time + types.Timestamp(d.effectiveWindow(o.id)); o.nextAge == 0 || birth < o.nextAge {
 		// This entry becomes ageable once it leaves the window; any
 		// cleaner visit before then would be wasted, and a fully-aged
 		// object parked at "never" must wake when new history arrives.
@@ -808,6 +880,11 @@ func (d *Drive) maybeEmitLandmarkLocked(o *object, e *journal.Entry) {
 	o.landmarks = append(o.landmarks, landmark{
 		time: e.Time, version: o.ino.Version, root: rootAddr,
 	})
+	// A landmark version is retained in every policy mode: it is the
+	// anchor deep reads reconstruct from, so retention may never thin it.
+	if o.ino.Version > o.retainedVer {
+		o.retainedVer = o.ino.Version
+	}
 }
 
 // registerLandmarkSectors records the chain position of checkpoint
@@ -1323,16 +1400,39 @@ func (d *Drive) readShared(cred types.Cred, id types.ObjectID, off, n uint64, at
 		n = in.Size - off
 	}
 	// Gather the extent's block addresses, fetch them in coalesced runs,
-	// then assemble the reply from the (cache-owned) block images.
+	// then assemble the reply from the (cache-owned) block images. A
+	// reconstructed historical inode may map an index to a packed-slot
+	// reference instead of a block address; those slots are materialized
+	// through their delta chains here (the reference doubles as the map
+	// key — the tag bit keeps it disjoint from real addresses).
 	var addrs []seglog.BlockAddr
+	var materialized map[seglog.BlockAddr][]byte
 	for blk := off / types.BlockSize; blk <= (off+n-1)/types.BlockSize; blk++ {
-		if a := in.Block(blk); a != seglog.NilAddr {
+		a := in.Block(blk)
+		switch {
+		case a == seglog.NilAddr:
+		case isDeltaRef(a):
+			if _, done := materialized[a]; done {
+				break
+			}
+			content, err := d.materializeRef(in, uint64(a), 0)
+			if err != nil {
+				return nil, err
+			}
+			if materialized == nil {
+				materialized = make(map[seglog.BlockAddr][]byte)
+			}
+			materialized[a] = content
+		default:
 			addrs = append(addrs, a)
 		}
 	}
 	blocks, err := d.readBlocksVec(addrs)
 	if err != nil {
 		return nil, err
+	}
+	for a, content := range materialized {
+		blocks[a] = content
 	}
 	out := make([]byte, n)
 	var filled uint64
@@ -1544,6 +1644,7 @@ func (d *Drive) writeBlocksLocked(cred types.Cred, o *object, off uint64, data [
 	if err != nil {
 		return err
 	}
+	fulls := make([][]byte, len(newAddrs))
 	for i, addr := range newAddrs {
 		d.usage.liveBorn(segOf(d.log, addr))
 		full := vec[i].Data
@@ -1558,6 +1659,7 @@ func (d *Drive) writeBlocksLocked(cred types.Cred, o *object, off uint64, data [
 			full = buf
 		}
 		d.cache.put(addr, full)
+		fulls[i] = full
 	}
 
 	// Emit journal entries, splitting ranges that exceed the per-entry
@@ -1567,12 +1669,20 @@ func (d *Drive) writeBlocksLocked(cred types.Cred, o *object, off uint64, data [
 	if end > newSize {
 		newSize = end
 	}
+	// A policy that may set entry masks pays a smaller per-entry pointer
+	// budget so the richer wire encoding still fits a journal sector.
+	pol := d.effectivePolicy(o.id)
+	maxPer := journal.MaxBlocksPerEntry
+	if (pol.DeltaEnabled && d.opts.MaxDeltaChain > 0) || pol.Mode != types.ModeEveryVersion {
+		maxPer = maxDeltaEntryBlocks
+	}
 	blk := b0
 	remaining := newAddrs
+	remFulls := fulls
 	for len(remaining) > 0 {
 		n := len(remaining)
-		if n > journal.MaxBlocksPerEntry {
-			n = journal.MaxBlocksPerEntry
+		if n > maxPer {
+			n = maxPer
 		}
 		e := &journal.Entry{
 			Type: journal.EntWrite, Version: o.nextVersion, Time: now,
@@ -1583,17 +1693,18 @@ func (d *Drive) writeBlocksLocked(cred types.Cred, o *object, off uint64, data [
 			OldSize:    oldSize, NewSize: newSize,
 		}
 		for i := 0; i < n; i++ {
-			old := in.Block(blk + uint64(i))
-			e.Old[i] = old
-			if old != seglog.NilAddr {
-				histBytes += types.BlockSize
-			}
+			e.Old[i] = in.Block(blk + uint64(i))
 		}
+		// Retention drops and reverse-delta conversion rewrite the Old
+		// slots in place (DESIGN.md §16) and report what the history
+		// pool actually grew by.
+		histBytes += d.convertOldLocked(o, e, remFulls[:n], pol)
 		o.nextVersion++
 		d.appendEntry(o, e)
 		oldSize = newSize
 		blk += uint64(n)
 		remaining = remaining[n:]
+		remFulls = remFulls[n:]
 	}
 	d.statsMu.Lock()
 	d.stats.BytesWritten += int64(len(data))
@@ -2095,6 +2206,12 @@ func (d *Drive) flushDirtyObjects() error {
 		o.mu.Lock()
 		var err error
 		if len(o.pending) > 0 {
+			// Under the on-close policy a sync is the "close" that marks
+			// the current version retained (DESIGN.md §16).
+			if o.ino != nil && d.effectivePolicy(o.id).Mode == types.ModeOnClose &&
+				o.ino.Version > o.retainedVer {
+				o.retainedVer = o.ino.Version
+			}
 			err = d.flushJournalLocked(o)
 		} else {
 			// Raced with another flusher; membership is stale.

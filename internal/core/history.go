@@ -48,6 +48,11 @@ type objSnapshot struct {
 	// object lock), so snapNow is a sound exclusive upper bound for the
 	// validity interval of a reconstruction that undoes nothing.
 	snapNow types.Timestamp
+	// epoch fences this snapshot's reconstructions against concurrent
+	// invalidation: delta conversion frees history blocks under the
+	// shared drive lock, so the recon cache discards puts whose epoch
+	// went stale mid-walk (DESIGN.md §16).
+	epoch uint64
 }
 
 // snapshotObject captures o. Caller holds o.mu (either mode, with the
@@ -63,6 +68,7 @@ func (d *Drive) snapshotObject(o *object) *objSnapshot {
 		floorTime: o.floorTime,
 		landmarks: append([]landmark(nil), o.landmarks...),
 		snapNow:   vclock.TS(d.clk),
+		epoch:     d.recon.epoch(o.id),
 	}
 	// Every flushed entry's version precedes every pending entry's
 	// (flushes drain the oldest prefix), so the newest chain version at
@@ -150,7 +156,7 @@ func (d *Drive) inodeAtCached(s *objSnapshot, at types.Timestamp) (*Inode, error
 	if err != nil {
 		return nil, err
 	}
-	d.recon.put(s.id, from, to, in)
+	d.recon.put(s.id, from, to, in, s.epoch)
 	return in, nil
 }
 
@@ -203,6 +209,12 @@ func (d *Drive) inodeAtSnapInterval(s *objSnapshot, at types.Timestamp) (in *Ino
 	}
 	if at < clone.CreateTime {
 		return nil, 0, 0, types.ErrNoVersion
+	}
+	if clone.Poisoned() {
+		// Some block's content at this instant was freed by a retention
+		// skip (DESIGN.md §16): the whole version is conservatively
+		// unreadable — a typed error, never manufactured bytes.
+		return nil, 0, 0, fmt.Errorf("core: version at %v not retained by policy: %w", at, types.ErrNoVersion)
 	}
 	if from < clone.CreateTime {
 		// The interval must not extend to instants before the object
@@ -294,6 +306,9 @@ func (d *Drive) inodeAtLandmark(s *objSnapshot, ln landmark, at types.Timestamp)
 	}
 	if at < clone.CreateTime {
 		return nil, 0, 0, types.ErrNoVersion
+	}
+	if clone.Poisoned() {
+		return nil, 0, 0, fmt.Errorf("core: version at %v not retained by policy: %w", at, types.ErrNoVersion)
 	}
 	if from < clone.CreateTime {
 		from = clone.CreateTime
@@ -479,7 +494,10 @@ func (d *Drive) revertShared(cred types.Cred, id types.ObjectID, at types.Timest
 				}
 				var fetch []seglog.BlockAddr
 				for b := blk; b < winEnd; b++ {
-					if a := old.Block(b); a != seglog.NilAddr && a != o.ino.Block(b) {
+					// Delta references are excluded from the vectored fetch:
+					// they are not addresses, and each resolves through its
+					// own chain below.
+					if a := old.Block(b); a != seglog.NilAddr && !isDeltaRef(a) && a != o.ino.Block(b) {
 						fetch = append(fetch, a)
 					}
 				}
@@ -490,16 +508,23 @@ func (d *Drive) revertShared(cred types.Cred, id types.ObjectID, at types.Timest
 			}
 			oldAddr := old.Block(blk)
 			if oldAddr == o.ino.Block(blk) {
-				// Same physical block: content already current.
+				// Same physical block: content already current. (A delta
+				// reference never equals a live address: bit 63 is set.)
 				if err := flush(); err != nil {
 					return err
 				}
 				continue
 			}
 			var content []byte
-			if oldAddr == seglog.NilAddr {
+			switch {
+			case oldAddr == seglog.NilAddr:
 				content = make([]byte, types.BlockSize)
-			} else {
+			case isDeltaRef(oldAddr):
+				var err error
+				if content, err = d.materializeRef(old, uint64(oldAddr), 0); err != nil {
+					return err
+				}
+			default:
 				content = blocks[oldAddr]
 			}
 			n := uint64(types.BlockSize)
@@ -652,6 +677,75 @@ func (d *Drive) flushObjectLocked(o *object, from, to types.Timestamp) error {
 		return nil
 	}
 
+	// Demote every delta reference in the chain to a plain full block
+	// before any undo-field rewriting (DESIGN.md §16). A reverse delta
+	// decodes against the exact content the original chain had just
+	// above its entry; the kept-entry rewrite below re-points Old slots
+	// at shadow-replay state, which would silently change that context.
+	// So while the original chain is still intact, walk it newest-first
+	// (the undo records each reference's context), materialize every
+	// masked slot to a fresh full history block, and retire the packed
+	// delta blocks. A reference whose context was already lost to a
+	// newer retention skip becomes a skip of its own.
+	probe := o.ino.Clone()
+	var packedGone []seglog.BlockAddr
+	packedSeen := make(map[seglog.BlockAddr]bool)
+	var demoted []seglog.BlockAddr
+	for i := len(all) - 1; i >= 0; i-- {
+		e := all[i]
+		if e.Type != journal.EntCreate {
+			probe.undo(e)
+		}
+		if e.Type != journal.EntWrite || e.DeltaMask == 0 {
+			continue
+		}
+		drops := droppedByBit(e)
+		for k := range e.Old {
+			if e.DeltaMask&(1<<uint(k)) == 0 {
+				continue
+			}
+			idx := e.FirstBlock + uint64(k)
+			raw := uint64(e.Old[k])
+			packed := seglog.BlockAddr(raw / journal.DeltaSlotsPerBlock)
+			if !packedSeen[packed] {
+				packedSeen[packed] = true
+				packedGone = append(packedGone, packed)
+			}
+			e.DeltaMask &^= 1 << uint(k)
+			if probe.isPoisoned(idx) {
+				e.Old[k] = seglog.NilAddr
+				e.SkipMask |= 1 << uint(k)
+				drops[k] = seglog.NilAddr
+				continue
+			}
+			content, err := d.materializeBlock(probe, idx)
+			if err != nil {
+				return err
+			}
+			addr, err := d.log.Append(seglog.KindData, o.id, idx, e.Time, content)
+			if err != nil {
+				return err
+			}
+			seg := segOf(d.log, addr)
+			d.usage.liveBorn(seg)
+			d.usage.deprecate(seg)
+			d.cache.put(addr, content)
+			e.Old[k] = addr
+			// Re-point the probe too, so deeper references in the same
+			// chain resolve their context through the fresh block.
+			ref := raw | deltaRefTag
+			probe.blocks[idx] = addr
+			delete(probe.deltaRef, ref)
+			demoted = append(demoted, addr)
+		}
+		rebuildDropped(e, drops)
+	}
+	for _, a := range packedGone {
+		d.usage.ageOut(segOf(d.log, a))
+		d.cache.drop(a)
+	}
+	o.deltaRun = nil
+
 	// Two parallel replays from the oldest reconstructible state:
 	// trueState applies every entry (real history); shadow applies only
 	// kept entries, whose undo fields are rewritten against it. At the
@@ -691,14 +785,36 @@ func (d *Drive) flushObjectLocked(o *object, from, to types.Timestamp) error {
 			}
 			continue
 		}
-		// Kept entry: rewrite its undo fields against shadow.
+		// Kept entry: rewrite its undo fields against shadow. Slots where
+		// the shadow replay is poisoned (a retention skip below survives
+		// the rewrite) keep — or gain — a skip bit, so walks below this
+		// entry still poison instead of reading a manufactured hole;
+		// slots where the replay reconstructed known content shed their
+		// skip bit and point at it.
 		switch e.Type {
 		case journal.EntWrite:
+			drops := droppedByBit(e)
 			for k := range e.Old {
-				e.Old[k] = shadow.Block(e.FirstBlock + uint64(k))
+				idx := e.FirstBlock + uint64(k)
+				bit := uint32(1) << uint(k)
+				if shadow.isPoisoned(idx) {
+					e.Old[k] = seglog.NilAddr
+					if e.SkipMask&bit == 0 {
+						e.SkipMask |= bit
+						drops[k] = seglog.NilAddr
+					}
+					continue
+				}
+				e.SkipMask &^= bit
+				delete(drops, k)
+				e.Old[k] = shadow.Block(idx)
 			}
+			rebuildDropped(e, drops)
 			e.OldSize = shadow.Size
 		case journal.EntTruncate:
+			// Truncate entries carry no skip bits on the wire; a poisoned
+			// shadow slot here (retention skip + truncate + Flush overlap)
+			// degrades to a hole — documented corner, DESIGN.md §16.
 			e.OldSize = shadow.Size
 			for k := range e.Old {
 				e.Old[k] = shadow.Block(e.FirstBlock + uint64(k))
@@ -741,6 +857,16 @@ func (d *Drive) flushObjectLocked(o *object, from, to types.Timestamp) error {
 			protected[a] = true // guard against double free
 		}
 	}
+	// Fresh keyframes materialized for entries that then dropped have no
+	// owning New pointer anywhere; free the unreferenced ones the same
+	// way.
+	for _, a := range demoted {
+		if !protected[a] {
+			d.usage.ageOut(segOf(d.log, a))
+			d.cache.drop(a)
+			protected[a] = true
+		}
+	}
 	// The chain is rewritten without its checkpoint markers, so the
 	// landmark index empties with it (roots freed), and every cached
 	// reconstruction of this object is now a lie.
@@ -762,8 +888,10 @@ func (d *Drive) mergeEntries(from, to *Inode, ver uint64, ts types.Timestamp) []
 		for i < len(idxs) {
 			n := len(idxs) - i
 			// Bound the covered span, not just the divergent count, so
-			// the entry's pointer arrays stay within budget.
-			for n > 1 && idxs[i+n-1]-idxs[i]+1 > journal.MaxBlocksPerEntry {
+			// the entry's pointer arrays stay within budget — the delta
+			// budget, since a poisoned source slot adds a skip bit and a
+			// dropped-address word to the wire encoding.
+			for n > 1 && idxs[i+n-1]-idxs[i]+1 > maxDeltaEntryBlocks {
 				n--
 			}
 			span := idxs[i+n-1] - idxs[i] + 1
@@ -776,8 +904,16 @@ func (d *Drive) mergeEntries(from, to *Inode, ver uint64, ts types.Timestamp) []
 			}
 			for rel := uint64(0); rel < span; rel++ {
 				blk := idxs[i] + rel
-				e.Old[rel] = from.Block(blk)
 				e.New[rel] = to.Block(blk)
+				if from.isPoisoned(blk) {
+					// The pre-merge content at this slot is unknown (lost
+					// to a retention skip); carry the poison through the
+					// synthesized entry instead of minting a hole.
+					e.SkipMask |= 1 << uint(rel)
+					e.Dropped = append(e.Dropped, seglog.NilAddr)
+					continue
+				}
+				e.Old[rel] = from.Block(blk)
 			}
 			synth = append(synth, e)
 			i += n

@@ -30,6 +30,21 @@ type Inode struct {
 	DeadTime   types.Timestamp
 
 	blocks map[uint64]seglog.BlockAddr
+
+	// Transient reconstruction state (DESIGN.md §16); never persisted —
+	// checkpoint encoding walks only the blocks map, and live inodes
+	// never carry either field.
+	//
+	// deltaRef maps a tagged packed-slot reference (installed into
+	// blocks by undoing a DeltaMask'd entry) to its decode context: the
+	// block-map value — possibly itself a tagged reference — that held
+	// the same index just above that entry. Chains link by content, so
+	// address churn above never breaks them.
+	deltaRef map[uint64]uint64
+	// poison marks block indexes whose content at this version was
+	// dropped by a retention skip; any poison makes the whole
+	// reconstruction unusable (reads fail with ErrNoVersion).
+	poison map[uint64]struct{}
 }
 
 func newInode(id types.ObjectID, now types.Timestamp, acl []types.ACLEntry) *Inode {
@@ -58,6 +73,24 @@ func (in *Inode) setBlock(idx uint64, addr seglog.BlockAddr) {
 // NumBlocks returns the count of mapped blocks.
 func (in *Inode) NumBlocks() int { return len(in.blocks) }
 
+func (in *Inode) setPoison(idx uint64) {
+	if in.poison == nil {
+		in.poison = make(map[uint64]struct{})
+	}
+	in.poison[idx] = struct{}{}
+}
+
+func (in *Inode) clearPoison(idx uint64) {
+	if in.poison != nil {
+		delete(in.poison, idx)
+	}
+}
+
+func (in *Inode) isPoisoned(idx uint64) bool {
+	_, ok := in.poison[idx]
+	return ok
+}
+
 // Clone returns a deep copy; history reconstruction mutates the copy.
 func (in *Inode) Clone() *Inode {
 	out := *in
@@ -67,8 +100,24 @@ func (in *Inode) Clone() *Inode {
 	for k, v := range in.blocks {
 		out.blocks[k] = v
 	}
+	if in.deltaRef != nil {
+		out.deltaRef = make(map[uint64]uint64, len(in.deltaRef))
+		for k, v := range in.deltaRef {
+			out.deltaRef[k] = v
+		}
+	}
+	if in.poison != nil {
+		out.poison = make(map[uint64]struct{}, len(in.poison))
+		for k := range in.poison {
+			out.poison[k] = struct{}{}
+		}
+	}
 	return &out
 }
+
+// Poisoned reports whether any block index of this reconstruction was
+// dropped by a retention skip, making the version unreadable.
+func (in *Inode) Poisoned() bool { return len(in.poison) > 0 }
 
 // PermFor returns the permissions in force for user: the union of the
 // user's entry and the Everyone entry.
@@ -88,12 +137,42 @@ func (in *Inode) undo(e *journal.Entry) {
 	switch e.Type {
 	case journal.EntWrite:
 		for i, old := range e.Old {
-			in.setBlock(e.FirstBlock+uint64(i), old)
+			idx := e.FirstBlock + uint64(i)
+			switch {
+			case e.SkipMask&(1<<uint(i)) != 0:
+				// Retention dropped the pre-entry content: below this
+				// entry the index is unreconstructible.
+				in.setBlock(idx, seglog.NilAddr)
+				in.setPoison(idx)
+			case e.DeltaMask&(1<<uint(i)) != 0:
+				// Old[i] is a packed-slot reference. Its decode context
+				// is the content this index holds just above the entry
+				// — record it before the undo replaces it. A context
+				// already lost to a newer skip leaves the index
+				// poisoned: the delta has nothing to decode against.
+				ctx, haveCtx := in.blocks[idx]
+				if !haveCtx || in.isPoisoned(idx) {
+					in.setBlock(idx, seglog.NilAddr)
+					in.setPoison(idx)
+					continue
+				}
+				ref := uint64(old) | deltaRefTag
+				if in.deltaRef == nil {
+					in.deltaRef = make(map[uint64]uint64)
+				}
+				in.deltaRef[ref] = uint64(ctx)
+				in.blocks[idx] = seglog.BlockAddr(ref)
+				in.clearPoison(idx)
+			default:
+				in.setBlock(idx, old)
+				in.clearPoison(idx)
+			}
 		}
 		in.Size = e.OldSize
 	case journal.EntTruncate:
 		for i, old := range e.Old {
 			in.setBlock(e.FirstBlock+uint64(i), old)
+			in.clearPoison(e.FirstBlock + uint64(i))
 		}
 		in.Size = e.OldSize
 	case journal.EntSetAttr:
@@ -122,11 +201,16 @@ func (in *Inode) redo(e *journal.Entry) {
 	case journal.EntWrite:
 		for i, nw := range e.New {
 			in.setBlock(e.FirstBlock+uint64(i), nw)
+			// Overwriting makes the index's content known again; the
+			// flush rewrite relies on replayed shadows tracking poison
+			// precisely (history.go).
+			in.clearPoison(e.FirstBlock + uint64(i))
 		}
 		in.Size = e.NewSize
 	case journal.EntTruncate:
 		for i := range e.Old {
 			in.setBlock(e.FirstBlock+uint64(i), seglog.NilAddr)
+			in.clearPoison(e.FirstBlock + uint64(i))
 		}
 		in.Size = e.NewSize
 	case journal.EntSetAttr:

@@ -45,7 +45,6 @@ func (d *Drive) CheckInvariants() error {
 		return nil
 	}
 
-	ageCut := vclock.TS(d.clk) - types.Timestamp(d.window)
 	ids := make([]types.ObjectID, 0, len(d.objects))
 	for id := range d.objects {
 		ids = append(ids, id)
@@ -54,6 +53,9 @@ func (d *Drive) CheckInvariants() error {
 
 	for _, id := range ids {
 		o := d.objects[id]
+		// Retention policies can shorten an object's window; history
+		// beyond its effective cut is legitimately gone.
+		ageCut := vclock.TS(d.clk) - types.Timestamp(d.effectiveWindow(id))
 		if err := d.loadInode(o); err != nil {
 			return fmt.Errorf("core: %v inode unloadable: %w", id, err)
 		}
@@ -86,8 +88,16 @@ func (d *Drive) CheckInvariants() error {
 				if e.Time < ageCut || e.Version <= o.floorVersion {
 					continue // aged out; its history blocks may be gone
 				}
-				for _, old := range e.Old {
-					if err := checkAddr(id, "history block", old); err != nil {
+				for k, old := range e.Old {
+					a, what := old, "history block"
+					if old != seglog.NilAddr && e.DeltaMask&(1<<uint(k)) != 0 {
+						// A masked slot stores packed*SlotsPerRef+slot; the
+						// block that must stay reachable is the shared
+						// packed delta block.
+						a = seglog.BlockAddr(uint64(old) / journal.DeltaSlotsPerBlock)
+						what = "packed delta block"
+					}
+					if err := checkAddr(id, what, a); err != nil {
 						return err
 					}
 				}
@@ -138,7 +148,6 @@ func (d *Drive) CheckLandmarks(requireComplete bool) error {
 }
 
 func (d *Drive) checkLandmarksLocked(requireComplete bool) error {
-	ageCut := vclock.TS(d.clk) - types.Timestamp(d.window)
 	buf := make([]byte, seglog.BlockSize)
 	validRoot := func(id types.ObjectID, version uint64, root seglog.BlockAddr) bool {
 		if root == seglog.NilAddr {
@@ -166,6 +175,7 @@ func (d *Drive) checkLandmarksLocked(requireComplete bool) error {
 	}
 	for _, id := range ids {
 		o := d.objects[id]
+		ageCut := vclock.TS(d.clk) - types.Timestamp(d.effectiveWindow(id))
 		found := make(map[lmKey]journal.SectorAddr)
 		for _, e := range o.pending {
 			if e.Type == journal.EntCheckpoint {

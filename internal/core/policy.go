@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"s4/internal/types"
+)
+
+// Per-object retention policies (DESIGN.md §16). The table lives in a
+// reserved S4 object (types.PolicyTable) and is written through the
+// ordinary journaled write path, so it is versioned, checkpointed, and
+// rebuilt by both recovery paths like any other object; Open decodes
+// the current version into Drive.policies. Key 0 holds the drive-wide
+// default; reserved objects below FirstUserObject always retain every
+// version (see effectivePolicy in delta.go).
+
+func encodePolicyTable(pols map[types.ObjectID]types.Policy) []byte {
+	ids := make([]types.ObjectID, 0, len(pols))
+	for id := range pols {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort; tables are tiny
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(ids)))
+	buf = append(buf, tmp[:n]...)
+	for _, id := range ids {
+		p := pols[id]
+		n = binary.PutUvarint(tmp[:], uint64(id))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(p.Window))
+		buf = append(buf, tmp[:n]...)
+		flags := byte(0)
+		if p.DeltaEnabled {
+			flags = 1
+		}
+		buf = append(buf, byte(p.Mode), flags)
+	}
+	return buf
+}
+
+func decodePolicyTable(data []byte) (map[types.ObjectID]types.Policy, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("core: policy table header: %w", types.ErrCorrupt)
+	}
+	data = data[n:]
+	if count > 1<<20 {
+		return nil, fmt.Errorf("core: policy table count %d: %w", count, types.ErrCorrupt)
+	}
+	out := make(map[types.ObjectID]types.Policy, count)
+	for i := uint64(0); i < count; i++ {
+		id, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("core: policy id %d: %w", i, types.ErrCorrupt)
+		}
+		data = data[n:]
+		w, n := binary.Uvarint(data)
+		if n <= 0 || len(data) < n+2 {
+			return nil, fmt.Errorf("core: policy entry %d: %w", i, types.ErrCorrupt)
+		}
+		mode := types.PolicyMode(data[n])
+		flags := data[n+1]
+		data = data[n+2:]
+		if !mode.Valid() {
+			return nil, fmt.Errorf("core: policy mode %d: %w", mode, types.ErrCorrupt)
+		}
+		out[types.ObjectID(id)] = types.Policy{
+			Window:       time.Duration(w),
+			Mode:         mode,
+			DeltaEnabled: flags&1 != 0,
+		}
+	}
+	return out, nil
+}
+
+// loadPoliciesLocked decodes the policy table object (if present) into
+// d.policies. Called from Open after recovery, under the exclusive
+// drive lock.
+func (d *Drive) loadPoliciesLocked() error {
+	o, ok := d.objects[types.PolicyTable]
+	if !ok {
+		return nil // pre-upgrade image, or no policy ever set
+	}
+	if err := d.loadInode(o); err != nil {
+		return err
+	}
+	if o.ino.Size == 0 {
+		return nil
+	}
+	data, err := d.readObjectDataLocked(o.ino)
+	if err != nil {
+		return err
+	}
+	pols, err := decodePolicyTable(data)
+	if err != nil {
+		return err
+	}
+	d.policies = pols
+	return nil
+}
+
+// writePolicyTableLocked persists d.policies as the policy object's new
+// version, creating the object on first use so pre-policy drive images
+// are opened unchanged.
+func (d *Drive) writePolicyTableLocked(cred types.Cred) error {
+	if _, ok := d.objects[types.PolicyTable]; !ok {
+		d.createObjectLocked(types.PolicyTable, types.AdminCred(), []types.ACLEntry{
+			{User: types.AdminUser, Perm: types.PermAll},
+		}, nil)
+	}
+	o, err := d.getObject(types.PolicyTable)
+	if err != nil {
+		return err
+	}
+	data := encodePolicyTable(d.policies)
+	if uint64(len(data)) < o.ino.Size {
+		if err := d.truncateBlocksLocked(cred, o, uint64(len(data))); err != nil {
+			return err
+		}
+	}
+	return d.writeBlocksLocked(cred, o, 0, data)
+}
+
+// SetPolicy installs (or, for the zero policy, removes) the retention
+// policy for id; id 0 addresses the drive-wide default. Administrative
+// (Table 1 extension): retention decides what history survives inside
+// the detection window, which is exactly the power the paper reserves
+// for the administrator.
+func (d *Drive) SetPolicy(cred types.Cred, id types.ObjectID, p types.Policy) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var err error
+	switch {
+	case d.closed:
+		err = types.ErrDriveStopped
+	case !cred.Admin:
+		err = types.ErrAdminOnly
+	case !p.Mode.Valid() || p.Window < 0:
+		err = types.ErrInval
+	case id != 0 && id < types.FirstUserObject:
+		// Reserved drive-owned objects must keep every version.
+		err = types.ErrInval
+	default:
+		prev, had := d.policies[id]
+		if p.IsZero() {
+			delete(d.policies, id)
+		} else {
+			d.policies[id] = p
+		}
+		err = d.writePolicyTableLocked(types.AdminCred())
+		if err != nil {
+			// Failed to persist: keep memory and disk agreeing.
+			if had {
+				d.policies[id] = prev
+			} else {
+				delete(d.policies, id)
+			}
+		}
+	}
+	d.auditOp(cred, types.OpSetPolicy, id, uint64(p.Window), uint64(p.Mode), p.String(), err)
+	return err
+}
+
+// GetPolicy returns the policy in force for id (the object's own entry,
+// else the drive default) and whether id has its own entry. id 0 asks
+// for the drive default itself.
+func (d *Drive) GetPolicy(cred types.Cred, id types.ObjectID) (p types.Policy, own bool, err error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		err = types.ErrDriveStopped
+	} else if id == 0 {
+		p, own = d.policies[0]
+	} else {
+		if p, own = d.policies[id]; !own {
+			p = d.effectivePolicy(id)
+		}
+	}
+	d.auditOp(cred, types.OpGetPolicy, id, 0, 0, "", err)
+	return p, own, err
+}

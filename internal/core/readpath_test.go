@@ -187,7 +187,7 @@ func TestReconCacheUnit(t *testing.T) {
 	in1, in2, in3 := &Inode{}, &Inode{}, &Inode{}
 	c := newReconCache(600) // two empty-inode entries (256B each) fit, three do not
 
-	c.put(id, 10, 20, in1)
+	c.put(id, 10, 20, in1, c.epoch(id))
 	if got := c.get(id, 10); got != in1 {
 		t.Fatal("lookup at interval start missed")
 	}
@@ -202,26 +202,26 @@ func TestReconCacheUnit(t *testing.T) {
 	}
 
 	// Overlapping insert keeps the incumbent.
-	c.put(id, 15, 25, in2)
+	c.put(id, 15, 25, in2, c.epoch(id))
 	if got := c.get(id, 22); got != nil {
 		t.Fatal("overlapping insert was admitted")
 	}
 	// Same-start insert extends the bound without replacing the inode.
-	c.put(id, 10, 30, in2)
+	c.put(id, 10, 30, in2, c.epoch(id))
 	if got := c.get(id, 25); got != in1 {
 		t.Fatal("same-start insert did not extend the incumbent")
 	}
 
-	c.put(id, 30, 40, in2)
+	c.put(id, 30, 40, in2, c.epoch(id))
 	if got := c.get(id, 35); got != in2 {
 		t.Fatal("disjoint insert missed")
 	}
-	c.put(id, 40, 50, in3) // over budget: evicts the LRU entry
+	c.put(id, 40, 50, in3, c.epoch(id)) // over budget: evicts the LRU entry
 	if c.lru.Len() != 2 {
 		t.Fatalf("cache holds %d entries after eviction, want 2", c.lru.Len())
 	}
 
-	c.put(id, 10, 30, in1)
+	c.put(id, 10, 30, in1, c.epoch(id))
 	c.dropBelow(id, 30)
 	if got := c.get(id, 15); got != nil {
 		t.Fatal("dropBelow left an interval wholly below the cut")

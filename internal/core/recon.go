@@ -30,6 +30,12 @@ type reconCache struct {
 	curBytes int64
 	lru      *list.List                         // front = most recent; values are *reconEnt
 	byObj    map[types.ObjectID][]*list.Element // per object, ascending by from
+	// epochs fences inserts against invalidation (DESIGN.md §16): a
+	// walk captures its object's epoch when it snapshots, and put
+	// discards results whose epoch is stale. Needed because delta
+	// conversion frees history blocks under the *shared* drive lock, so
+	// a lock-free walk can be in flight across the invalidation.
+	epochs map[types.ObjectID]uint64
 
 	hits, misses int64
 }
@@ -46,7 +52,15 @@ func newReconCache(capBytes int64) *reconCache {
 		capBytes: capBytes,
 		lru:      list.New(),
 		byObj:    make(map[types.ObjectID][]*list.Element),
+		epochs:   make(map[types.ObjectID]uint64),
 	}
+}
+
+// epoch returns id's current invalidation epoch; pass it back to put.
+func (c *reconCache) epoch(id types.ObjectID) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs[id]
 }
 
 // inodeFootprint estimates the in-memory size of a reconstructed inode
@@ -95,12 +109,15 @@ func (c *reconCache) get(id types.ObjectID, at types.Timestamp) *Inode {
 // are disjoint; an insert matching an existing start just extends its
 // bound, and anything else overlapping is dropped rather than risk
 // shadowing a fresher entry.
-func (c *reconCache) put(id types.ObjectID, from, to types.Timestamp, in *Inode) {
+func (c *reconCache) put(id types.ObjectID, from, to types.Timestamp, in *Inode, epoch uint64) {
 	if c.capBytes <= 0 || to <= from {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.epochs[id] != epoch {
+		return // invalidated while the walk ran; blocks may be freed
+	}
 	ents := c.byObj[id]
 	lo, hi := 0, len(ents)
 	for lo < hi {
@@ -161,6 +178,7 @@ func (c *reconCache) removeLocked(el *list.Element) {
 func (c *reconCache) dropObject(id types.ObjectID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.epochs[id]++
 	for _, el := range c.byObj[id] {
 		ent := el.Value.(*reconEnt)
 		c.lru.Remove(el)
@@ -176,11 +194,38 @@ func (c *reconCache) dropObject(id types.ObjectID) {
 func (c *reconCache) dropBelow(id types.ObjectID, cut types.Timestamp) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.epochs[id]++
 	ents := c.byObj[id]
 	kept := ents[:0]
 	for _, el := range ents {
 		ent := el.Value.(*reconEnt)
 		if ent.to <= cut {
+			c.lru.Remove(el)
+			c.curBytes -= ent.bytes
+			continue
+		}
+		kept = append(kept, el)
+	}
+	if len(kept) == 0 {
+		delete(c.byObj, id)
+	} else {
+		c.byObj[id] = kept
+	}
+}
+
+// dropSince invalidates reconstructions of id whose interval starts at
+// or after cut: delta conversion or a retention skip just freed blocks
+// those inodes reference (every version modified at or after the freed
+// block's birth may hold its address).
+func (c *reconCache) dropSince(id types.ObjectID, cut types.Timestamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epochs[id]++
+	ents := c.byObj[id]
+	kept := ents[:0]
+	for _, el := range ents {
+		ent := el.Value.(*reconEnt)
+		if ent.from >= cut {
 			c.lru.Remove(el)
 			c.curBytes -= ent.bytes
 			continue

@@ -305,6 +305,15 @@ func (d *Drive) recover() error {
 	if err := d.vetSkippedHeads(visited); err != nil {
 		return err
 	}
+	// The roll-forward rebuilt the policy table object (if any) like
+	// every other object; decode it before the usage rebuild so per-
+	// object Window overrides classify history with the same cut the
+	// cleaner used at runtime (DESIGN.md §16). The object is created
+	// lazily by the first SetPolicy, so pre-upgrade images open
+	// unchanged.
+	if err := d.loadPoliciesLocked(); err != nil {
+		return err
+	}
 	if idx != nil {
 		err = d.finishIndexedRecovery(idx)
 	} else {
@@ -520,6 +529,17 @@ func (d *Drive) entryDurable(e *journal.Entry) bool {
 			return false
 		}
 	}
+	// A masked Old slot points into a packed delta block written by the
+	// same flush; replaying the entry without it would leave history
+	// chains referencing bytes that never became durable.
+	if e.DeltaMask != 0 {
+		for k, old := range e.Old {
+			if e.DeltaMask&(1<<uint(k)) != 0 &&
+				!d.recCovered(seglog.BlockAddr(uint64(old)/journal.DeltaSlotsPerBlock)) {
+				return false
+			}
+		}
+	}
 	if e.Type == journal.EntCheckpoint && e.InodeAddr != seglog.NilAddr && !d.recCovered(e.InodeAddr) {
 		return false
 	}
@@ -634,8 +654,11 @@ func (d *Drive) recountUsage() error {
 	d.jstageAddr, d.jstageUsed = seglog.NilAddr, 0
 
 	live := make(map[seglog.BlockAddr]bool)
-	depTime := make(map[seglog.BlockAddr]types.Timestamp)
-	ageCut := types.TS(d.clk.Now().Add(-d.window))
+	// Blocks deprecated inside their owner's detection window — per-
+	// object retention policies can override the drive window, so
+	// membership is decided here, per object, not in the sweep below.
+	hist := make(map[seglog.BlockAddr]bool)
+	now := d.clk.Now()
 
 	for _, r := range d.auditBlocks {
 		live[r.addr] = true
@@ -644,9 +667,12 @@ func (d *Drive) recountUsage() error {
 		if err := d.loadInode(o); err != nil {
 			return err
 		}
+		ageCut := types.TS(now.Add(-d.effectiveWindow(o.id)))
 		for _, a := range o.ino.blocks {
 			if o.ino.Deleted {
-				depTime[a] = o.ino.DeadTime
+				if o.ino.DeadTime >= ageCut {
+					hist[a] = true
+				}
 			} else {
 				live[a] = true
 			}
@@ -668,22 +694,29 @@ func (d *Drive) recountUsage() error {
 			for i := range entries {
 				e := &entries[i]
 				if e.Type == journal.EntCheckpoint {
-					d.recoverLandmark(o, e, addr, depTime, ageCut)
+					d.recoverLandmark(o, e, addr, hist, ageCut)
 					continue
 				}
 				// Entries at or below the aging floor released their Old
 				// blocks long ago; the blocks may since have been recycled
 				// into other objects' data, so a stale below-floor pointer
-				// must not clobber the current owner's deprecation time
-				// (which object's walk ran last is map order — without the
-				// floor check the recount itself would be nondeterministic).
-				if e.Version <= o.floorVersion {
+				// must not mark the current owner's block as history (which
+				// object's walk ran last is map order — without the floor
+				// check the recount itself would be nondeterministic).
+				if e.Version <= o.floorVersion || e.Time < ageCut {
 					continue
 				}
-				for _, old := range e.Old {
-					if old != seglog.NilAddr {
-						depTime[old] = e.Time
+				for k, old := range e.Old {
+					if old == seglog.NilAddr {
+						continue
 					}
+					if e.DeltaMask&(1<<uint(k)) != 0 {
+						// A packed-slot reference: the deprecated block is
+						// the shared packed delta block (slots coalesce).
+						hist[seglog.BlockAddr(uint64(old)/journal.DeltaSlotsPerBlock)] = true
+						continue
+					}
+					hist[old] = true
 				}
 			}
 			if addr == o.jtail {
@@ -717,7 +750,7 @@ func (d *Drive) recountUsage() error {
 			case live[addr]:
 				d.usage.liveBorn(seg)
 				counted = true
-			case depTime[addr] != 0 && depTime[addr] >= ageCut:
+			case hist[addr]:
 				d.usage.liveBorn(seg)
 				d.usage.deprecate(seg)
 				counted = true
@@ -744,7 +777,7 @@ func (d *Drive) recountUsage() error {
 // bytes (decode fails or names another object/version — skip) or the
 // original root intact (resurrect it; it is self-consistent and ages
 // out with its entry like any other).
-func (d *Drive) recoverLandmark(o *object, e *journal.Entry, sector journal.SectorAddr, depTime map[seglog.BlockAddr]types.Timestamp, ageCut types.Timestamp) {
+func (d *Drive) recoverLandmark(o *object, e *journal.Entry, sector journal.SectorAddr, hist map[seglog.BlockAddr]bool, ageCut types.Timestamp) {
 	if e.Time < ageCut || e.InodeAddr == seglog.NilAddr {
 		return // aged out: the root, if any survives, is dead weight
 	}
@@ -756,7 +789,7 @@ func (d *Drive) recoverLandmark(o *object, e *journal.Entry, sector journal.Sect
 	if err != nil || in.ID != o.id || in.Version != e.Version {
 		return
 	}
-	depTime[e.InodeAddr] = e.Time
+	hist[e.InodeAddr] = true
 	o.landmarks = append(o.landmarks, landmark{
 		time:    e.Time,
 		version: e.Version,
@@ -779,7 +812,12 @@ func (d *Drive) recoverLandmark(o *object, e *journal.Entry, sector journal.Sect
 func (d *Drive) finishIndexedRecovery(idx *segIndex) error {
 	now := d.clk.Now()
 	nowTS := types.TS(now)
-	ageCut := types.TS(now.Add(-d.window))
+	// Per-object cut: a retention policy's Window override ages that
+	// object on its own clock (matching ageObjectLocked and the full
+	// recount's per-object classification).
+	cutFor := func(id types.ObjectID) types.Timestamp {
+		return types.TS(now.Add(-d.effectiveWindow(id)))
+	}
 
 	ids := make([]types.ObjectID, 0, len(d.objects))
 	for id := range d.objects {
@@ -804,7 +842,7 @@ func (d *Drive) finishIndexedRecovery(idx *segIndex) error {
 				continue
 			}
 		}
-		if err := d.accountReplayTail(o, ageCut); err != nil {
+		if err := d.accountReplayTail(o, cutFor(id)); err != nil {
 			return err
 		}
 		settled[id] = true
@@ -823,7 +861,7 @@ func (d *Drive) finishIndexedRecovery(idx *segIndex) error {
 		if oi.nextAge != 0 && nowTS < oi.nextAge {
 			continue
 		}
-		if err := d.agingCorrection(o, ageCut, settled[id]); err != nil {
+		if err := d.agingCorrection(o, cutFor(id), settled[id]); err != nil {
 			return err
 		}
 	}
@@ -833,9 +871,10 @@ func (d *Drive) finishIndexedRecovery(idx *segIndex) error {
 	// them intact, so only the time bound matters here.
 	for _, id := range ids {
 		o := d.objects[id]
+		cut := cutFor(id)
 		kept := o.landmarks[:0]
 		for _, ln := range o.landmarks {
-			if ln.time < ageCut {
+			if ln.time < cut {
 				d.usage.ageOut(segOf(d.log, ln.root))
 				continue
 			}
@@ -855,6 +894,7 @@ func (d *Drive) finishIndexedRecovery(idx *segIndex) error {
 		}
 		o := d.objects[id]
 		snapVer := d.recSnapVer[id]
+		cut := cutFor(id)
 		for addr := o.jhead; addr != journal.NilSector; {
 			_, prev, entries, err := journal.ReadSector(d.log, addr)
 			if err != nil {
@@ -864,7 +904,7 @@ func (d *Drive) finishIndexedRecovery(idx *segIndex) error {
 			for i := range entries {
 				e := &entries[i]
 				if e.Type == journal.EntCheckpoint && e.Version <= snapVer {
-					d.accountReplayEntry(o, e, addr, ageCut)
+					d.accountReplayEntry(o, e, addr, cut)
 				}
 			}
 			if addr == o.jtail {
@@ -999,10 +1039,34 @@ func (d *Drive) accountReplayTail(o *object, ageCut types.Timestamp) error {
 	if atC.Deleted {
 		// The checkpoint counters hold this object's blocks in history
 		// (its delete deprecated them); the tail's revive returned them
-		// to live service.
+		// to live service. An index the tail's delta conversion turned
+		// into a packed-slot reference resolves back to the original
+		// address through the packed header; one the tail's retention
+		// skip freed contributes nothing (the undo poisoned it and its
+		// address survives only in the entry's Dropped list, handled
+		// below). Blocks born inside the tail were never in the
+		// checkpoint counters, so they are excluded either way.
+		tailNew := make(map[seglog.BlockAddr]bool)
+		for i := range tail {
+			for _, nw := range tail[i].New {
+				if nw != seglog.NilAddr {
+					tailNew[nw] = true
+				}
+			}
+		}
 		for _, a := range atC.blocks {
-			if d.recCovered(a) {
+			if isDeltaRef(a) {
+				a = d.origOfRef(uint64(a))
+			}
+			if a != seglog.NilAddr && !tailNew[a] && d.recCovered(a) {
 				d.usage.undeprecate(segOf(d.log, a))
+			}
+		}
+		for i := range tail {
+			for _, dr := range tail[i].Dropped {
+				if dr != seglog.NilAddr && !tailNew[dr] && d.recCovered(dr) {
+					d.usage.undeprecate(segOf(d.log, dr))
+				}
 			}
 		}
 	}
@@ -1051,14 +1115,55 @@ func (d *Drive) accountReplayEntry(o *object, e *journal.Entry, addr journal.Sec
 		// Create allocates nothing; delete/revive settle in closed form
 		// in accountReplayTail.
 	default:
-		for _, old := range e.Old {
-			if old == seglog.NilAddr || !d.recCovered(old) {
+		var donePacked map[seglog.BlockAddr]bool
+		for k, old := range e.Old {
+			if old == seglog.NilAddr {
+				continue
+			}
+			if e.DeltaMask&(1<<uint(k)) != 0 {
+				// Conversion at runtime: the packed block was born into
+				// history, and each slot's original full block left live
+				// service. Packed blocks are entry-local, so every slot
+				// the header names belongs to this entry.
+				packed := seglog.BlockAddr(uint64(old) / journal.DeltaSlotsPerBlock)
+				if donePacked[packed] {
+					continue
+				}
+				if donePacked == nil {
+					donePacked = make(map[seglog.BlockAddr]bool)
+				}
+				donePacked[packed] = true
+				if !d.recCovered(packed) {
+					continue
+				}
+				seg := segOf(d.log, packed)
+				if e.Time >= ageCut {
+					d.usage.liveBorn(seg)
+					d.usage.deprecate(seg)
+				}
+				if origs := d.packedOrigs(packed); origs != nil {
+					for _, og := range origs {
+						a := seglog.BlockAddr(og)
+						if a != seglog.NilAddr && d.recCovered(a) {
+							d.usage.freeLive(segOf(d.log, a))
+						}
+					}
+				}
+				continue
+			}
+			if !d.recCovered(old) {
 				continue
 			}
 			if e.Time >= ageCut {
 				d.usage.deprecate(segOf(d.log, old))
 			} else {
 				d.usage.freeLive(segOf(d.log, old))
+			}
+		}
+		// Retention skips freed their outgoing blocks outright.
+		for _, dr := range e.Dropped {
+			if dr != seglog.NilAddr && d.recCovered(dr) {
+				d.usage.freeLive(segOf(d.log, dr))
 			}
 		}
 		for _, nw := range e.New {
@@ -1134,10 +1239,26 @@ func (d *Drive) agingCorrection(o *object, ageCut types.Timestamp, settled bool)
 			if e.Time >= ageCut {
 				continue
 			}
-			for _, old := range e.Old {
-				if old != seglog.NilAddr {
-					d.usage.ageOut(segOf(d.log, old))
+			var donePacked map[seglog.BlockAddr]bool
+			for k, old := range e.Old {
+				if old == seglog.NilAddr {
+					continue
 				}
+				if e.DeltaMask&(1<<uint(k)) != 0 {
+					// The aged history block is the shared packed delta
+					// block; age it out once however many slots point in.
+					packed := seglog.BlockAddr(uint64(old) / journal.DeltaSlotsPerBlock)
+					if donePacked[packed] {
+						continue
+					}
+					if donePacked == nil {
+						donePacked = make(map[seglog.BlockAddr]bool)
+					}
+					donePacked[packed] = true
+					d.usage.ageOut(segOf(d.log, packed))
+					continue
+				}
+				d.usage.ageOut(segOf(d.log, old))
 			}
 		}
 		if addr == o.jtail {

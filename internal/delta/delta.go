@@ -38,6 +38,10 @@ const (
 	chunk = 16
 	// minMatch is the smallest run worth a COPY instruction.
 	minMatch = 24
+	// MaxTarget bounds the reconstructed size Apply (and Decompress)
+	// will produce. Hostile length fields beyond it fail typed instead
+	// of driving an unbounded allocation.
+	MaxTarget = 1 << 24
 )
 
 // Encode computes a delta that transforms ref into target. The delta is
@@ -130,6 +134,9 @@ func Apply(ref, delta []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tlen > MaxTarget {
+		return nil, fmt.Errorf("delta: target length %d exceeds limit: %w", tlen, types.ErrCorrupt)
+	}
 	out := make([]byte, 0, tlen)
 	for len(delta) > 0 {
 		op := delta[0]
@@ -144,8 +151,13 @@ func Apply(ref, delta []byte) ([]byte, error) {
 			if err != nil {
 				return nil, err
 			}
-			if off+n > uint64(len(ref)) {
+			// Two separate bounds checks: off+n can wrap uint64 on
+			// hostile input, turning one comparison into a slice panic.
+			if off > uint64(len(ref)) || n > uint64(len(ref))-off {
 				return nil, fmt.Errorf("delta: copy beyond reference: %w", types.ErrCorrupt)
+			}
+			if uint64(len(out))+n > tlen {
+				return nil, fmt.Errorf("delta: output exceeds declared length: %w", types.ErrCorrupt)
 			}
 			out = append(out, ref[off:off+n]...)
 		case opInsert:
@@ -155,6 +167,9 @@ func Apply(ref, delta []byte) ([]byte, error) {
 			}
 			if n > uint64(len(delta)) {
 				return nil, fmt.Errorf("delta: truncated insert: %w", types.ErrCorrupt)
+			}
+			if uint64(len(out))+n > tlen {
+				return nil, fmt.Errorf("delta: output exceeds declared length: %w", types.ErrCorrupt)
 			}
 			out = append(out, delta[:n]...)
 			delta = delta[n:]
@@ -194,13 +209,17 @@ func Compress(data []byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decompress inflates data produced by Compress.
+// Decompress inflates data produced by Compress. Output is bounded by
+// MaxTarget so a hostile stream cannot force an unbounded allocation.
 func Decompress(data []byte) ([]byte, error) {
 	r := flate.NewReader(bytes.NewReader(data))
 	defer r.Close()
-	out, err := io.ReadAll(r)
+	out, err := io.ReadAll(io.LimitReader(r, MaxTarget+1))
 	if err != nil {
 		return nil, fmt.Errorf("delta: inflate: %w", err)
+	}
+	if len(out) > MaxTarget {
+		return nil, fmt.Errorf("delta: inflated output exceeds limit: %w", types.ErrCorrupt)
 	}
 	return out, nil
 }

@@ -58,6 +58,12 @@ const (
 	// of §3.3 applied to a deleted object). OldSize carries the prior
 	// DeadTime so undo can restore the deleted state.
 	EntRevive
+	// entWrite2 is a WIRE-ONLY discriminator: an EntWrite whose DeltaMask
+	// or SkipMask is non-zero encodes with this tag so the three extra
+	// fields have somewhere to live without perturbing the layout old
+	// images use. Decode normalizes it back to EntWrite — in-memory
+	// entries never carry this type.
+	entWrite2
 )
 
 func (t EntryType) String() string {
@@ -117,7 +123,25 @@ type Entry struct {
 
 	// EntCheckpoint.
 	InodeAddr seglog.BlockAddr
+
+	// Delta-compressed history (DESIGN.md §16); EntWrite only. DeltaMask
+	// bit k means Old[k] is not a plain block address but a packed
+	// delta-block reference: packedBlockAddr*DeltaSlotsPerBlock + slot.
+	// SkipMask bit k means the outgoing version's block k was dropped by
+	// the retention policy: Old[k] is NilAddr and the freed address is
+	// recorded in Dropped (one entry per set SkipMask bit, ascending k)
+	// solely so indexed crash recovery can settle usage accounting.
+	// History walks treat a skipped index as poisoned — the affected
+	// versions read as ErrNoVersion, never as manufactured zeros.
+	DeltaMask uint32
+	SkipMask  uint32
+	Dropped   []seglog.BlockAddr
 }
+
+// DeltaSlotsPerBlock is the packing factor used by delta-block
+// references in DeltaMask'd Old slots (ref = addr*DeltaSlotsPerBlock +
+// slot). It must be at least delta.MaxSlots; 32 leaves headroom.
+const DeltaSlotsPerBlock = 32
 
 // EncodedSize returns the exact encoded length of e.
 func (e *Entry) EncodedSize() int {
@@ -137,7 +161,13 @@ func (e *Entry) Encode(dst []byte) []byte {
 		put(b...)
 	}
 
-	put(byte(e.Type))
+	wireType := e.Type
+	if e.Type == EntWrite && (e.DeltaMask != 0 || e.SkipMask != 0) {
+		// Masked entries use the v2 wire tag; plain writes keep the
+		// original layout so pre-upgrade images decode byte-identically.
+		wireType = entWrite2
+	}
+	put(byte(wireType))
 	putU(e.Version)
 	putU(uint64(e.Time))
 	putU(uint64(e.User))
@@ -156,6 +186,13 @@ func (e *Entry) Encode(dst []byte) []byte {
 		}
 		putU(e.OldSize)
 		putU(e.NewSize)
+		if wireType == entWrite2 {
+			putU(uint64(e.DeltaMask))
+			putU(uint64(e.SkipMask))
+			for _, a := range e.Dropped {
+				putU(uint64(a))
+			}
+		}
 	case EntTruncate:
 		putU(e.FirstBlock)
 		putU(uint64(len(e.Old)))
@@ -190,6 +227,13 @@ func Decode(data []byte) (Entry, []byte, error) {
 	}
 	e.Type = EntryType(data[0])
 	data = data[1:]
+	wire2 := false
+	if e.Type == entWrite2 {
+		// Normalize: in-memory entries are always EntWrite; the v2 tag
+		// only signals the three extra trailing fields.
+		e.Type = EntWrite
+		wire2 = true
+	}
 	getU := func() (uint64, error) {
 		v, m := binary.Uvarint(data)
 		if m <= 0 {
@@ -261,6 +305,28 @@ func Decode(data []byte) (Entry, []byte, error) {
 		}
 		if e.NewSize, err = getU(); err != nil {
 			return e, nil, err
+		}
+		if wire2 {
+			if v, err = getU(); err != nil {
+				return e, nil, err
+			}
+			e.DeltaMask = uint32(v)
+			if v, err = getU(); err != nil {
+				return e, nil, err
+			}
+			e.SkipMask = uint32(v)
+			lim := uint32(1)<<uint(n) - 1
+			if e.DeltaMask&^lim != 0 || e.SkipMask&^lim != 0 ||
+				e.DeltaMask&e.SkipMask != 0 || e.DeltaMask|e.SkipMask == 0 {
+				return e, nil, fmt.Errorf("journal: bad entry masks %#x/%#x over %d blocks: %w",
+					e.DeltaMask, e.SkipMask, n, types.ErrCorrupt)
+			}
+			for m := e.SkipMask; m != 0; m &= m - 1 {
+				if v, err = getU(); err != nil {
+					return e, nil, err
+				}
+				e.Dropped = append(e.Dropped, seglog.BlockAddr(v))
+			}
 		}
 	case EntTruncate:
 		if e.FirstBlock, err = getU(); err != nil {

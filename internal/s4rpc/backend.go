@@ -39,6 +39,8 @@ type Backend interface {
 	Flush(cred types.Cred, from, to types.Timestamp) error
 	FlushO(cred types.Cred, id types.ObjectID, from, to types.Timestamp) error
 	SetWindow(cred types.Cred, w time.Duration) error
+	SetPolicy(cred types.Cred, id types.ObjectID, p types.Policy) error
+	GetPolicy(cred types.Cred, id types.ObjectID) (types.Policy, bool, error)
 	ListVersions(cred types.Cred, id types.ObjectID) ([]core.VersionInfo, error)
 	Revert(cred types.Cred, id types.ObjectID, at types.Timestamp) error
 	AuditRead(cred types.Cred, fromSeq uint64, max int) ([]audit.Record, error)

@@ -548,6 +548,24 @@ func (c *Client) SetWindow(w time.Duration) error {
 	return err
 }
 
+// SetPolicy installs the retention policy for obj (admin session);
+// obj 0 sets the drive-wide default, the zero policy clears an entry.
+func (c *Client) SetPolicy(obj types.ObjectID, p types.Policy) error {
+	_, err := c.call1(&Request{Op: types.OpSetPolicy, Obj: obj, Policy: p})
+	return err
+}
+
+// GetPolicy returns the retention policy in force for obj and whether
+// the object carries its own entry (false = inherited default). obj 0
+// asks for the drive default itself.
+func (c *Client) GetPolicy(obj types.ObjectID) (types.Policy, bool, error) {
+	resp, err := c.call1(&Request{Op: types.OpGetPolicy, Obj: obj})
+	if err != nil {
+		return types.Policy{}, false, err
+	}
+	return resp.Policy, resp.PolicyOwn, nil
+}
+
 // Flush erases all objects' versions in (from, to] (admin session).
 func (c *Client) Flush(from, to types.Timestamp) error {
 	_, err := c.call1(&Request{Op: types.OpFlush, From: from, To: to})

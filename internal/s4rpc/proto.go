@@ -86,6 +86,9 @@ type Request struct {
 	From   types.Timestamp
 	To     types.Timestamp
 	Window time.Duration
+	// Policy is OpSetPolicy's payload; Obj selects the target (0 = the
+	// drive-wide default).
+	Policy types.Policy
 	Seq    uint64 // AuditRead: starting sequence
 	Max    int    // AuditRead/ListVersions: result bound
 	// Batch carries sub-requests executed in order (§4.1.2); the reply
@@ -118,7 +121,11 @@ type Response struct {
 	ShardStats []core.Stats
 	// Scrub summarizes an on-demand integrity sweep (OpScrub).
 	Scrub core.ScrubResult
-	Batch []Response
+	// Policy answers OpGetPolicy; PolicyOwn reports whether the object
+	// has its own entry (false = inherited drive default).
+	Policy    types.Policy
+	PolicyOwn bool
+	Batch     []Response
 }
 
 // Err converts the wire errno back into a Go error (nil when 0). A

@@ -607,6 +607,14 @@ func (s *Server) dispatch(cred types.Cred, req *Request) *Response {
 		return fail(s.drv.FlushO(cred, req.Obj, req.From, req.To))
 	case types.OpSetWindow:
 		return fail(s.drv.SetWindow(cred, req.Window))
+	case types.OpSetPolicy:
+		return fail(s.drv.SetPolicy(cred, req.Obj, req.Policy))
+	case types.OpGetPolicy:
+		p, own, err := s.drv.GetPolicy(cred, req.Obj)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Policy, resp.PolicyOwn = p, own
 	case types.OpListVersions:
 		vs, err := s.drv.ListVersions(cred, req.Obj)
 		if err != nil {

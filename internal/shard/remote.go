@@ -242,6 +242,19 @@ func (r *Remote) SetWindow(cred types.Cred, w time.Duration) error {
 	return err
 }
 
+func (r *Remote) SetPolicy(cred types.Cred, id types.ObjectID, p types.Policy) error {
+	_, err := r.call(cred, &s4rpc.Request{Op: types.OpSetPolicy, Obj: id, Policy: p})
+	return err
+}
+
+func (r *Remote) GetPolicy(cred types.Cred, id types.ObjectID) (types.Policy, bool, error) {
+	resp, err := r.call(cred, &s4rpc.Request{Op: types.OpGetPolicy, Obj: id})
+	if err != nil {
+		return types.Policy{}, false, err
+	}
+	return resp.Policy, resp.PolicyOwn, nil
+}
+
 func (r *Remote) ListVersions(cred types.Cred, id types.ObjectID) ([]core.VersionInfo, error) {
 	resp, err := r.call(cred, &s4rpc.Request{Op: types.OpListVersions, Obj: id})
 	if err != nil {

@@ -283,6 +283,24 @@ func (r *Router) SetWindow(cred types.Cred, w time.Duration) error {
 	return r.broadcast(func(_ int, b s4rpc.Backend) error { return b.SetWindow(cred, w) })
 }
 
+// SetPolicy routes a per-object retention policy to the owning shard;
+// the drive-wide default (id 0) broadcasts so every shard enforces it.
+func (r *Router) SetPolicy(cred types.Cred, id types.ObjectID, p types.Policy) error {
+	if id == 0 {
+		return r.broadcast(func(_ int, b s4rpc.Backend) error { return b.SetPolicy(cred, id, p) })
+	}
+	return r.owner(id).SetPolicy(cred, id, p)
+}
+
+// GetPolicy asks the owning shard (any shard answers for the broadcast
+// default, so shard 0 serves id 0 like the partition table).
+func (r *Router) GetPolicy(cred types.Cred, id types.ObjectID) (types.Policy, bool, error) {
+	if id == 0 {
+		return r.backends[0].GetPolicy(cred, id)
+	}
+	return r.owner(id).GetPolicy(cred, id)
+}
+
 // AuditRead merges every shard's audit stream into one shard-tagged
 // diagnosis timeline (see gatherAudit). fromSeq and max apply
 // per-shard on the way in; max bounds the merged result on the way

@@ -25,7 +25,7 @@ func TestShardFaultSoak(t *testing.T) {
 		KillFor: 800 * time.Millisecond,
 		Fault: netfault.Config{
 			DelayEvery: 40, MaxDelay: 2 * time.Millisecond,
-			CutMin: 200, CutMax: 2600,
+			CutMin: 200, CutMax: 3200,
 			DropProb: 0.03,
 		},
 		Logf: t.Logf,
@@ -62,7 +62,7 @@ func TestShardFaultSoakSeeds(t *testing.T) {
 				KillFor: 2 * time.Second,
 				Fault: netfault.Config{
 					DelayEvery: 50, MaxDelay: time.Millisecond,
-					CutMin: 150, CutMax: 2600, DropProb: 0.05,
+					CutMin: 150, CutMax: 3200, DropProb: 0.05,
 				},
 				Logf: t.Logf,
 			})

@@ -134,6 +134,30 @@ func (w *run) rotOracle(dev disk.Device) (msg string) {
 			return fmt.Sprintf("object %v: read returned %d bytes matching no oracle snapshot (silent rot)", m.id, len(got))
 		}
 	}
+	// Back-in-time reads hold the same bar. With delta conversion on,
+	// these materialize through packed delta blocks, so a rotted
+	// mid-chain block must surface as a typed error — decoding must
+	// never hand back fabricated history.
+	for _, m := range w.objects {
+		for si := 0; si < len(m.snaps); si += 3 {
+			sn := &m.snaps[si]
+			if sn.deleted {
+				continue
+			}
+			ai, err := drv.GetAttr(admin, m.id, sn.at)
+			if err != nil || ai.Deleted || ai.Size == 0 {
+				continue
+			}
+			got, err := drv.Read(admin, m.id, 0, min64(ai.Size, types.MaxIO), sn.at)
+			if err != nil {
+				continue
+			}
+			if !w.matchesSnapshot(m, got) {
+				return fmt.Sprintf("object %v: history read at %v returned %d bytes matching no oracle snapshot (silent rot)",
+					m.id, sn.at, len(got))
+			}
+		}
+	}
 	return ""
 }
 
@@ -178,6 +202,51 @@ func TestBitRotSweepOracle(t *testing.T) {
 		// Alternate between the final image and earlier crash points, so
 		// the rot lands both on settled history and on recovery's own
 		// replay path.
+		k := n
+		if r%2 == 1 {
+			k = n * (r + 1) / rounds
+		}
+		img, err := w.rec.ImageAt(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			img.RotSector(rng.Int63n(sectors), byte(1+rng.Intn(255)))
+		}
+		if msg := w.rotOracle(img); msg != "" {
+			t.Errorf("rot round %d (crash point %d): %s", r, k, msg)
+		}
+	}
+}
+
+// TestBitRotDeltaChainOracle is TestBitRotSweepOracle with reverse-
+// delta conversion on: the workload's small-diff overwrites pack old
+// blocks into shared delta blocks, so history reads traverse chains of
+// them. Rot landing mid-chain (on a packed block, or on the full block
+// a chain bottoms out at) must fail typed at decode — CRCs cover the
+// encoded bytes — and never reconstruct plausible-but-wrong history.
+func TestBitRotDeltaChainOracle(t *testing.T) {
+	cfg := Config{
+		Seed: 47, Ops: 120, MaxWriteBlocks: 4,
+		Policy: types.Policy{Mode: types.ModeEveryVersion, DeltaEnabled: true},
+	}
+	cfg.fill()
+	w, err := runWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.deltaBlocks == 0 {
+		t.Fatal("workload wrote no packed delta blocks; the sweep would not cover chains")
+	}
+	t.Logf("workload packed %d delta blocks", w.deltaBlocks)
+	n := w.rec.Writes()
+	rng := rand.New(rand.NewSource(747))
+	sectors := w.rec.Capacity() / disk.SectorSize
+	rounds := 24
+	if testing.Short() {
+		rounds = 6
+	}
+	for r := 0; r < rounds; r++ {
 		k := n
 		if r%2 == 1 {
 			k = n * (r + 1) / rounds

@@ -109,6 +109,14 @@ type Config struct {
 	// PostRecoverySmoke issues a create+write+sync+read on each
 	// recovered image to prove the drive still serves.
 	PostRecoverySmoke bool
+	// Policy, when non-zero, is installed as the drive-wide retention
+	// policy (key 0) before the workload starts, so every crash image
+	// recovers under it. DeltaEnabled routes outgoing versions through
+	// reverse-delta conversion; the skip modes (landmark-only,
+	// on-close) relax the snapshot oracle to exact-or-ErrNoVersion —
+	// an unretained version may read back as a typed miss, but never as
+	// fabricated bytes (DESIGN.md §16).
+	Policy types.Policy
 	// UnsafeImmediateReuse forwards to core.Options: it disables the
 	// cleaner's deferred-reuse barrier so regression tests can prove
 	// the harness catches the resulting corruption.
@@ -193,7 +201,12 @@ type Result struct {
 	IndexFallbacks int64 // opens that found a checkpoint but fell back to full scan
 	ReplayIndexed  int64 // journal entries replayed by the indexed opens
 	ReplayFull     int64 // journal entries replayed by the full-scan opens
-	Violations     []Violation
+	// DeltaBlocks / SkippedVersions are the workload drive's
+	// packed-delta-block and retention-drop counts, so policy sweeps
+	// can assert the paths they mean to cover actually fired.
+	DeltaBlocks     int64
+	SkippedVersions int64
+	Violations      []Violation
 }
 
 // Run executes the workload and verifies every crash point.
@@ -204,10 +217,12 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{
-		Ops:     cfg.Ops,
-		Writes:  w.rec.Writes(),
-		Syncs:   len(w.syncs),
-		Objects: len(w.objects),
+		Ops:             cfg.Ops,
+		Writes:          w.rec.Writes(),
+		Syncs:           len(w.syncs),
+		Objects:         len(w.objects),
+		DeltaBlocks:     w.deltaBlocks,
+		SkippedVersions: w.skippedVersions,
 	}
 	points := make([]int, 0, res.Writes+1)
 	for k := 0; k <= res.Writes; k++ {
@@ -361,7 +376,7 @@ func (w *run) verifyImage(res *Result, dev, dev2 disk.Device, k int, torn bool) 
 				if si == newest {
 					inv = "durability"
 				}
-				if msg := checkSnap(drv, admin, m.id, sn); msg != "" {
+				if msg := checkSnap(drv, admin, m.id, sn, w.relaxed); msg != "" {
 					viol(inv, "object %v: %s", m.id, msg)
 				}
 			}
@@ -486,7 +501,7 @@ func (w *run) verifyEquivalence(res *Result, dev disk.Device, idxDigest string, 
 			depths = append(depths, mid)
 		}
 		for _, si := range depths {
-			if msg := checkSnap(drv, admin, m.id, &m.snaps[si]); msg != "" {
+			if msg := checkSnap(drv, admin, m.id, &m.snaps[si], w.relaxed); msg != "" {
 				viol("full-scan golden read, object %v snap %d: %s", m.id, si, msg)
 			}
 		}
@@ -564,16 +579,24 @@ func (w *run) checkAudit(recs []audit.Record, mark *syncMark, winCut types.Times
 }
 
 // checkSnap verifies one oracle snapshot against the recovered drive,
-// returning "" on success.
-func checkSnap(drv *core.Drive, admin types.Cred, id types.ObjectID, sn *snapshot) string {
+// returning "" on success. relaxed is the skip-mode retention contract
+// (DESIGN.md §16): a version the policy declined to retain may read
+// back as typed ErrNoVersion — but a read that succeeds must still be
+// byte-exact. Anything else (other errors, wrong bytes) stays a
+// violation: retention may cost history availability, never integrity.
+func checkSnap(drv *core.Drive, admin types.Cred, id types.ObjectID, sn *snapshot, relaxed bool) string {
+	skipOK := func(err error) bool { return relaxed && errors.Is(err, types.ErrNoVersion) }
 	if sn.deleted {
-		if _, err := drv.Read(admin, id, 0, 1, sn.at); !errors.Is(err, types.ErrNoObject) {
+		if _, err := drv.Read(admin, id, 0, 1, sn.at); !errors.Is(err, types.ErrNoObject) && !skipOK(err) {
 			return fmt.Sprintf("read at %v of deleted version: %v (want ErrNoObject)", sn.at, err)
 		}
 		return ""
 	}
 	ai, err := drv.GetAttr(admin, id, sn.at)
 	if err != nil {
+		if skipOK(err) {
+			return ""
+		}
 		return fmt.Sprintf("getattr at %v: %v", sn.at, err)
 	}
 	if ai.Deleted {
@@ -589,6 +612,9 @@ func checkSnap(drv *core.Drive, admin types.Cred, id types.ObjectID, sn *snapsho
 	for off := uint64(0); off < ai.Size; off += types.MaxIO {
 		part, err := drv.Read(admin, id, off, min64(ai.Size-off, types.MaxIO), sn.at)
 		if err != nil {
+			if skipOK(err) {
+				return ""
+			}
 			return fmt.Sprintf("read at %v off %d: %v", sn.at, off, err)
 		}
 		got = append(got, part...)

@@ -59,6 +59,14 @@ const (
 	// note above).
 	OpScrub // admin
 
+	// OpSetPolicy / OpGetPolicy manage per-object retention policies
+	// (DESIGN.md §16; appended after OpScrub — see the code-stability
+	// note above). Setting a policy is admin-only: retention is a
+	// security property, and a compromised client must not be able to
+	// thin its own history.
+	OpSetPolicy // admin
+	OpGetPolicy
+
 	opMax
 )
 
@@ -73,7 +81,7 @@ var opNames = [...]string{
 	OpListVersions: "listversions", OpRevert: "revert",
 	OpAuditRead: "auditread", OpStatus: "status",
 	OpHello: "hello", OpBatch: "batch", OpStats: "stats",
-	OpScrub: "scrub",
+	OpScrub: "scrub", OpSetPolicy: "setpolicy", OpGetPolicy: "getpolicy",
 }
 
 func (o Op) String() string {
@@ -109,7 +117,7 @@ func (o Op) Mutating() bool {
 // Admin reports whether o requires administrative credentials.
 func (o Op) Admin() bool {
 	switch o {
-	case OpFlush, OpFlushO, OpSetWindow, OpAuditRead, OpScrub:
+	case OpFlush, OpFlushO, OpSetWindow, OpAuditRead, OpScrub, OpSetPolicy:
 		return true
 	}
 	return false

@@ -29,6 +29,9 @@ const (
 	// PartitionTable is the drive-owned table of named objects
 	// ("partitions", §4.1). It is versioned like any other object.
 	PartitionTable ObjectID = 2
+	// PolicyTable is the drive-owned table of per-object retention
+	// policies (DESIGN.md §16). It is versioned like any other object.
+	PolicyTable ObjectID = 3
 	// FirstUserObject is the first ObjectID handed to clients.
 	FirstUserObject ObjectID = 16
 )
@@ -121,6 +124,86 @@ type ACLEntry struct {
 
 // EveryoneID is the ACL wildcard principal.
 const EveryoneID UserID = 0xFFFFFFFE
+
+// PolicyMode selects which versions of an object the history pool
+// retains inside the detection window (DESIGN.md §16). Every
+// modification is still journaled — the audit trail is never thinned —
+// but under the selective modes the *data* of an unretained outgoing
+// version is released at the next overwrite instead of being held for
+// the full window.
+type PolicyMode uint8
+
+const (
+	// ModeEveryVersion is the paper's comprehensive versioning: every
+	// version's data is kept for the whole window. The default.
+	ModeEveryVersion PolicyMode = iota
+	// ModeLandmarkOnly keeps only versions at or after the newest
+	// landmark checkpoint; intermediate versions' data may be dropped.
+	ModeLandmarkOnly
+	// ModeOnClose keeps versions current at each Sync ("close"), in the
+	// Elephant version-on-close style, plus every landmark.
+	ModeOnClose
+
+	policyModeMax
+)
+
+func (m PolicyMode) String() string {
+	switch m {
+	case ModeEveryVersion:
+		return "every-version"
+	case ModeLandmarkOnly:
+		return "landmark-only"
+	case ModeOnClose:
+		return "on-close"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Valid reports whether m is a defined retention mode.
+func (m PolicyMode) Valid() bool { return m < policyModeMax }
+
+// ParsePolicyMode maps a mode name back to its value.
+func ParsePolicyMode(s string) (PolicyMode, error) {
+	switch s {
+	case "every-version":
+		return ModeEveryVersion, nil
+	case "landmark-only":
+		return ModeLandmarkOnly, nil
+	case "on-close":
+		return ModeOnClose, nil
+	}
+	return 0, fmt.Errorf("unknown policy mode %q: %w", s, ErrInval)
+}
+
+// Policy is a per-object (or drive-default) retention policy. The zero
+// value is the paper's behavior: comprehensive versioning with
+// full-block history and the drive-wide window.
+type Policy struct {
+	// Window overrides the drive's detection window for this object when
+	// non-zero. Zero means "use the drive window".
+	Window time.Duration
+	// Mode selects which versions' data the history pool retains.
+	Mode PolicyMode
+	// DeltaEnabled turns on reverse-delta compression of overwritten
+	// history blocks (live reads stay full-block; only back-in-time
+	// walks pay decode).
+	DeltaEnabled bool
+}
+
+// IsZero reports whether p is the default (all-retaining) policy.
+func (p Policy) IsZero() bool { return p == Policy{} }
+
+func (p Policy) String() string {
+	d := "delta=off"
+	if p.DeltaEnabled {
+		d = "delta=on"
+	}
+	w := "window=drive"
+	if p.Window != 0 {
+		w = "window=" + p.Window.String()
+	}
+	return fmt.Sprintf("mode=%v %s %s", p.Mode, d, w)
+}
 
 // Timestamp is nanoseconds since the Unix epoch. S4 uses explicit
 // integer timestamps on the wire and on disk so that versions order

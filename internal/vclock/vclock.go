@@ -76,15 +76,5 @@ func (v *Virtual) Advance(d time.Duration) {
 	v.mu.Unlock()
 }
 
-// Set jumps the clock to t if t is later than the current time. It is
-// used by harnesses that replay traces with absolute timestamps.
-func (v *Virtual) Set(t time.Time) {
-	v.mu.Lock()
-	if t.After(v.now) {
-		v.now = t
-	}
-	v.mu.Unlock()
-}
-
 // TS returns the clock's current time as a types.Timestamp.
 func TS(c Clock) types.Timestamp { return types.TS(c.Now()) }

@@ -36,19 +36,6 @@ func TestVirtualSleepDoesNotBlock(t *testing.T) {
 	}
 }
 
-func TestVirtualSet(t *testing.T) {
-	v := NewVirtual()
-	base := v.Now()
-	v.Set(base.Add(time.Hour))
-	if !v.Now().Equal(base.Add(time.Hour)) {
-		t.Fatal("Set forward failed")
-	}
-	v.Set(base) // backward jump ignored
-	if !v.Now().Equal(base.Add(time.Hour)) {
-		t.Fatal("Set must never move the clock backward")
-	}
-}
-
 func TestVirtualConcurrentAdvance(t *testing.T) {
 	v := NewVirtual()
 	start := v.Now()
